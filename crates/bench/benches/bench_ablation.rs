@@ -1,0 +1,25 @@
+//! Design-choice ablation battery (DESIGN.md section 5).
+
+use ampsched_bench::{artifact_params, criterion, predictors, timing_params};
+use ampsched_experiments::ablation;
+use criterion::{black_box, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let preds = predictors();
+    let mut params = artifact_params();
+    params.num_pairs = 5;
+    let rows = ablation::run(&params, preds);
+    println!("\nAblation battery\n\n{}", ablation::render(&rows));
+
+    let mut tp = timing_params();
+    tp.num_pairs = 1;
+    c.bench_function("ablation_battery_one_pair", |b| {
+        b.iter(|| black_box(ablation::run(&tp, preds)))
+    });
+}
+
+fn main() {
+    let mut c = criterion();
+    bench(&mut c);
+    c.final_summary();
+}

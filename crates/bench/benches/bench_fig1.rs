@@ -1,0 +1,21 @@
+//! Figure 1: IPC/Watt of six workloads on each core type.
+
+use ampsched_bench::{artifact_params, criterion, timing_params};
+use ampsched_experiments::fig1;
+use criterion::{black_box, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let rows = fig1::run(&artifact_params());
+    println!("\nFigure 1 — IPC/Watt per workload per core\n\n{}", fig1::render(&rows));
+
+    let params = timing_params();
+    c.bench_function("fig1_six_workloads_two_cores", |b| {
+        b.iter(|| black_box(fig1::run(&params)))
+    });
+}
+
+fn main() {
+    let mut c = criterion();
+    bench(&mut c);
+    c.final_summary();
+}

@@ -1,0 +1,42 @@
+//! Figures 3 and 4: offline profiling, ratio-matrix construction, and the
+//! regression-surface fit.
+
+use ampsched_bench::{criterion, predictors};
+use ampsched_core::{RatioMatrix, RatioSurface};
+use ampsched_experiments::common::Params;
+use ampsched_experiments::profiling;
+use criterion::{black_box, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let preds = predictors();
+    println!(
+        "\nFigure 3 — IPC/Watt ratio matrix (INT/FP)\n\n{}",
+        profiling::render_matrix(&preds.matrix)
+    );
+    println!(
+        "Figure 4 — fitted ratio surface\n\n{}",
+        profiling::render_surface(&preds.surface)
+    );
+
+    // Time the predictor construction from cached profile points.
+    let mut params = Params::quick();
+    params.profile_insts = 400_000;
+    params.profile_interval_cycles = 100_000;
+    let profiles = profiling::profile_representatives(&params);
+    let points: Vec<_> = profiles.iter().flat_map(|p| p.points.clone()).collect();
+    c.bench_function("fig3_matrix_from_points", |b| {
+        b.iter(|| black_box(RatioMatrix::from_points(&points)))
+    });
+    c.bench_function("fig4_surface_fit", |b| {
+        b.iter(|| black_box(RatioSurface::from_points(&points)))
+    });
+    c.bench_function("fig3_profile_one_benchmark", |b| {
+        b.iter(|| black_box(profiling::profile_benchmark("pi", &params)))
+    });
+}
+
+fn main() {
+    let mut c = criterion();
+    bench(&mut c);
+    c.final_summary();
+}

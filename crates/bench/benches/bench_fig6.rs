@@ -1,0 +1,24 @@
+//! Figure 6: window-size x history-depth sensitivity.
+
+use ampsched_bench::{artifact_params, criterion, predictors, timing_params};
+use ampsched_experiments::fig6;
+use criterion::{black_box, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let preds = predictors();
+    let mut params = artifact_params();
+    params.num_pairs = 6;
+    let pts = fig6::run(&params, preds);
+    println!("\nFigure 6 — window/history sensitivity\n\n{}", fig6::render(&pts));
+
+    let tp = timing_params();
+    c.bench_function("fig6_sensitivity_grid", |b| {
+        b.iter(|| black_box(fig6::run(&tp, preds)))
+    });
+}
+
+fn main() {
+    let mut c = criterion();
+    bench(&mut c);
+    c.final_summary();
+}

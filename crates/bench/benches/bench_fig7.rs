@@ -1,0 +1,28 @@
+//! Figure 7: proposed vs HPE per-pair improvements.
+
+use ampsched_bench::{artifact_params, criterion, predictors, timing_params};
+use ampsched_experiments::fig78::{self, Reference};
+use criterion::{black_box, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let preds = predictors();
+    let sweep = fig78::run_sweep(&artifact_params(), preds);
+    println!(
+        "\nFigure 7 — proposed vs HPE\n\n{}",
+        fig78::render_fig(&sweep, Reference::Hpe)
+    );
+
+    let tp = timing_params();
+    c.bench_function("fig7_pair_sweep_proposed_vs_hpe", |b| {
+        b.iter(|| {
+            let s = fig78::run_sweep(&tp, preds);
+            black_box(s.average(Reference::Hpe))
+        })
+    });
+}
+
+fn main() {
+    let mut c = criterion();
+    bench(&mut c);
+    c.final_summary();
+}

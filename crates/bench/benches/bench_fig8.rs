@@ -1,0 +1,28 @@
+//! Figure 8: proposed vs Round Robin per-pair improvements.
+
+use ampsched_bench::{artifact_params, criterion, predictors, timing_params};
+use ampsched_experiments::common::{run_pair, sample_pairs, SchedKind};
+use ampsched_experiments::fig78::{self, Reference};
+use criterion::{black_box, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let preds = predictors();
+    let sweep = fig78::run_sweep(&artifact_params(), preds);
+    println!(
+        "\nFigure 8 — proposed vs Round Robin\n\n{}",
+        fig78::render_fig(&sweep, Reference::RoundRobin)
+    );
+
+    // Kernel: a single pair under Round Robin (the figure's baseline).
+    let tp = timing_params();
+    let pair = &sample_pairs(1, tp.seed)[0];
+    c.bench_function("fig8_one_pair_round_robin", |b| {
+        b.iter(|| black_box(run_pair(pair, &SchedKind::RoundRobin(1), preds, &tp)))
+    });
+}
+
+fn main() {
+    let mut c = criterion();
+    bench(&mut c);
+    c.final_summary();
+}

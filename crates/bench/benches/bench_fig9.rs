@@ -1,0 +1,26 @@
+//! Figure 9: worst/average/best summary (plus the swap-rate statistic).
+
+use ampsched_bench::{artifact_params, criterion, predictors, timing_params};
+use ampsched_experiments::common::{run_pair, sample_pairs, SchedKind};
+use ampsched_experiments::fig78;
+use criterion::{black_box, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let preds = predictors();
+    let sweep = fig78::run_sweep(&artifact_params(), preds);
+    println!("\nFigure 9 — worst/average/best\n\n{}", fig78::render_fig9(&sweep));
+
+    // Kernel: one pair under the proposed scheduler (the figure's subject).
+    let tp = timing_params();
+    let pair = &sample_pairs(1, tp.seed)[0];
+    let proposed = SchedKind::proposed_default(&tp);
+    c.bench_function("fig9_one_pair_proposed", |b| {
+        b.iter(|| black_box(run_pair(pair, &proposed, preds, &tp)))
+    });
+}
+
+fn main() {
+    let mut c = criterion();
+    bench(&mut c);
+    c.final_summary();
+}

@@ -1,0 +1,27 @@
+//! Section VI-C: swap-overhead sensitivity.
+
+use ampsched_bench::{artifact_params, criterion, predictors, timing_params};
+use ampsched_experiments::overhead;
+use criterion::{black_box, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let preds = predictors();
+    let mut params = artifact_params();
+    params.num_pairs = 6;
+    let pts = overhead::run(&params, preds);
+    println!(
+        "\nSection VI-C — swap-overhead sensitivity\n\n{}",
+        overhead::render(&pts)
+    );
+
+    let tp = timing_params();
+    c.bench_function("overhead_sweep", |b| {
+        b.iter(|| black_box(overhead::run(&tp, preds)))
+    });
+}
+
+fn main() {
+    let mut c = criterion();
+    bench(&mut c);
+    c.final_summary();
+}

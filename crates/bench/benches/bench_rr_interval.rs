@@ -1,0 +1,27 @@
+//! Section VII: Round Robin 2ms vs 4ms decision interval.
+
+use ampsched_bench::{artifact_params, criterion, predictors, timing_params};
+use ampsched_experiments::rr_interval;
+use criterion::{black_box, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let preds = predictors();
+    let mut params = artifact_params();
+    params.num_pairs = 6;
+    let r = rr_interval::run(&params, preds);
+    println!(
+        "\nSection VII — RR decision-interval comparison\n\n{}",
+        rr_interval::render(&r)
+    );
+
+    let tp = timing_params();
+    c.bench_function("rr_interval_comparison", |b| {
+        b.iter(|| black_box(rr_interval::run(&tp, preds)))
+    });
+}
+
+fn main() {
+    let mut c = criterion();
+    bench(&mut c);
+    c.final_summary();
+}

@@ -1,0 +1,29 @@
+//! Section VI-A / Figure 5: swap-rule threshold derivation.
+
+use ampsched_bench::{criterion, timing_params};
+use ampsched_experiments::common::Params;
+use ampsched_experiments::profiling;
+use ampsched_experiments::rules_derivation;
+use criterion::{black_box, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let mut params = Params::quick();
+    params.profile_interval_cycles = 100_000; // fine windows for the rules
+    let d = rules_derivation::derive(&params, 50);
+    println!(
+        "\nSection VI-A — derived swap-rule thresholds\n\n{}",
+        rules_derivation::render(&d)
+    );
+
+    let tp = timing_params();
+    let profiles = profiling::profile_representatives(&tp);
+    c.bench_function("rules_derivation_from_profiles", |b| {
+        b.iter(|| black_box(rules_derivation::derive_from_profiles(&profiles, 50, 1)))
+    });
+}
+
+fn main() {
+    let mut c = criterion();
+    bench(&mut c);
+    c.final_summary();
+}

@@ -1,0 +1,40 @@
+//! Tables I and II: print the live core configurations and time the
+//! simulator's raw cycle throughput on each core type (the "cost" of the
+//! tables' hardware).
+
+use ampsched_bench::{criterion, timing_params};
+use ampsched_cpu::{Core, CoreConfig};
+use ampsched_experiments::tables;
+use ampsched_mem::MemSystem;
+use ampsched_trace::{suite, TraceGenerator};
+use criterion::{black_box, Criterion};
+
+fn bench(c: &mut Criterion) {
+    println!("\nTable I — core structure sizes\n\n{}", tables::render_table_i());
+    println!("Table II — execution units\n\n{}", tables::render_table_ii());
+
+    let params = timing_params();
+    let mut g = c.benchmark_group("tables_core_throughput");
+    for (name, cfg) in [("fp_core", CoreConfig::fp_core()), ("int_core", CoreConfig::int_core())] {
+        g.bench_function(name, |b| {
+            b.iter(|| {
+                let mut core = Core::new(cfg.clone(), 0);
+                let mut mem = MemSystem::new(params.system.mem, 1);
+                let mut w =
+                    TraceGenerator::for_thread(suite::by_name("pi").unwrap(), 3, 0);
+                let mut committed = 0u64;
+                for now in 0..50_000u64 {
+                    committed += core.tick(now, &mut w, &mut mem) as u64;
+                }
+                black_box(committed)
+            })
+        });
+    }
+    g.finish();
+}
+
+fn main() {
+    let mut c = criterion();
+    bench(&mut c);
+    c.final_summary();
+}

@@ -1,0 +1,45 @@
+//! Shared helpers for the Criterion benches.
+//!
+//! Every paper table/figure has a bench target (`cargo bench -p
+//! ampsched-bench`). Each target does two things:
+//!
+//! 1. **regenerates the artifact once** at reduced scale and prints it —
+//!    so a `cargo bench` log contains every table and figure; and
+//! 2. **times the experiment's computational kernel** with a small
+//!    Criterion sample budget (the host is a single-core machine; the
+//!    full-scale regeneration lives in the `ampsched` CLI).
+
+use ampsched_experiments::common::{Params, Predictors};
+use ampsched_experiments::profiling;
+
+/// Parameters for the printed (regenerated) artifact.
+pub fn artifact_params() -> Params {
+    let mut p = Params::quick();
+    p.num_pairs = 8;
+    p
+}
+
+/// Even smaller parameters for the timed kernel.
+pub fn timing_params() -> Params {
+    let mut p = Params::quick();
+    p.run_insts = 120_000;
+    p.max_cycles = 12_000_000;
+    p.num_pairs = 2;
+    p.system.epoch_cycles = 150_000;
+    p
+}
+
+/// Process-cached predictors built from [`Params::quick`].
+pub fn predictors() -> &'static Predictors {
+    profiling::quick_predictors()
+}
+
+/// Standard Criterion configuration for this crate: tiny sample counts,
+/// short measurement windows (each iteration is a whole simulation).
+pub fn criterion() -> criterion::Criterion {
+    criterion::Criterion::default()
+        .sample_size(10)
+        .measurement_time(std::time::Duration::from_secs(8))
+        .warm_up_time(std::time::Duration::from_secs(1))
+        .configure_from_args()
+}

@@ -1,0 +1,213 @@
+//! The paper's stated future-work extension (Section VII): "We plan to
+//! improve upon these scenarios by including the performance (IPC) and
+//! last-level cache miss rate information into our swapping conditions."
+//!
+//! The failure mode the authors describe: composition alone can
+//! mispredict — a thread with a high %INT looks like it wants the INT
+//! core, but if it is stalled on dependencies or memory, moving it does
+//! not help and the swap costs both threads. [`ExtendedScheduler`] wraps
+//! the proposed scheme with exactly the two vetoes the paper sketches:
+//!
+//! * **memory-boundness veto** — when a thread's window is dominated by
+//!   memory operations, its datapath flavor is irrelevant; a swap
+//!   nominally justified by that thread's composition is suppressed;
+//! * **low-IPC veto** — when both threads' window IPC is under a floor,
+//!   the system is stall-bound (dependences, misses) and swapping only
+//!   adds overhead.
+
+use crate::counters::{CoreKind, WindowSnapshot};
+use crate::proposed::{ProposedConfig, ProposedScheduler};
+use crate::scheduler::{Decision, Scheduler};
+
+/// Veto thresholds for the extension.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ExtendedConfig {
+    /// Base proposed-scheme configuration.
+    pub base: ProposedConfig,
+    /// A thread with `mem_pct` at or above this is memory-bound; swaps
+    /// motivated by its composition are vetoed.
+    pub mem_bound_pct: f64,
+    /// If both threads' window IPC is at or below this, veto all swaps.
+    pub low_ipc_floor: f64,
+}
+
+impl Default for ExtendedConfig {
+    fn default() -> Self {
+        ExtendedConfig {
+            base: ProposedConfig::default(),
+            mem_bound_pct: 45.0,
+            low_ipc_floor: 0.12,
+        }
+    }
+}
+
+/// Proposed scheme + IPC/memory-awareness vetoes.
+#[derive(Debug, Clone)]
+pub struct ExtendedScheduler {
+    inner: ProposedScheduler,
+    cfg: ExtendedConfig,
+    /// Swaps vetoed by the memory-boundness rule.
+    pub mem_vetoes: u64,
+    /// Swaps vetoed by the low-IPC rule.
+    pub ipc_vetoes: u64,
+}
+
+impl ExtendedScheduler {
+    /// Build with explicit configuration.
+    pub fn new(cfg: ExtendedConfig) -> Self {
+        ExtendedScheduler {
+            inner: ProposedScheduler::new(cfg.base),
+            cfg,
+            mem_vetoes: 0,
+            ipc_vetoes: 0,
+        }
+    }
+
+    /// Paper-default thresholds.
+    pub fn with_defaults() -> Self {
+        Self::new(ExtendedConfig::default())
+    }
+
+    /// Swaps the wrapped scheme actually issued.
+    pub fn swaps_issued(&self) -> u64 {
+        self.inner.swaps_issued
+    }
+}
+
+impl Scheduler for ExtendedScheduler {
+    fn name(&self) -> &'static str {
+        "proposed-extended"
+    }
+
+    fn window_insts(&self) -> Option<u64> {
+        self.inner.window_insts()
+    }
+
+    fn on_window(&mut self, snap: &WindowSnapshot) -> Decision {
+        let decision = self.inner.on_window(snap);
+        if decision == Decision::Stay {
+            return Decision::Stay;
+        }
+        let on_fp = snap.on_core(CoreKind::Fp);
+        let on_int = snap.on_core(CoreKind::Int);
+
+        // Low-IPC veto: both threads crawling => stall-bound system.
+        if on_fp.ipc() <= self.cfg.low_ipc_floor && on_int.ipc() <= self.cfg.low_ipc_floor {
+            self.ipc_vetoes += 1;
+            return Decision::Stay;
+        }
+        // Memory-boundness veto: the thread whose surge motivated the
+        // swap gains nothing from a different datapath if it mostly waits
+        // on memory.
+        let fp_thread_membound = on_fp.mem_pct >= self.cfg.mem_bound_pct;
+        let int_thread_membound = on_int.mem_pct >= self.cfg.mem_bound_pct;
+        if fp_thread_membound || int_thread_membound {
+            self.mem_vetoes += 1;
+            return Decision::Stay;
+        }
+        Decision::Swap
+    }
+
+    fn reset(&mut self) {
+        self.inner.reset();
+        self.mem_vetoes = 0;
+        self.ipc_vetoes = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::counters::{Assignment, ThreadWindow};
+
+    fn snap(
+        fp_mix: (f64, f64, f64, f64, u64, u64),
+        int_mix: (f64, f64, f64, f64, u64, u64),
+        cycle: u64,
+    ) -> WindowSnapshot {
+        let mk = |(int_pct, fp_pct, mem_pct, _b, instructions, cycles): (
+            f64,
+            f64,
+            f64,
+            f64,
+            u64,
+            u64,
+        )| ThreadWindow {
+            int_pct,
+            fp_pct,
+            mem_pct,
+            branch_pct: 0.0,
+            instructions,
+            cycles,
+            joules: 0.0,
+        };
+        WindowSnapshot {
+            cycle,
+            assignment: Assignment::default(),
+            threads: [mk(fp_mix), mk(int_mix)],
+        }
+    }
+
+    #[test]
+    fn healthy_misplacement_still_swaps() {
+        let mut s = ExtendedScheduler::with_defaults();
+        // INT-heavy on FP core, good IPC, low mem: no veto applies.
+        let w = snap(
+            (60.0, 1.0, 20.0, 0.0, 1000, 1200),
+            (20.0, 1.0, 20.0, 0.0, 1000, 1200),
+            0,
+        );
+        let mut last = Decision::Stay;
+        for _ in 0..5 {
+            last = s.on_window(&w);
+        }
+        assert_eq!(last, Decision::Swap);
+        assert_eq!(s.mem_vetoes + s.ipc_vetoes, 0);
+    }
+
+    #[test]
+    fn memory_bound_thread_vetoes_the_swap() {
+        let mut s = ExtendedScheduler::with_defaults();
+        // Composition says swap, but the FP-core thread is 55% memory ops.
+        let w = snap(
+            (60.0, 1.0, 55.0, 0.0, 1000, 5000),
+            (20.0, 1.0, 15.0, 0.0, 1000, 1200),
+            0,
+        );
+        for _ in 0..10 {
+            assert_eq!(s.on_window(&w), Decision::Stay);
+        }
+        assert!(s.mem_vetoes > 0);
+    }
+
+    #[test]
+    fn low_ipc_pair_vetoes_the_swap() {
+        let mut s = ExtendedScheduler::with_defaults();
+        // Both threads at IPC 0.05: stall-bound.
+        let w = snap(
+            (60.0, 1.0, 30.0, 0.0, 100, 2000),
+            (20.0, 1.0, 30.0, 0.0, 100, 2000),
+            0,
+        );
+        for _ in 0..10 {
+            assert_eq!(s.on_window(&w), Decision::Stay);
+        }
+        assert!(s.ipc_vetoes > 0);
+    }
+
+    #[test]
+    fn reset_clears_veto_counters() {
+        let mut s = ExtendedScheduler::with_defaults();
+        let w = snap(
+            (60.0, 1.0, 55.0, 0.0, 1000, 5000),
+            (20.0, 1.0, 15.0, 0.0, 1000, 1200),
+            0,
+        );
+        for _ in 0..10 {
+            let _ = s.on_window(&w);
+        }
+        s.reset();
+        assert_eq!(s.mem_vetoes, 0);
+        assert_eq!(s.swaps_issued(), 0);
+    }
+}

@@ -1,0 +1,148 @@
+//! Phase-stability filter: majority vote over recent tentative decisions
+//! (Section VI-B).
+//!
+//! "To avoid too frequent swaps ... we base our reconfiguration decision
+//! on the most frequent tentative decision made during the *n* most recent
+//! instruction windows."
+
+use std::collections::VecDeque;
+
+/// Ring of the `depth` most recent tentative (boolean) decisions with
+/// majority query.
+#[derive(Debug, Clone)]
+pub struct MajorityVote {
+    ring: VecDeque<bool>,
+    depth: usize,
+}
+
+impl MajorityVote {
+    /// Create a vote filter of the given history depth.
+    ///
+    /// # Panics
+    /// Panics if `depth` is zero.
+    pub fn new(depth: usize) -> Self {
+        assert!(depth >= 1, "history depth must be at least 1");
+        MajorityVote {
+            ring: VecDeque::with_capacity(depth),
+            depth,
+        }
+    }
+
+    /// The configured history depth.
+    pub fn depth(&self) -> usize {
+        self.depth
+    }
+
+    /// Record one tentative decision (`true` = swap).
+    pub fn push(&mut self, tentative: bool) {
+        if self.ring.len() == self.depth {
+            self.ring.pop_front();
+        }
+        self.ring.push_back(tentative);
+    }
+
+    /// Whether a strict majority of the *full* history says "swap".
+    /// Until the ring has filled, the vote is `false` (a new phase must
+    /// prove itself stable before triggering a reconfiguration).
+    pub fn majority(&self) -> bool {
+        if self.ring.len() < self.depth {
+            return false;
+        }
+        let yes = self.ring.iter().filter(|b| **b).count();
+        2 * yes > self.depth
+    }
+
+    /// Number of recorded decisions (≤ depth).
+    pub fn len(&self) -> usize {
+        self.ring.len()
+    }
+
+    /// True when no decisions are recorded yet.
+    pub fn is_empty(&self) -> bool {
+        self.ring.is_empty()
+    }
+
+    /// Clear the history (after an executed swap, the thread/core roles
+    /// invert, so stale votes would immediately swap back).
+    pub fn clear(&mut self) {
+        self.ring.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_history_votes_stay() {
+        let v = MajorityVote::new(5);
+        assert!(!v.majority());
+        assert!(v.is_empty());
+    }
+
+    #[test]
+    fn partial_history_votes_stay() {
+        let mut v = MajorityVote::new(5);
+        for _ in 0..4 {
+            v.push(true);
+        }
+        assert!(!v.majority(), "not enough history yet");
+        v.push(true);
+        assert!(v.majority());
+    }
+
+    #[test]
+    fn strict_majority_required() {
+        let mut v = MajorityVote::new(4);
+        v.push(true);
+        v.push(true);
+        v.push(false);
+        v.push(false);
+        assert!(!v.majority(), "2/4 is not a strict majority");
+        v.push(true); // evicts the oldest true -> still 2 yes? no: t,f,f,t
+        assert!(!v.majority());
+        v.push(true); // f,f,t,t -> 2 yes
+        assert!(!v.majority());
+        v.push(true); // f,t,t,t -> 3 yes
+        assert!(v.majority());
+    }
+
+    #[test]
+    fn sliding_window_evicts_oldest() {
+        let mut v = MajorityVote::new(3);
+        v.push(true);
+        v.push(true);
+        v.push(true);
+        assert!(v.majority());
+        v.push(false);
+        v.push(false);
+        assert!(!v.majority(), "window is now t,f,f");
+        assert_eq!(v.len(), 3);
+    }
+
+    #[test]
+    fn clear_resets() {
+        let mut v = MajorityVote::new(2);
+        v.push(true);
+        v.push(true);
+        assert!(v.majority());
+        v.clear();
+        assert!(!v.majority());
+        assert!(v.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 1")]
+    fn zero_depth_panics() {
+        MajorityVote::new(0);
+    }
+
+    #[test]
+    fn depth_one_follows_last_decision() {
+        let mut v = MajorityVote::new(1);
+        v.push(true);
+        assert!(v.majority());
+        v.push(false);
+        assert!(!v.majority());
+    }
+}

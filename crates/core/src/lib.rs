@@ -1,0 +1,51 @@
+//! # ampsched-core
+//!
+//! The paper's contribution: **fine-grained, hardware-level dynamic thread
+//! scheduling for a dual-core asymmetric multicore**, plus every reference
+//! scheme it is evaluated against.
+//!
+//! The crate is substrate-independent: schedulers observe only
+//! [`WindowSnapshot`]s — the per-window hardware-counter values the paper's
+//! "online monitor" exposes (committed-instruction composition, IPC,
+//! energy) — and return [`Decision`]s. The dual-core system driver in
+//! `ampsched-system` executes those decisions (pipeline flush, state
+//! transfer, cache effects).
+//!
+//! ## Schedulers
+//!
+//! | type | scheme | decision cadence |
+//! |---|---|---|
+//! | [`ProposedScheduler`] | the paper's monitor + swap rules (Fig. 5) with history voting (Sec. VI-B) | every committed-instruction window (default 1000/thread) |
+//! | [`HpeScheduler`] | Srinivasan et al. \[8\] extended to flavored cores per Sec. V (ratio matrix Fig. 3 or regression surface Fig. 4) | every 2 ms OS epoch |
+//! | [`RoundRobinScheduler`] | unconditional swap every k epochs | every k × 2 ms |
+//! | [`StaticScheduler`] | never swap (baseline assignment) | — |
+//! | [`MatrixFineScheduler`] | ablation: the HPE predictor evaluated at the proposed scheme's fine granularity | every window |
+//! | [`ExtendedScheduler`] | the paper's Section VII future-work extension: proposed rules + IPC / memory-boundness vetoes | every window |
+//! | [`SamplingScheduler`] | Becchi & Crowley-style forced-swap sampling \[10\] (Related Work) | probe every k epochs |
+
+pub mod counters;
+pub mod extended;
+pub mod history;
+pub mod hpe;
+pub mod matrix_fine;
+pub mod profile;
+pub mod proposed;
+pub mod regression;
+pub mod round_robin;
+pub mod sampling;
+pub mod rules;
+pub mod scheduler;
+pub mod static_sched;
+
+pub use counters::{Assignment, CoreKind, ThreadWindow, WindowSnapshot};
+pub use extended::{ExtendedConfig, ExtendedScheduler};
+pub use history::MajorityVote;
+pub use hpe::{HpePredictor, HpeScheduler, RatioMatrix, RatioSurface};
+pub use matrix_fine::MatrixFineScheduler;
+pub use profile::ProfilePoint;
+pub use proposed::{ProposedConfig, ProposedScheduler};
+pub use round_robin::RoundRobinScheduler;
+pub use sampling::SamplingScheduler;
+pub use rules::SwapRules;
+pub use scheduler::{Decision, Scheduler};
+pub use static_sched::StaticScheduler;

@@ -1,0 +1,64 @@
+//! Offline profiling data (Section V, steps 1–3).
+//!
+//! Each [`ProfilePoint`] is one 2 ms profiling interval of one
+//! representative benchmark, recording its instruction composition and the
+//! measured IPC/Watt on *both* core types — from which the
+//! INT-core ÷ FP-core ratio used by the HPE extension is computed.
+//! The actual profiling runs live in `ampsched-experiments::profiling`
+//! (they need the full system); this module is the data model.
+
+/// One profiled interval.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ProfilePoint {
+    /// %INT of the interval (0–100).
+    pub int_pct: f64,
+    /// %FP of the interval (0–100).
+    pub fp_pct: f64,
+    /// IPC/Watt the interval achieved on the INT core.
+    pub ppw_int_core: f64,
+    /// IPC/Watt the interval achieved on the FP core.
+    pub ppw_fp_core: f64,
+}
+
+impl ProfilePoint {
+    /// The ratio the HPE matrix/surface predicts:
+    /// IPC/Watt on the INT core ÷ IPC/Watt on the FP core.
+    ///
+    /// # Panics
+    /// Panics if the FP-core measurement is non-positive.
+    pub fn ratio(&self) -> f64 {
+        assert!(
+            self.ppw_fp_core > 0.0,
+            "profiled FP-core IPC/Watt must be positive"
+        );
+        self.ppw_int_core / self.ppw_fp_core
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ratio_definition() {
+        let p = ProfilePoint {
+            int_pct: 80.0,
+            fp_pct: 2.0,
+            ppw_int_core: 0.5,
+            ppw_fp_core: 0.4,
+        };
+        assert!((p.ratio() - 1.25).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_denominator_panics() {
+        ProfilePoint {
+            int_pct: 0.0,
+            fp_pct: 0.0,
+            ppw_int_core: 0.5,
+            ppw_fp_core: 0.0,
+        }
+        .ratio();
+    }
+}

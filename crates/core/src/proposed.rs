@@ -1,0 +1,263 @@
+//! The paper's proposed dynamic thread scheduling scheme (Section VI).
+//!
+//! An online monitor samples the committed-instruction composition of both
+//! threads every `window` instructions; the Figure 5 rules produce a
+//! *tentative* decision per window; a majority vote over the last
+//! `history_depth` tentative decisions (Section VI-B) issues the actual
+//! swap; and if no swap has happened for a 2 ms epoch while both threads
+//! have the same flavor, a fairness swap is forced (step 3 of Figure 5).
+
+use crate::counters::{CoreKind, WindowSnapshot};
+use crate::history::MajorityVote;
+use crate::rules::SwapRules;
+use crate::scheduler::{Decision, Scheduler};
+
+/// Tunables of the proposed scheme (paper defaults: window 1000,
+/// history 5 — the Figure 6 sensitivity optimum).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ProposedConfig {
+    /// Monitoring window in committed instructions *per thread*.
+    pub window: u64,
+    /// History depth n for the majority vote.
+    pub history_depth: usize,
+    /// Swap rule thresholds (Figure 5).
+    pub rules: SwapRules,
+    /// Fairness-swap interval in cycles (2 ms = 4,000,000 @ 2 GHz).
+    pub fairness_interval_cycles: u64,
+}
+
+impl Default for ProposedConfig {
+    fn default() -> Self {
+        ProposedConfig {
+            window: 1000,
+            history_depth: 5,
+            rules: SwapRules::default(),
+            fairness_interval_cycles: 4_000_000,
+        }
+    }
+}
+
+/// The proposed fine-grained hardware scheduler.
+#[derive(Debug, Clone)]
+pub struct ProposedScheduler {
+    cfg: ProposedConfig,
+    vote: MajorityVote,
+    last_swap_cycle: u64,
+    /// Decision points seen (diagnostics; the paper notes swaps happen at
+    /// well under 1% of them).
+    pub decision_points: u64,
+    /// Swaps issued.
+    pub swaps_issued: u64,
+}
+
+impl ProposedScheduler {
+    /// Build with explicit configuration.
+    pub fn new(cfg: ProposedConfig) -> Self {
+        ProposedScheduler {
+            vote: MajorityVote::new(cfg.history_depth),
+            cfg,
+            last_swap_cycle: 0,
+            decision_points: 0,
+            swaps_issued: 0,
+        }
+    }
+
+    /// Paper-default configuration (window 1000, history 5).
+    pub fn with_defaults() -> Self {
+        Self::new(ProposedConfig::default())
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &ProposedConfig {
+        &self.cfg
+    }
+}
+
+impl Scheduler for ProposedScheduler {
+    fn name(&self) -> &'static str {
+        "proposed"
+    }
+
+    fn window_insts(&self) -> Option<u64> {
+        // The system counts committed instructions summed over both
+        // threads; `window` is per thread.
+        Some(self.cfg.window * 2)
+    }
+
+    fn on_window(&mut self, snap: &WindowSnapshot) -> Decision {
+        self.decision_points += 1;
+        let on_fp = snap.on_core(CoreKind::Fp);
+        let on_int = snap.on_core(CoreKind::Int);
+
+        // Step 2: tentative decision from the composition rules, filtered
+        // through the history vote.
+        let tentative = self.cfg.rules.beneficial_swap(on_fp, on_int);
+        self.vote.push(tentative);
+        if self.vote.majority() {
+            self.vote.clear();
+            self.last_swap_cycle = snap.cycle;
+            self.swaps_issued += 1;
+            return Decision::Swap;
+        }
+
+        // Step 3: fairness swap for same-flavor pairs, at most once per
+        // 2 ms without a swap.
+        if snap.cycle.saturating_sub(self.last_swap_cycle) >= self.cfg.fairness_interval_cycles
+            && self.cfg.rules.fairness_swap(on_fp, on_int)
+        {
+            self.vote.clear();
+            self.last_swap_cycle = snap.cycle;
+            self.swaps_issued += 1;
+            return Decision::Swap;
+        }
+
+        Decision::Stay
+    }
+
+    fn reset(&mut self) {
+        self.vote.clear();
+        self.last_swap_cycle = 0;
+        self.decision_points = 0;
+        self.swaps_issued = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::counters::{Assignment, ThreadWindow};
+
+    fn snap(cycle: u64, fp_core_mix: (f64, f64), int_core_mix: (f64, f64)) -> WindowSnapshot {
+        // Baseline assignment: thread 0 on FP core, thread 1 on INT core.
+        WindowSnapshot {
+            cycle,
+            assignment: Assignment::default(),
+            threads: [
+                ThreadWindow {
+                    int_pct: fp_core_mix.0,
+                    fp_pct: fp_core_mix.1,
+                    ..Default::default()
+                },
+                ThreadWindow {
+                    int_pct: int_core_mix.0,
+                    fp_pct: int_core_mix.1,
+                    ..Default::default()
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn needs_history_depth_consistent_windows_to_swap() {
+        let mut s = ProposedScheduler::with_defaults();
+        // INT-heavy thread stuck on FP core, idle INT core: swap-worthy.
+        for i in 0..4 {
+            assert_eq!(
+                s.on_window(&snap(i * 1000, (60.0, 1.0), (20.0, 1.0))),
+                Decision::Stay,
+                "vote must not fire before the ring fills"
+            );
+        }
+        assert_eq!(
+            s.on_window(&snap(5000, (60.0, 1.0), (20.0, 1.0))),
+            Decision::Swap
+        );
+        assert_eq!(s.swaps_issued, 1);
+    }
+
+    #[test]
+    fn transient_phase_blip_is_filtered() {
+        let mut s = ProposedScheduler::with_defaults();
+        // Mostly neutral windows with occasional swap-worthy blips:
+        // a 2-in-5 pattern must never reach a majority.
+        for i in 0..50u64 {
+            let blip = i % 5 < 2;
+            let mix = if blip { (60.0, 1.0) } else { (30.0, 10.0) };
+            assert_eq!(
+                s.on_window(&snap(i * 1000, mix, (20.0, 1.0))),
+                Decision::Stay
+            );
+        }
+    }
+
+    #[test]
+    fn fairness_swap_fires_for_same_flavor_pairs_after_2ms() {
+        let mut s = ProposedScheduler::with_defaults();
+        // Both threads INT-heavy: beneficial rule can never fire.
+        let mut fired_at = None;
+        for i in 0..6000u64 {
+            let cycle = i * 1000; // well past 4M cycles by the end
+            if s.on_window(&snap(cycle, (60.0, 1.0), (65.0, 1.0))) == Decision::Swap {
+                fired_at = Some(cycle);
+                break;
+            }
+        }
+        let cycle = fired_at.expect("fairness swap must eventually fire");
+        assert!(
+            cycle >= 4_000_000,
+            "fairness must respect the 2 ms interval, fired at {cycle}"
+        );
+    }
+
+    #[test]
+    fn fairness_does_not_fire_for_complementary_pairs() {
+        let mut s = ProposedScheduler::with_defaults();
+        // Well-placed complementary pair: FP thread on FP core.
+        for i in 0..10_000u64 {
+            assert_eq!(
+                s.on_window(&snap(i * 1000, (10.0, 30.0), (60.0, 1.0))),
+                Decision::Stay
+            );
+        }
+        assert_eq!(s.swaps_issued, 0);
+    }
+
+    #[test]
+    fn swap_rate_is_sparse_for_stable_workloads() {
+        // Paper: "in much less than 1% of the decision-making points,
+        // swapping of threads actually happened".
+        let mut s = ProposedScheduler::with_defaults();
+        for i in 0..2000u64 {
+            // Complementary stable pair, correctly placed.
+            let _ = s.on_window(&snap(i * 1000, (8.0, 28.0), (62.0, 0.5)));
+        }
+        assert_eq!(s.decision_points, 2000);
+        assert_eq!(s.swaps_issued, 0);
+    }
+
+    #[test]
+    fn respects_swapped_assignment() {
+        let mut s = ProposedScheduler::with_defaults();
+        // Swapped assignment: thread 1 is on the FP core. Thread 1 is
+        // INT-heavy, thread 0 (on INT core) is idle: swap-worthy.
+        let mut snap = snap(0, (20.0, 1.0), (60.0, 1.0));
+        snap.assignment = Assignment { swapped: true };
+        // threads[0] is now on the INT core; threads[1] on FP.
+        snap.threads[0].int_pct = 20.0;
+        snap.threads[1].int_pct = 60.0;
+        let mut decision = Decision::Stay;
+        for i in 0..5 {
+            snap.cycle = i * 1000;
+            decision = s.on_window(&snap);
+        }
+        assert_eq!(decision, Decision::Swap);
+    }
+
+    #[test]
+    fn reset_clears_all_state() {
+        let mut s = ProposedScheduler::with_defaults();
+        for i in 0..5 {
+            let _ = s.on_window(&snap(i * 1000, (60.0, 1.0), (20.0, 1.0)));
+        }
+        assert!(s.swaps_issued > 0);
+        s.reset();
+        assert_eq!(s.swaps_issued, 0);
+        assert_eq!(s.decision_points, 0);
+    }
+
+    #[test]
+    fn window_insts_is_double_the_per_thread_window() {
+        let s = ProposedScheduler::with_defaults();
+        assert_eq!(s.window_insts(), Some(2000));
+    }
+}

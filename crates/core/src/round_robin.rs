@@ -1,0 +1,115 @@
+//! Round Robin reference scheme: unconditionally swap the threads between
+//! the two cores every `interval_epochs` × 2 ms (Section VII evaluates
+//! intervals of 1 and 2 context-switch periods and finds 1 better).
+
+use crate::counters::WindowSnapshot;
+use crate::scheduler::{Decision, Scheduler};
+
+/// Unconditional periodic swapper.
+#[derive(Debug, Clone)]
+pub struct RoundRobinScheduler {
+    interval_epochs: u32,
+    epochs_seen: u32,
+    /// Swaps issued.
+    pub swaps_issued: u64,
+}
+
+impl RoundRobinScheduler {
+    /// Swap every `interval_epochs` OS epochs.
+    ///
+    /// # Panics
+    /// Panics if `interval_epochs` is zero.
+    pub fn new(interval_epochs: u32) -> Self {
+        assert!(interval_epochs >= 1, "interval must be at least one epoch");
+        RoundRobinScheduler {
+            interval_epochs,
+            epochs_seen: 0,
+            swaps_issued: 0,
+        }
+    }
+
+    /// The paper's preferred configuration: swap every epoch (2 ms).
+    pub fn every_epoch() -> Self {
+        Self::new(1)
+    }
+
+    /// The configured interval.
+    pub fn interval_epochs(&self) -> u32 {
+        self.interval_epochs
+    }
+}
+
+impl Scheduler for RoundRobinScheduler {
+    fn name(&self) -> &'static str {
+        "round-robin"
+    }
+
+    fn on_epoch(&mut self, _snap: &WindowSnapshot) -> Decision {
+        self.epochs_seen += 1;
+        if self.epochs_seen.is_multiple_of(self.interval_epochs) {
+            self.swaps_issued += 1;
+            Decision::Swap
+        } else {
+            Decision::Stay
+        }
+    }
+
+    fn reset(&mut self) {
+        self.epochs_seen = 0;
+        self.swaps_issued = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::counters::{Assignment, ThreadWindow};
+
+    fn snap() -> WindowSnapshot {
+        WindowSnapshot {
+            cycle: 0,
+            assignment: Assignment::default(),
+            threads: [ThreadWindow::default(); 2],
+        }
+    }
+
+    #[test]
+    fn swaps_every_epoch() {
+        let mut rr = RoundRobinScheduler::every_epoch();
+        for _ in 0..5 {
+            assert_eq!(rr.on_epoch(&snap()), Decision::Swap);
+        }
+        assert_eq!(rr.swaps_issued, 5);
+    }
+
+    #[test]
+    fn swaps_every_other_epoch() {
+        let mut rr = RoundRobinScheduler::new(2);
+        let decisions: Vec<Decision> = (0..6).map(|_| rr.on_epoch(&snap())).collect();
+        assert_eq!(
+            decisions,
+            vec![
+                Decision::Stay,
+                Decision::Swap,
+                Decision::Stay,
+                Decision::Swap,
+                Decision::Stay,
+                Decision::Swap
+            ]
+        );
+    }
+
+    #[test]
+    fn reset_restarts_the_period() {
+        let mut rr = RoundRobinScheduler::new(2);
+        let _ = rr.on_epoch(&snap());
+        rr.reset();
+        assert_eq!(rr.on_epoch(&snap()), Decision::Stay);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one")]
+    fn zero_interval_panics() {
+        RoundRobinScheduler::new(0);
+    }
+}

@@ -1,0 +1,114 @@
+//! The swap rules of Figure 5.
+//!
+//! Thresholds were derived offline by the paper's authors from 50 random
+//! two-thread combinations of the nine representative benchmarks
+//! (Section VI-A); `ampsched-experiments::rules_derivation` re-derives
+//! them from our substrate and confirms they land in the same region.
+
+use crate::counters::ThreadWindow;
+
+/// Threshold set for the instruction-composition swap conditions.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SwapRules {
+    /// Step 2.i / 3.i: %INT of the thread on the **FP core** at or above
+    /// which that thread wants the INT core (paper: 55).
+    pub int_surge: f64,
+    /// Step 2.i: %INT of the thread on the **INT core** at or below which
+    /// it no longer needs the INT core (paper: 35).
+    pub int_drop: f64,
+    /// Step 2.ii / 3.ii: %FP of the thread on the **INT core** at or above
+    /// which that thread wants the FP core (paper: 20).
+    pub fp_surge: f64,
+    /// Step 2.ii: %FP of the thread on the **FP core** at or below which
+    /// it no longer needs the FP core (paper: 7).
+    pub fp_drop: f64,
+}
+
+impl Default for SwapRules {
+    fn default() -> Self {
+        SwapRules {
+            int_surge: 55.0,
+            int_drop: 35.0,
+            fp_surge: 20.0,
+            fp_drop: 7.0,
+        }
+    }
+}
+
+impl SwapRules {
+    /// Step 2 of Figure 5: a swap that benefits *both* threads.
+    ///
+    /// `on_fp` / `on_int` are the window counters of the threads currently
+    /// on the FP and INT cores respectively.
+    pub fn beneficial_swap(&self, on_fp: &ThreadWindow, on_int: &ThreadWindow) -> bool {
+        let cond_i = on_fp.int_pct >= self.int_surge && on_int.int_pct <= self.int_drop;
+        let cond_ii = on_int.fp_pct >= self.fp_surge && on_fp.fp_pct <= self.fp_drop;
+        cond_i || cond_ii
+    }
+
+    /// Step 3 of Figure 5: both threads have the *same* flavor, so the
+    /// beneficial condition can never fire; swap anyway (every 2 ms) for
+    /// fairness, giving each thread equal time on its affine core.
+    pub fn fairness_swap(&self, on_fp: &ThreadWindow, on_int: &ThreadWindow) -> bool {
+        let both_int = on_fp.int_pct >= self.int_surge && on_int.int_pct >= self.int_surge;
+        let both_fp = on_int.fp_pct >= self.fp_surge && on_fp.fp_pct >= self.fp_surge;
+        both_int || both_fp
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn win(int_pct: f64, fp_pct: f64) -> ThreadWindow {
+        ThreadWindow {
+            int_pct,
+            fp_pct,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn int_surge_on_fp_core_triggers_swap() {
+        let r = SwapRules::default();
+        // Thread on FP core turned INT-heavy; thread on INT core is light.
+        assert!(r.beneficial_swap(&win(60.0, 2.0), &win(30.0, 10.0)));
+        // INT-core thread still needs its core: no swap.
+        assert!(!r.beneficial_swap(&win(60.0, 2.0), &win(50.0, 3.0)));
+    }
+
+    #[test]
+    fn fp_surge_on_int_core_triggers_swap() {
+        let r = SwapRules::default();
+        // Thread on INT core turned FP-heavy; FP-core thread barely uses FP.
+        assert!(r.beneficial_swap(&win(40.0, 5.0), &win(20.0, 25.0)));
+        // FP-core thread still FP-active (8% > 7): no swap.
+        assert!(!r.beneficial_swap(&win(40.0, 8.0), &win(20.0, 25.0)));
+    }
+
+    #[test]
+    fn neutral_mixes_do_not_swap() {
+        let r = SwapRules::default();
+        assert!(!r.beneficial_swap(&win(40.0, 10.0), &win(40.0, 10.0)));
+    }
+
+    #[test]
+    fn fairness_fires_only_for_same_flavor_pairs() {
+        let r = SwapRules::default();
+        // Both INT-heavy.
+        assert!(r.fairness_swap(&win(60.0, 0.0), &win(70.0, 0.0)));
+        // Both FP-heavy.
+        assert!(r.fairness_swap(&win(10.0, 30.0), &win(12.0, 25.0)));
+        // Complementary pair: fairness rule must not fire.
+        assert!(!r.fairness_swap(&win(60.0, 0.0), &win(10.0, 30.0)));
+        // Neutral pair: neither rule fires.
+        assert!(!r.fairness_swap(&win(40.0, 10.0), &win(40.0, 10.0)));
+    }
+
+    #[test]
+    fn thresholds_are_inclusive() {
+        let r = SwapRules::default();
+        assert!(r.beneficial_swap(&win(55.0, 0.0), &win(35.0, 0.0)));
+        assert!(r.beneficial_swap(&win(0.0, 7.0), &win(0.0, 20.0)));
+    }
+}

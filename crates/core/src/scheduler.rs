@@ -1,0 +1,87 @@
+//! The scheduler interface the system driver invokes.
+
+use crate::counters::WindowSnapshot;
+
+/// A scheduling decision.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Decision {
+    /// Keep the current thread→core assignment.
+    Stay,
+    /// Exchange the threads between the two cores.
+    Swap,
+}
+
+/// A thread-scheduling policy for the dual-core AMP.
+///
+/// The system driver invokes:
+///
+/// * [`Scheduler::on_window`] whenever `window_insts()` committed
+///   instructions (summed over both threads) have retired since the last
+///   window boundary — the fine-grained decision points of the proposed
+///   scheme;
+/// * [`Scheduler::on_epoch`] every OS context-switch epoch (2 ms), the
+///   cadence of the HPE and Round Robin reference schemes.
+///
+/// A returned [`Decision::Swap`] is executed immediately by the system
+/// (with its full overhead); schedulers may assume their decisions take
+/// effect.
+pub trait Scheduler {
+    /// Human-readable scheme name (for reports).
+    fn name(&self) -> &'static str;
+
+    /// Combined (both threads) committed-instruction window between
+    /// `on_window` invocations. `None` disables window callbacks.
+    fn window_insts(&self) -> Option<u64> {
+        None
+    }
+
+    /// Fine-grained decision point. Default: keep the assignment.
+    fn on_window(&mut self, _snap: &WindowSnapshot) -> Decision {
+        Decision::Stay
+    }
+
+    /// Epoch (2 ms) decision point. Default: keep the assignment.
+    fn on_epoch(&mut self, _snap: &WindowSnapshot) -> Decision {
+        Decision::Stay
+    }
+
+    /// Reset internal state (new run).
+    fn reset(&mut self) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::counters::{Assignment, ThreadWindow};
+
+    struct AlwaysSwap;
+
+    impl Scheduler for AlwaysSwap {
+        fn name(&self) -> &'static str {
+            "always-swap"
+        }
+        fn on_epoch(&mut self, _snap: &WindowSnapshot) -> Decision {
+            Decision::Swap
+        }
+    }
+
+    #[test]
+    fn trait_defaults() {
+        let mut s = AlwaysSwap;
+        let snap = WindowSnapshot {
+            cycle: 0,
+            assignment: Assignment::default(),
+            threads: [ThreadWindow::default(); 2],
+        };
+        assert_eq!(s.window_insts(), None);
+        assert_eq!(s.on_window(&snap), Decision::Stay);
+        assert_eq!(s.on_epoch(&snap), Decision::Swap);
+        s.reset();
+    }
+
+    #[test]
+    fn trait_is_object_safe() {
+        let s: Box<dyn Scheduler> = Box::new(AlwaysSwap);
+        assert_eq!(s.name(), "always-swap");
+    }
+}

@@ -1,0 +1,42 @@
+//! Static baseline: keep the OS's initial thread→core assignment forever.
+
+use crate::scheduler::Scheduler;
+
+/// Never swaps.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct StaticScheduler;
+
+impl Scheduler for StaticScheduler {
+    fn name(&self) -> &'static str {
+        "static"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::counters::{Assignment, ThreadWindow, WindowSnapshot};
+    use crate::scheduler::Decision;
+
+    #[test]
+    fn never_swaps() {
+        let mut s = StaticScheduler;
+        let snap = WindowSnapshot {
+            cycle: 0,
+            assignment: Assignment::default(),
+            threads: [
+                ThreadWindow {
+                    int_pct: 90.0,
+                    ..Default::default()
+                },
+                ThreadWindow {
+                    fp_pct: 90.0,
+                    ..Default::default()
+                },
+            ],
+        };
+        assert_eq!(s.on_window(&snap), Decision::Stay);
+        assert_eq!(s.on_epoch(&snap), Decision::Stay);
+        assert_eq!(s.window_insts(), None);
+    }
+}

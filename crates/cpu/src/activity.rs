@@ -1,0 +1,109 @@
+//! Microarchitectural activity counters consumed by the power model.
+//!
+//! `ampsched-power` follows the Wattch methodology: per-structure access
+//! counts × per-access energies (scaled by structure size) + leakage.
+//! This struct is the "per-structure access counts" half.
+
+use ampsched_isa::ops::NUM_OP_CLASSES;
+
+/// Event tallies since the last [`ActivityCounters::take`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ActivityCounters {
+    /// Cycles elapsed (for leakage and clock power).
+    pub cycles: u64,
+    /// L1I line fetch accesses.
+    pub icache_accesses: u64,
+    /// Instructions renamed/dispatched (map-table + ROB write).
+    pub dispatches: u64,
+    /// Insertions into the integer issue queue.
+    pub isq_int_inserts: u64,
+    /// Insertions into the FP issue queue.
+    pub isq_fp_inserts: u64,
+    /// Wakeup/select operations performed on the integer queue
+    /// (CAM activity ∝ occupancy each cycle).
+    pub isq_int_wakeups: u64,
+    /// Wakeup/select operations performed on the FP queue.
+    pub isq_fp_wakeups: u64,
+    /// Ops started per functional-unit class (indexed by `OpClass::index`;
+    /// loads/stores/branches count their datapath usage here too).
+    pub fu_ops: [u64; NUM_OP_CLASSES],
+    /// Integer register-file reads.
+    pub int_reg_reads: u64,
+    /// Integer register-file writes.
+    pub int_reg_writes: u64,
+    /// FP register-file reads.
+    pub fp_reg_reads: u64,
+    /// FP register-file writes.
+    pub fp_reg_writes: u64,
+    /// Load-queue plus store-queue insertions.
+    pub lsq_inserts: u64,
+    /// L1D accesses (loads issued + stores committed).
+    pub dcache_accesses: u64,
+    /// Branch-predictor lookups.
+    pub bpred_lookups: u64,
+    /// Instructions committed (ROB read + retirement bookkeeping).
+    pub commits: u64,
+}
+
+impl ActivityCounters {
+    /// All-zero counters.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Return the current tallies and reset to zero — used by the power
+    /// model at the end of each accounting window.
+    pub fn take(&mut self) -> ActivityCounters {
+        std::mem::take(self)
+    }
+
+    /// Accumulate another counter set (e.g. totals across windows).
+    pub fn merge(&mut self, other: &ActivityCounters) {
+        self.cycles += other.cycles;
+        self.icache_accesses += other.icache_accesses;
+        self.dispatches += other.dispatches;
+        self.isq_int_inserts += other.isq_int_inserts;
+        self.isq_fp_inserts += other.isq_fp_inserts;
+        self.isq_int_wakeups += other.isq_int_wakeups;
+        self.isq_fp_wakeups += other.isq_fp_wakeups;
+        for i in 0..NUM_OP_CLASSES {
+            self.fu_ops[i] += other.fu_ops[i];
+        }
+        self.int_reg_reads += other.int_reg_reads;
+        self.int_reg_writes += other.int_reg_writes;
+        self.fp_reg_reads += other.fp_reg_reads;
+        self.fp_reg_writes += other.fp_reg_writes;
+        self.lsq_inserts += other.lsq_inserts;
+        self.dcache_accesses += other.dcache_accesses;
+        self.bpred_lookups += other.bpred_lookups;
+        self.commits += other.commits;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn take_resets() {
+        let mut a = ActivityCounters::new();
+        a.cycles = 10;
+        a.commits = 5;
+        let t = a.take();
+        assert_eq!(t.cycles, 10);
+        assert_eq!(a, ActivityCounters::default());
+    }
+
+    #[test]
+    fn merge_accumulates() {
+        let mut a = ActivityCounters::new();
+        a.fu_ops[0] = 3;
+        a.commits = 1;
+        let mut b = ActivityCounters::new();
+        b.fu_ops[0] = 4;
+        b.commits = 2;
+        a.merge(&b);
+        assert_eq!(a.fu_ops[0], 7);
+        assert_eq!(a.commits, 3);
+    }
+}

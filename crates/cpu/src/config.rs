@@ -1,0 +1,349 @@
+//! Core configurations: Tables I and II of the paper.
+
+use ampsched_isa::OpClass;
+
+/// Flavor of an asymmetric core.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CoreFlavor {
+    /// Strong integer, weak floating-point datapath (the paper's INT core).
+    Int,
+    /// Strong floating-point, weak integer datapath (the paper's FP core).
+    Fp,
+}
+
+impl std::fmt::Display for CoreFlavor {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            CoreFlavor::Int => "INT",
+            CoreFlavor::Fp => "FP",
+        })
+    }
+}
+
+/// A pool of identical functional units for one op class (Table II cell).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FuSpec {
+    /// Number of identical units.
+    pub units: u8,
+    /// Result latency in cycles.
+    pub latency: u8,
+    /// Pipelined units accept a new op every cycle; non-pipelined units
+    /// are busy for the full latency.
+    pub pipelined: bool,
+}
+
+impl FuSpec {
+    /// Construct, validating non-degeneracy.
+    pub const fn new(units: u8, latency: u8, pipelined: bool) -> Self {
+        assert!(units >= 1, "FU pool needs at least one unit");
+        assert!(latency >= 1, "FU latency must be at least one cycle");
+        FuSpec {
+            units,
+            latency,
+            pipelined,
+        }
+    }
+
+    /// Peak throughput in ops/cycle.
+    pub fn peak_throughput(&self) -> f64 {
+        if self.pipelined {
+            self.units as f64
+        } else {
+            self.units as f64 / self.latency as f64
+        }
+    }
+}
+
+/// Full static configuration of one core (Tables I + II).
+#[derive(Debug, Clone, PartialEq)]
+pub struct CoreConfig {
+    /// Display name (`"INT"` / `"FP"`).
+    pub name: &'static str,
+    /// Datapath flavor.
+    pub flavor: CoreFlavor,
+    /// Frontend width: instructions fetched/renamed/dispatched per cycle.
+    pub dispatch_width: u8,
+    /// Maximum instructions committed per cycle.
+    pub commit_width: u8,
+    /// Select width of the integer issue queue (ops/cycle).
+    pub issue_width_int: u8,
+    /// Select width of the FP issue queue (ops/cycle).
+    pub issue_width_fp: u8,
+    /// Reorder-buffer entries (Table I: ROB).
+    pub rob_size: u16,
+    /// Physical integer registers (Table I: INTREG). Must exceed the 32
+    /// architectural registers; the excess is the rename pool.
+    pub int_regs: u16,
+    /// Physical FP registers (Table I: FPREG).
+    pub fp_regs: u16,
+    /// Integer issue-queue entries (Table I: INTISQ).
+    pub int_isq: u16,
+    /// FP issue-queue entries (Table I: FPISQ).
+    pub fp_isq: u16,
+    /// Load-queue entries (Table I: LSQ, load half).
+    pub lsq_loads: u16,
+    /// Store-queue entries (Table I: LSQ, store half).
+    pub lsq_stores: u16,
+    /// Functional-unit pools for the six arithmetic classes
+    /// (indexed by [`OpClass::index`]; mem/branch entries unused).
+    pub fu: [FuSpec; 6],
+    /// Cycles of frontend refill after a mispredicted branch resolves.
+    pub mispredict_penalty: u8,
+    /// Core clock in GHz (2 GHz in the paper).
+    pub frequency_ghz: f64,
+}
+
+impl CoreConfig {
+    /// The paper's INT core: strong pipelined integer datapath, weak
+    /// non-pipelined FP units, integer-heavy Table I sizing.
+    pub fn int_core() -> Self {
+        CoreConfig {
+            name: "INT",
+            flavor: CoreFlavor::Int,
+            dispatch_width: 2,
+            commit_width: 4,
+            issue_width_int: 2,
+            issue_width_fp: 1,
+            rob_size: 96,
+            int_regs: 96,
+            fp_regs: 48,
+            int_isq: 32,
+            fp_isq: 16,
+            lsq_loads: 16,
+            lsq_stores: 16,
+            fu: [
+                FuSpec::new(2, 1, true),   // INT ALU: 2 units, 1 cyc, P
+                FuSpec::new(1, 3, true),   // INT MUL: 1 unit, 3 cyc, P
+                FuSpec::new(1, 12, true),  // INT DIV: 1 unit, 12 cyc, P
+                FuSpec::new(1, 4, false),  // FP ALU: 1 unit, 4 cyc, NP
+                FuSpec::new(1, 3, false),  // FP MUL: 1 unit, 3 cyc, NP
+                FuSpec::new(1, 12, false), // FP DIV: 1 unit, 12 cyc, NP
+            ],
+            mispredict_penalty: 8,
+            frequency_ghz: 2.0,
+        }
+    }
+
+    /// The paper's FP core: strong pipelined FP datapath, weak
+    /// non-pipelined integer units, FP-heavy Table I sizing.
+    pub fn fp_core() -> Self {
+        CoreConfig {
+            name: "FP",
+            flavor: CoreFlavor::Fp,
+            dispatch_width: 2,
+            commit_width: 4,
+            issue_width_int: 1,
+            issue_width_fp: 2,
+            rob_size: 96,
+            int_regs: 48,
+            fp_regs: 96,
+            int_isq: 16,
+            fp_isq: 32,
+            lsq_loads: 16,
+            lsq_stores: 16,
+            fu: [
+                FuSpec::new(1, 2, false),  // INT ALU: 1 unit, 2 cyc, NP
+                FuSpec::new(1, 3, false),  // INT MUL: 1 unit, 3 cyc, NP
+                FuSpec::new(1, 12, false), // INT DIV: 1 unit, 12 cyc, NP
+                FuSpec::new(2, 4, true),   // FP ALU: 2 units, 4 cyc, P
+                FuSpec::new(1, 4, true),   // FP MUL: 1 unit, 4 cyc, P
+                FuSpec::new(1, 12, true),  // FP DIV: 1 unit, 12 cyc, P
+            ],
+            mispredict_penalty: 8,
+            frequency_ghz: 2.0,
+        }
+    }
+
+    /// The *morphed strong* core of the authors' companion work \[5\]
+    /// (discussed in Section III of the paper): the INT core after taking
+    /// over the FP core's strong floating-point datapath. Used by the
+    /// morphing extension experiments — the paper itself deliberately
+    /// studies swap-only scheduling to avoid this hardware.
+    pub fn morphed_strong() -> Self {
+        let int = Self::int_core();
+        let fp = Self::fp_core();
+        CoreConfig {
+            name: "MORPH+",
+            // Strong integer datapath from the INT core...
+            fu: [
+                int.fu[0], int.fu[1], int.fu[2],
+                // ...strong FP datapath taken from the FP core.
+                fp.fu[3], fp.fu[4], fp.fu[5],
+            ],
+            // Register/queue/select resources follow the datapaths.
+            int_regs: int.int_regs,
+            fp_regs: fp.fp_regs,
+            int_isq: int.int_isq,
+            fp_isq: fp.fp_isq,
+            issue_width_int: int.issue_width_int,
+            issue_width_fp: fp.issue_width_fp,
+            ..int
+        }
+    }
+
+    /// The *morphed weak* core: the FP core left with both weak
+    /// datapaths after relinquishing its strong FP units.
+    pub fn morphed_weak() -> Self {
+        let int = Self::int_core();
+        let fp = Self::fp_core();
+        CoreConfig {
+            name: "MORPH-",
+            fu: [
+                // Weak integer datapath (the FP core's own)...
+                fp.fu[0], fp.fu[1], fp.fu[2],
+                // ...and the INT core's weak FP datapath.
+                int.fu[3], int.fu[4], int.fu[5],
+            ],
+            int_regs: fp.int_regs,
+            fp_regs: int.fp_regs,
+            int_isq: fp.int_isq,
+            fp_isq: int.fp_isq,
+            issue_width_int: fp.issue_width_int,
+            issue_width_fp: int.issue_width_fp,
+            ..fp
+        }
+    }
+
+    /// FU spec for an arithmetic class.
+    ///
+    /// # Panics
+    /// Panics when called with a memory or branch class; those are served
+    /// by the LSQ/branch logic, not an FU pool.
+    #[inline]
+    pub fn fu_for(&self, class: OpClass) -> FuSpec {
+        debug_assert!(class.index() < 6, "{class} has no FU pool");
+        self.fu[class.index()]
+    }
+
+    /// Integer rename-pool size (physical regs beyond architectural).
+    pub fn int_rename_pool(&self) -> u16 {
+        self.int_regs - ampsched_isa::NUM_ARCH_INT_REGS as u16
+    }
+
+    /// FP rename-pool size.
+    pub fn fp_rename_pool(&self) -> u16 {
+        self.fp_regs - ampsched_isa::NUM_ARCH_FP_REGS as u16
+    }
+
+    /// Validate all invariants the pipeline relies on.
+    ///
+    /// # Panics
+    /// Panics with a descriptive message on an invalid configuration.
+    pub fn validate(&self) {
+        assert!(self.dispatch_width >= 1);
+        assert!(self.commit_width >= 1);
+        assert!(self.rob_size >= self.dispatch_width as u16);
+        assert!(
+            self.int_regs > ampsched_isa::NUM_ARCH_INT_REGS as u16,
+            "{}: INTREG must exceed the architectural register count",
+            self.name
+        );
+        assert!(
+            self.fp_regs > ampsched_isa::NUM_ARCH_FP_REGS as u16,
+            "{}: FPREG must exceed the architectural register count",
+            self.name
+        );
+        assert!(self.int_isq >= 1 && self.fp_isq >= 1);
+        assert!(self.lsq_loads >= 1 && self.lsq_stores >= 1);
+        assert!(self.frequency_ghz > 0.0);
+    }
+
+    /// Total cycles in one OS scheduling epoch of `ms` milliseconds.
+    pub fn cycles_per_ms(&self) -> u64 {
+        (self.frequency_ghz * 1e6) as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn both_cores_validate() {
+        CoreConfig::int_core().validate();
+        CoreConfig::fp_core().validate();
+    }
+
+    #[test]
+    fn asymmetry_matches_table_ii() {
+        let int_c = CoreConfig::int_core();
+        let fp_c = CoreConfig::fp_core();
+        // INT core out-throughputs FP core on integer ALU ops...
+        assert!(
+            int_c.fu_for(OpClass::IntAlu).peak_throughput()
+                > fp_c.fu_for(OpClass::IntAlu).peak_throughput()
+        );
+        // ...and vice versa for FP ALU ops.
+        assert!(
+            fp_c.fu_for(OpClass::FpAlu).peak_throughput()
+                > int_c.fu_for(OpClass::FpAlu).peak_throughput()
+        );
+        // Pipelining asymmetry.
+        assert!(int_c.fu_for(OpClass::IntMul).pipelined);
+        assert!(!int_c.fu_for(OpClass::FpMul).pipelined);
+        assert!(fp_c.fu_for(OpClass::FpMul).pipelined);
+        assert!(!fp_c.fu_for(OpClass::IntMul).pipelined);
+    }
+
+    #[test]
+    fn table_i_sizing_asymmetry() {
+        let int_c = CoreConfig::int_core();
+        let fp_c = CoreConfig::fp_core();
+        assert!(int_c.int_regs > int_c.fp_regs);
+        assert!(fp_c.fp_regs > fp_c.int_regs);
+        assert!(int_c.int_isq > int_c.fp_isq);
+        assert!(fp_c.fp_isq > fp_c.int_isq);
+        assert_eq!(int_c.rob_size, fp_c.rob_size);
+    }
+
+    #[test]
+    fn rename_pools() {
+        let fp_c = CoreConfig::fp_core();
+        assert_eq!(fp_c.int_rename_pool(), 48 - 32);
+        assert_eq!(fp_c.fp_rename_pool(), 96 - 32);
+    }
+
+    #[test]
+    fn non_pipelined_throughput() {
+        let s = FuSpec::new(1, 4, false);
+        assert!((s.peak_throughput() - 0.25).abs() < 1e-12);
+        let p = FuSpec::new(2, 4, true);
+        assert!((p.peak_throughput() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn morphed_cores_combine_the_right_datapaths() {
+        let strong = CoreConfig::morphed_strong();
+        let weak = CoreConfig::morphed_weak();
+        strong.validate();
+        weak.validate();
+        // Strong core: best-of-both throughput on every class.
+        for c in [OpClass::IntAlu, OpClass::FpAlu, OpClass::IntMul, OpClass::FpMul] {
+            let best = CoreConfig::int_core()
+                .fu_for(c)
+                .peak_throughput()
+                .max(CoreConfig::fp_core().fu_for(c).peak_throughput());
+            assert!(
+                (strong.fu_for(c).peak_throughput() - best).abs() < 1e-12,
+                "morphed strong must inherit the stronger {c} unit"
+            );
+            let worst = CoreConfig::int_core()
+                .fu_for(c)
+                .peak_throughput()
+                .min(CoreConfig::fp_core().fu_for(c).peak_throughput());
+            assert!((weak.fu_for(c).peak_throughput() - worst).abs() < 1e-12);
+        }
+        // Register resources follow the datapaths.
+        assert_eq!(strong.int_regs, 96);
+        assert_eq!(strong.fp_regs, 96);
+        assert_eq!(weak.int_regs, 48);
+        assert_eq!(weak.fp_regs, 48);
+    }
+
+    #[test]
+    fn epoch_cycles_at_2ghz() {
+        let c = CoreConfig::int_core();
+        // 2 ms at 2 GHz = 4M cycles.
+        assert_eq!(2 * c.cycles_per_ms(), 4_000_000);
+    }
+}

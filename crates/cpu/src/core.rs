@@ -1,0 +1,934 @@
+//! The out-of-order core pipeline.
+//!
+//! Stage order inside [`Core::tick`] is commit → issue → dispatch, the
+//! usual reverse-pipeline processing that prevents same-cycle
+//! flow-through: an instruction dispatched in cycle *t* is issueable from
+//! *t+1*, and a result produced in cycle *t* wakes consumers from *t*
+//! onward (bypass network assumed).
+
+use ampsched_isa::{ArchReg, MicroOp, OpClass};
+use ampsched_mem::{AccessKind, MemSystem};
+use ampsched_trace::Workload;
+
+use crate::activity::ActivityCounters;
+use crate::config::CoreConfig;
+use crate::fu::FuPool;
+use crate::stats::CoreStats;
+
+/// Sentinel: result not yet produced.
+const NOT_READY: u64 = u64::MAX;
+
+/// A resolved data dependency: the producing ROB slot plus its sequence
+/// number (slot reuse is detected by sequence mismatch, which implies the
+/// producer has committed and the value is architecturally available).
+#[derive(Debug, Clone, Copy, Default)]
+struct Dep {
+    slot: u32,
+    seq: u64, // 0 = no dependency
+}
+
+#[derive(Debug, Clone, Copy)]
+struct RobSlot {
+    seq: u64, // 0 = empty slot
+    class: OpClass,
+    dispatched_at: u64,
+    /// Cycle the result is available; `NOT_READY` until issued.
+    ready_at: u64,
+    src1: Dep,
+    src2: Dep,
+    /// Destination register file: `Some(true)` = FP, `Some(false)` = INT.
+    dst_fp: Option<bool>,
+    addr: u64,
+    mispredicted: bool,
+}
+
+impl Default for RobSlot {
+    fn default() -> Self {
+        RobSlot {
+            seq: 0,
+            class: OpClass::IntAlu,
+            dispatched_at: 0,
+            ready_at: NOT_READY,
+            src1: Dep::default(),
+            src2: Dep::default(),
+            dst_fp: None,
+            addr: 0,
+            mispredicted: false,
+        }
+    }
+}
+
+/// One out-of-order core executing a [`Workload`] stream.
+pub struct Core {
+    cfg: CoreConfig,
+    core_id: usize,
+
+    // Reorder buffer (ring).
+    rob: Vec<RobSlot>,
+    rob_head: usize,
+    rob_len: usize,
+    next_seq: u64,
+
+    // Rename state: last writer of each architectural register.
+    last_writer: [Dep; ampsched_isa::regs::NUM_ARCH_REGS],
+    int_free: u16,
+    fp_free: u16,
+
+    // Scheduler queues: ROB slot indices in age order.
+    isq_int: Vec<u32>,
+    isq_fp: Vec<u32>,
+    loads: Vec<u32>,
+    stores: Vec<u32>,
+
+    // Functional units (six arithmetic classes).
+    fus: [FuPool; 6],
+
+    // Frontend state.
+    pending: Option<MicroOp>,
+    fetch_ready_at: u64,
+    last_fetch_line: u64,
+    waiting_branch: Option<Dep>,
+    redirect_until: u64,
+
+    /// Architectural statistics.
+    pub stats: CoreStats,
+    /// Power-model activity counters.
+    pub activity: ActivityCounters,
+}
+
+impl Core {
+    /// Build an idle core.
+    pub fn new(cfg: CoreConfig, core_id: usize) -> Self {
+        cfg.validate();
+        let fus = [
+            FuPool::new(cfg.fu[0]),
+            FuPool::new(cfg.fu[1]),
+            FuPool::new(cfg.fu[2]),
+            FuPool::new(cfg.fu[3]),
+            FuPool::new(cfg.fu[4]),
+            FuPool::new(cfg.fu[5]),
+        ];
+        Core {
+            rob: vec![RobSlot::default(); cfg.rob_size as usize],
+            rob_head: 0,
+            rob_len: 0,
+            next_seq: 1,
+            last_writer: [Dep::default(); ampsched_isa::regs::NUM_ARCH_REGS],
+            int_free: cfg.int_rename_pool(),
+            fp_free: cfg.fp_rename_pool(),
+            isq_int: Vec::with_capacity(cfg.int_isq as usize),
+            isq_fp: Vec::with_capacity(cfg.fp_isq as usize),
+            loads: Vec::with_capacity(cfg.lsq_loads as usize),
+            stores: Vec::with_capacity(cfg.lsq_stores as usize),
+            fus,
+            pending: None,
+            fetch_ready_at: 0,
+            last_fetch_line: u64::MAX,
+            waiting_branch: None,
+            redirect_until: 0,
+            stats: CoreStats::default(),
+            activity: ActivityCounters::new(),
+            cfg,
+            core_id,
+        }
+    }
+
+    /// Static configuration.
+    pub fn config(&self) -> &CoreConfig {
+        &self.cfg
+    }
+
+    /// Core index within the system (selects L1s in the [`MemSystem`]).
+    pub fn core_id(&self) -> usize {
+        self.core_id
+    }
+
+    /// Occupied ROB entries (diagnostics/tests).
+    pub fn rob_occupancy(&self) -> usize {
+        self.rob_len
+    }
+
+    #[inline]
+    fn dep_ready(&self, dep: Dep, now: u64) -> bool {
+        if dep.seq == 0 {
+            return true;
+        }
+        let slot = &self.rob[dep.slot as usize];
+        // Slot reused or freed => producer committed => value available.
+        slot.seq != dep.seq || slot.ready_at <= now
+    }
+
+    #[inline]
+    fn srcs_ready(&self, slot: &RobSlot, now: u64) -> bool {
+        self.dep_ready(slot.src1, now) && self.dep_ready(slot.src2, now)
+    }
+
+    /// Advance the core by one cycle. Returns the number of instructions
+    /// committed this cycle.
+    pub fn tick(&mut self, now: u64, workload: &mut dyn Workload, mem: &mut MemSystem) -> u32 {
+        self.stats.cycles += 1;
+        self.activity.cycles += 1;
+        let committed = self.commit(now, mem);
+        self.issue(now, mem);
+        self.dispatch(now, workload, mem);
+        committed
+    }
+
+    // --- Commit ------------------------------------------------------
+
+    fn commit(&mut self, now: u64, mem: &mut MemSystem) -> u32 {
+        let mut n = 0u32;
+        while n < self.cfg.commit_width as u32 && self.rob_len > 0 {
+            let idx = self.rob_head;
+            let slot = self.rob[idx];
+            if slot.ready_at > now {
+                break;
+            }
+            // Retire.
+            match slot.class {
+                OpClass::Store => {
+                    // Write-back through the store buffer: update cache
+                    // state; latency is off the critical path.
+                    let _ = mem.access(self.core_id, AccessKind::Store, slot.addr, now);
+                    self.activity.dcache_accesses += 1;
+                    // Free the store-queue entry.
+                    if let Some(pos) = self.stores.iter().position(|&s| s == idx as u32) {
+                        self.stores.remove(pos);
+                    }
+                }
+                OpClass::Load => {
+                    if let Some(pos) = self.loads.iter().position(|&s| s == idx as u32) {
+                        self.loads.remove(pos);
+                    }
+                }
+                OpClass::Branch => {
+                    self.stats.branches += 1;
+                    if slot.mispredicted {
+                        self.stats.mispredicts += 1;
+                    }
+                }
+                _ => {}
+            }
+            if let Some(fp) = slot.dst_fp {
+                if fp {
+                    self.fp_free += 1;
+                } else {
+                    self.int_free += 1;
+                }
+            }
+            self.stats.committed.record(slot.class);
+            self.activity.commits += 1;
+            self.rob[idx].seq = 0;
+            self.rob_head = (self.rob_head + 1) % self.rob.len();
+            self.rob_len -= 1;
+            n += 1;
+        }
+        n
+    }
+
+    // --- Issue -------------------------------------------------------
+
+    fn issue(&mut self, now: u64, mem: &mut MemSystem) {
+        // CAM wakeup energy ∝ queue occupancy.
+        self.activity.isq_int_wakeups += self.isq_int.len() as u64;
+        self.activity.isq_fp_wakeups += self.isq_fp.len() as u64;
+
+        self.issue_arith_queue(false, now);
+        self.issue_arith_queue(true, now);
+        self.issue_loads(now, mem);
+        self.issue_stores(now);
+    }
+
+    fn issue_arith_queue(&mut self, fp: bool, now: u64) {
+        let width = if fp {
+            self.cfg.issue_width_fp
+        } else {
+            self.cfg.issue_width_int
+        } as usize;
+        let mut issued = 0usize;
+        let mut i = 0usize;
+        while i < if fp { self.isq_fp.len() } else { self.isq_int.len() } {
+            if issued >= width {
+                break;
+            }
+            let slot_idx = if fp { self.isq_fp[i] } else { self.isq_int[i] } as usize;
+            let slot = self.rob[slot_idx];
+            let eligible = slot.dispatched_at < now && self.srcs_ready(&slot, now);
+            if eligible {
+                let done_at = if slot.class.is_branch() {
+                    // Dedicated branch/condition unit, 1-cycle latency.
+                    Some(now + 1)
+                } else {
+                    self.fus[slot.class.index()].try_issue(now)
+                };
+                if let Some(done_at) = done_at {
+                    self.rob[slot_idx].ready_at = done_at;
+                    self.count_issue(&slot);
+                    if fp {
+                        self.isq_fp.remove(i);
+                    } else {
+                        self.isq_int.remove(i);
+                    }
+                    issued += 1;
+                    continue; // do not advance i: element removed
+                }
+            }
+            i += 1;
+        }
+    }
+
+    fn count_issue(&mut self, slot: &RobSlot) {
+        self.activity.fu_ops[slot.class.index()] += 1;
+        // Register file reads for each real source, writes for the dest.
+        let fp_domain = slot.class.is_fp();
+        let reads = (slot.src1.seq != 0) as u64 + (slot.src2.seq != 0) as u64;
+        if fp_domain {
+            self.activity.fp_reg_reads += reads;
+        } else {
+            self.activity.int_reg_reads += reads;
+        }
+        match slot.dst_fp {
+            Some(true) => self.activity.fp_reg_writes += 1,
+            Some(false) => self.activity.int_reg_writes += 1,
+            None => {}
+        }
+    }
+
+    fn issue_loads(&mut self, now: u64, mem: &mut MemSystem) {
+        // One load port: the oldest ready load issues. Entries stay in
+        // `loads` until commit (they hold the LQ slot).
+        for i in 0..self.loads.len() {
+            let slot_idx = self.loads[i];
+            let slot = self.rob[slot_idx as usize];
+            if slot.ready_at != NOT_READY {
+                continue; // already issued, waiting for data
+            }
+            if slot.dispatched_at >= now || !self.srcs_ready(&slot, now) {
+                continue;
+            }
+            // Disambiguation against older, in-flight stores to the same
+            // 8-byte word (addresses are exact in a trace-driven model).
+            let mut blocked = false;
+            let mut forward_from: Option<u64> = None;
+            for &st_idx in &self.stores {
+                let st = self.rob[st_idx as usize];
+                if st.seq >= slot.seq {
+                    continue; // younger store: irrelevant
+                }
+                if st.addr >> 3 == slot.addr >> 3 {
+                    if st.ready_at == NOT_READY || st.ready_at > now {
+                        blocked = true; // store data not ready yet
+                    } else {
+                        forward_from = Some(st.ready_at);
+                    }
+                }
+            }
+            if blocked {
+                continue;
+            }
+            let slot_idx = slot_idx as usize;
+            let done_at = if forward_from.is_some() {
+                now + 1 // store-to-load forwarding
+            } else {
+                let lat = mem.access(self.core_id, AccessKind::Load, slot.addr, now);
+                self.activity.dcache_accesses += 1;
+                now + lat as u64
+            };
+            self.rob[slot_idx].ready_at = done_at;
+            let s = self.rob[slot_idx];
+            self.count_issue(&s);
+            break;
+        }
+    }
+
+    fn issue_stores(&mut self, now: u64) {
+        // One store port: compute address + capture data.
+        for &slot_idx in &self.stores {
+            let slot = self.rob[slot_idx as usize];
+            if slot.ready_at != NOT_READY {
+                continue;
+            }
+            if slot.dispatched_at >= now || !self.srcs_ready(&slot, now) {
+                continue;
+            }
+            self.rob[slot_idx as usize].ready_at = now + 1;
+            let s = self.rob[slot_idx as usize];
+            self.count_issue(&s);
+            break;
+        }
+    }
+
+    // --- Dispatch ----------------------------------------------------
+
+    fn dispatch(&mut self, now: u64, workload: &mut dyn Workload, mem: &mut MemSystem) {
+        // Unresolved mispredicted branch: frontend fetches the wrong path;
+        // no correct-path instructions enter until resolve + penalty.
+        if let Some(dep) = self.waiting_branch {
+            let slot = &self.rob[dep.slot as usize];
+            let resolved = slot.seq != dep.seq || slot.ready_at <= now;
+            if resolved {
+                let resolve_time = if slot.seq == dep.seq { slot.ready_at } else { now };
+                self.redirect_until =
+                    resolve_time.max(now) + self.cfg.mispredict_penalty as u64;
+                self.waiting_branch = None;
+            } else {
+                self.stats.redirect_stall_cycles += 1;
+                return;
+            }
+        }
+        if self.redirect_until > now {
+            self.stats.redirect_stall_cycles += 1;
+            return;
+        }
+        if self.fetch_ready_at > now {
+            self.stats.icache_stall_cycles += 1;
+            return;
+        }
+
+        for _ in 0..self.cfg.dispatch_width {
+            // Refill the peek buffer.
+            if self.pending.is_none() {
+                self.pending = Some(workload.next_op());
+            }
+            let op = *self.pending.as_ref().expect("just filled");
+
+            // Instruction-cache access on line crossing.
+            let line = op.pc >> 6;
+            if line != self.last_fetch_line {
+                let lat = mem.access(self.core_id, AccessKind::Ifetch, op.pc, now);
+                self.activity.icache_accesses += 1;
+                self.last_fetch_line = line;
+                if lat > mem.config().l1_latency {
+                    // Miss: frontend refills; retry once the line arrives.
+                    self.fetch_ready_at = now + lat as u64;
+                    self.stats.icache_stall_cycles += 1;
+                    return;
+                }
+            }
+
+            // Structural hazards.
+            if self.rob_len == self.rob.len() {
+                self.stats.rob_full_stalls += 1;
+                return;
+            }
+            let dst_fp = op.effective_dst().map(|r| r.is_fp());
+            match dst_fp {
+                Some(true) if self.fp_free == 0 => {
+                    self.stats.rename_stalls += 1;
+                    return;
+                }
+                Some(false) if self.int_free == 0 => {
+                    self.stats.rename_stalls += 1;
+                    return;
+                }
+                _ => {}
+            }
+            match op.class {
+                OpClass::Load => {
+                    if self.loads.len() >= self.cfg.lsq_loads as usize {
+                        self.stats.lsq_full_stalls += 1;
+                        return;
+                    }
+                }
+                OpClass::Store => {
+                    if self.stores.len() >= self.cfg.lsq_stores as usize {
+                        self.stats.lsq_full_stalls += 1;
+                        return;
+                    }
+                }
+                c if c.is_fp() => {
+                    if self.isq_fp.len() >= self.cfg.fp_isq as usize {
+                        self.stats.isq_full_stalls += 1;
+                        return;
+                    }
+                }
+                _ => {
+                    if self.isq_int.len() >= self.cfg.int_isq as usize {
+                        self.stats.isq_full_stalls += 1;
+                        return;
+                    }
+                }
+            }
+
+            // All clear: allocate and rename.
+            let seq = self.next_seq;
+            self.next_seq += 1;
+            let tail = (self.rob_head + self.rob_len) % self.rob.len();
+
+            let dep_of = |r: Option<ArchReg>, lw: &[Dep]| -> Dep {
+                match r {
+                    Some(r) if !r.is_zero() => lw[r.flat_index()],
+                    _ => Dep::default(),
+                }
+            };
+            let src1 = dep_of(op.src1, &self.last_writer);
+            let src2 = dep_of(op.src2, &self.last_writer);
+
+            self.rob[tail] = RobSlot {
+                seq,
+                class: op.class,
+                dispatched_at: now,
+                ready_at: NOT_READY,
+                src1,
+                src2,
+                dst_fp,
+                addr: op.addr,
+                mispredicted: op.class.is_branch() && !op.predicted_correctly,
+            };
+            self.rob_len += 1;
+            self.pending = None;
+
+            if let Some(dst) = op.effective_dst() {
+                self.last_writer[dst.flat_index()] = Dep {
+                    slot: tail as u32,
+                    seq,
+                };
+                if dst.is_fp() {
+                    self.fp_free -= 1;
+                } else {
+                    self.int_free -= 1;
+                }
+            }
+
+            self.activity.dispatches += 1;
+            match op.class {
+                OpClass::Load | OpClass::Store => {
+                    self.activity.lsq_inserts += 1;
+                    if op.class == OpClass::Load {
+                        self.loads.push(tail as u32);
+                    } else {
+                        self.stores.push(tail as u32);
+                    }
+                }
+                c if c.is_fp() => {
+                    self.activity.isq_fp_inserts += 1;
+                    self.isq_fp.push(tail as u32);
+                }
+                _ => {
+                    self.activity.isq_int_inserts += 1;
+                    self.isq_int.push(tail as u32);
+                }
+            }
+
+            if op.class.is_branch() {
+                self.activity.bpred_lookups += 1;
+                if !op.predicted_correctly {
+                    self.waiting_branch = Some(Dep {
+                        slot: tail as u32,
+                        seq,
+                    });
+                    return; // younger ops are wrong-path until resolve
+                }
+            }
+        }
+    }
+
+    // --- Swap support --------------------------------------------------
+
+    /// Squash all in-flight work: empties the ROB, queues, rename state,
+    /// and functional units. Committed statistics are preserved. Used when
+    /// a thread is migrated off this core; uncommitted trace ops are
+    /// dropped (statistically irrelevant for a stochastic trace).
+    pub fn flush_pipeline(&mut self) {
+        for s in &mut self.rob {
+            s.seq = 0;
+        }
+        self.rob_head = 0;
+        self.rob_len = 0;
+        self.last_writer = [Dep::default(); ampsched_isa::regs::NUM_ARCH_REGS];
+        self.int_free = self.cfg.int_rename_pool();
+        self.fp_free = self.cfg.fp_rename_pool();
+        self.isq_int.clear();
+        self.isq_fp.clear();
+        self.loads.clear();
+        self.stores.clear();
+        for fu in &mut self.fus {
+            fu.reset();
+        }
+        self.pending = None;
+        self.waiting_branch = None;
+        self.last_fetch_line = u64::MAX;
+        // fetch_ready_at / redirect_until are wall-clock gates; the system
+        // adds the swap overhead on top via `stall_until`.
+    }
+
+    /// Block the frontend until the given cycle (swap overhead).
+    pub fn stall_until(&mut self, cycle: u64) {
+        self.fetch_ready_at = self.fetch_ready_at.max(cycle);
+        self.redirect_until = self.redirect_until.max(cycle);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ampsched_mem::MemConfig;
+
+    /// Cycles through a fixed op vector forever.
+    struct VecWorkload {
+        ops: Vec<MicroOp>,
+        i: usize,
+    }
+
+    impl VecWorkload {
+        fn new(ops: Vec<MicroOp>) -> Self {
+            assert!(!ops.is_empty());
+            VecWorkload { ops, i: 0 }
+        }
+    }
+
+    impl Workload for VecWorkload {
+        fn name(&self) -> &str {
+            "vec"
+        }
+        fn next_op(&mut self) -> MicroOp {
+            let op = self.ops[self.i % self.ops.len()];
+            self.i += 1;
+            op
+        }
+        fn current_phase(&self) -> usize {
+            0
+        }
+    }
+
+    fn run(core: &mut Core, w: &mut dyn Workload, mem: &mut MemSystem, cycles: u64) {
+        for now in 0..cycles {
+            core.tick(now, w, mem);
+        }
+    }
+
+    fn mem() -> MemSystem {
+        MemSystem::new(MemConfig::default(), 2)
+    }
+
+    /// `n` independent ops of a class, each writing a distinct register.
+    fn independent(class: OpClass, n: usize) -> Vec<MicroOp> {
+        (0..n)
+            .map(|i| {
+                let dst = if class.is_fp() {
+                    ArchReg::Fp((i % 16) as u8)
+                } else {
+                    ArchReg::Int(1 + (i % 16) as u8)
+                };
+                let mut op = MicroOp::arith(class, None, None, Some(dst));
+                op.pc = 4 * i as u64;
+                op
+            })
+            .collect()
+    }
+
+    /// A serial dependency chain on a single register.
+    fn chain(class: OpClass) -> Vec<MicroOp> {
+        let reg = if class.is_fp() {
+            ArchReg::Fp(1)
+        } else {
+            ArchReg::Int(1)
+        };
+        vec![MicroOp::arith(class, Some(reg), None, Some(reg))]
+    }
+
+    #[test]
+    fn int_stream_fast_on_int_core_slow_on_fp_core() {
+        let mut m1 = mem();
+        let mut int_core = Core::new(CoreConfig::int_core(), 0);
+        let mut w = VecWorkload::new(independent(OpClass::IntAlu, 32));
+        run(&mut int_core, &mut w, &mut m1, 20_000);
+        let ipc_int = int_core.stats.ipc();
+
+        let mut m2 = mem();
+        let mut fp_core = Core::new(CoreConfig::fp_core(), 0);
+        let mut w = VecWorkload::new(independent(OpClass::IntAlu, 32));
+        run(&mut fp_core, &mut w, &mut m2, 20_000);
+        let ipc_fp = fp_core.stats.ipc();
+
+        assert!(
+            ipc_int > 1.5,
+            "INT core should near dispatch-bound IPC on int stream, got {ipc_int}"
+        );
+        assert!(
+            ipc_fp < 0.6,
+            "FP core's 1-unit 2-cyc NP int ALU caps at 0.5, got {ipc_fp}"
+        );
+    }
+
+    #[test]
+    fn fp_stream_fast_on_fp_core_slow_on_int_core() {
+        let mut m1 = mem();
+        let mut fp_core = Core::new(CoreConfig::fp_core(), 0);
+        let mut w = VecWorkload::new(independent(OpClass::FpAlu, 32));
+        run(&mut fp_core, &mut w, &mut m1, 20_000);
+        let ipc_fp = fp_core.stats.ipc();
+
+        let mut m2 = mem();
+        let mut int_core = Core::new(CoreConfig::int_core(), 0);
+        let mut w = VecWorkload::new(independent(OpClass::FpAlu, 32));
+        run(&mut int_core, &mut w, &mut m2, 20_000);
+        let ipc_int = int_core.stats.ipc();
+
+        assert!(ipc_fp > 1.5, "FP core on fp stream: got {ipc_fp}");
+        assert!(
+            ipc_int < 0.3,
+            "INT core's 1-unit 4-cyc NP fp ALU caps at 0.25, got {ipc_int}"
+        );
+    }
+
+    #[test]
+    fn dependency_chain_is_latency_bound() {
+        // FP ALU chain on the FP core: pipelined latency-4 unit => one
+        // result every 4 cycles => IPC ~= 0.25.
+        let mut m = mem();
+        let mut c = Core::new(CoreConfig::fp_core(), 0);
+        let mut w = VecWorkload::new(chain(OpClass::FpAlu));
+        run(&mut c, &mut w, &mut m, 20_000);
+        let ipc = c.stats.ipc();
+        assert!(
+            (ipc - 0.25).abs() < 0.05,
+            "chain IPC should approach 1/latency, got {ipc}"
+        );
+    }
+
+    #[test]
+    fn independent_wider_than_chain() {
+        let mut m1 = mem();
+        let mut c1 = Core::new(CoreConfig::int_core(), 0);
+        let mut w1 = VecWorkload::new(independent(OpClass::IntMul, 32));
+        run(&mut c1, &mut w1, &mut m1, 10_000);
+
+        let mut m2 = mem();
+        let mut c2 = Core::new(CoreConfig::int_core(), 0);
+        let mut w2 = VecWorkload::new(chain(OpClass::IntMul));
+        run(&mut c2, &mut w2, &mut m2, 10_000);
+
+        assert!(
+            c1.stats.ipc() > 2.0 * c2.stats.ipc(),
+            "ILP must raise throughput: {} vs {}",
+            c1.stats.ipc(),
+            c2.stats.ipc()
+        );
+    }
+
+    #[test]
+    fn mispredicted_branches_stall_the_frontend() {
+        let good: Vec<MicroOp> = independent(OpClass::IntAlu, 8)
+            .into_iter()
+            .chain(std::iter::once(MicroOp::branch(Some(ArchReg::Int(1)), true)))
+            .collect();
+        let bad: Vec<MicroOp> = independent(OpClass::IntAlu, 8)
+            .into_iter()
+            .chain(std::iter::once(MicroOp::branch(Some(ArchReg::Int(1)), false)))
+            .collect();
+
+        let mut m1 = mem();
+        let mut c1 = Core::new(CoreConfig::int_core(), 0);
+        let mut w1 = VecWorkload::new(good);
+        run(&mut c1, &mut w1, &mut m1, 20_000);
+
+        let mut m2 = mem();
+        let mut c2 = Core::new(CoreConfig::int_core(), 0);
+        let mut w2 = VecWorkload::new(bad);
+        run(&mut c2, &mut w2, &mut m2, 20_000);
+
+        assert!(c2.stats.ipc() < 0.7 * c1.stats.ipc());
+        assert!(c2.stats.redirect_stall_cycles > 0);
+        assert!(c2.stats.mispredicts > 0);
+        assert_eq!(c1.stats.mispredicts, 0);
+    }
+
+    #[test]
+    fn load_latency_and_store_forwarding() {
+        // Load-dependent chain over one cached address: each iteration is
+        // load (L1 hit, 2 cyc) -> dependent alu.
+        let ops = vec![
+            MicroOp::load(0x100, 8, None, ArchReg::Int(2)),
+            MicroOp::arith(OpClass::IntAlu, Some(ArchReg::Int(2)), None, Some(ArchReg::Int(3))),
+        ];
+        let mut m = mem();
+        let mut c = Core::new(CoreConfig::int_core(), 0);
+        let mut w = VecWorkload::new(ops);
+        run(&mut c, &mut w, &mut m, 10_000);
+        assert!(c.stats.committed.count(OpClass::Load) > 1000);
+
+        // Store followed by a load of the same word: forwarding keeps the
+        // load off the cache after the first iteration's allocations.
+        let fwd_ops = vec![
+            MicroOp::store(0x200, 8, None, ArchReg::Int(4)),
+            MicroOp::load(0x200, 8, None, ArchReg::Int(5)),
+        ];
+        let mut m2 = mem();
+        let mut c2 = Core::new(CoreConfig::int_core(), 0);
+        let mut w2 = VecWorkload::new(fwd_ops);
+        run(&mut c2, &mut w2, &mut m2, 10_000);
+        assert!(
+            c2.stats.committed.total() > 4000,
+            "forwarding pairs should flow at high rate, got {}",
+            c2.stats.committed.total()
+        );
+    }
+
+    #[test]
+    fn loads_wait_for_older_unresolved_stores_to_same_word() {
+        // A store whose data depends on a divide, then a load of the same
+        // word: the load must wait and then *forward* from the store —
+        // a forwarded load never accesses the D-cache. If the load
+        // (incorrectly) bypassed the unresolved store, it would go to the
+        // cache and the access count would be ~2 per triple.
+        let ops = vec![
+            MicroOp::arith(OpClass::IntDiv, Some(ArchReg::Int(1)), None, Some(ArchReg::Int(6))),
+            MicroOp::store(0x300, 8, None, ArchReg::Int(6)),
+            MicroOp::load(0x300, 8, None, ArchReg::Int(7)),
+        ];
+        let mut m = mem();
+        let mut c = Core::new(CoreConfig::int_core(), 0);
+        let mut w = VecWorkload::new(ops);
+        // White-box: record each instruction's resolved ready_at by seq.
+        use std::collections::HashMap;
+        let mut ready: HashMap<u64, (OpClass, u64)> = HashMap::new();
+        for now in 0..600 {
+            c.tick(now, &mut w, &mut m);
+            for s in &c.rob {
+                if s.seq != 0 && s.ready_at != NOT_READY {
+                    ready.insert(s.seq, (s.class, s.ready_at));
+                }
+            }
+        }
+        // First triple is seqs 1 (div), 2 (store), 3 (load).
+        let div = ready[&1];
+        let store = ready[&2];
+        let load = ready[&3];
+        assert_eq!(div.0, OpClass::IntDiv);
+        assert_eq!(store.0, OpClass::Store);
+        assert_eq!(load.0, OpClass::Load);
+        assert!(
+            store.1 >= div.1,
+            "store data depends on the divide: {} vs {}",
+            store.1,
+            div.1
+        );
+        assert!(
+            load.1 > store.1,
+            "load of the same word must not complete before the store: {} vs {}",
+            load.1,
+            store.1
+        );
+    }
+
+    #[test]
+    fn icache_misses_stall_fetch() {
+        // Code footprint far beyond the 4KB L1I: every line access misses.
+        let ops: Vec<MicroOp> = (0..4096)
+            .map(|i| {
+                let mut op =
+                    MicroOp::arith(OpClass::IntAlu, None, None, Some(ArchReg::Int(1 + (i % 16) as u8)));
+                op.pc = (i as u64) * 64 * 131; // jump lines, 512KB+ footprint
+                op
+            })
+            .collect();
+        let mut m = mem();
+        let mut c = Core::new(CoreConfig::int_core(), 0);
+        let mut w = VecWorkload::new(ops);
+        run(&mut c, &mut w, &mut m, 20_000);
+        assert!(c.stats.icache_stall_cycles > 5_000);
+        assert!(c.stats.ipc() < 0.5);
+    }
+
+    #[test]
+    fn rename_pool_pressure_stalls_dispatch() {
+        // FP core has only 16 int rename regs: a burst of int writers with
+        // a long divide at the head keeps them occupied.
+        let mut ops = vec![MicroOp::arith(
+            OpClass::IntDiv,
+            Some(ArchReg::Int(1)),
+            None,
+            Some(ArchReg::Int(2)),
+        )];
+        for i in 0..40 {
+            ops.push(MicroOp::arith(
+                OpClass::IntAlu,
+                Some(ArchReg::Int(2)), // all depend on the divide
+                None,
+                Some(ArchReg::Int(3 + (i % 20) as u8)),
+            ));
+        }
+        let mut m = mem();
+        let mut c = Core::new(CoreConfig::fp_core(), 0);
+        let mut w = VecWorkload::new(ops);
+        run(&mut c, &mut w, &mut m, 5_000);
+        assert!(
+            c.stats.rename_stalls > 0,
+            "16-entry int rename pool must saturate"
+        );
+    }
+
+    #[test]
+    fn flush_pipeline_discards_inflight_and_preserves_stats() {
+        let mut m = mem();
+        let mut c = Core::new(CoreConfig::int_core(), 0);
+        let mut w = VecWorkload::new(independent(OpClass::IntAlu, 32));
+        run(&mut c, &mut w, &mut m, 1000);
+        let committed_before = c.stats.committed.total();
+        assert!(c.rob_occupancy() > 0);
+        c.flush_pipeline();
+        assert_eq!(c.rob_occupancy(), 0);
+        assert_eq!(c.stats.committed.total(), committed_before);
+        // Core keeps executing correctly after the flush.
+        for now in 1000..2000 {
+            c.tick(now, &mut w, &mut m);
+        }
+        assert!(c.stats.committed.total() > committed_before);
+    }
+
+    #[test]
+    fn stall_until_blocks_frontend() {
+        let mut m = mem();
+        let mut c = Core::new(CoreConfig::int_core(), 0);
+        let mut w = VecWorkload::new(independent(OpClass::IntAlu, 32));
+        c.stall_until(500);
+        for now in 0..500 {
+            c.tick(now, &mut w, &mut m);
+        }
+        assert_eq!(c.stats.committed.total(), 0, "stalled core commits nothing");
+        for now in 500..1500 {
+            c.tick(now, &mut w, &mut m);
+        }
+        assert!(c.stats.committed.total() > 0);
+    }
+
+    #[test]
+    fn activity_counters_accumulate() {
+        let mut m = mem();
+        let mut c = Core::new(CoreConfig::int_core(), 0);
+        let mut w = VecWorkload::new(independent(OpClass::IntAlu, 32));
+        run(&mut c, &mut w, &mut m, 1000);
+        assert!(c.activity.dispatches > 0);
+        assert!(c.activity.commits > 0);
+        assert!(c.activity.fu_ops[OpClass::IntAlu.index()] > 0);
+        assert!(c.activity.int_reg_writes > 0);
+        assert_eq!(c.activity.cycles, 1000);
+        let taken = c.activity.take();
+        assert!(taken.commits > 0);
+        assert_eq!(c.activity.commits, 0);
+    }
+
+    #[test]
+    fn commit_is_in_order() {
+        // A long FP divide followed by quick int ops: ints cannot commit
+        // before the divide does (ROB order), so total commits are gated.
+        let ops = vec![
+            MicroOp::arith(OpClass::FpDiv, Some(ArchReg::Fp(1)), None, Some(ArchReg::Fp(1))),
+            MicroOp::arith(OpClass::IntAlu, None, None, Some(ArchReg::Int(1))),
+            MicroOp::arith(OpClass::IntAlu, None, None, Some(ArchReg::Int(2))),
+        ];
+        let mut m = mem();
+        let mut c = Core::new(CoreConfig::int_core(), 0);
+        let mut w = VecWorkload::new(ops);
+        run(&mut c, &mut w, &mut m, 2_000);
+        // Serial FpDiv chain on a 12-cycle NP unit: ~12 cycles per triple.
+        let triples = c.stats.committed.count(OpClass::FpDiv);
+        assert!(triples > 0);
+        let cycles_per_triple = 2000.0 / triples as f64;
+        assert!(
+            cycles_per_triple >= 11.0,
+            "in-order commit must serialize on the divide: {cycles_per_triple}"
+        );
+    }
+}

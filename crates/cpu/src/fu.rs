@@ -1,0 +1,96 @@
+//! Functional-unit pool occupancy tracking.
+
+use crate::config::FuSpec;
+
+/// Tracks when each unit of one pool becomes free.
+///
+/// A pipelined unit is occupied for one cycle per op (initiation interval
+/// 1); a non-pipelined unit is occupied for the op's full latency — this is
+/// the mechanism that throttles, e.g., FP throughput on the INT core.
+#[derive(Debug, Clone)]
+pub struct FuPool {
+    spec: FuSpec,
+    free_at: Vec<u64>,
+}
+
+impl FuPool {
+    /// Build an idle pool.
+    pub fn new(spec: FuSpec) -> Self {
+        FuPool {
+            spec,
+            free_at: vec![0; spec.units as usize],
+        }
+    }
+
+    /// The static spec.
+    pub fn spec(&self) -> FuSpec {
+        self.spec
+    }
+
+    /// Try to start an op at cycle `now`. Returns the completion cycle, or
+    /// `None` if every unit is busy.
+    pub fn try_issue(&mut self, now: u64) -> Option<u64> {
+        for f in &mut self.free_at {
+            if *f <= now {
+                *f = if self.spec.pipelined {
+                    now + 1
+                } else {
+                    now + self.spec.latency as u64
+                };
+                return Some(now + self.spec.latency as u64);
+            }
+        }
+        None
+    }
+
+    /// Whether at least one unit is free at cycle `now`.
+    pub fn available(&self, now: u64) -> bool {
+        self.free_at.iter().any(|f| *f <= now)
+    }
+
+    /// Forget all occupancy (pipeline flush).
+    pub fn reset(&mut self) {
+        self.free_at.fill(0);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pipelined_accepts_every_cycle() {
+        let mut p = FuPool::new(FuSpec::new(1, 4, true));
+        assert_eq!(p.try_issue(0), Some(4));
+        assert!(!p.available(0), "initiation interval is 1 cycle");
+        assert_eq!(p.try_issue(1), Some(5));
+        assert_eq!(p.try_issue(2), Some(6));
+    }
+
+    #[test]
+    fn non_pipelined_blocks_for_latency() {
+        let mut p = FuPool::new(FuSpec::new(1, 4, false));
+        assert_eq!(p.try_issue(0), Some(4));
+        assert_eq!(p.try_issue(1), None);
+        assert_eq!(p.try_issue(3), None);
+        assert_eq!(p.try_issue(4), Some(8));
+    }
+
+    #[test]
+    fn multiple_units() {
+        let mut p = FuPool::new(FuSpec::new(2, 3, false));
+        assert!(p.try_issue(0).is_some());
+        assert!(p.try_issue(0).is_some(), "second unit free");
+        assert!(p.try_issue(0).is_none(), "both busy");
+        assert!(p.try_issue(3).is_some());
+    }
+
+    #[test]
+    fn reset_clears_occupancy() {
+        let mut p = FuPool::new(FuSpec::new(1, 12, false));
+        p.try_issue(0);
+        assert!(!p.available(5));
+        p.reset();
+        assert!(p.available(5));
+    }
+}

@@ -1,0 +1,37 @@
+//! # ampsched-cpu
+//!
+//! Trace-driven, cycle-level out-of-order core timing model — the stand-in
+//! for the paper's SESC simulator.
+//!
+//! The model executes [`ampsched_trace::Workload`] streams on a core whose
+//! resources follow Tables I and II of the paper:
+//!
+//! * in-order frontend (fetch through dispatch) gated by the L1I, redirect
+//!   stalls after branch mispredictions, and structural availability
+//!   (ROB / issue-queue / LSQ entries, rename registers);
+//! * split integer and floating-point issue queues with oldest-first
+//!   wakeup/select;
+//! * per-class functional-unit pools with real latencies and
+//!   pipelined/non-pipelined initiation (Table II) — the source of the
+//!   INT-core/FP-core asymmetry;
+//! * a load/store queue with exact (trace-known) address disambiguation
+//!   and store-to-load forwarding;
+//! * in-order commit.
+//!
+//! Wrong-path execution is not modeled; a mispredicted branch stalls
+//! dispatch until it resolves plus a redirect penalty — the standard
+//! trace-driven approximation.
+//!
+//! Every microarchitectural event is tallied in [`ActivityCounters`],
+//! which `ampsched-power` converts to energy.
+
+pub mod activity;
+pub mod config;
+pub mod core;
+pub mod fu;
+pub mod stats;
+
+pub use crate::core::Core;
+pub use activity::ActivityCounters;
+pub use config::{CoreConfig, CoreFlavor, FuSpec};
+pub use stats::CoreStats;

@@ -1,0 +1,87 @@
+//! Architectural statistics: what the paper's hardware performance
+//! counters expose, plus diagnostics.
+
+use ampsched_isa::MixCounts;
+
+/// Cumulative per-core statistics.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CoreStats {
+    /// Cycles simulated on this core.
+    pub cycles: u64,
+    /// Committed instructions by class.
+    pub committed: MixCounts,
+    /// Branches committed.
+    pub branches: u64,
+    /// Mispredicted branches committed.
+    pub mispredicts: u64,
+    /// Cycles the frontend was stalled on an L1I miss.
+    pub icache_stall_cycles: u64,
+    /// Cycles the frontend was stalled on a branch redirect.
+    pub redirect_stall_cycles: u64,
+    /// Cycles dispatch was blocked by a full ROB.
+    pub rob_full_stalls: u64,
+    /// Cycles dispatch was blocked by a full issue queue.
+    pub isq_full_stalls: u64,
+    /// Cycles dispatch was blocked by an exhausted rename pool.
+    pub rename_stalls: u64,
+    /// Cycles dispatch was blocked by a full load/store queue.
+    pub lsq_full_stalls: u64,
+}
+
+impl CoreStats {
+    /// Instructions per cycle so far; 0 when no cycles have elapsed.
+    pub fn ipc(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.committed.total() as f64 / self.cycles as f64
+        }
+    }
+
+    /// Branch misprediction rate in `[0,1]`.
+    pub fn mispredict_rate(&self) -> f64 {
+        if self.branches == 0 {
+            0.0
+        } else {
+            self.mispredicts as f64 / self.branches as f64
+        }
+    }
+
+    /// Total cycles dispatch was blocked for any structural reason.
+    pub fn structural_stalls(&self) -> u64 {
+        self.rob_full_stalls + self.isq_full_stalls + self.rename_stalls + self.lsq_full_stalls
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ampsched_isa::OpClass;
+
+    #[test]
+    fn ipc_and_rates() {
+        let mut s = CoreStats::default();
+        assert_eq!(s.ipc(), 0.0);
+        assert_eq!(s.mispredict_rate(), 0.0);
+        s.cycles = 100;
+        for _ in 0..80 {
+            s.committed.record(OpClass::IntAlu);
+        }
+        s.branches = 20;
+        s.mispredicts = 2;
+        assert!((s.ipc() - 0.8).abs() < 1e-12);
+        assert!((s.mispredict_rate() - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn structural_stall_sum() {
+        let s = CoreStats {
+            rob_full_stalls: 1,
+            isq_full_stalls: 2,
+            rename_stalls: 3,
+            lsq_full_stalls: 4,
+            ..Default::default()
+        };
+        assert_eq!(s.structural_stalls(), 10);
+    }
+}

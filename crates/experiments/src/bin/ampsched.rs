@@ -1,0 +1,191 @@
+//! `ampsched` — regenerate every table and figure of the paper.
+//!
+//! ```text
+//! ampsched [--quick|--medium] [--pairs N] [--insts N] [--seed N] [--csv FILE] <command>
+//!
+//! commands:
+//!   tables        Tables I and II (live core configurations)
+//!   workloads     inventory of the 37 workload models
+//!   fig1          IPC/Watt of six workloads on each core type
+//!   fig3          profiled ratio matrix
+//!   fig4          fitted regression surface
+//!   fig6          window-size x history-depth sensitivity
+//!   fig7          per-pair improvements vs HPE
+//!   fig8          per-pair improvements vs Round Robin
+//!   fig9          worst/average/best summary (+ swap-rate stat)
+//!   overhead      swap-overhead sensitivity (Section VI-C)
+//!   rr-interval   Round Robin 2ms vs 4ms decision interval
+//!   derive-rules  re-derive the Figure 5 thresholds (Section VI-A)
+//!   ablation      design-choice ablation battery
+//!   morphing      core-morphing extension comparison (cf. \[5\])
+//!   all           everything above, in order
+//! ```
+
+use ampsched_experiments::{
+    ablation, common::Params, fig1, fig6, fig78, morphing, overhead, profiling, rr_interval,
+    rules_derivation, tables,
+};
+use std::time::Instant;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: ampsched [--quick|--medium] [--pairs N] [--insts N] [--seed N] \
+         <tables|fig1|fig3|fig4|fig6|fig7|fig8|fig9|figs789|overhead|rr-interval|derive-rules|ablation|morphing|workloads|all>"
+    );
+    std::process::exit(2);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut params = Params::default();
+    let mut command = None;
+    let mut csv_path: Option<String> = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--quick" => params = Params::quick(),
+            "--medium" => params = Params::medium(),
+            "--pairs" => {
+                i += 1;
+                params.num_pairs = args.get(i).and_then(|s| s.parse().ok()).unwrap_or_else(|| usage());
+            }
+            "--insts" => {
+                i += 1;
+                params.run_insts = args.get(i).and_then(|s| s.parse().ok()).unwrap_or_else(|| usage());
+            }
+            "--seed" => {
+                i += 1;
+                params.seed = args.get(i).and_then(|s| s.parse().ok()).unwrap_or_else(|| usage());
+            }
+            "--csv" => {
+                i += 1;
+                csv_path = Some(args.get(i).cloned().unwrap_or_else(|| usage()));
+            }
+            c if command.is_none() && !c.starts_with('-') => command = Some(c.to_string()),
+            _ => usage(),
+        }
+        i += 1;
+    }
+    let command = command.unwrap_or_else(|| usage());
+
+    let t0 = Instant::now();
+    let needs_predictors = !matches!(command.as_str(), "tables" | "workloads" | "fig1" | "derive-rules" | "morphing");
+    let preds = if needs_predictors {
+        eprintln!("[profiling {} representative benchmarks ...]", 9);
+        Some(profiling::predictors(&params))
+    } else {
+        None
+    };
+
+    let run_one = |cmd: &str| match cmd {
+        "tables" => {
+            println!("Table I — core structure sizes\n\n{}", tables::render_table_i());
+            println!("Table II — execution units\n\n{}", tables::render_table_ii());
+        }
+        "workloads" => {
+            println!("Workload inventory (37 models, Section IV)\n\n{}", tables::render_workloads());
+        }
+        "fig1" => {
+            println!("Figure 1 — IPC/Watt per workload per core\n");
+            println!("{}", fig1::render(&fig1::run(&params)));
+        }
+        "fig3" => {
+            println!("Figure 3 — IPC/Watt ratio matrix (INT core / FP core)\n");
+            println!("{}", profiling::render_matrix(&preds.as_ref().expect("predictors").matrix));
+        }
+        "fig4" => {
+            println!("Figure 4 — fitted ratio surface\n");
+            println!("{}", profiling::render_surface(&preds.as_ref().expect("predictors").surface));
+        }
+        "fig6" => {
+            println!("Figure 6 — window/history sensitivity\n");
+            let pts = fig6::run(&params, preds.as_ref().expect("predictors"));
+            println!("{}", fig6::render(&pts));
+        }
+        "fig7" | "fig8" | "fig9" | "figs789" => {
+            eprintln!("[running {}-pair sweep under 3 schedulers ...]", params.num_pairs);
+            let sweep = fig78::run_sweep(&params, preds.as_ref().expect("predictors"));
+            if let Some(path) = &csv_path {
+                let mut f = std::fs::File::create(path).expect("create csv file");
+                fig78::write_sweep_csv(&sweep, &mut f).expect("write csv");
+                eprintln!("[per-pair results written to {path}]");
+            }
+            match cmd {
+                "fig7" => {
+                    println!("Figure 7 — proposed vs HPE\n");
+                    println!("{}", fig78::render_fig(&sweep, fig78::Reference::Hpe));
+                }
+                "fig8" => {
+                    println!("Figure 8 — proposed vs Round Robin\n");
+                    println!("{}", fig78::render_fig(&sweep, fig78::Reference::RoundRobin));
+                }
+                "fig9" => {
+                    println!("Figure 9 — worst/average/best IPC/Watt improvements\n");
+                    println!("{}", fig78::render_fig9(&sweep));
+                }
+                _ => {
+                    println!("Figure 7 — proposed vs HPE\n");
+                    println!("{}", fig78::render_fig(&sweep, fig78::Reference::Hpe));
+                    println!("Figure 8 — proposed vs Round Robin\n");
+                    println!("{}", fig78::render_fig(&sweep, fig78::Reference::RoundRobin));
+                    println!("Figure 9 — worst/average/best IPC/Watt improvements\n");
+                    println!("{}", fig78::render_fig9(&sweep));
+                }
+            }
+        }
+        "overhead" => {
+            println!("Section VI-C — swap-overhead sensitivity\n");
+            let pts = overhead::run(&params, preds.as_ref().expect("predictors"));
+            println!("{}", overhead::render(&pts));
+        }
+        "rr-interval" => {
+            println!("Section VII — Round Robin decision-interval comparison\n");
+            let r = rr_interval::run(&params, preds.as_ref().expect("predictors"));
+            println!("{}", rr_interval::render(&r));
+        }
+        "derive-rules" => {
+            println!("Section VI-A — swap-rule threshold derivation\n");
+            let d = rules_derivation::derive(&params, 50);
+            println!("{}", rules_derivation::render(&d));
+        }
+        "morphing" => {
+            println!("Extension — core morphing sequential comparison (cf. [5])\n");
+            let rows = morphing::run(&params);
+            println!("{}", morphing::render(&rows));
+        }
+        "ablation" => {
+            println!("Ablation battery (all variants vs static baseline)\n");
+            let rows = ablation::run(&params, preds.as_ref().expect("predictors"));
+            println!("{}", ablation::render(&rows));
+        }
+        other => {
+            eprintln!("unknown command: {other}");
+            usage();
+        }
+    };
+
+    if command == "all" {
+        // Run the full index. fig7/8/9 share one sweep.
+        run_one("tables");
+        run_one("fig1");
+        run_one("fig3");
+        run_one("fig4");
+        run_one("derive-rules");
+        run_one("fig6");
+        eprintln!("[running {}-pair sweep under 3 schedulers ...]", params.num_pairs);
+        let sweep = fig78::run_sweep(&params, preds.as_ref().expect("predictors"));
+        println!("Figure 7 — proposed vs HPE\n");
+        println!("{}", fig78::render_fig(&sweep, fig78::Reference::Hpe));
+        println!("Figure 8 — proposed vs Round Robin\n");
+        println!("{}", fig78::render_fig(&sweep, fig78::Reference::RoundRobin));
+        println!("Figure 9 — worst/average/best\n");
+        println!("{}", fig78::render_fig9(&sweep));
+        run_one("overhead");
+        run_one("rr-interval");
+        run_one("ablation");
+        run_one("morphing");
+    } else {
+        run_one(&command);
+    }
+    eprintln!("[done in {:.1}s]", t0.elapsed().as_secs_f64());
+}

@@ -1,0 +1,255 @@
+//! Shared experiment infrastructure: parameters, pair sampling, and
+//! scheduler construction.
+
+use ampsched_core::{
+    ExtendedConfig, ExtendedScheduler, HpePredictor, HpeScheduler, MatrixFineScheduler,
+    ProposedConfig, ProposedScheduler, RoundRobinScheduler, SamplingScheduler, Scheduler,
+    StaticScheduler,
+};
+use ampsched_system::{DualCoreSystem, RunResult, SystemConfig};
+use ampsched_trace::{suite, BenchmarkSpec, TraceGenerator, Workload};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Global experiment parameters.
+#[derive(Debug, Clone)]
+pub struct Params {
+    /// Stop each multiprogrammed run when one thread commits this many
+    /// instructions (paper: 5,000,000).
+    pub run_insts: u64,
+    /// Hard cycle cap per run (safety net for memory-bound pairs).
+    pub max_cycles: u64,
+    /// Number of random two-benchmark combinations (paper: 80).
+    pub num_pairs: usize,
+    /// Instructions per benchmark per core for offline profiling.
+    pub profile_insts: u64,
+    /// Profiling sample interval in cycles (paper: 2 ms = 4,000,000).
+    pub profile_interval_cycles: u64,
+    /// Master seed for pair sampling and workload generation.
+    pub seed: u64,
+    /// System parameters (epoch length, swap overhead, caches).
+    pub system: SystemConfig,
+}
+
+impl Default for Params {
+    fn default() -> Self {
+        Params {
+            run_insts: 5_000_000,
+            max_cycles: 400_000_000,
+            num_pairs: 80,
+            profile_insts: 10_000_000,
+            profile_interval_cycles: 4_000_000,
+            seed: 2012,
+            system: SystemConfig::default(),
+        }
+    }
+}
+
+impl Params {
+    /// Reduced-scale parameters for tests and Criterion benches on a
+    /// single-CPU host: ~10× shorter runs, 8 pairs, finer profiling
+    /// intervals so the profile still collects multiple samples.
+    pub fn quick() -> Self {
+        Params {
+            run_insts: 400_000,
+            max_cycles: 40_000_000,
+            num_pairs: 8,
+            profile_insts: 1_500_000,
+            profile_interval_cycles: 400_000,
+            seed: 2012,
+            system: SystemConfig {
+                epoch_cycles: 400_000,
+                ..SystemConfig::default()
+            },
+        }
+    }
+
+    /// Mid-scale parameters: paper workload shapes at ~1/5 duration.
+    pub fn medium() -> Self {
+        Params {
+            run_insts: 2_000_000,
+            max_cycles: 150_000_000,
+            num_pairs: 40,
+            profile_insts: 4_000_000,
+            profile_interval_cycles: 1_000_000,
+            seed: 2012,
+            system: SystemConfig {
+                epoch_cycles: 1_000_000,
+                ..SystemConfig::default()
+            },
+        }
+    }
+}
+
+/// Scheduling scheme selector.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SchedKind {
+    /// The paper's proposed scheme with explicit window/history.
+    Proposed(ProposedConfig),
+    /// HPE with the binned ratio matrix (Figure 3).
+    HpeMatrix,
+    /// HPE with the fitted regression surface (Figure 4).
+    HpeSurface,
+    /// Round Robin every `k` epochs.
+    RoundRobin(u32),
+    /// Never swap.
+    Static,
+    /// Ablation: HPE matrix predictor at fine granularity.
+    MatrixFine,
+    /// The paper's Section VII future-work extension (IPC + memory
+    /// vetoes on top of the proposed rules).
+    Extended(ExtendedConfig),
+    /// Becchi-style forced-swap sampling every `k` epochs.
+    Sampling(u32),
+}
+
+impl SchedKind {
+    /// The paper-default proposed configuration, with the fairness
+    /// interval matched to the system epoch.
+    pub fn proposed_default(params: &Params) -> SchedKind {
+        SchedKind::Proposed(ProposedConfig {
+            fairness_interval_cycles: params.system.epoch_cycles,
+            ..ProposedConfig::default()
+        })
+    }
+
+    /// The Section VII extension with the fairness interval matched to
+    /// the system epoch.
+    pub fn extended_default(params: &Params) -> SchedKind {
+        SchedKind::Extended(ExtendedConfig {
+            base: ProposedConfig {
+                fairness_interval_cycles: params.system.epoch_cycles,
+                ..ProposedConfig::default()
+            },
+            ..ExtendedConfig::default()
+        })
+    }
+
+    /// Instantiate the scheduler. `predictors` supplies the profiled
+    /// matrix and surface for the HPE variants.
+    pub fn build(&self, predictors: &Predictors) -> Box<dyn Scheduler> {
+        match self {
+            SchedKind::Proposed(cfg) => Box::new(ProposedScheduler::new(*cfg)),
+            SchedKind::HpeMatrix => Box::new(HpeScheduler::new(HpePredictor::Matrix(
+                predictors.matrix.clone(),
+            ))),
+            SchedKind::HpeSurface => Box::new(HpeScheduler::new(HpePredictor::Surface(
+                predictors.surface.clone(),
+            ))),
+            SchedKind::RoundRobin(k) => Box::new(RoundRobinScheduler::new(*k)),
+            SchedKind::Static => Box::new(StaticScheduler),
+            SchedKind::MatrixFine => Box::new(MatrixFineScheduler::new(HpePredictor::Matrix(
+                predictors.matrix.clone(),
+            ))),
+            SchedKind::Extended(cfg) => Box::new(ExtendedScheduler::new(*cfg)),
+            SchedKind::Sampling(k) => Box::new(SamplingScheduler::new(*k)),
+        }
+    }
+}
+
+/// The offline-profiled predictors shared by HPE variants.
+#[derive(Debug, Clone)]
+pub struct Predictors {
+    /// Figure 3 ratio matrix.
+    pub matrix: ampsched_core::RatioMatrix,
+    /// Figure 4 regression surface.
+    pub surface: ampsched_core::RatioSurface,
+}
+
+/// A two-benchmark combination.
+#[derive(Debug, Clone)]
+pub struct Pair {
+    /// Benchmark for thread 0 (starts on the FP core).
+    pub a: BenchmarkSpec,
+    /// Benchmark for thread 1 (starts on the INT core).
+    pub b: BenchmarkSpec,
+    /// Per-pair seed for workload generation.
+    pub seed: u64,
+}
+
+impl Pair {
+    /// `"a+b"` label used in the figures.
+    pub fn label(&self) -> String {
+        format!("{}+{}", self.a.name, self.b.name)
+    }
+
+    /// Fresh workloads for this pair (deterministic in the pair seed).
+    pub fn workloads(&self) -> [Box<dyn Workload>; 2] {
+        [
+            Box::new(TraceGenerator::for_thread(self.a.clone(), self.seed, 0)),
+            Box::new(TraceGenerator::for_thread(self.b.clone(), self.seed, 1)),
+        ]
+    }
+}
+
+/// Sample `n` distinct random two-benchmark combinations from the
+/// 37-workload pool (order within a pair matters for the initial
+/// assignment, mirroring the paper's random initial placement).
+pub fn sample_pairs(n: usize, seed: u64) -> Vec<Pair> {
+    let pool = suite::all();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut seen = std::collections::HashSet::new();
+    let mut pairs = Vec::with_capacity(n);
+    while pairs.len() < n {
+        let i = rng.gen_range(0..pool.len());
+        let j = rng.gen_range(0..pool.len());
+        if i == j || !seen.insert((i, j)) {
+            continue;
+        }
+        pairs.push(Pair {
+            a: pool[i].clone(),
+            b: pool[j].clone(),
+            seed: seed ^ ((i as u64) << 32 | j as u64),
+        });
+    }
+    pairs
+}
+
+/// Run one pair under one scheduler, from a cold system.
+pub fn run_pair(pair: &Pair, kind: &SchedKind, predictors: &Predictors, params: &Params) -> RunResult {
+    let mut sys = DualCoreSystem::new(params.system, pair.workloads());
+    let mut sched = kind.build(predictors);
+    sys.run(&mut *sched, params.run_insts, params.max_cycles)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pairs_are_distinct_and_deterministic() {
+        let a = sample_pairs(20, 7);
+        let b = sample_pairs(20, 7);
+        assert_eq!(a.len(), 20);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.label(), y.label());
+            assert_eq!(x.seed, y.seed);
+        }
+        let labels: std::collections::HashSet<_> = a.iter().map(|p| p.label()).collect();
+        assert_eq!(labels.len(), 20, "pairs must be distinct");
+        for p in &a {
+            assert_ne!(p.a.name, p.b.name, "no self-pairs");
+        }
+    }
+
+    #[test]
+    fn different_seed_different_pairs() {
+        let a = sample_pairs(30, 1);
+        let b = sample_pairs(30, 2);
+        let same = a
+            .iter()
+            .zip(&b)
+            .filter(|(x, y)| x.label() == y.label())
+            .count();
+        assert!(same < 30);
+    }
+
+    #[test]
+    fn quick_params_are_smaller() {
+        let q = Params::quick();
+        let d = Params::default();
+        assert!(q.run_insts < d.run_insts);
+        assert!(q.num_pairs < d.num_pairs);
+        assert!(q.system.epoch_cycles < d.system.epoch_cycles);
+    }
+}

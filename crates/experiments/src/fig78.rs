@@ -1,0 +1,317 @@
+//! Figures 7, 8, and 9: the headline evaluation. Random two-benchmark
+//! combinations run under the proposed scheme, HPE, and Round Robin;
+//! per-pair weighted and geometric IPC/Watt improvements; and the
+//! worst/average/best summary.
+
+use ampsched_metrics::{
+    geometric_speedup, improvement_pct, k_largest_indices, k_smallest_indices, mean,
+    weighted_speedup, Table,
+};
+use ampsched_system::RunResult;
+
+use crate::common::{run_pair, sample_pairs, Params, Predictors, SchedKind};
+use crate::runner::parallel_map;
+
+/// All three schemes' results for one pair.
+#[derive(Debug, Clone)]
+pub struct PairOutcome {
+    /// `"a+b"` pair label.
+    pub label: String,
+    /// Proposed scheme result.
+    pub proposed: RunResult,
+    /// HPE (matrix) result.
+    pub hpe: RunResult,
+    /// Round Robin (1 epoch) result.
+    pub rr: RunResult,
+}
+
+/// Improvement of the proposed scheme over a reference, for one pair.
+#[derive(Debug, Clone)]
+pub struct Improvement {
+    /// Pair label.
+    pub label: String,
+    /// Weighted (arithmetic-mean-of-ratios) IPC/Watt improvement, %.
+    pub weighted_pct: f64,
+    /// Geometric IPC/Watt improvement, %.
+    pub geometric_pct: f64,
+}
+
+/// The full sweep.
+#[derive(Debug, Clone)]
+pub struct SweepResult {
+    /// Per-pair outcomes in sampling order.
+    pub outcomes: Vec<PairOutcome>,
+}
+
+/// Reference scheme selector for improvement computations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Reference {
+    /// Against HPE (Figure 7).
+    Hpe,
+    /// Against Round Robin (Figure 8).
+    RoundRobin,
+}
+
+impl SweepResult {
+    /// Per-pair improvements of the proposed scheme over `reference`.
+    pub fn improvements(&self, reference: Reference) -> Vec<Improvement> {
+        self.outcomes
+            .iter()
+            .map(|o| {
+                let new = o.proposed.ipc_per_watt();
+                let base = match reference {
+                    Reference::Hpe => o.hpe.ipc_per_watt(),
+                    Reference::RoundRobin => o.rr.ipc_per_watt(),
+                };
+                Improvement {
+                    label: o.label.clone(),
+                    weighted_pct: improvement_pct(weighted_speedup(&new, &base)),
+                    geometric_pct: improvement_pct(geometric_speedup(&new, &base)),
+                }
+            })
+            .collect()
+    }
+
+    /// Mean weighted / geometric improvement over all pairs.
+    pub fn average(&self, reference: Reference) -> (f64, f64) {
+        let imps = self.improvements(reference);
+        (
+            mean(&imps.iter().map(|i| i.weighted_pct).collect::<Vec<_>>()),
+            mean(&imps.iter().map(|i| i.geometric_pct).collect::<Vec<_>>()),
+        )
+    }
+
+    /// Fraction of pairs where the proposed scheme loses (weighted).
+    pub fn loss_fraction(&self, reference: Reference) -> f64 {
+        let imps = self.improvements(reference);
+        imps.iter().filter(|i| i.weighted_pct < 0.0).count() as f64 / imps.len().max(1) as f64
+    }
+
+    /// Figure 9 bars: (mean of k worst, mean of all, mean of k best)
+    /// weighted improvements.
+    pub fn fig9_bars(&self, reference: Reference, k: usize) -> (f64, f64, f64) {
+        let imps = self.improvements(reference);
+        let w: Vec<f64> = imps.iter().map(|i| i.weighted_pct).collect();
+        let worst: Vec<f64> = k_smallest_indices(&w, k).into_iter().map(|i| w[i]).collect();
+        let best: Vec<f64> = k_largest_indices(&w, k).into_iter().map(|i| w[i]).collect();
+        (mean(&worst), mean(&w), mean(&best))
+    }
+
+    /// The paper's swap-rate observation: fraction of the proposed
+    /// scheme's decision points that actually swapped, averaged over pairs.
+    pub fn proposed_swap_rate(&self) -> f64 {
+        mean(
+            &self
+                .outcomes
+                .iter()
+                .map(|o| o.proposed.swap_rate())
+                .collect::<Vec<_>>(),
+        )
+    }
+}
+
+/// Run the full three-scheme sweep over `params.num_pairs` combinations.
+pub fn run_sweep(params: &Params, predictors: &Predictors) -> SweepResult {
+    let pairs = sample_pairs(params.num_pairs, params.seed);
+    let proposed = SchedKind::proposed_default(params);
+    let outcomes = parallel_map(&pairs, |pair| PairOutcome {
+        label: pair.label(),
+        proposed: run_pair(pair, &proposed, predictors, params),
+        hpe: run_pair(pair, &SchedKind::HpeMatrix, predictors, params),
+        rr: run_pair(pair, &SchedKind::RoundRobin(1), predictors, params),
+    });
+    SweepResult { outcomes }
+}
+
+/// Render a Figure 7/8-style table: the 10 worst, 10 middle, and 10 best
+/// pairs by weighted improvement (the paper shows 30 of its 80), plus the
+/// overall averages.
+pub fn render_fig(sweep: &SweepResult, reference: Reference) -> String {
+    let name = match reference {
+        Reference::Hpe => "HPE",
+        Reference::RoundRobin => "Round Robin",
+    };
+    let mut imps = sweep.improvements(reference);
+    imps.sort_by(|a, b| a.weighted_pct.partial_cmp(&b.weighted_pct).expect("no NaN"));
+    let n = imps.len();
+    let shown: Vec<&Improvement> = if n <= 30 {
+        imps.iter().collect()
+    } else {
+        let mid_start = (n - 10) / 2;
+        imps[..10]
+            .iter()
+            .chain(imps[mid_start..mid_start + 10].iter())
+            .chain(imps[n - 10..].iter())
+            .collect()
+    };
+    let mut t = Table::new(&[
+        "pair",
+        &format!("weighted IPC/W impr vs {name} (%)"),
+        "geometric (%)",
+    ]);
+    for i in shown {
+        t.row(&[
+            i.label.clone(),
+            format!("{:+.1}", i.weighted_pct),
+            format!("{:+.1}", i.geometric_pct),
+        ]);
+    }
+    let (w, g) = sweep.average(reference);
+    let mut s = t.render();
+    s.push_str(&format!(
+        "\naverage over all {} pairs: weighted {:+.1}%, geometric {:+.1}%; \
+         pairs that lose: {:.1}%\n",
+        n,
+        w,
+        g,
+        100.0 * sweep.loss_fraction(reference)
+    ));
+    s
+}
+
+/// Write the full per-pair sweep as CSV (one row per pair: both schemes'
+/// per-thread IPC/Watt plus the derived improvements).
+pub fn write_sweep_csv<W: std::io::Write>(
+    sweep: &SweepResult,
+    w: &mut W,
+) -> std::io::Result<()> {
+    let imps_hpe = sweep.improvements(Reference::Hpe);
+    let imps_rr = sweep.improvements(Reference::RoundRobin);
+    let rows: Vec<Vec<String>> = sweep
+        .outcomes
+        .iter()
+        .zip(imps_hpe.iter().zip(&imps_rr))
+        .map(|(o, (ih, ir))| {
+            let p = o.proposed.ipc_per_watt();
+            let h = o.hpe.ipc_per_watt();
+            let r = o.rr.ipc_per_watt();
+            vec![
+                o.label.clone(),
+                format!("{:.6}", p[0]),
+                format!("{:.6}", p[1]),
+                format!("{:.6}", h[0]),
+                format!("{:.6}", h[1]),
+                format!("{:.6}", r[0]),
+                format!("{:.6}", r[1]),
+                format!("{:.3}", ih.weighted_pct),
+                format!("{:.3}", ih.geometric_pct),
+                format!("{:.3}", ir.weighted_pct),
+                format!("{:.3}", ir.geometric_pct),
+                o.proposed.swaps.to_string(),
+                o.hpe.swaps.to_string(),
+                o.rr.swaps.to_string(),
+            ]
+        })
+        .collect();
+    ampsched_metrics::write_csv(
+        w,
+        &[
+            "pair",
+            "ppw_proposed_t0",
+            "ppw_proposed_t1",
+            "ppw_hpe_t0",
+            "ppw_hpe_t1",
+            "ppw_rr_t0",
+            "ppw_rr_t1",
+            "weighted_vs_hpe_pct",
+            "geometric_vs_hpe_pct",
+            "weighted_vs_rr_pct",
+            "geometric_vs_rr_pct",
+            "swaps_proposed",
+            "swaps_hpe",
+            "swaps_rr",
+        ],
+        &rows,
+    )
+}
+
+/// Render Figure 9 (worst/average/best bars for both references).
+pub fn render_fig9(sweep: &SweepResult) -> String {
+    let k = 5.min(sweep.outcomes.len());
+    let mut t = Table::new(&["comparison", "5 worst (%)", "average (%)", "5 best (%)"]);
+    for (label, r) in [("vs HPE", Reference::Hpe), ("vs Round Robin", Reference::RoundRobin)] {
+        let (worst, avg, best) = sweep.fig9_bars(r, k);
+        t.row(&[
+            label.into(),
+            format!("{worst:+.1}"),
+            format!("{avg:+.1}"),
+            format!("{best:+.1}"),
+        ]);
+    }
+    let mut s = t.render();
+    let (worst, avg, best) = sweep.fig9_bars(Reference::Hpe, k);
+    s.push('\n');
+    s.push_str(&ampsched_metrics::hbar_chart(
+        &[
+            (format!("{k} worst vs HPE"), worst),
+            ("average vs HPE".into(), avg),
+            (format!("{k} best vs HPE"), best),
+        ],
+        48,
+        "%",
+    ));
+    s.push_str(&format!(
+        "\nproposed-scheme swap rate: {:.3}% of decision points\n",
+        100.0 * sweep.proposed_swap_rate()
+    ));
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profiling;
+
+    fn small_sweep() -> SweepResult {
+        let mut params = Params::quick();
+        params.num_pairs = 6;
+        let preds = profiling::quick_predictors().clone();
+        run_sweep(&params, &preds)
+    }
+
+    #[test]
+    fn sweep_produces_all_outcomes_and_renders() {
+        let sweep = small_sweep();
+        assert_eq!(sweep.outcomes.len(), 6);
+        for o in &sweep.outcomes {
+            assert!(o.proposed.threads[0].instructions > 0);
+            assert!(o.hpe.threads[0].instructions > 0);
+            assert!(o.rr.threads[0].instructions > 0);
+        }
+        let s7 = render_fig(&sweep, Reference::Hpe);
+        let s8 = render_fig(&sweep, Reference::RoundRobin);
+        let s9 = render_fig9(&sweep);
+        assert!(s7.contains("average over all 6 pairs"));
+        assert!(s8.contains("Round Robin"));
+        assert!(s9.contains("vs HPE"));
+        let imps = sweep.improvements(Reference::Hpe);
+        assert_eq!(imps.len(), 6);
+        // Weighted >= geometric - tolerance is not guaranteed per pair,
+        // but both must be finite.
+        for i in &imps {
+            assert!(i.weighted_pct.is_finite() && i.geometric_pct.is_finite());
+        }
+    }
+
+    #[test]
+    fn fig9_bars_are_ordered() {
+        let sweep = small_sweep();
+        let (worst, avg, best) = sweep.fig9_bars(Reference::Hpe, 2);
+        assert!(worst <= avg && avg <= best);
+    }
+
+    #[test]
+    fn sweep_csv_is_well_formed() {
+        let sweep = small_sweep();
+        let mut buf = Vec::new();
+        write_sweep_csv(&sweep, &mut buf).expect("csv write");
+        let s = String::from_utf8(buf).expect("utf8");
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 1 + sweep.outcomes.len(), "header + one row per pair");
+        let cols = lines[0].split(',').count();
+        for l in &lines[1..] {
+            assert_eq!(l.split(',').count(), cols, "ragged row: {l}");
+        }
+        assert!(lines[0].contains("weighted_vs_hpe_pct"));
+    }
+}

@@ -1,0 +1,25 @@
+//! # ampsched-experiments
+//!
+//! Drivers that regenerate every table and figure of the paper (see the
+//! experiment index in DESIGN.md) plus the ablations it motivates.
+//!
+//! Each `figN` module exposes a `run(&Params) -> ...Result` function that
+//! returns structured data and a `render` path producing the ASCII table /
+//! series the paper reports. The `ampsched` CLI binary drives them; the
+//! Criterion benches in `ampsched-bench` call the same entry points at
+//! reduced scale.
+
+pub mod ablation;
+pub mod common;
+pub mod fig1;
+pub mod fig6;
+pub mod fig78;
+pub mod morphing;
+pub mod overhead;
+pub mod profiling;
+pub mod rr_interval;
+pub mod rules_derivation;
+pub mod runner;
+pub mod tables;
+
+pub use common::{Params, SchedKind};

@@ -1,0 +1,175 @@
+//! Extension experiment: core morphing (the authors' companion work \[5\],
+//! discussed in Section III).
+//!
+//! The paper under reproduction deliberately studies *swap-only*
+//! scheduling to avoid morphing hardware; this experiment quantifies
+//! what that choice leaves on the table for **sequential** execution:
+//! each representative benchmark runs alone on the FP core, the INT
+//! core, the morphed strong core (strong INT + strong FP datapaths), and
+//! the morphed weak core. Morphing's sequential-performance upside — and
+//! its perf/watt cost from powering both strong datapaths — is exactly
+//! the trade Section III describes.
+
+use ampsched_cpu::CoreConfig;
+use ampsched_metrics::Table;
+use ampsched_system::single::run_alone;
+use ampsched_trace::{suite, TraceGenerator};
+
+use crate::common::Params;
+use crate::runner::parallel_map;
+
+/// Per-benchmark morphing comparison.
+#[derive(Debug, Clone)]
+pub struct MorphRow {
+    /// Benchmark name.
+    pub workload: String,
+    /// IPC on [FP core, INT core, morphed strong, morphed weak].
+    pub ipc: [f64; 4],
+    /// IPC/Watt on the same four configurations.
+    pub ppw: [f64; 4],
+}
+
+impl MorphRow {
+    /// Sequential speedup of the morphed strong core over the best
+    /// unmorphed core.
+    pub fn morph_speedup(&self) -> f64 {
+        self.ipc[2] / self.ipc[0].max(self.ipc[1])
+    }
+
+    /// Perf/watt of the morphed strong core relative to the best
+    /// unmorphed core (usually < speedup: both strong datapaths burn).
+    pub fn morph_ppw_ratio(&self) -> f64 {
+        self.ppw[2] / self.ppw[0].max(self.ppw[1])
+    }
+}
+
+/// Run the morphing comparison over the nine representative benchmarks.
+pub fn run(params: &Params) -> Vec<MorphRow> {
+    let names: Vec<&'static str> = suite::representative_nine().iter().map(|b| b.name).collect();
+    let configs = [
+        CoreConfig::fp_core(),
+        CoreConfig::int_core(),
+        CoreConfig::morphed_strong(),
+        CoreConfig::morphed_weak(),
+    ];
+    parallel_map(&names, |name| {
+        let spec = suite::by_name(name).expect("representative benchmark");
+        let mut ipc = [0.0; 4];
+        let mut ppw = [0.0; 4];
+        for (k, cfg) in configs.iter().enumerate() {
+            let mut w = TraceGenerator::for_thread(spec.clone(), params.seed, 0);
+            let r = run_alone(
+                cfg.clone(),
+                params.system.mem,
+                &mut w,
+                params.run_insts,
+                params.profile_interval_cycles,
+            );
+            ipc[k] = r.totals.ipc();
+            ppw[k] = r.totals.ipc_per_watt();
+        }
+        MorphRow {
+            workload: name.to_string(),
+            ipc,
+            ppw,
+        }
+    })
+}
+
+/// Render the comparison.
+pub fn render(rows: &[MorphRow]) -> String {
+    let mut t = Table::new(&[
+        "workload",
+        "IPC FP",
+        "IPC INT",
+        "IPC MORPH+",
+        "IPC MORPH-",
+        "seq speedup",
+        "IPC/W ratio",
+    ]);
+    for r in rows {
+        t.row(&[
+            r.workload.clone(),
+            format!("{:.3}", r.ipc[0]),
+            format!("{:.3}", r.ipc[1]),
+            format!("{:.3}", r.ipc[2]),
+            format!("{:.3}", r.ipc[3]),
+            format!("{:.2}x", r.morph_speedup()),
+            format!("{:.2}x", r.morph_ppw_ratio()),
+        ]);
+    }
+    let mut s = t.render();
+    let avg_speedup =
+        rows.iter().map(|r| r.morph_speedup()).sum::<f64>() / rows.len().max(1) as f64;
+    s.push_str(&format!(
+        "\naverage sequential speedup of the morphed strong core: {avg_speedup:.2}x \
+         (the benefit the swap-only design of this paper forgoes; cf. [5])\n"
+    ));
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn morphed_strong_dominates_sequential_ipc() {
+        let mut params = Params::quick();
+        params.run_insts = 150_000;
+        let rows = run(&params);
+        assert_eq!(rows.len(), 9);
+        for r in &rows {
+            // The strong core is at least (almost) as fast as either
+            // specialized core on every workload...
+            assert!(
+                r.morph_speedup() > 0.97,
+                "{}: morphed strong should not lose ({:.3})",
+                r.workload,
+                r.morph_speedup()
+            );
+            // ...and the weak core never beats it.
+            assert!(r.ipc[3] <= r.ipc[2] + 1e-9, "{}", r.workload);
+        }
+    }
+
+    #[test]
+    fn mixed_workload_gains_from_both_strong_datapaths() {
+        // A morph gain needs the run to cover both flavors of phase, so
+        // run `pi` (1.2M-instruction phase cycle) for a full cycle on the
+        // best single core vs the morphed strong core.
+        use ampsched_trace::{suite, TraceGenerator};
+        let params = Params::quick();
+        let spec = suite::by_name("pi").expect("pi exists");
+        let mut gains = Vec::new();
+        let mut best_single = f64::MIN;
+        let mut morphed = 0.0;
+        for cfg in [
+            CoreConfig::fp_core(),
+            CoreConfig::int_core(),
+            CoreConfig::morphed_strong(),
+        ] {
+            let name = cfg.name;
+            let mut w = TraceGenerator::for_thread(spec.clone(), params.seed, 0);
+            let r = run_alone(cfg, params.system.mem, &mut w, 1_300_000, 400_000);
+            gains.push((name, r.totals.ipc()));
+            if name == "MORPH+" {
+                morphed = r.totals.ipc();
+            } else {
+                best_single = best_single.max(r.totals.ipc());
+            }
+        }
+        assert!(
+            morphed > 1.05 * best_single,
+            "pi should gain >5% sequentially on the morphed core: {gains:?}"
+        );
+    }
+
+    #[test]
+    fn render_mentions_the_tradeoff() {
+        let mut params = Params::quick();
+        params.run_insts = 60_000;
+        let s = render(&run(&params));
+        assert!(s.contains("MORPH+"));
+        assert!(s.contains("sequential speedup"));
+    }
+}

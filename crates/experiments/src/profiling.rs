@@ -1,0 +1,182 @@
+//! Offline profiling (Section V steps 1–3): run the nine representative
+//! benchmarks on both core types, sample every 2 ms, and build the
+//! Figure 3 ratio matrix and Figure 4 regression surface.
+
+use ampsched_core::{ProfilePoint, RatioMatrix, RatioSurface};
+use ampsched_cpu::CoreConfig;
+use ampsched_system::SingleCoreRunner;
+use ampsched_trace::{suite, TraceGenerator};
+
+use crate::common::{Params, Predictors};
+use crate::runner::parallel_map;
+
+/// Raw per-interval profile of one benchmark on both cores, interval-
+/// aligned so each index pairs the same program region on both cores.
+#[derive(Debug, Clone)]
+pub struct BenchmarkProfile {
+    /// Benchmark name.
+    pub name: String,
+    /// Interval-aligned observations.
+    pub points: Vec<ProfilePoint>,
+}
+
+/// Profile one benchmark on both core types.
+///
+/// Intervals are *committed-instruction aligned*: the composition of
+/// instruction window k is (statistically) the same on both cores, so
+/// pairing by index compares like with like, as the paper's fixed-time
+/// profiling does at epoch scale.
+pub fn profile_benchmark(name: &str, params: &Params) -> BenchmarkProfile {
+    let spec = suite::by_name(name).unwrap_or_else(|| panic!("unknown benchmark {name}"));
+    let run = |core_cfg: CoreConfig| {
+        let mut w = TraceGenerator::for_thread(spec.clone(), params.seed, 0);
+        let mut runner = SingleCoreRunner::new(core_cfg, params.system.mem);
+        runner.run(
+            &mut w,
+            params.profile_insts,
+            params.profile_interval_cycles,
+            params.max_cycles,
+        )
+    };
+    let fp = run(CoreConfig::fp_core());
+    let int = run(CoreConfig::int_core());
+    let n = fp.samples.len().min(int.samples.len());
+    let points = (0..n)
+        .filter_map(|k| {
+            let sf = &fp.samples[k];
+            let si = &int.samples[k];
+            let (pf, pi) = (sf.ipc_per_watt(), si.ipc_per_watt());
+            if pf <= 0.0 || pi <= 0.0 {
+                return None;
+            }
+            Some(ProfilePoint {
+                // Composition as observed (identical distribution on both
+                // cores; use the FP-core observation).
+                int_pct: sf.int_pct,
+                fp_pct: sf.fp_pct,
+                ppw_int_core: pi,
+                ppw_fp_core: pf,
+            })
+        })
+        .collect();
+    BenchmarkProfile {
+        name: name.to_string(),
+        points,
+    }
+}
+
+/// Profile the paper's nine representative benchmarks.
+pub fn profile_representatives(params: &Params) -> Vec<BenchmarkProfile> {
+    let names: Vec<String> = suite::representative_nine()
+        .iter()
+        .map(|b| b.name.to_string())
+        .collect();
+    parallel_map(&names, |n| profile_benchmark(n, params))
+}
+
+/// Build the HPE predictors (matrix + surface) from profiles.
+///
+/// # Panics
+/// Panics if the profiles are empty or degenerate.
+pub fn build_predictors(profiles: &[BenchmarkProfile]) -> Predictors {
+    let points: Vec<ProfilePoint> = profiles.iter().flat_map(|p| p.points.clone()).collect();
+    assert!(
+        points.len() >= 8,
+        "need several profile points to fit predictors, got {}",
+        points.len()
+    );
+    Predictors {
+        matrix: RatioMatrix::from_points(&points),
+        surface: RatioSurface::from_points(&points),
+    }
+}
+
+/// Convenience: profile and build in one call.
+pub fn predictors(params: &Params) -> Predictors {
+    build_predictors(&profile_representatives(params))
+}
+
+/// Predictors built once from [`Params::quick`] and cached for the
+/// process lifetime — tests and benches share this to avoid re-profiling.
+pub fn quick_predictors() -> &'static Predictors {
+    use std::sync::OnceLock;
+    static CACHE: OnceLock<Predictors> = OnceLock::new();
+    CACHE.get_or_init(|| predictors(&Params::quick()))
+}
+
+/// Render Figure 3: the binned IPC/Watt ratio matrix (INT ÷ FP core).
+pub fn render_matrix(m: &RatioMatrix) -> String {
+    use ampsched_metrics::Table;
+    let bins = ["0-20%", ">20-40%", ">40-60%", ">60-80%", ">80-100%"];
+    let mut headers: Vec<String> = vec!["INT\\FP".to_string()];
+    headers.extend(bins.iter().map(|b| b.to_string()));
+    let hdr_refs: Vec<&str> = headers.iter().map(|s| s.as_str()).collect();
+    let mut t = Table::new(&hdr_refs);
+    for (i, label) in bins.iter().enumerate() {
+        let mut row = vec![label.to_string()];
+        for j in 0..bins.len() {
+            let int_pct = i as f64 * 20.0 + 10.0;
+            let fp_pct = j as f64 * 20.0 + 10.0;
+            let mark = if m.cell_was_profiled(int_pct, fp_pct) { "" } else { "*" };
+            row.push(format!("{:.2}{}", m.lookup(int_pct, fp_pct), mark));
+        }
+        t.row(&row);
+    }
+    let mut s = t.render();
+    s.push_str("\n(* = cell not directly profiled; filled from nearest neighbor)\n");
+    s
+}
+
+/// Render Figure 4: the fitted regression surface, as its coefficient
+/// vector plus a coarse grid of predictions.
+pub fn render_surface(su: &RatioSurface) -> String {
+    use ampsched_metrics::Table;
+    let b = su.beta;
+    let mut s = format!(
+        "ln ratio = {:.3} + {:.3}*x1 + {:.3}*x2 + {:.3}*x1^2 + {:.3}*x2^2 + {:.3}*x1*x2   (x = pct/100)\n\n",
+        b[0], b[1], b[2], b[3], b[4], b[5]
+    );
+    let mut t = Table::new(&["%INT \\ %FP", "0", "20", "40", "60"]);
+    for int_pct in [0.0f64, 20.0, 40.0, 60.0, 80.0] {
+        let mut row = vec![format!("{int_pct:.0}")];
+        for fp_pct in [0.0f64, 20.0, 40.0, 60.0] {
+            row.push(format!("{:.2}", su.predict(int_pct, fp_pct)));
+        }
+        t.row(&row);
+    }
+    s.push_str(&t.render());
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn profiles_capture_flavor_affinity() {
+        let params = Params::quick();
+        let int_heavy = profile_benchmark("intstress", &params);
+        let fp_heavy = profile_benchmark("fpstress", &params);
+        assert!(!int_heavy.points.is_empty());
+        assert!(!fp_heavy.points.is_empty());
+        // Every intstress interval should favor the INT core.
+        for p in &int_heavy.points {
+            assert!(p.ratio() > 1.2, "intstress interval ratio {}", p.ratio());
+            assert!(p.int_pct > 50.0);
+        }
+        for p in &fp_heavy.points {
+            assert!(p.ratio() < 0.85, "fpstress interval ratio {}", p.ratio());
+            assert!(p.fp_pct > 30.0);
+        }
+    }
+
+    #[test]
+    fn predictors_learn_the_affinity() {
+        let _params = Params::quick();
+        let preds = quick_predictors();
+        assert!(preds.matrix.lookup(70.0, 1.0) > 1.1);
+        assert!(preds.matrix.lookup(8.0, 45.0) < 0.9);
+        assert!(preds.surface.predict(70.0, 1.0) > 1.0);
+        assert!(preds.surface.predict(8.0, 45.0) < 1.0);
+    }
+}

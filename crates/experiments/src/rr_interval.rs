@@ -1,0 +1,66 @@
+//! Section VII (text): Round Robin with decision intervals of 1 vs 2
+//! context-switch periods. The paper found the 1-epoch variant better and
+//! used it as the Figure 8 baseline.
+
+use ampsched_metrics::{improvement_pct, mean, weighted_speedup, Table};
+
+use crate::common::{run_pair, sample_pairs, Params, Predictors, SchedKind};
+use crate::runner::parallel_map;
+
+/// Result of the interval comparison.
+#[derive(Debug, Clone)]
+pub struct RrIntervalResult {
+    /// Mean weighted IPC/Watt improvement of RR@1-epoch over RR@2-epochs
+    /// across pairs, %.
+    pub rr1_vs_rr2_weighted_pct: f64,
+    /// Per-pair improvements.
+    pub per_pair: Vec<(String, f64)>,
+}
+
+/// Run the comparison.
+pub fn run(params: &Params, predictors: &Predictors) -> RrIntervalResult {
+    let pairs = sample_pairs(params.num_pairs, params.seed);
+    let per_pair: Vec<(String, f64)> = parallel_map(&pairs, |pair| {
+        let rr1 = run_pair(pair, &SchedKind::RoundRobin(1), predictors, params).ipc_per_watt();
+        let rr2 = run_pair(pair, &SchedKind::RoundRobin(2), predictors, params).ipc_per_watt();
+        (
+            pair.label(),
+            improvement_pct(weighted_speedup(&rr1, &rr2)),
+        )
+    });
+    RrIntervalResult {
+        rr1_vs_rr2_weighted_pct: mean(&per_pair.iter().map(|p| p.1).collect::<Vec<_>>()),
+        per_pair,
+    }
+}
+
+/// Render the comparison.
+pub fn render(r: &RrIntervalResult) -> String {
+    let mut t = Table::new(&["pair", "RR@2ms vs RR@4ms weighted IPC/W (%)"]);
+    for (label, v) in &r.per_pair {
+        t.row(&[label.clone(), format!("{v:+.1}")]);
+    }
+    let mut s = t.render();
+    s.push_str(&format!(
+        "\naverage: {:+.1}% (paper: RR with 1x2ms interval performs better)\n",
+        r.rr1_vs_rr2_weighted_pct
+    ));
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profiling;
+
+    #[test]
+    fn comparison_runs_and_renders() {
+        let mut params = Params::quick();
+        params.num_pairs = 4;
+        let preds = profiling::quick_predictors().clone();
+        let r = run(&params, &preds);
+        assert_eq!(r.per_pair.len(), 4);
+        assert!(r.rr1_vs_rr2_weighted_pct.is_finite());
+        assert!(render(&r).contains("average"));
+    }
+}

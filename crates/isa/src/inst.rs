@@ -1,0 +1,162 @@
+//! The trace record consumed by the timing model.
+
+use crate::ops::OpClass;
+use crate::regs::ArchReg;
+
+/// One micro-op of a trace.
+///
+/// A `MicroOp` is pre-decoded and pre-resolved: the effective address of a
+/// memory operation and the direction/predictability of a branch are carried
+/// in the record. The core model never executes wrong-path instructions;
+/// mispredictions are modeled as fetch-redirect stalls (the standard
+/// trace-driven approximation, also used by the paper's SESC setup for its
+/// scheduling statistics).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MicroOp {
+    /// Instruction address (drives the L1I model). Filled in by the trace
+    /// generator; the constructors default it to 0.
+    pub pc: u64,
+    /// Operation class (selects issue queue, functional unit, latency).
+    pub class: OpClass,
+    /// First source register, if any.
+    pub src1: Option<ArchReg>,
+    /// Second source register, if any.
+    pub src2: Option<ArchReg>,
+    /// Destination register, if any. Stores and branches have none.
+    pub dst: Option<ArchReg>,
+    /// Effective byte address for loads/stores; 0 otherwise.
+    pub addr: u64,
+    /// Access size in bytes for loads/stores; 0 otherwise.
+    pub size: u8,
+    /// For branches: whether the direction/target was predicted correctly
+    /// by the modeled predictor. Pre-resolved by the trace generator from
+    /// the workload's branch-predictability parameter.
+    pub predicted_correctly: bool,
+}
+
+impl MicroOp {
+    /// A non-memory, non-branch op with up to two sources and one dest.
+    #[inline]
+    pub fn arith(
+        class: OpClass,
+        src1: Option<ArchReg>,
+        src2: Option<ArchReg>,
+        dst: Option<ArchReg>,
+    ) -> Self {
+        debug_assert!(!class.is_mem() && !class.is_branch());
+        MicroOp {
+            pc: 0,
+            class,
+            src1,
+            src2,
+            dst,
+            addr: 0,
+            size: 0,
+            predicted_correctly: true,
+        }
+    }
+
+    /// A load from `addr` into `dst`.
+    #[inline]
+    pub fn load(addr: u64, size: u8, base: Option<ArchReg>, dst: ArchReg) -> Self {
+        MicroOp {
+            pc: 0,
+            class: OpClass::Load,
+            src1: base,
+            src2: None,
+            dst: Some(dst),
+            addr,
+            size,
+            predicted_correctly: true,
+        }
+    }
+
+    /// A store of `data` to `addr` (address base register optional).
+    #[inline]
+    pub fn store(addr: u64, size: u8, base: Option<ArchReg>, data: ArchReg) -> Self {
+        MicroOp {
+            pc: 0,
+            class: OpClass::Store,
+            src1: base,
+            src2: Some(data),
+            dst: None,
+            addr,
+            size,
+            predicted_correctly: true,
+        }
+    }
+
+    /// A branch whose predictor outcome is pre-resolved.
+    #[inline]
+    pub fn branch(cond: Option<ArchReg>, predicted_correctly: bool) -> Self {
+        MicroOp {
+            pc: 0,
+            class: OpClass::Branch,
+            src1: cond,
+            src2: None,
+            dst: None,
+            addr: 0,
+            size: 0,
+            predicted_correctly,
+        }
+    }
+
+    /// Iterator over the (up to two) source registers, skipping the
+    /// hard-wired zero register which is always ready.
+    #[inline]
+    pub fn sources(&self) -> impl Iterator<Item = ArchReg> + '_ {
+        self.src1
+            .into_iter()
+            .chain(self.src2)
+            .filter(|r| !r.is_zero())
+    }
+
+    /// Destination register unless it is the hard-wired zero register.
+    #[inline]
+    pub fn effective_dst(&self) -> Option<ArchReg> {
+        self.dst.filter(|r| !r.is_zero())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_set_classes() {
+        let l = MicroOp::load(64, 8, Some(ArchReg::Int(4)), ArchReg::Int(5));
+        assert_eq!(l.class, OpClass::Load);
+        assert_eq!(l.addr, 64);
+        let s = MicroOp::store(128, 4, Some(ArchReg::Int(4)), ArchReg::Int(6));
+        assert_eq!(s.class, OpClass::Store);
+        assert!(s.dst.is_none());
+        let b = MicroOp::branch(Some(ArchReg::Int(2)), false);
+        assert!(b.class.is_branch());
+        assert!(!b.predicted_correctly);
+    }
+
+    #[test]
+    fn zero_register_is_filtered_from_sources_and_dst() {
+        let op = MicroOp::arith(
+            OpClass::IntAlu,
+            Some(ArchReg::Int(0)),
+            Some(ArchReg::Int(7)),
+            Some(ArchReg::Int(0)),
+        );
+        let srcs: Vec<_> = op.sources().collect();
+        assert_eq!(srcs, vec![ArchReg::Int(7)]);
+        assert_eq!(op.effective_dst(), None);
+    }
+
+    #[test]
+    fn fp_zero_is_a_real_register() {
+        let op = MicroOp::arith(
+            OpClass::FpAlu,
+            Some(ArchReg::Fp(0)),
+            None,
+            Some(ArchReg::Fp(0)),
+        );
+        assert_eq!(op.sources().count(), 1);
+        assert_eq!(op.effective_dst(), Some(ArchReg::Fp(0)));
+    }
+}

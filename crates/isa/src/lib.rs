@@ -1,0 +1,24 @@
+//! # ampsched-isa
+//!
+//! Instruction-set abstractions shared by the workload generators
+//! (`ampsched-trace`) and the out-of-order core timing model
+//! (`ampsched-cpu`).
+//!
+//! The simulator is *trace driven*: workloads are streams of [`MicroOp`]
+//! records that carry everything the timing model needs — the operation
+//! class, architectural source/destination registers, the effective address
+//! of memory operations, and the resolved outcome of branches. No values are
+//! computed; only timing is modeled. This is the classic trace-driven
+//! simulation style used by SESC-era scheduling studies and is sufficient
+//! for the paper's experiments, which only observe committed-instruction
+//! composition, IPC, and stall behaviour.
+
+pub mod inst;
+pub mod mix;
+pub mod ops;
+pub mod regs;
+
+pub use inst::MicroOp;
+pub use mix::{InstMix, MixCounts};
+pub use ops::{ExecDomain, OpClass};
+pub use regs::{ArchReg, NUM_ARCH_FP_REGS, NUM_ARCH_INT_REGS};

@@ -1,0 +1,291 @@
+//! Instruction-mix descriptors and counters.
+//!
+//! [`InstMix`] specifies the *intended* composition of a workload phase
+//! (probabilities per [`OpClass`]); [`MixCounts`] accumulates the *observed*
+//! composition of committed instructions. The latter is the information the
+//! paper's hardware performance counters expose to the scheduler
+//! (%INT / %FP of committed instructions per window).
+
+use crate::ops::{OpClass, ALL_OP_CLASSES, NUM_OP_CLASSES};
+
+/// Probability distribution over op classes for a workload phase.
+///
+/// Stored as weights; [`InstMix::normalized`] rescales them to sum to 1.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct InstMix {
+    weights: [f64; NUM_OP_CLASSES],
+}
+
+impl InstMix {
+    /// Build a mix from `(class, weight)` pairs; unlisted classes get 0.
+    ///
+    /// # Panics
+    /// Panics if all weights are zero or any weight is negative/non-finite.
+    pub fn from_weights(pairs: &[(OpClass, f64)]) -> Self {
+        let mut weights = [0.0; NUM_OP_CLASSES];
+        for &(c, w) in pairs {
+            assert!(w.is_finite() && w >= 0.0, "weight for {c} must be >= 0");
+            weights[c.index()] += w;
+        }
+        let total: f64 = weights.iter().sum();
+        assert!(total > 0.0, "instruction mix must have positive total weight");
+        InstMix { weights }
+    }
+
+    /// Weight of one class (un-normalized).
+    #[inline]
+    pub fn weight(&self, class: OpClass) -> f64 {
+        self.weights[class.index()]
+    }
+
+    /// The normalized probability of one class.
+    #[inline]
+    pub fn probability(&self, class: OpClass) -> f64 {
+        let total: f64 = self.weights.iter().sum();
+        self.weights[class.index()] / total
+    }
+
+    /// Normalized probabilities for all classes in [`ALL_OP_CLASSES`] order.
+    pub fn normalized(&self) -> [f64; NUM_OP_CLASSES] {
+        let total: f64 = self.weights.iter().sum();
+        let mut out = self.weights;
+        for w in &mut out {
+            *w /= total;
+        }
+        out
+    }
+
+    /// Cumulative distribution in class order, for inverse-CDF sampling.
+    /// The final entry is exactly 1.0.
+    pub fn cdf(&self) -> [f64; NUM_OP_CLASSES] {
+        let probs = self.normalized();
+        let mut cdf = [0.0; NUM_OP_CLASSES];
+        let mut acc = 0.0;
+        for (i, p) in probs.iter().enumerate() {
+            acc += p;
+            cdf[i] = acc;
+        }
+        cdf[NUM_OP_CLASSES - 1] = 1.0;
+        cdf
+    }
+
+    /// Fraction of integer-arithmetic instructions (the paper's %INT).
+    pub fn int_fraction(&self) -> f64 {
+        ALL_OP_CLASSES
+            .iter()
+            .filter(|c| c.is_int_arith())
+            .map(|c| self.probability(*c))
+            .sum()
+    }
+
+    /// Fraction of FP-arithmetic instructions (the paper's %FP).
+    pub fn fp_fraction(&self) -> f64 {
+        ALL_OP_CLASSES
+            .iter()
+            .filter(|c| c.is_fp())
+            .map(|c| self.probability(*c))
+            .sum()
+    }
+
+    /// Linear interpolation between two mixes (`t` in `[0,1]`), used to
+    /// smooth phase transitions in the workload models.
+    pub fn lerp(&self, other: &InstMix, t: f64) -> InstMix {
+        let t = t.clamp(0.0, 1.0);
+        let a = self.normalized();
+        let b = other.normalized();
+        let mut weights = [0.0; NUM_OP_CLASSES];
+        for i in 0..NUM_OP_CLASSES {
+            weights[i] = a[i] * (1.0 - t) + b[i] * t;
+        }
+        InstMix { weights }
+    }
+}
+
+/// Committed-instruction counts per op class — the model of the paper's
+/// low-cost hardware counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MixCounts {
+    counts: [u64; NUM_OP_CLASSES],
+}
+
+impl MixCounts {
+    /// All-zero counters.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record one committed instruction.
+    #[inline]
+    pub fn record(&mut self, class: OpClass) {
+        self.counts[class.index()] += 1;
+    }
+
+    /// Count for one class.
+    #[inline]
+    pub fn count(&self, class: OpClass) -> u64 {
+        self.counts[class.index()]
+    }
+
+    /// Total committed instructions.
+    #[inline]
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// Percentage (0–100) of integer-arithmetic instructions: the paper's
+    /// %INT counter. Returns 0 for an empty window.
+    pub fn int_pct(&self) -> f64 {
+        self.domain_pct(|c| c.is_int_arith())
+    }
+
+    /// Percentage (0–100) of FP-arithmetic instructions: the paper's %FP.
+    pub fn fp_pct(&self) -> f64 {
+        self.domain_pct(|c| c.is_fp())
+    }
+
+    /// Percentage (0–100) of loads+stores.
+    pub fn mem_pct(&self) -> f64 {
+        self.domain_pct(|c| c.is_mem())
+    }
+
+    /// Percentage (0–100) of branches.
+    pub fn branch_pct(&self) -> f64 {
+        self.domain_pct(|c| c.is_branch())
+    }
+
+    fn domain_pct(&self, pred: impl Fn(OpClass) -> bool) -> f64 {
+        let total = self.total();
+        if total == 0 {
+            return 0.0;
+        }
+        let n: u64 = ALL_OP_CLASSES
+            .iter()
+            .filter(|c| pred(**c))
+            .map(|c| self.count(*c))
+            .sum();
+        100.0 * n as f64 / total as f64
+    }
+
+    /// Reset all counters to zero (start of a new monitoring window).
+    pub fn reset(&mut self) {
+        self.counts = [0; NUM_OP_CLASSES];
+    }
+
+    /// Merge another counter set into this one.
+    pub fn merge(&mut self, other: &MixCounts) {
+        for i in 0..NUM_OP_CLASSES {
+            self.counts[i] += other.counts[i];
+        }
+    }
+
+    /// Counts accumulated since an `earlier` snapshot of the same counter
+    /// set (window delta).
+    ///
+    /// # Panics
+    /// Panics (in debug builds) if `earlier` is not actually earlier.
+    pub fn since(&self, earlier: &MixCounts) -> MixCounts {
+        let mut out = MixCounts::new();
+        for i in 0..NUM_OP_CLASSES {
+            debug_assert!(self.counts[i] >= earlier.counts[i], "snapshot order");
+            out.counts[i] = self.counts[i] - earlier.counts[i];
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_mix() -> InstMix {
+        InstMix::from_weights(&[
+            (OpClass::IntAlu, 0.4),
+            (OpClass::FpAlu, 0.2),
+            (OpClass::FpMul, 0.1),
+            (OpClass::Load, 0.15),
+            (OpClass::Store, 0.05),
+            (OpClass::Branch, 0.1),
+        ])
+    }
+
+    #[test]
+    fn normalized_sums_to_one() {
+        let m = sample_mix();
+        let sum: f64 = m.normalized().iter().sum();
+        assert!((sum - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cdf_ends_at_one_and_is_monotone() {
+        let cdf = sample_mix().cdf();
+        assert_eq!(cdf[NUM_OP_CLASSES - 1], 1.0);
+        for w in cdf.windows(2) {
+            assert!(w[1] >= w[0]);
+        }
+    }
+
+    #[test]
+    fn fractions_match_definition() {
+        let m = sample_mix();
+        assert!((m.int_fraction() - 0.4).abs() < 1e-12);
+        assert!((m.fp_fraction() - 0.3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn lerp_endpoints() {
+        let a = sample_mix();
+        let b = InstMix::from_weights(&[(OpClass::IntAlu, 1.0)]);
+        let at0 = a.lerp(&b, 0.0);
+        let at1 = a.lerp(&b, 1.0);
+        for c in ALL_OP_CLASSES {
+            assert!((at0.probability(c) - a.probability(c)).abs() < 1e-12);
+            assert!((at1.probability(c) - b.probability(c)).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "positive total weight")]
+    fn empty_mix_panics() {
+        let _ = InstMix::from_weights(&[]);
+    }
+
+    #[test]
+    fn counts_percentages() {
+        let mut c = MixCounts::new();
+        for _ in 0..55 {
+            c.record(OpClass::IntAlu);
+        }
+        for _ in 0..20 {
+            c.record(OpClass::FpMul);
+        }
+        for _ in 0..25 {
+            c.record(OpClass::Load);
+        }
+        assert_eq!(c.total(), 100);
+        assert!((c.int_pct() - 55.0).abs() < 1e-12);
+        assert!((c.fp_pct() - 20.0).abs() < 1e-12);
+        assert!((c.mem_pct() - 25.0).abs() < 1e-12);
+        assert_eq!(c.branch_pct(), 0.0);
+    }
+
+    #[test]
+    fn empty_counts_are_zero_pct() {
+        let c = MixCounts::new();
+        assert_eq!(c.int_pct(), 0.0);
+        assert_eq!(c.fp_pct(), 0.0);
+    }
+
+    #[test]
+    fn merge_and_reset() {
+        let mut a = MixCounts::new();
+        a.record(OpClass::IntAlu);
+        let mut b = MixCounts::new();
+        b.record(OpClass::FpAlu);
+        b.record(OpClass::IntAlu);
+        a.merge(&b);
+        assert_eq!(a.total(), 3);
+        assert_eq!(a.count(OpClass::IntAlu), 2);
+        a.reset();
+        assert_eq!(a.total(), 0);
+    }
+}

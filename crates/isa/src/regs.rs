@@ -1,0 +1,97 @@
+//! Architectural register model.
+//!
+//! The trace generator assigns architectural registers to weave realistic
+//! data-dependency chains; the core model renames them onto the per-core
+//! physical register files (INTREG / FPREG in Table I of the paper).
+
+/// Number of architectural integer registers (MIPS-like, as in SESC).
+pub const NUM_ARCH_INT_REGS: u8 = 32;
+/// Number of architectural floating-point registers.
+pub const NUM_ARCH_FP_REGS: u8 = 32;
+
+/// An architectural register operand.
+///
+/// Register 0 of the integer file is the hard-wired zero register and is
+/// never renamed (reads of it are always ready; writes are dropped), as on
+/// MIPS. The FP file has no zero register.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ArchReg {
+    /// Integer register `$0..$31`.
+    Int(u8),
+    /// Floating-point register `$f0..$f31`.
+    Fp(u8),
+}
+
+impl ArchReg {
+    /// True for the hard-wired integer zero register.
+    #[inline]
+    pub const fn is_zero(self) -> bool {
+        matches!(self, ArchReg::Int(0))
+    }
+
+    /// True if this register lives in the FP register file.
+    #[inline]
+    pub const fn is_fp(self) -> bool {
+        matches!(self, ArchReg::Fp(_))
+    }
+
+    /// Flat index over the combined (int, fp) architectural space:
+    /// integer regs map to `0..32`, FP regs to `32..64`.
+    #[inline]
+    pub const fn flat_index(self) -> usize {
+        match self {
+            ArchReg::Int(r) => r as usize,
+            ArchReg::Fp(r) => NUM_ARCH_INT_REGS as usize + r as usize,
+        }
+    }
+
+    /// Inverse of [`flat_index`](Self::flat_index).
+    ///
+    /// # Panics
+    /// Panics if `idx >= 64`.
+    #[inline]
+    pub fn from_flat_index(idx: usize) -> Self {
+        let ni = NUM_ARCH_INT_REGS as usize;
+        if idx < ni {
+            ArchReg::Int(idx as u8)
+        } else if idx < ni + NUM_ARCH_FP_REGS as usize {
+            ArchReg::Fp((idx - ni) as u8)
+        } else {
+            panic!("architectural register flat index {idx} out of range");
+        }
+    }
+}
+
+/// Total architectural register count across both files.
+pub const NUM_ARCH_REGS: usize = NUM_ARCH_INT_REGS as usize + NUM_ARCH_FP_REGS as usize;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flat_index_roundtrips() {
+        for i in 0..NUM_ARCH_REGS {
+            assert_eq!(ArchReg::from_flat_index(i).flat_index(), i);
+        }
+    }
+
+    #[test]
+    fn zero_register_detection() {
+        assert!(ArchReg::Int(0).is_zero());
+        assert!(!ArchReg::Int(1).is_zero());
+        assert!(!ArchReg::Fp(0).is_zero());
+    }
+
+    #[test]
+    fn fp_classification() {
+        assert!(ArchReg::Fp(3).is_fp());
+        assert!(!ArchReg::Int(3).is_fp());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn flat_index_out_of_range_panics() {
+        let _ = ArchReg::from_flat_index(NUM_ARCH_REGS);
+    }
+}

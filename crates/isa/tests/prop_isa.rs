@@ -1,0 +1,83 @@
+//! Property tests for the ISA layer.
+
+use ampsched_isa::ops::{ALL_OP_CLASSES, NUM_OP_CLASSES};
+use ampsched_isa::{ArchReg, InstMix, MixCounts, OpClass};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn arch_reg_flat_index_is_a_bijection(idx in 0usize..64) {
+        let r = ArchReg::from_flat_index(idx);
+        prop_assert_eq!(r.flat_index(), idx);
+        // Int and Fp never alias.
+        match r {
+            ArchReg::Int(n) => prop_assert!(n < 32 && idx < 32),
+            ArchReg::Fp(n) => prop_assert!(n < 32 && idx >= 32),
+        }
+    }
+
+    #[test]
+    fn mix_cdf_sampling_covers_only_positive_classes(
+        weights in proptest::collection::vec(0.0f64..1.0, NUM_OP_CLASSES),
+        u in 0.0f64..1.0,
+    ) {
+        prop_assume!(weights.iter().sum::<f64>() > 1e-9);
+        let pairs: Vec<(OpClass, f64)> = ALL_OP_CLASSES
+            .iter()
+            .copied()
+            .zip(weights.iter().copied())
+            .collect();
+        let mix = InstMix::from_weights(&pairs);
+        let cdf = mix.cdf();
+        // Inverse-CDF sampling like the generator does.
+        let mut class = OpClass::Branch;
+        for (i, &c) in cdf.iter().enumerate() {
+            if u <= c {
+                class = ALL_OP_CLASSES[i];
+                break;
+            }
+        }
+        // A sampled class must have positive probability (up to fp
+        // rounding at bin edges).
+        prop_assert!(
+            mix.probability(class) > 0.0 || u > cdf[NUM_OP_CLASSES - 1] - 1e-12,
+            "sampled {class} with zero probability"
+        );
+    }
+
+    #[test]
+    fn mix_counts_merge_is_commutative_and_total_preserving(
+        a in proptest::collection::vec(0u64..100, NUM_OP_CLASSES),
+        b in proptest::collection::vec(0u64..100, NUM_OP_CLASSES),
+    ) {
+        let fill = |v: &[u64]| {
+            let mut m = MixCounts::new();
+            for (i, &n) in v.iter().enumerate() {
+                for _ in 0..n {
+                    m.record(ALL_OP_CLASSES[i]);
+                }
+            }
+            m
+        };
+        let (ma, mb) = (fill(&a), fill(&b));
+        let mut ab = ma;
+        ab.merge(&mb);
+        let mut ba = mb;
+        ba.merge(&ma);
+        prop_assert_eq!(ab, ba);
+        prop_assert_eq!(ab.total(), ma.total() + mb.total());
+        // since() inverts merge.
+        prop_assert_eq!(ab.since(&mb), ma);
+    }
+
+    #[test]
+    fn lerp_probabilities_are_convex_combinations(t in 0.0f64..1.0) {
+        let a = InstMix::from_weights(&[(OpClass::IntAlu, 1.0)]);
+        let b = InstMix::from_weights(&[(OpClass::FpAlu, 1.0)]);
+        let m = a.lerp(&b, t);
+        prop_assert!((m.probability(OpClass::IntAlu) - (1.0 - t)).abs() < 1e-12);
+        prop_assert!((m.probability(OpClass::FpAlu) - t).abs() < 1e-12);
+    }
+}

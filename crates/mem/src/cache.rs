@@ -1,0 +1,377 @@
+//! Set-associative cache with true-LRU replacement.
+
+/// Static geometry of one cache.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheConfig {
+    /// Total capacity in bytes. Must be `line_bytes * assoc * num_sets`.
+    pub size_bytes: u64,
+    /// Line (block) size in bytes; power of two.
+    pub line_bytes: u64,
+    /// Associativity (ways per set).
+    pub assoc: u32,
+}
+
+impl CacheConfig {
+    /// Convenience constructor.
+    ///
+    /// # Panics
+    /// Panics if the geometry is degenerate (see [`CacheConfig::validate`]).
+    pub fn new(size_bytes: u64, line_bytes: u64, assoc: u32) -> Self {
+        let c = CacheConfig {
+            size_bytes,
+            line_bytes,
+            assoc,
+        };
+        c.validate();
+        c
+    }
+
+    /// Number of sets implied by the geometry.
+    pub fn num_sets(&self) -> u64 {
+        self.size_bytes / (self.line_bytes * self.assoc as u64)
+    }
+
+    /// Check invariants: powers of two, at least one set, non-zero ways.
+    ///
+    /// # Panics
+    /// Panics with a descriptive message on invalid geometry.
+    pub fn validate(&self) {
+        assert!(self.line_bytes.is_power_of_two(), "line size must be a power of two");
+        assert!(self.assoc >= 1, "associativity must be >= 1");
+        assert!(
+            self.size_bytes.is_multiple_of(self.line_bytes * self.assoc as u64),
+            "capacity must be a multiple of line_bytes * assoc"
+        );
+        let sets = self.num_sets();
+        assert!(sets >= 1, "cache must have at least one set");
+        assert!(sets.is_power_of_two(), "number of sets must be a power of two");
+    }
+}
+
+/// Hit/miss statistics for one cache.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Accesses that hit.
+    pub hits: u64,
+    /// Accesses that missed.
+    pub misses: u64,
+    /// Dirty lines evicted (write-backs to the next level).
+    pub writebacks: u64,
+}
+
+impl CacheStats {
+    /// Total accesses.
+    pub fn accesses(&self) -> u64 {
+        self.hits + self.misses
+    }
+
+    /// Miss rate in `[0,1]`; 0 when no accesses were made.
+    pub fn miss_rate(&self) -> f64 {
+        let a = self.accesses();
+        if a == 0 {
+            0.0
+        } else {
+            self.misses as f64 / a as f64
+        }
+    }
+}
+
+/// Result of a single cache access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AccessOutcome {
+    /// Whether the line was present.
+    pub hit: bool,
+    /// Whether a dirty victim was evicted (miss path only).
+    pub writeback: bool,
+}
+
+#[derive(Debug, Clone, Copy, Default)]
+struct Line {
+    tag: u64,
+    valid: bool,
+    dirty: bool,
+    /// Monotonic timestamp of last touch; smallest = LRU victim.
+    last_use: u64,
+}
+
+/// A set-associative, write-back, write-allocate cache (timing/state only).
+#[derive(Debug, Clone)]
+pub struct Cache {
+    cfg: CacheConfig,
+    lines: Vec<Line>,
+    set_shift: u32,
+    set_mask: u64,
+    tick: u64,
+    stats: CacheStats,
+}
+
+impl Cache {
+    /// Build an empty (all-invalid) cache.
+    pub fn new(cfg: CacheConfig) -> Self {
+        cfg.validate();
+        let sets = cfg.num_sets();
+        Cache {
+            cfg,
+            lines: vec![Line::default(); (sets * cfg.assoc as u64) as usize],
+            set_shift: cfg.line_bytes.trailing_zeros(),
+            set_mask: sets - 1,
+            tick: 0,
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// Geometry.
+    pub fn config(&self) -> &CacheConfig {
+        &self.cfg
+    }
+
+    /// Statistics accumulated so far.
+    pub fn stats(&self) -> &CacheStats {
+        &self.stats
+    }
+
+    /// Reset statistics (state is kept).
+    pub fn reset_stats(&mut self) {
+        self.stats = CacheStats::default();
+    }
+
+    #[inline]
+    fn set_index(&self, addr: u64) -> usize {
+        ((addr >> self.set_shift) & self.set_mask) as usize
+    }
+
+    #[inline]
+    fn tag(&self, addr: u64) -> u64 {
+        addr >> self.set_shift >> self.set_mask.count_ones()
+    }
+
+    /// Access the line containing `addr`. On a miss the line is allocated
+    /// (write-allocate) and the LRU way of the set is the victim.
+    pub fn access(&mut self, addr: u64, is_write: bool) -> AccessOutcome {
+        self.tick += 1;
+        let set = self.set_index(addr);
+        let tag = self.tag(addr);
+        let ways = self.cfg.assoc as usize;
+        let base = set * ways;
+        let set_lines = &mut self.lines[base..base + ways];
+
+        // Hit path.
+        for line in set_lines.iter_mut() {
+            if line.valid && line.tag == tag {
+                line.last_use = self.tick;
+                line.dirty |= is_write;
+                self.stats.hits += 1;
+                return AccessOutcome {
+                    hit: true,
+                    writeback: false,
+                };
+            }
+        }
+
+        // Miss: pick an invalid way, else the LRU way.
+        self.stats.misses += 1;
+        let victim = set_lines
+            .iter()
+            .enumerate()
+            .find(|(_, l)| !l.valid)
+            .map(|(i, _)| i)
+            .unwrap_or_else(|| {
+                set_lines
+                    .iter()
+                    .enumerate()
+                    .min_by_key(|(_, l)| l.last_use)
+                    .map(|(i, _)| i)
+                    .expect("set has at least one way")
+            });
+        let line = &mut set_lines[victim];
+        let writeback = line.valid && line.dirty;
+        if writeback {
+            self.stats.writebacks += 1;
+        }
+        *line = Line {
+            tag,
+            valid: true,
+            dirty: is_write,
+            last_use: self.tick,
+        };
+        AccessOutcome {
+            hit: false,
+            writeback,
+        }
+    }
+
+    /// Insert the line containing `addr` without touching hit/miss
+    /// statistics — the prefetch fill path. Victim selection is the same
+    /// LRU policy; a dirty victim's write-back is counted.
+    pub fn fill(&mut self, addr: u64) {
+        if self.contains(addr) {
+            return;
+        }
+        self.tick += 1;
+        let set = self.set_index(addr);
+        let tag = self.tag(addr);
+        let ways = self.cfg.assoc as usize;
+        let base = set * ways;
+        let set_lines = &mut self.lines[base..base + ways];
+        let victim = set_lines
+            .iter()
+            .enumerate()
+            .find(|(_, l)| !l.valid)
+            .map(|(i, _)| i)
+            .unwrap_or_else(|| {
+                set_lines
+                    .iter()
+                    .enumerate()
+                    .min_by_key(|(_, l)| l.last_use)
+                    .map(|(i, _)| i)
+                    .expect("set has at least one way")
+            });
+        let line = &mut set_lines[victim];
+        if line.valid && line.dirty {
+            self.stats.writebacks += 1;
+        }
+        *line = Line {
+            tag,
+            valid: true,
+            dirty: false,
+            last_use: self.tick,
+        };
+    }
+
+    /// Probe without modifying state or statistics.
+    pub fn contains(&self, addr: u64) -> bool {
+        let set = self.set_index(addr);
+        let tag = self.tag(addr);
+        let ways = self.cfg.assoc as usize;
+        self.lines[set * ways..(set + 1) * ways]
+            .iter()
+            .any(|l| l.valid && l.tag == tag)
+    }
+
+    /// Invalidate every line (e.g. to model a destructive flush). Returns
+    /// the number of dirty lines discarded-as-written-back.
+    pub fn flush_all(&mut self) -> u64 {
+        let mut wb = 0;
+        for line in &mut self.lines {
+            if line.valid && line.dirty {
+                wb += 1;
+            }
+            *line = Line::default();
+        }
+        self.stats.writebacks += wb;
+        wb
+    }
+
+    /// Number of valid lines currently resident.
+    pub fn resident_lines(&self) -> usize {
+        self.lines.iter().filter(|l| l.valid).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> Cache {
+        // 2 sets x 2 ways x 64B lines = 256 B.
+        Cache::new(CacheConfig::new(256, 64, 2))
+    }
+
+    #[test]
+    fn geometry() {
+        let c = small();
+        assert_eq!(c.config().num_sets(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn bad_line_size_panics() {
+        CacheConfig::new(256, 48, 2);
+    }
+
+    #[test]
+    fn first_access_misses_then_hits() {
+        let mut c = small();
+        assert!(!c.access(0x1000, false).hit);
+        assert!(c.access(0x1000, false).hit);
+        assert!(c.access(0x1038, false).hit, "same 64B line");
+        assert_eq!(c.stats().hits, 2);
+        assert_eq!(c.stats().misses, 1);
+    }
+
+    #[test]
+    fn lru_evicts_least_recently_used() {
+        let mut c = small();
+        // Set 0 holds lines whose (addr >> 6) is even.
+        c.access(0x0000, false); // A
+        c.access(0x0080, false); // B (same set 0, different tag)
+        c.access(0x0000, false); // touch A -> B is LRU
+        c.access(0x0100, false); // C evicts B
+        assert!(c.contains(0x0000));
+        assert!(!c.contains(0x0080));
+        assert!(c.contains(0x0100));
+    }
+
+    #[test]
+    fn dirty_eviction_reports_writeback() {
+        let mut c = small();
+        c.access(0x0000, true); // dirty A
+        c.access(0x0080, false); // B
+        c.access(0x0100, false); // evicts A (LRU) -> writeback
+        assert_eq!(c.stats().writebacks, 1);
+    }
+
+    #[test]
+    fn clean_eviction_no_writeback() {
+        let mut c = small();
+        c.access(0x0000, false);
+        c.access(0x0080, false);
+        c.access(0x0100, false);
+        assert_eq!(c.stats().writebacks, 0);
+    }
+
+    #[test]
+    fn write_hit_marks_dirty() {
+        let mut c = small();
+        c.access(0x0000, false);
+        c.access(0x0000, true); // hit, now dirty
+        c.access(0x0080, false);
+        c.access(0x0100, false); // evict A
+        assert_eq!(c.stats().writebacks, 1);
+    }
+
+    #[test]
+    fn flush_all_counts_dirty_lines() {
+        let mut c = small();
+        c.access(0x0000, true);
+        c.access(0x0040, false);
+        assert_eq!(c.resident_lines(), 2);
+        assert_eq!(c.flush_all(), 1);
+        assert_eq!(c.resident_lines(), 0);
+        assert!(!c.contains(0x0000));
+    }
+
+    #[test]
+    fn distinct_sets_do_not_conflict() {
+        let mut c = small();
+        c.access(0x0000, false); // set 0
+        c.access(0x0040, false); // set 1
+        c.access(0x0080, false); // set 0
+        c.access(0x00c0, false); // set 1
+        // 2 ways per set: everything still resident.
+        assert_eq!(c.resident_lines(), 4);
+        assert!(c.contains(0x0000) && c.contains(0x0040));
+    }
+
+    #[test]
+    fn miss_rate_computation() {
+        let mut c = small();
+        c.access(0, false);
+        c.access(0, false);
+        c.access(0, false);
+        c.access(0, false);
+        assert!((c.stats().miss_rate() - 0.25).abs() < 1e-12);
+        c.reset_stats();
+        assert_eq!(c.stats().miss_rate(), 0.0);
+    }
+}

@@ -1,0 +1,22 @@
+//! # ampsched-mem
+//!
+//! Cache hierarchy and DRAM timing model for the AMP simulator.
+//!
+//! The paper's dual-core machine (Table I) has per-core 4 KB L1 instruction
+//! and data caches and a shared 128 KB L2. This crate provides:
+//!
+//! * [`Cache`] — a set-associative, write-back, write-allocate cache with
+//!   true-LRU replacement and per-cache statistics;
+//! * [`MemSystem`] — the two-level hierarchy with a shared L2 and a DRAM
+//!   backend, including simple bandwidth contention (busy-until port model)
+//!   so co-running threads interfere in the L2/memory path exactly as the
+//!   paper's multiprogrammed workloads do.
+//!
+//! The hierarchy is *timing only*: no data is stored, each access returns
+//! the latency (in core cycles) until the requested line is usable.
+
+pub mod cache;
+pub mod system;
+
+pub use cache::{AccessOutcome, Cache, CacheConfig, CacheStats};
+pub use system::{AccessKind, MemConfig, MemSystem};

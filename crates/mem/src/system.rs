@@ -1,0 +1,271 @@
+//! Two-level hierarchy with a shared L2 and DRAM, including port
+//! contention between the two cores.
+
+use crate::cache::{Cache, CacheConfig, CacheStats};
+
+/// Kind of memory access issued by a core.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AccessKind {
+    /// Instruction fetch (L1I).
+    Ifetch,
+    /// Data load (L1D).
+    Load,
+    /// Data store (L1D, write-allocate).
+    Store,
+}
+
+/// Timing and geometry parameters of the hierarchy.
+///
+/// Defaults follow Table I of the paper (4 KB L1s, 128 KB shared L2) with
+/// SESC-era latencies for a 2 GHz core.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MemConfig {
+    /// L1 instruction cache geometry (per core).
+    pub l1i: CacheConfig,
+    /// L1 data cache geometry (per core).
+    pub l1d: CacheConfig,
+    /// Shared L2 geometry.
+    pub l2: CacheConfig,
+    /// L1 hit latency in cycles (load-to-use).
+    pub l1_latency: u32,
+    /// Additional latency of an L2 hit.
+    pub l2_latency: u32,
+    /// Additional latency of a DRAM access.
+    pub dram_latency: u32,
+    /// Minimum cycles between successive L2 accesses (port occupancy).
+    pub l2_occupancy: u32,
+    /// Minimum cycles between successive DRAM accesses (channel occupancy).
+    pub dram_occupancy: u32,
+    /// Next-line prefetch on L1D load misses (a simple hardware stream
+    /// prefetcher; fills L1D and L2 off the critical path).
+    pub next_line_prefetch: bool,
+}
+
+impl Default for MemConfig {
+    fn default() -> Self {
+        MemConfig {
+            l1i: CacheConfig::new(4 * 1024, 64, 2),
+            l1d: CacheConfig::new(4 * 1024, 64, 2),
+            l2: CacheConfig::new(128 * 1024, 64, 8),
+            l1_latency: 2,
+            l2_latency: 12,
+            dram_latency: 200,
+            l2_occupancy: 2,
+            dram_occupancy: 16,
+            next_line_prefetch: true,
+        }
+    }
+}
+
+/// The dual-core memory system: per-core L1I/L1D, shared L2, DRAM.
+///
+/// All methods take the current cycle so the busy-until port model can
+/// serialize concurrent requests from the two cores — this is how
+/// co-runner interference in the shared L2/memory path arises.
+#[derive(Debug, Clone)]
+pub struct MemSystem {
+    cfg: MemConfig,
+    l1i: Vec<Cache>,
+    l1d: Vec<Cache>,
+    l2: Cache,
+    l2_free_at: u64,
+    dram_free_at: u64,
+    /// Number of accesses that reached DRAM.
+    pub dram_accesses: u64,
+}
+
+impl MemSystem {
+    /// Build the hierarchy for `num_cores` cores.
+    pub fn new(cfg: MemConfig, num_cores: usize) -> Self {
+        MemSystem {
+            cfg,
+            l1i: (0..num_cores).map(|_| Cache::new(cfg.l1i)).collect(),
+            l1d: (0..num_cores).map(|_| Cache::new(cfg.l1d)).collect(),
+            l2: Cache::new(cfg.l2),
+            l2_free_at: 0,
+            dram_free_at: 0,
+            dram_accesses: 0,
+        }
+    }
+
+    /// The configuration this system was built with.
+    pub fn config(&self) -> &MemConfig {
+        &self.cfg
+    }
+
+    /// Number of cores served.
+    pub fn num_cores(&self) -> usize {
+        self.l1d.len()
+    }
+
+    /// Perform an access for `core` at cycle `now`; returns the total
+    /// latency in cycles until the data is usable.
+    pub fn access(&mut self, core: usize, kind: AccessKind, addr: u64, now: u64) -> u32 {
+        let is_write = matches!(kind, AccessKind::Store);
+        let l1 = match kind {
+            AccessKind::Ifetch => &mut self.l1i[core],
+            AccessKind::Load | AccessKind::Store => &mut self.l1d[core],
+        };
+        let l1_out = l1.access(addr, is_write);
+        if l1_out.hit {
+            return self.cfg.l1_latency;
+        }
+
+        // L1 miss -> L2, serialized on the shared L2 port.
+        let l2_start = now.max(self.l2_free_at);
+        self.l2_free_at = l2_start + self.cfg.l2_occupancy as u64;
+        let queue_delay = (l2_start - now) as u32;
+        // A dirty L1 victim writes back into the L2 (state update only; the
+        // writeback is off the critical path of the miss).
+        if l1_out.writeback {
+            self.l2.access(addr, true);
+        }
+        let l2_out = self.l2.access(addr, false);
+        let mut latency = self.cfg.l1_latency + queue_delay + self.cfg.l2_latency;
+        if !l2_out.hit {
+            // L2 miss -> DRAM, serialized on the channel.
+            let t_after_l2 = now + latency as u64;
+            let dram_start = t_after_l2.max(self.dram_free_at);
+            self.dram_free_at = dram_start + self.cfg.dram_occupancy as u64;
+            latency += (dram_start - t_after_l2) as u32 + self.cfg.dram_latency;
+            self.dram_accesses += 1;
+        }
+        // Stream prefetch: a load miss pulls the next line into L1D/L2 off
+        // the critical path (no latency charged; occupancy modeled only by
+        // the demand stream). This is what lets strided FP codes (swim,
+        // equake) run ahead of the 4 KB L1D, as any 2000s-era prefetcher
+        // would.
+        if self.cfg.next_line_prefetch && matches!(kind, AccessKind::Load) {
+            let next = addr + self.cfg.l1d.line_bytes;
+            self.l2.fill(next);
+            self.l1d[core].fill(next);
+        }
+        latency
+    }
+
+    /// Statistics of one core's L1I.
+    pub fn l1i_stats(&self, core: usize) -> &CacheStats {
+        self.l1i[core].stats()
+    }
+
+    /// Statistics of one core's L1D.
+    pub fn l1d_stats(&self, core: usize) -> &CacheStats {
+        self.l1d[core].stats()
+    }
+
+    /// Statistics of the shared L2.
+    pub fn l2_stats(&self) -> &CacheStats {
+        self.l2.stats()
+    }
+
+    /// Reset all statistics (cache contents are kept).
+    pub fn reset_stats(&mut self) {
+        for c in self.l1i.iter_mut().chain(self.l1d.iter_mut()) {
+            c.reset_stats();
+        }
+        self.l2.reset_stats();
+        self.dram_accesses = 0;
+    }
+
+    /// Flush one core's L1 caches (used by swap-cost ablations that model a
+    /// destructive context transfer).
+    pub fn flush_core_l1s(&mut self, core: usize) {
+        self.l1i[core].flush_all();
+        self.l1d[core].flush_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sys() -> MemSystem {
+        MemSystem::new(MemConfig::default(), 2)
+    }
+
+    #[test]
+    fn l1_hit_is_fast() {
+        let mut m = sys();
+        let cold = m.access(0, AccessKind::Load, 0x1000, 0);
+        assert!(cold > m.config().l1_latency, "first access must miss");
+        let warm = m.access(0, AccessKind::Load, 0x1000, 10);
+        assert_eq!(warm, m.config().l1_latency);
+    }
+
+    #[test]
+    fn l2_hit_cheaper_than_dram() {
+        let mut m = sys();
+        let dram = m.access(0, AccessKind::Load, 0x2000, 0);
+        // Line now in L2 (and core 0's L1). Core 1 misses L1, hits L2.
+        let l2 = m.access(1, AccessKind::Load, 0x2000, 1000);
+        assert!(l2 < dram, "L2 hit ({l2}) must beat DRAM ({dram})");
+        assert_eq!(m.dram_accesses, 1);
+    }
+
+    #[test]
+    fn ifetch_uses_l1i_not_l1d() {
+        let mut m = sys();
+        m.access(0, AccessKind::Ifetch, 0x3000, 0);
+        assert_eq!(m.l1i_stats(0).misses, 1);
+        assert_eq!(m.l1d_stats(0).misses, 0);
+        // Data access to the same address still misses L1D.
+        let lat = m.access(0, AccessKind::Load, 0x3000, 10);
+        assert!(lat > m.config().l1_latency);
+    }
+
+    #[test]
+    fn per_core_l1s_are_private() {
+        let mut m = sys();
+        m.access(0, AccessKind::Load, 0x4000, 0);
+        let other = m.access(1, AccessKind::Load, 0x4000, 100);
+        assert!(
+            other > m.config().l1_latency,
+            "core 1 must not hit in core 0's L1"
+        );
+        assert_eq!(m.l1d_stats(1).misses, 1);
+    }
+
+    #[test]
+    fn l2_port_contention_delays_back_to_back_misses() {
+        let cfg = MemConfig {
+            l2_occupancy: 10,
+            ..MemConfig::default()
+        };
+        let mut m = MemSystem::new(cfg, 2);
+        // Two different lines in the same cycle, both L1 misses.
+        let a = m.access(0, AccessKind::Load, 0x10_000, 0);
+        let b = m.access(1, AccessKind::Load, 0x20_000, 0);
+        assert!(b >= a, "second request queues behind the L2 port");
+        assert!(b as u64 >= cfg.l2_occupancy as u64);
+    }
+
+    #[test]
+    fn store_miss_allocates_and_dirties() {
+        let mut m = sys();
+        m.access(0, AccessKind::Store, 0x5000, 0);
+        assert_eq!(m.l1d_stats(0).misses, 1);
+        let hit = m.access(0, AccessKind::Load, 0x5000, 10);
+        assert_eq!(hit, m.config().l1_latency);
+    }
+
+    #[test]
+    fn flush_core_l1s_forces_remisses() {
+        let mut m = sys();
+        m.access(0, AccessKind::Load, 0x6000, 0);
+        m.flush_core_l1s(0);
+        let lat = m.access(0, AccessKind::Load, 0x6000, 100);
+        assert!(lat > m.config().l1_latency, "flushed line must miss L1");
+        // But it should still hit in L2 (flush is L1-only).
+        assert!(lat < m.config().l1_latency + m.config().l2_latency + m.config().dram_latency);
+    }
+
+    #[test]
+    fn reset_stats_clears_counters() {
+        let mut m = sys();
+        m.access(0, AccessKind::Load, 0x7000, 0);
+        m.reset_stats();
+        assert_eq!(m.l1d_stats(0).accesses(), 0);
+        assert_eq!(m.l2_stats().accesses(), 0);
+        assert_eq!(m.dram_accesses, 0);
+    }
+}

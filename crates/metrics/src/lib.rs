@@ -1,0 +1,23 @@
+//! # ampsched-metrics
+//!
+//! Metrics and reporting shared by the experiment drivers:
+//!
+//! * [`ThreadMetrics`] — per-thread instructions/cycles/energy with the
+//!   paper's IPC/Watt metric;
+//! * [`speedup`] — weighted (arithmetic-mean) and geometric speedups of
+//!   per-thread metric ratios, exactly as used in Figures 6–9;
+//! * [`stats`] — summary statistics including the binned statistical mode
+//!   the paper uses to collapse the ratio matrix (Fig. 3);
+//! * [`report`] — fixed-width ASCII tables and CSV output.
+
+pub mod bars;
+pub mod report;
+pub mod speedup;
+pub mod stats;
+pub mod thread;
+
+pub use bars::{hbar_chart, sparkline};
+pub use report::{write_csv, Table};
+pub use stats::{binned_mode, geomean, k_largest_indices, k_smallest_indices, mean, median, percentile, stddev};
+pub use speedup::{geometric_speedup, improvement_pct, weighted_speedup};
+pub use thread::ThreadMetrics;

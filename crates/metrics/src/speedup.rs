@@ -1,0 +1,101 @@
+//! Weighted and geometric speedups over per-thread metric ratios.
+//!
+//! For a multiprogrammed pair the paper reports, per scheme comparison:
+//!
+//! * **weighted speedup** — the arithmetic mean of each thread's
+//!   IPC/Watt ratio (scheme ÷ reference);
+//! * **geometric speedup** — the geometric mean of the same ratios, which
+//!   penalizes schemes that help one thread at the other's expense
+//!   ("to account for the system fairness", Section VII).
+
+/// Arithmetic mean of per-thread ratios `new[i] / base[i]`.
+///
+/// # Panics
+/// Panics if the slices differ in length, are empty, or any baseline
+/// entry is non-positive.
+pub fn weighted_speedup(new: &[f64], base: &[f64]) -> f64 {
+    check(new, base);
+    let n = new.len() as f64;
+    new.iter().zip(base).map(|(a, b)| a / b).sum::<f64>() / n
+}
+
+/// Geometric mean of per-thread ratios `new[i] / base[i]`.
+///
+/// # Panics
+/// As [`weighted_speedup`], and additionally if any `new` entry is
+/// negative.
+pub fn geometric_speedup(new: &[f64], base: &[f64]) -> f64 {
+    check(new, base);
+    let n = new.len() as f64;
+    let log_sum: f64 = new
+        .iter()
+        .zip(base)
+        .map(|(a, b)| {
+            assert!(*a >= 0.0, "metric values must be non-negative");
+            (a / b).max(f64::MIN_POSITIVE).ln()
+        })
+        .sum();
+    (log_sum / n).exp()
+}
+
+/// Convert a speedup ratio into the percentage improvement the paper's
+/// figures plot (`1.105` → `10.5`).
+pub fn improvement_pct(speedup: f64) -> f64 {
+    (speedup - 1.0) * 100.0
+}
+
+fn check(new: &[f64], base: &[f64]) {
+    assert_eq!(new.len(), base.len(), "metric slices must align");
+    assert!(!new.is_empty(), "need at least one thread");
+    assert!(
+        base.iter().all(|b| *b > 0.0),
+        "baseline metrics must be positive"
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn equal_metrics_give_unity() {
+        let m = [0.4, 0.7];
+        assert!((weighted_speedup(&m, &m) - 1.0).abs() < 1e-12);
+        assert!((geometric_speedup(&m, &m) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn weighted_is_arithmetic_mean() {
+        // Ratios 2.0 and 0.5 -> weighted 1.25, geometric 1.0.
+        let new = [2.0, 0.5];
+        let base = [1.0, 1.0];
+        assert!((weighted_speedup(&new, &base) - 1.25).abs() < 1e-12);
+        assert!((geometric_speedup(&new, &base) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn geometric_penalizes_imbalance() {
+        // Help thread 0 hugely, hurt thread 1: geometric < weighted.
+        let new = [3.0, 0.4];
+        let base = [1.0, 1.0];
+        assert!(geometric_speedup(&new, &base) < weighted_speedup(&new, &base));
+    }
+
+    #[test]
+    fn improvement_percent() {
+        assert!((improvement_pct(1.105) - 10.5).abs() < 1e-9);
+        assert!((improvement_pct(0.9) + 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "align")]
+    fn mismatched_lengths_panic() {
+        weighted_speedup(&[1.0], &[1.0, 2.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_baseline_panics() {
+        weighted_speedup(&[1.0], &[0.0]);
+    }
+}

@@ -1,0 +1,106 @@
+//! Windowed energy accounting for one core.
+
+use ampsched_cpu::ActivityCounters;
+
+use crate::model::EnergyModel;
+
+/// Accumulates a core's energy over windows and over the whole run.
+///
+/// The system driver feeds it the activity delta at the end of each
+/// monitoring window; the scheduler and the metrics layer read back
+/// per-window and cumulative joules.
+#[derive(Debug, Clone)]
+pub struct EnergyAccount {
+    model: EnergyModel,
+    total_joules: f64,
+    last_window_joules: f64,
+    windows: u64,
+}
+
+impl EnergyAccount {
+    /// New empty account for a core described by `model`.
+    pub fn new(model: EnergyModel) -> Self {
+        EnergyAccount {
+            model,
+            total_joules: 0.0,
+            last_window_joules: 0.0,
+            windows: 0,
+        }
+    }
+
+    /// The underlying model.
+    pub fn model(&self) -> &EnergyModel {
+        &self.model
+    }
+
+    /// Account one window of activity; returns the window's joules.
+    pub fn account(&mut self, activity: &ActivityCounters) -> f64 {
+        let j = self.model.energy(activity);
+        self.total_joules += j;
+        self.last_window_joules = j;
+        self.windows += 1;
+        j
+    }
+
+    /// Cumulative joules since construction (or [`EnergyAccount::reset`]).
+    pub fn total_joules(&self) -> f64 {
+        self.total_joules
+    }
+
+    /// Joules of the most recent window.
+    pub fn last_window_joules(&self) -> f64 {
+        self.last_window_joules
+    }
+
+    /// Number of windows accounted.
+    pub fn windows(&self) -> u64 {
+        self.windows
+    }
+
+    /// Zero the accumulators (model is kept).
+    pub fn reset(&mut self) {
+        self.total_joules = 0.0;
+        self.last_window_joules = 0.0;
+        self.windows = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ampsched_cpu::CoreConfig;
+    use ampsched_mem::MemConfig;
+
+    fn account() -> EnergyAccount {
+        EnergyAccount::new(EnergyModel::new(
+            &CoreConfig::int_core(),
+            &MemConfig::default(),
+        ))
+    }
+
+    #[test]
+    fn accumulates_windows() {
+        let mut acc = account();
+        let mut a = ActivityCounters::new();
+        a.cycles = 1000;
+        a.commits = 800;
+        let w1 = acc.account(&a);
+        let w2 = acc.account(&a);
+        assert!(w1 > 0.0);
+        assert!((w1 - w2).abs() < 1e-18);
+        assert!((acc.total_joules() - (w1 + w2)).abs() < 1e-18);
+        assert_eq!(acc.windows(), 2);
+        assert!((acc.last_window_joules() - w2).abs() < 1e-18);
+    }
+
+    #[test]
+    fn reset_clears() {
+        let mut acc = account();
+        let mut a = ActivityCounters::new();
+        a.cycles = 10;
+        acc.account(&a);
+        acc.reset();
+        assert_eq!(acc.total_joules(), 0.0);
+        assert_eq!(acc.windows(), 0);
+    }
+}

@@ -1,0 +1,29 @@
+//! # ampsched-power
+//!
+//! Activity-based power model in the spirit of Wattch \[19\] + CACTI \[20\],
+//! modified (as in the paper) to account for static power dissipation.
+//!
+//! The methodology is the same as Wattch's:
+//!
+//! * each microarchitectural structure has a per-access **dynamic energy**
+//!   that scales with its size (CACTI-style square-root scaling for array
+//!   structures, linear CAM scaling for wakeup logic);
+//! * each structure **leaks** in proportion to its area proxy, every cycle,
+//!   whether used or not;
+//! * a **clock tree** burns a fixed energy per cycle.
+//!
+//! [`EnergyModel`] derives all coefficients from a core's
+//! [`ampsched_cpu::CoreConfig`] and the [`ampsched_mem::MemConfig`] cache
+//! geometry, then converts the core's [`ampsched_cpu::ActivityCounters`]
+//! into joules. Absolute values are uncalibrated (we have no circuit
+//! netlists), but *ratios* — between core types and between workloads —
+//! are what every experiment in the paper consumes, and those are
+//! preserved by construction: bigger/faster (pipelined) structures cost
+//! more energy per op and leak more.
+
+pub mod account;
+pub mod model;
+pub mod scaling;
+
+pub use account::EnergyAccount;
+pub use model::EnergyModel;

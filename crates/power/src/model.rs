@@ -1,0 +1,350 @@
+//! Per-core energy model derived from the core and cache configurations.
+
+use ampsched_cpu::{ActivityCounters, CoreConfig};
+use ampsched_isa::ops::NUM_OP_CLASSES;
+use ampsched_isa::OpClass;
+use ampsched_mem::MemConfig;
+
+use crate::scaling::{
+    array_access_scale, leakage_scale, PIPELINED_ENERGY_FACTOR, PIPELINED_LEAKAGE_FACTOR,
+};
+
+const PJ: f64 = 1e-12;
+
+/// Reference sizes against which structure energies scale.
+const REF_L1: u64 = 4 * 1024;
+const REF_ROB: u64 = 96;
+const REF_ISQ: u64 = 32;
+const REF_REGS: u64 = 96;
+const REF_LSQ: u64 = 16;
+
+/// Base per-op FU energies in pJ for a *non-pipelined* unit, indexed by
+/// [`OpClass::index`] (mem/branch entries cover AGU/branch-unit work).
+const FU_ENERGY_PJ: [f64; NUM_OP_CLASSES] = [
+    40.0,  // IntAlu
+    120.0, // IntMul
+    250.0, // IntDiv
+    150.0, // FpAlu
+    220.0, // FpMul
+    400.0, // FpDiv
+    30.0,  // Load (AGU)
+    30.0,  // Store (AGU)
+    15.0,  // Branch unit
+];
+
+/// Base per-unit FU leakage in pJ/cycle for a non-pipelined unit.
+const FU_LEAK_PJ: [f64; 6] = [15.0, 25.0, 30.0, 30.0, 35.0, 40.0];
+
+/// Converts one core's activity counters to joules.
+#[derive(Debug, Clone)]
+pub struct EnergyModel {
+    e_icache: f64,
+    e_dcache: f64,
+    e_dispatch: f64,
+    e_isq_int_insert: f64,
+    e_isq_fp_insert: f64,
+    e_isq_wakeup: f64,
+    e_int_reg_read: f64,
+    e_int_reg_write: f64,
+    e_fp_reg_read: f64,
+    e_fp_reg_write: f64,
+    e_fu: [f64; NUM_OP_CLASSES],
+    e_lsq_insert: f64,
+    e_bpred: f64,
+    e_commit: f64,
+    static_per_cycle: f64,
+    frequency_hz: f64,
+}
+
+impl EnergyModel {
+    /// Derive all coefficients from the core and cache configurations.
+    pub fn new(core: &CoreConfig, mem: &MemConfig) -> Self {
+        let l1i_scale = array_access_scale(mem.l1i.size_bytes, REF_L1);
+        let l1d_scale = array_access_scale(mem.l1d.size_bytes, REF_L1);
+        let rob_scale = array_access_scale(core.rob_size as u64, REF_ROB);
+        let int_isq_scale = array_access_scale(core.int_isq as u64, REF_ISQ);
+        let fp_isq_scale = array_access_scale(core.fp_isq as u64, REF_ISQ);
+        let int_reg_scale = array_access_scale(core.int_regs as u64, REF_REGS);
+        let fp_reg_scale = array_access_scale(core.fp_regs as u64, REF_REGS);
+        let lsq_scale =
+            array_access_scale((core.lsq_loads + core.lsq_stores) as u64, 2 * REF_LSQ);
+
+        let mut e_fu = [0.0; NUM_OP_CLASSES];
+        for (i, e) in e_fu.iter_mut().enumerate() {
+            let base = FU_ENERGY_PJ[i] * PJ;
+            *e = if i < 6 && core.fu[i].pipelined {
+                base * PIPELINED_ENERGY_FACTOR
+            } else {
+                base
+            };
+        }
+
+        // Static power: clock tree + per-structure leakage (linear in
+        // capacity) + functional-unit leakage (pipelined units leak more).
+        let mut leak_pj = 100.0 // clock tree
+            + 50.0 // misc frontend logic
+            // 10 pJ/cycle per KB of private L1.
+            + 10.0 * leakage_scale(mem.l1i.size_bytes + mem.l1d.size_bytes, 1024)
+            + 0.3 * core.rob_size as f64
+            + 0.5 * (core.lsq_loads + core.lsq_stores) as f64
+            + 0.3 * (core.int_regs + core.fp_regs) as f64
+            + 0.6 * (core.int_isq + core.fp_isq) as f64
+            // Half of the shared L2's leakage attributed to each core.
+            + 1.0 * (mem.l2.size_bytes as f64 / 1024.0) / 2.0;
+        for (i, &l) in FU_LEAK_PJ.iter().enumerate() {
+            let spec = core.fu[i];
+            let f = if spec.pipelined {
+                PIPELINED_LEAKAGE_FACTOR
+            } else {
+                1.0
+            };
+            leak_pj += l * f * spec.units as f64;
+        }
+
+        EnergyModel {
+            e_icache: 60.0 * PJ * l1i_scale,
+            e_dcache: 60.0 * PJ * l1d_scale,
+            e_dispatch: (10.0 + 25.0 * rob_scale) * PJ,
+            e_isq_int_insert: 12.0 * PJ * int_isq_scale,
+            e_isq_fp_insert: 12.0 * PJ * fp_isq_scale,
+            e_isq_wakeup: 1.0 * PJ,
+            e_int_reg_read: 8.0 * PJ * int_reg_scale,
+            e_int_reg_write: 10.0 * PJ * int_reg_scale,
+            e_fp_reg_read: 8.0 * PJ * fp_reg_scale,
+            e_fp_reg_write: 10.0 * PJ * fp_reg_scale,
+            e_fu,
+            e_lsq_insert: 10.0 * PJ * lsq_scale,
+            e_bpred: 12.0 * PJ,
+            e_commit: 15.0 * PJ * rob_scale,
+            static_per_cycle: leak_pj * PJ,
+            frequency_hz: core.frequency_ghz * 1e9,
+        }
+    }
+
+    /// Dynamic (activity-proportional) energy in joules.
+    pub fn dynamic_energy(&self, a: &ActivityCounters) -> f64 {
+        let mut e = 0.0;
+        e += a.icache_accesses as f64 * self.e_icache;
+        e += a.dcache_accesses as f64 * self.e_dcache;
+        e += a.dispatches as f64 * self.e_dispatch;
+        e += a.isq_int_inserts as f64 * self.e_isq_int_insert;
+        e += a.isq_fp_inserts as f64 * self.e_isq_fp_insert;
+        e += (a.isq_int_wakeups + a.isq_fp_wakeups) as f64 * self.e_isq_wakeup;
+        e += a.int_reg_reads as f64 * self.e_int_reg_read;
+        e += a.int_reg_writes as f64 * self.e_int_reg_write;
+        e += a.fp_reg_reads as f64 * self.e_fp_reg_read;
+        e += a.fp_reg_writes as f64 * self.e_fp_reg_write;
+        for (i, &n) in a.fu_ops.iter().enumerate() {
+            e += n as f64 * self.e_fu[i];
+        }
+        e += a.lsq_inserts as f64 * self.e_lsq_insert;
+        e += a.bpred_lookups as f64 * self.e_bpred;
+        e += a.commits as f64 * self.e_commit;
+        e
+    }
+
+    /// Static (leakage + clock) energy for the counted cycles, in joules.
+    pub fn static_energy(&self, a: &ActivityCounters) -> f64 {
+        a.cycles as f64 * self.static_per_cycle
+    }
+
+    /// Total energy in joules for one activity window.
+    pub fn energy(&self, a: &ActivityCounters) -> f64 {
+        self.dynamic_energy(a) + self.static_energy(a)
+    }
+
+    /// Static power in watts.
+    pub fn static_watts(&self) -> f64 {
+        self.static_per_cycle * self.frequency_hz
+    }
+
+    /// Average power in watts over one activity window.
+    /// Returns the static power for an empty (zero-cycle) window.
+    pub fn avg_watts(&self, a: &ActivityCounters) -> f64 {
+        if a.cycles == 0 {
+            return self.static_watts();
+        }
+        let seconds = a.cycles as f64 / self.frequency_hz;
+        self.energy(a) / seconds
+    }
+
+    /// Per-op energy of one FU class on this core (tests/diagnostics).
+    pub fn fu_energy(&self, class: OpClass) -> f64 {
+        self.e_fu[class.index()]
+    }
+
+    /// Per-component energy breakdown for one activity window, in joules,
+    /// as `(component, joules)` pairs. The sum of all entries equals
+    /// [`EnergyModel::energy`]. This is the Wattch-style report the paper's
+    /// power methodology produces per structure.
+    pub fn breakdown(&self, a: &ActivityCounters) -> Vec<(&'static str, f64)> {
+        let fu_arith: f64 = a.fu_ops[..6]
+            .iter()
+            .zip(&self.e_fu[..6])
+            .map(|(n, e)| *n as f64 * e)
+            .sum();
+        let fu_mem_br: f64 = a.fu_ops[6..]
+            .iter()
+            .zip(&self.e_fu[6..])
+            .map(|(n, e)| *n as f64 * e)
+            .sum();
+        vec![
+            ("L1I", a.icache_accesses as f64 * self.e_icache),
+            ("L1D", a.dcache_accesses as f64 * self.e_dcache),
+            ("rename+ROB", a.dispatches as f64 * self.e_dispatch),
+            (
+                "issue queues",
+                a.isq_int_inserts as f64 * self.e_isq_int_insert
+                    + a.isq_fp_inserts as f64 * self.e_isq_fp_insert
+                    + (a.isq_int_wakeups + a.isq_fp_wakeups) as f64 * self.e_isq_wakeup,
+            ),
+            (
+                "register files",
+                a.int_reg_reads as f64 * self.e_int_reg_read
+                    + a.int_reg_writes as f64 * self.e_int_reg_write
+                    + a.fp_reg_reads as f64 * self.e_fp_reg_read
+                    + a.fp_reg_writes as f64 * self.e_fp_reg_write,
+            ),
+            ("functional units", fu_arith),
+            ("AGU/branch units", fu_mem_br),
+            ("LSQ", a.lsq_inserts as f64 * self.e_lsq_insert),
+            ("branch predictor", a.bpred_lookups as f64 * self.e_bpred),
+            ("commit", a.commits as f64 * self.e_commit),
+            ("static (leak+clock)", self.static_energy(a)),
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn models() -> (EnergyModel, EnergyModel) {
+        let mem = MemConfig::default();
+        (
+            EnergyModel::new(&CoreConfig::int_core(), &mem),
+            EnergyModel::new(&CoreConfig::fp_core(), &mem),
+        )
+    }
+
+    fn busy_activity() -> ActivityCounters {
+        let mut a = ActivityCounters::new();
+        a.cycles = 1_000_000;
+        a.dispatches = 900_000;
+        a.commits = 900_000;
+        a.icache_accesses = 100_000;
+        a.dcache_accesses = 250_000;
+        a.isq_int_inserts = 500_000;
+        a.isq_fp_inserts = 200_000;
+        a.isq_int_wakeups = 8_000_000;
+        a.isq_fp_wakeups = 3_000_000;
+        a.int_reg_reads = 800_000;
+        a.int_reg_writes = 500_000;
+        a.fp_reg_reads = 300_000;
+        a.fp_reg_writes = 200_000;
+        a.fu_ops[OpClass::IntAlu.index()] = 400_000;
+        a.fu_ops[OpClass::FpAlu.index()] = 150_000;
+        a.fu_ops[OpClass::Load.index()] = 180_000;
+        a.fu_ops[OpClass::Store.index()] = 70_000;
+        a.fu_ops[OpClass::Branch.index()] = 100_000;
+        a.lsq_inserts = 250_000;
+        a.bpred_lookups = 100_000;
+        a
+    }
+
+    #[test]
+    fn zero_activity_is_static_only() {
+        let (m, _) = models();
+        let mut a = ActivityCounters::new();
+        a.cycles = 1000;
+        assert_eq!(m.dynamic_energy(&a), 0.0);
+        assert!(m.static_energy(&a) > 0.0);
+        assert!((m.avg_watts(&a) - m.static_watts()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn energy_monotonic_in_activity() {
+        let (m, _) = models();
+        let a = busy_activity();
+        let mut more = a;
+        more.fu_ops[OpClass::FpDiv.index()] += 100_000;
+        assert!(m.energy(&more) > m.energy(&a));
+    }
+
+    #[test]
+    fn pipelined_units_cost_more_per_op() {
+        let (int_m, fp_m) = models();
+        // IntAlu is pipelined (strong) on the INT core only.
+        assert!(int_m.fu_energy(OpClass::IntAlu) > fp_m.fu_energy(OpClass::IntAlu));
+        // FpAlu is pipelined (strong) on the FP core only.
+        assert!(fp_m.fu_energy(OpClass::FpAlu) > int_m.fu_energy(OpClass::FpAlu));
+    }
+
+    #[test]
+    fn static_power_is_plausible_and_core_dependent() {
+        let (int_m, fp_m) = models();
+        for m in [&int_m, &fp_m] {
+            let w = m.static_watts();
+            assert!((0.3..5.0).contains(&w), "static power {w} W out of range");
+        }
+        // The FP core's big pipelined FP units leak more than the INT
+        // core's pipelined integer units.
+        assert!(fp_m.static_watts() > int_m.static_watts());
+        // ...but they are the same order of magnitude.
+        assert!(fp_m.static_watts() < 1.5 * int_m.static_watts());
+    }
+
+    #[test]
+    fn busy_core_total_power_is_plausible() {
+        let (m, _) = models();
+        let w = m.avg_watts(&busy_activity());
+        assert!((0.5..8.0).contains(&w), "busy power {w} W out of range");
+        assert!(w > m.static_watts());
+    }
+
+    #[test]
+    fn bigger_caches_cost_more_per_access() {
+        let core = CoreConfig::int_core();
+        let small = MemConfig::default();
+        let big = MemConfig {
+            l1d: ampsched_mem::CacheConfig::new(16 * 1024, 64, 2),
+            ..MemConfig::default()
+        };
+        let m_small = EnergyModel::new(&core, &small);
+        let m_big = EnergyModel::new(&core, &big);
+        let mut a = ActivityCounters::new();
+        a.dcache_accesses = 1000;
+        assert!(m_big.dynamic_energy(&a) > m_small.dynamic_energy(&a));
+    }
+
+    #[test]
+    fn breakdown_sums_to_total_energy() {
+        let (m, _) = models();
+        let a = busy_activity();
+        let parts: f64 = m.breakdown(&a).iter().map(|(_, j)| j).sum();
+        let total = m.energy(&a);
+        assert!(
+            (parts - total).abs() < 1e-12 * total.max(1.0),
+            "breakdown {parts} != total {total}"
+        );
+        // Every component label unique and every value non-negative.
+        let b = m.breakdown(&a);
+        let mut names: Vec<_> = b.iter().map(|(n, _)| *n).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), b.len());
+        assert!(b.iter().all(|(_, j)| *j >= 0.0));
+    }
+
+    #[test]
+    fn register_file_size_scales_energy() {
+        let (int_m, fp_m) = models();
+        let mut a = ActivityCounters::new();
+        a.int_reg_reads = 1000;
+        // INT core has 96 int regs vs the FP core's 48: costlier reads.
+        assert!(int_m.dynamic_energy(&a) > fp_m.dynamic_energy(&a));
+        let mut b = ActivityCounters::new();
+        b.fp_reg_reads = 1000;
+        assert!(fp_m.dynamic_energy(&b) > int_m.dynamic_energy(&b));
+    }
+}

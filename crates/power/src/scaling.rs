@@ -1,0 +1,61 @@
+//! CACTI-style size scaling helpers.
+//!
+//! CACTI models the access energy of an SRAM array as growing roughly with
+//! the square root of its capacity (wordline/bitline lengths grow with the
+//! array's linear dimension), and leakage as growing linearly with
+//! capacity. We use those two functional forms for every array structure.
+
+/// Per-access energy scale factor for an array of `size` relative to an
+/// array of `ref_size` (square-root scaling).
+///
+/// # Panics
+/// Panics if either size is zero.
+pub fn array_access_scale(size: u64, ref_size: u64) -> f64 {
+    assert!(size > 0 && ref_size > 0, "array sizes must be positive");
+    (size as f64 / ref_size as f64).sqrt()
+}
+
+/// Leakage scale factor (linear in capacity).
+///
+/// # Panics
+/// Panics if either size is zero.
+pub fn leakage_scale(size: u64, ref_size: u64) -> f64 {
+    assert!(size > 0 && ref_size > 0, "array sizes must be positive");
+    size as f64 / ref_size as f64
+}
+
+/// Energy multiplier for an aggressively pipelined functional unit vs. its
+/// non-pipelined counterpart: pipeline registers and wider transistors
+/// cost both dynamic energy and leakage (Wattch's "aggressive" style).
+pub const PIPELINED_ENERGY_FACTOR: f64 = 1.35;
+
+/// Leakage multiplier for a pipelined unit.
+pub const PIPELINED_LEAKAGE_FACTOR: f64 = 1.6;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn access_scale_is_sqrt() {
+        assert!((array_access_scale(4096, 1024) - 2.0).abs() < 1e-12);
+        assert!((array_access_scale(1024, 1024) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn leakage_scale_is_linear() {
+        assert!((leakage_scale(4096, 1024) - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bigger_is_costlier() {
+        assert!(array_access_scale(8192, 4096) > 1.0);
+        assert!(leakage_scale(8192, 4096) > array_access_scale(8192, 4096));
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_size_panics() {
+        array_access_scale(0, 1);
+    }
+}

@@ -1,0 +1,466 @@
+//! The dual-core AMP and its scheduling loop.
+
+use ampsched_core::{Assignment, Decision, Scheduler, ThreadWindow, WindowSnapshot};
+use ampsched_cpu::{Core, CoreConfig};
+use ampsched_isa::MixCounts;
+use ampsched_mem::{MemConfig, MemSystem};
+use ampsched_metrics::ThreadMetrics;
+use ampsched_power::{EnergyAccount, EnergyModel};
+use ampsched_trace::Workload;
+
+/// System-level parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SystemConfig {
+    /// Cache hierarchy geometry and latencies.
+    pub mem: MemConfig,
+    /// OS context-switch epoch in cycles (2 ms = 4,000,000 @ 2 GHz).
+    pub epoch_cycles: u64,
+    /// Thread-swap overhead in cycles: pipeline drain + architectural
+    /// state exchange (Section VI-C; paper default 1000, swept 100–1M).
+    pub swap_overhead_cycles: u64,
+    /// Ablation: additionally flush both cores' L1s on a swap, modeling a
+    /// destructive state transfer instead of transfer-through-shared-L2.
+    pub flush_l1_on_swap: bool,
+}
+
+impl Default for SystemConfig {
+    fn default() -> Self {
+        SystemConfig {
+            mem: MemConfig::default(),
+            epoch_cycles: 4_000_000,
+            swap_overhead_cycles: 1000,
+            flush_l1_on_swap: false,
+        }
+    }
+}
+
+/// Baseline of one accounting period (window or epoch).
+#[derive(Debug, Clone, Copy)]
+struct PeriodBase {
+    cycle: u64,
+    /// Per-thread committed instructions at period start.
+    insts: [u64; 2],
+    /// Per-thread attributed joules at period start.
+    joules: [f64; 2],
+    /// Per-core cumulative committed mixes at period start.
+    mix: [MixCounts; 2],
+}
+
+/// Outcome of one multiprogrammed run.
+#[derive(Debug, Clone)]
+pub struct RunResult {
+    /// Scheduler name the run used.
+    pub scheduler: String,
+    /// Total cycles simulated.
+    pub cycles: u64,
+    /// Per-thread metrics (instructions, shared cycle count, attributed
+    /// energy) — feed directly into IPC/Watt and the speedup formulas.
+    pub threads: [ThreadMetrics; 2],
+    /// Thread swaps actually performed.
+    pub swaps: u64,
+    /// Fine-grained decision points evaluated (window callbacks).
+    pub window_decisions: u64,
+    /// Epoch decision points evaluated.
+    pub epoch_decisions: u64,
+}
+
+impl RunResult {
+    /// Per-thread IPC/Watt values, the paper's figure of merit.
+    pub fn ipc_per_watt(&self) -> [f64; 2] {
+        [self.threads[0].ipc_per_watt(), self.threads[1].ipc_per_watt()]
+    }
+
+    /// Fraction of window decision points that issued a swap.
+    pub fn swap_rate(&self) -> f64 {
+        let points = self.window_decisions + self.epoch_decisions;
+        if points == 0 {
+            0.0
+        } else {
+            self.swaps as f64 / points as f64
+        }
+    }
+}
+
+/// The dual-core asymmetric system (core 0 = FP, core 1 = INT).
+pub struct DualCoreSystem {
+    cfg: SystemConfig,
+    cores: [Core; 2],
+    mem: MemSystem,
+    energy: [EnergyAccount; 2],
+    /// Workloads indexed by *thread id*.
+    workloads: [Box<dyn Workload>; 2],
+    assignment: Assignment,
+    cycle: u64,
+    thread_insts: [u64; 2],
+    thread_joules: [f64; 2],
+    swaps: u64,
+    frequency_hz: f64,
+}
+
+impl DualCoreSystem {
+    /// Build the paper's system: FP core + INT core over a shared L2,
+    /// running `workloads[0]` as thread 0 and `workloads[1]` as thread 1
+    /// in the baseline assignment (thread 0 → FP core).
+    pub fn new(cfg: SystemConfig, workloads: [Box<dyn Workload>; 2]) -> Self {
+        let fp_cfg = CoreConfig::fp_core();
+        let int_cfg = CoreConfig::int_core();
+        let frequency_hz = fp_cfg.frequency_ghz * 1e9;
+        let energy = [
+            EnergyAccount::new(EnergyModel::new(&fp_cfg, &cfg.mem)),
+            EnergyAccount::new(EnergyModel::new(&int_cfg, &cfg.mem)),
+        ];
+        DualCoreSystem {
+            cores: [Core::new(fp_cfg, 0), Core::new(int_cfg, 1)],
+            mem: MemSystem::new(cfg.mem, 2),
+            energy,
+            workloads,
+            assignment: Assignment::default(),
+            cycle: 0,
+            thread_insts: [0; 2],
+            thread_joules: [0.0; 2],
+            swaps: 0,
+            frequency_hz,
+            cfg,
+        }
+    }
+
+    /// Current thread→core assignment.
+    pub fn assignment(&self) -> Assignment {
+        self.assignment
+    }
+
+    /// Current cycle.
+    pub fn cycle(&self) -> u64 {
+        self.cycle
+    }
+
+    /// Per-thread committed instructions so far.
+    pub fn thread_instructions(&self) -> [u64; 2] {
+        self.thread_insts
+    }
+
+    /// Swaps performed so far.
+    pub fn swaps(&self) -> u64 {
+        self.swaps
+    }
+
+    /// Convert outstanding core activity into attributed joules. Must be
+    /// called before reading `thread_joules` or swapping threads.
+    fn settle_energy(&mut self) {
+        for c in 0..2 {
+            let act = self.cores[c].activity.take();
+            let j = self.energy[c].account(&act);
+            let t = self.assignment.thread_on(core_kind(c));
+            self.thread_joules[t] += j;
+        }
+    }
+
+    fn period_base(&self) -> PeriodBase {
+        PeriodBase {
+            cycle: self.cycle,
+            insts: self.thread_insts,
+            joules: self.thread_joules,
+            mix: [self.cores[0].stats.committed, self.cores[1].stats.committed],
+        }
+    }
+
+    /// Build the hardware-counter snapshot for the period since `base`.
+    /// Energy must be settled first.
+    fn snapshot(&self, base: &PeriodBase) -> WindowSnapshot {
+        let mut threads = [ThreadWindow::default(); 2];
+        for (t, window) in threads.iter_mut().enumerate() {
+            let c = self.assignment.core_of(t).index();
+            let mix = self.cores[c].stats.committed.since(&base.mix[c]);
+            *window = ThreadWindow {
+                int_pct: mix.int_pct(),
+                fp_pct: mix.fp_pct(),
+                mem_pct: mix.mem_pct(),
+                branch_pct: mix.branch_pct(),
+                instructions: self.thread_insts[t] - base.insts[t],
+                cycles: self.cycle - base.cycle,
+                joules: self.thread_joules[t] - base.joules[t],
+            };
+        }
+        WindowSnapshot {
+            cycle: self.cycle,
+            assignment: self.assignment,
+            threads,
+        }
+    }
+
+    /// Execute a thread swap with its full cost.
+    fn do_swap(&mut self) {
+        // Energy up to the swap belongs to the old assignment.
+        self.settle_energy();
+        for c in 0..2 {
+            self.cores[c].flush_pipeline();
+            self.cores[c].stall_until(self.cycle + self.cfg.swap_overhead_cycles);
+        }
+        if self.cfg.flush_l1_on_swap {
+            self.mem.flush_core_l1s(0);
+            self.mem.flush_core_l1s(1);
+        }
+        self.assignment = self.assignment.toggled();
+        self.swaps += 1;
+    }
+
+    /// Run under `scheduler` until one thread commits `target_insts`
+    /// instructions (the paper's stop condition) or `max_cycles` elapses.
+    pub fn run(
+        &mut self,
+        scheduler: &mut dyn Scheduler,
+        target_insts: u64,
+        max_cycles: u64,
+    ) -> RunResult {
+        let window = scheduler.window_insts();
+        let mut window_base = self.period_base();
+        let mut epoch_base = self.period_base();
+        let mut next_epoch = self.cycle + self.cfg.epoch_cycles;
+        let mut window_decisions = 0u64;
+        let mut epoch_decisions = 0u64;
+        let start_cycle = self.cycle;
+        let start_insts = self.thread_insts;
+        let start_joules_settled = {
+            self.settle_energy();
+            self.thread_joules
+        };
+
+        while self.thread_insts[0] < start_insts[0] + target_insts
+            && self.thread_insts[1] < start_insts[1] + target_insts
+            && self.cycle - start_cycle < max_cycles
+        {
+            // One cycle on both cores.
+            for c in 0..2 {
+                let t = self.assignment.thread_on(core_kind(c));
+                let n = self.cores[c].tick(self.cycle, &mut *self.workloads[t], &mut self.mem);
+                self.thread_insts[t] += n as u64;
+            }
+            self.cycle += 1;
+
+            // Fine-grained window boundary (committed instructions summed
+            // over both threads).
+            if let Some(w) = window {
+                let committed_since = (self.thread_insts[0] - window_base.insts[0])
+                    + (self.thread_insts[1] - window_base.insts[1]);
+                if committed_since >= w {
+                    self.settle_energy();
+                    let snap = self.snapshot(&window_base);
+                    window_decisions += 1;
+                    let decision = scheduler.on_window(&snap);
+                    if decision == Decision::Swap {
+                        self.do_swap();
+                        epoch_base = self.period_base();
+                    }
+                    window_base = self.period_base();
+                }
+            }
+
+            // OS epoch boundary.
+            if self.cycle >= next_epoch {
+                self.settle_energy();
+                let snap = self.snapshot(&epoch_base);
+                epoch_decisions += 1;
+                let decision = scheduler.on_epoch(&snap);
+                if decision == Decision::Swap {
+                    self.do_swap();
+                    window_base = self.period_base();
+                }
+                epoch_base = self.period_base();
+                next_epoch += self.cfg.epoch_cycles;
+            }
+        }
+
+        self.settle_energy();
+        let cycles = self.cycle - start_cycle;
+        let threads = [0, 1].map(|t| ThreadMetrics {
+            instructions: self.thread_insts[t] - start_insts[t],
+            cycles,
+            joules: self.thread_joules[t] - start_joules_settled[t],
+            frequency_hz: self.frequency_hz,
+        });
+        RunResult {
+            scheduler: scheduler.name().to_string(),
+            cycles,
+            threads,
+            swaps: self.swaps,
+            window_decisions,
+            epoch_decisions,
+        }
+    }
+}
+
+fn core_kind(index: usize) -> ampsched_core::CoreKind {
+    match index {
+        0 => ampsched_core::CoreKind::Fp,
+        1 => ampsched_core::CoreKind::Int,
+        _ => unreachable!("dual-core system"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ampsched_core::{ProposedScheduler, RoundRobinScheduler, StaticScheduler};
+    use ampsched_trace::{suite, TraceGenerator};
+
+    fn workload(name: &str, thread: usize) -> Box<dyn Workload> {
+        Box::new(TraceGenerator::for_thread(
+            suite::by_name(name).expect("benchmark exists"),
+            42,
+            thread,
+        ))
+    }
+
+    fn quick_cfg() -> SystemConfig {
+        SystemConfig {
+            epoch_cycles: 100_000, // scaled-down epoch for fast tests
+            ..SystemConfig::default()
+        }
+    }
+
+    #[test]
+    fn static_run_commits_and_burns_energy() {
+        let mut sys = DualCoreSystem::new(
+            quick_cfg(),
+            [workload("intstress", 0), workload("fpstress", 1)],
+        );
+        let mut sched = StaticScheduler;
+        let r = sys.run(&mut sched, 50_000, 10_000_000);
+        assert!(r.threads[0].instructions >= 50_000 || r.threads[1].instructions >= 50_000);
+        assert!(r.threads[0].joules > 0.0 && r.threads[1].joules > 0.0);
+        assert_eq!(r.swaps, 0);
+        assert!(r.cycles > 0);
+        let ppw = r.ipc_per_watt();
+        assert!(ppw[0] > 0.0 && ppw[1] > 0.0);
+    }
+
+    #[test]
+    fn misplaced_pair_gets_swapped_by_proposed() {
+        // intstress starts on the FP core (thread 0), fpstress on the INT
+        // core: the proposed scheduler must correct this quickly.
+        let mut sys = DualCoreSystem::new(
+            quick_cfg(),
+            [workload("intstress", 0), workload("fpstress", 1)],
+        );
+        let mut sched = ProposedScheduler::with_defaults();
+        let r = sys.run(&mut sched, 100_000, 10_000_000);
+        assert!(r.swaps >= 1, "misplacement must trigger a swap");
+        assert_eq!(
+            sys.assignment().core_of(0),
+            ampsched_core::CoreKind::Int,
+            "intstress must end on the INT core"
+        );
+        assert!(r.window_decisions > 10);
+    }
+
+    #[test]
+    fn proposed_beats_static_on_misplaced_pair() {
+        let run = |swap: bool| {
+            let mut sys = DualCoreSystem::new(
+                quick_cfg(),
+                [workload("intstress", 0), workload("fpstress", 1)],
+            );
+            if swap {
+                let mut s = ProposedScheduler::with_defaults();
+                sys.run(&mut s, 200_000, 20_000_000)
+            } else {
+                let mut s = StaticScheduler;
+                sys.run(&mut s, 200_000, 20_000_000)
+            }
+        };
+        let dynamic = run(true);
+        let stat = run(false);
+        let d = dynamic.ipc_per_watt();
+        let s = stat.ipc_per_watt();
+        let weighted =
+            ampsched_metrics::weighted_speedup(&[d[0], d[1]], &[s[0], s[1]]);
+        assert!(
+            weighted > 1.2,
+            "fixing a misplaced complementary pair should win big, got {weighted}"
+        );
+    }
+
+    #[test]
+    fn round_robin_swaps_every_epoch() {
+        let mut sys = DualCoreSystem::new(
+            quick_cfg(),
+            [workload("gcc", 0), workload("mcf", 1)],
+        );
+        let mut sched = RoundRobinScheduler::every_epoch();
+        let r = sys.run(&mut sched, 300_000, 1_050_000);
+        // ~10 epochs in 1.05M cycles at 100k epoch.
+        assert!(r.swaps >= 8, "RR must swap nearly every epoch, got {}", r.swaps);
+        assert_eq!(r.swaps, r.epoch_decisions);
+    }
+
+    #[test]
+    fn swap_overhead_costs_cycles() {
+        let run_with_overhead = |ovh: u64| {
+            let cfg = SystemConfig {
+                epoch_cycles: 50_000,
+                swap_overhead_cycles: ovh,
+                ..SystemConfig::default()
+            };
+            let mut sys = DualCoreSystem::new(
+                cfg,
+                [workload("gcc", 0), workload("mcf", 1)],
+            );
+            let mut sched = RoundRobinScheduler::every_epoch();
+            sys.run(&mut sched, 150_000, 3_000_000)
+        };
+        let cheap = run_with_overhead(100);
+        let costly = run_with_overhead(20_000);
+        let ipc_cheap = cheap.threads[0].ipc() + cheap.threads[1].ipc();
+        let ipc_costly = costly.threads[0].ipc() + costly.threads[1].ipc();
+        assert!(
+            ipc_costly < ipc_cheap,
+            "40% of each epoch stalled must reduce throughput: {ipc_costly} vs {ipc_cheap}"
+        );
+    }
+
+    #[test]
+    fn energy_is_conserved_across_attribution() {
+        let mut sys = DualCoreSystem::new(
+            quick_cfg(),
+            [workload("pi", 0), workload("sha", 1)],
+        );
+        let mut sched = RoundRobinScheduler::every_epoch();
+        let r = sys.run(&mut sched, 100_000, 2_000_000);
+        let attributed: f64 = r.threads.iter().map(|t| t.joules).sum();
+        let accounted: f64 = sys.energy.iter().map(|e| e.total_joules()).sum();
+        assert!(
+            (attributed - accounted).abs() < 1e-9,
+            "thread-attributed energy must equal core-accounted energy"
+        );
+    }
+
+    #[test]
+    fn deterministic_runs() {
+        let run = || {
+            let mut sys = DualCoreSystem::new(
+                quick_cfg(),
+                [workload("equake", 0), workload("bitcount", 1)],
+            );
+            let mut sched = ProposedScheduler::with_defaults();
+            sys.run(&mut sched, 100_000, 5_000_000)
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a.cycles, b.cycles);
+        assert_eq!(a.swaps, b.swaps);
+        assert_eq!(a.threads[0].instructions, b.threads[0].instructions);
+        assert!((a.threads[0].joules - b.threads[0].joules).abs() < 1e-12);
+    }
+
+    #[test]
+    fn well_placed_pair_is_left_alone_by_proposed() {
+        // fpstress as thread 0 starts on the FP core: correct placement.
+        let mut sys = DualCoreSystem::new(
+            quick_cfg(),
+            [workload("fpstress", 0), workload("intstress", 1)],
+        );
+        let mut sched = ProposedScheduler::with_defaults();
+        let r = sys.run(&mut sched, 100_000, 10_000_000);
+        assert_eq!(r.swaps, 0, "no reason to disturb a well-placed pair");
+    }
+}

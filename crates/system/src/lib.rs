@@ -1,0 +1,24 @@
+//! # ampsched-system
+//!
+//! The dual-core asymmetric multicore system of the paper: one FP-flavored
+//! core (core 0, Figure 1's "core A") and one INT-flavored core (core 1,
+//! "core B"), private L1s over a shared L2, per-core Wattch-style energy
+//! accounting, and the hardware scheduling loop.
+//!
+//! [`DualCoreSystem`] co-runs two [`ampsched_trace::Workload`]s, samples
+//! the hardware counters at every monitoring window and OS epoch, hands
+//! [`ampsched_core::WindowSnapshot`]s to a [`ampsched_core::Scheduler`],
+//! and executes returned swaps with their full cost: pipeline flush on
+//! both cores, a configurable state-transfer overhead (Section VI-C), and
+//! naturally cold L1s (the threads' address spaces are disjoint, so the
+//! new core's caches hold the other thread's lines).
+//!
+//! [`SingleCoreRunner`] runs one workload alone on one core type with
+//! periodic interval sampling — the substrate for Figure 1 and the
+//! offline profiling of Sections V/VI-A.
+
+pub mod duo;
+pub mod single;
+
+pub use duo::{DualCoreSystem, RunResult, SystemConfig};
+pub use single::{IntervalSample, SingleCoreRunner, SingleRunResult};

@@ -1,0 +1,143 @@
+//! Benchmark specifications: a named, cyclic sequence of phases.
+
+use crate::phase::PhaseSpec;
+
+/// Which benchmark suite a workload models (Section IV of the paper).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Suite {
+    /// SPEC CPU2000 (15 workloads).
+    Spec,
+    /// MiBench embedded suite (14 workloads).
+    MiBench,
+    /// MediaBench (1 workload).
+    MediaBench,
+    /// Synthetic stress kernels (7 workloads).
+    Synthetic,
+}
+
+impl std::fmt::Display for Suite {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            Suite::Spec => "SPEC",
+            Suite::MiBench => "MiBench",
+            Suite::MediaBench => "MediaBench",
+            Suite::Synthetic => "synthetic",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A complete benchmark model: phases are executed in order and repeat
+/// cyclically forever (benchmarks conceptually loop over their inputs).
+#[derive(Debug, Clone)]
+pub struct BenchmarkSpec {
+    /// Benchmark name as used in the paper's figures (e.g. `"equake"`).
+    pub name: &'static str,
+    /// Originating suite.
+    pub suite: Suite,
+    /// Phase cycle; at least one phase.
+    pub phases: Vec<PhaseSpec>,
+}
+
+impl BenchmarkSpec {
+    /// Construct and validate a spec.
+    ///
+    /// # Panics
+    /// Panics if `phases` is empty.
+    pub fn new(name: &'static str, suite: Suite, phases: Vec<PhaseSpec>) -> Self {
+        assert!(!phases.is_empty(), "{name}: benchmark needs at least one phase");
+        BenchmarkSpec { name, suite, phases }
+    }
+
+    /// Length of one full phase cycle, in instructions.
+    pub fn cycle_length(&self) -> u64 {
+        self.phases.iter().map(|p| p.duration).sum()
+    }
+
+    /// Duration-weighted average %INT (integer-arithmetic share, 0–100)
+    /// over one phase cycle. Used by tests and the offline profiler.
+    pub fn avg_int_pct(&self) -> f64 {
+        self.weighted_avg(|p| p.mix.int_fraction())
+    }
+
+    /// Duration-weighted average %FP over one phase cycle (0–100).
+    pub fn avg_fp_pct(&self) -> f64 {
+        self.weighted_avg(|p| p.mix.fp_fraction())
+    }
+
+    fn weighted_avg(&self, f: impl Fn(&PhaseSpec) -> f64) -> f64 {
+        let total = self.cycle_length() as f64;
+        100.0
+            * self
+                .phases
+                .iter()
+                .map(|p| f(p) * p.duration as f64)
+                .sum::<f64>()
+            / total
+    }
+
+    /// Whether any single phase is shorter than `epoch` instructions —
+    /// i.e. whether the benchmark has behaviour a scheduler sampling every
+    /// `epoch` instructions cannot track.
+    pub fn has_subepoch_phases(&self, epoch: u64) -> bool {
+        self.phases.len() > 1 && self.phases.iter().any(|p| p.duration < epoch)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ampsched_isa::{InstMix, OpClass};
+
+    fn phase(dur: u64, int_w: f64, fp_w: f64) -> PhaseSpec {
+        let mix = InstMix::from_weights(&[
+            (OpClass::IntAlu, int_w),
+            (OpClass::FpAlu, fp_w),
+            (OpClass::Load, 0.2),
+            (OpClass::Branch, 0.1),
+        ]);
+        PhaseSpec::new("t", mix, 3.0, 0.05, 0.4, 4096, 0.7, 4096, dur)
+    }
+
+    #[test]
+    fn cycle_length_sums_durations() {
+        let b = BenchmarkSpec::new(
+            "b",
+            Suite::Synthetic,
+            vec![phase(1000, 0.5, 0.2), phase(3000, 0.2, 0.5)],
+        );
+        assert_eq!(b.cycle_length(), 4000);
+    }
+
+    #[test]
+    fn weighted_averages_respect_durations() {
+        let b = BenchmarkSpec::new(
+            "b",
+            Suite::Synthetic,
+            vec![phase(1000, 0.7, 0.0), phase(3000, 0.0, 0.7)],
+        );
+        // int share of phase 1 = 0.7, of phase 2 = 0.0; weights 1/4 and 3/4.
+        let expected_int = 100.0 * (0.7 * 0.25);
+        assert!((b.avg_int_pct() - expected_int).abs() < 1e-9);
+        assert!(b.avg_fp_pct() > b.avg_int_pct());
+    }
+
+    #[test]
+    fn subepoch_phase_detection() {
+        let stable = BenchmarkSpec::new("s", Suite::Synthetic, vec![phase(10_000, 0.5, 0.1)]);
+        assert!(!stable.has_subepoch_phases(5_000), "single phase is stable");
+        let phasey = BenchmarkSpec::new(
+            "p",
+            Suite::Synthetic,
+            vec![phase(1000, 0.5, 0.1), phase(1000, 0.1, 0.5)],
+        );
+        assert!(phasey.has_subepoch_phases(5_000));
+        assert!(!phasey.has_subepoch_phases(500));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one phase")]
+    fn empty_phases_rejected() {
+        BenchmarkSpec::new("b", Suite::Spec, vec![]);
+    }
+}

@@ -1,0 +1,117 @@
+//! Per-phase workload parameters.
+
+use ampsched_isa::InstMix;
+
+/// One execution phase of a benchmark.
+///
+/// A phase fixes the statistical character of the instruction stream for
+/// `duration` committed instructions; the benchmark then advances to its
+/// next phase (cyclically). Phases shorter than the 2 ms scheduling epoch
+/// (≈ 2–4 M instructions at the modeled IPC) are what the paper's
+/// fine-grained scheme exploits and the HPE scheme misses.
+#[derive(Debug, Clone)]
+pub struct PhaseSpec {
+    /// Human-readable phase label (e.g. `"idct"`, `"vlc"`).
+    pub name: &'static str,
+    /// Instruction-class mix of the phase.
+    pub mix: InstMix,
+    /// Mean producer→consumer distance in instructions (≥ 1). Small values
+    /// create long dependency chains (low ILP); large values expose ILP.
+    pub mean_dep_distance: f64,
+    /// Fraction of branches the modeled predictor gets wrong (0–1).
+    pub mispredict_rate: f64,
+    /// Fraction of branches that redirect fetch to a non-sequential target
+    /// (drives I-cache behaviour over the code footprint).
+    pub taken_rate: f64,
+    /// Data working-set size in bytes.
+    pub data_working_set: u64,
+    /// Fraction of memory accesses that are sequential/strided (the rest
+    /// are uniform random within the working set).
+    pub stride_fraction: f64,
+    /// Static code footprint in bytes (I-cache pressure).
+    pub code_footprint: u64,
+    /// Phase length in committed instructions.
+    pub duration: u64,
+}
+
+impl PhaseSpec {
+    /// Construct a phase, validating every parameter range.
+    ///
+    /// # Panics
+    /// Panics on out-of-range parameters.
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        name: &'static str,
+        mix: InstMix,
+        mean_dep_distance: f64,
+        mispredict_rate: f64,
+        taken_rate: f64,
+        data_working_set: u64,
+        stride_fraction: f64,
+        code_footprint: u64,
+        duration: u64,
+    ) -> Self {
+        assert!(mean_dep_distance >= 1.0, "{name}: dep distance must be >= 1");
+        assert!(
+            (0.0..=1.0).contains(&mispredict_rate),
+            "{name}: mispredict_rate must be in [0,1]"
+        );
+        assert!(
+            (0.0..=1.0).contains(&taken_rate),
+            "{name}: taken_rate must be in [0,1]"
+        );
+        assert!(
+            (0.0..=1.0).contains(&stride_fraction),
+            "{name}: stride_fraction must be in [0,1]"
+        );
+        assert!(data_working_set >= 64, "{name}: working set must hold a line");
+        assert!(code_footprint >= 64, "{name}: code footprint must hold a line");
+        assert!(duration > 0, "{name}: phase duration must be positive");
+        PhaseSpec {
+            name,
+            mix,
+            mean_dep_distance,
+            mispredict_rate,
+            taken_rate,
+            data_working_set,
+            stride_fraction,
+            code_footprint,
+            duration,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ampsched_isa::OpClass;
+
+    fn mix() -> InstMix {
+        InstMix::from_weights(&[(OpClass::IntAlu, 0.5), (OpClass::Load, 0.5)])
+    }
+
+    #[test]
+    fn valid_phase_constructs() {
+        let p = PhaseSpec::new("p", mix(), 4.0, 0.05, 0.4, 4096, 0.7, 8192, 100_000);
+        assert_eq!(p.name, "p");
+        assert_eq!(p.duration, 100_000);
+    }
+
+    #[test]
+    #[should_panic(expected = "dep distance")]
+    fn zero_dep_distance_rejected() {
+        PhaseSpec::new("p", mix(), 0.5, 0.05, 0.4, 4096, 0.7, 8192, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "mispredict_rate")]
+    fn bad_mispredict_rejected() {
+        PhaseSpec::new("p", mix(), 2.0, 1.5, 0.4, 4096, 0.7, 8192, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "duration")]
+    fn zero_duration_rejected() {
+        PhaseSpec::new("p", mix(), 2.0, 0.1, 0.4, 4096, 0.7, 8192, 0);
+    }
+}

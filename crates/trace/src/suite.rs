@@ -1,0 +1,734 @@
+//! The 37-workload suite of the paper (Section IV): 15 SPEC CPU2000
+//! stand-ins, 14 MiBench, 1 MediaBench, 7 synthetic kernels.
+//!
+//! Each model encodes the published character of its namesake: instruction
+//! mix, ILP (dependency distance), branch behaviour, data working set
+//! relative to the 4 KB L1 / 128 KB L2 of Table I, code footprint relative
+//! to the 4 KB L1I, and the phase schedule. Phase durations for phase-rich
+//! programs sit in the 0.3–1.5 M instruction range — *below* the 2 ms
+//! (≈ 3–4 M instruction) OS epoch — which is the program behaviour the
+//! paper's fine-grained scheduler exploits and coarse-grained schemes miss.
+//!
+//! The numbers are stand-ins, not measurements; what matters for the
+//! reproduction is the *relative* flavor of each workload (see DESIGN.md).
+
+use ampsched_isa::{InstMix, OpClass};
+
+use crate::benchmark::{BenchmarkSpec, Suite};
+use crate::phase::PhaseSpec;
+
+/// Shorthand: build a mix from the nine class weights
+/// (int_alu, int_mul, int_div, fp_alu, fp_mul, fp_div, load, store, branch).
+#[allow(clippy::too_many_arguments)]
+fn mix(
+    int_alu: f64,
+    int_mul: f64,
+    int_div: f64,
+    fp_alu: f64,
+    fp_mul: f64,
+    fp_div: f64,
+    load: f64,
+    store: f64,
+    branch: f64,
+) -> InstMix {
+    InstMix::from_weights(&[
+        (OpClass::IntAlu, int_alu),
+        (OpClass::IntMul, int_mul),
+        (OpClass::IntDiv, int_div),
+        (OpClass::FpAlu, fp_alu),
+        (OpClass::FpMul, fp_mul),
+        (OpClass::FpDiv, fp_div),
+        (OpClass::Load, load),
+        (OpClass::Store, store),
+        (OpClass::Branch, branch),
+    ])
+}
+
+/// Shorthand phase constructor (arguments in [`PhaseSpec::new`] order after
+/// the mix).
+#[allow(clippy::too_many_arguments)]
+fn ph(
+    name: &'static str,
+    m: InstMix,
+    dep: f64,
+    mispred: f64,
+    taken: f64,
+    ws: u64,
+    stride: f64,
+    code: u64,
+    dur: u64,
+) -> PhaseSpec {
+    PhaseSpec::new(name, m, dep, mispred, taken, ws, stride, code, dur)
+}
+
+const KB: u64 = 1024;
+const MB: u64 = 1024 * 1024;
+
+fn spec(name: &'static str, suite: Suite, phases: Vec<PhaseSpec>) -> BenchmarkSpec {
+    BenchmarkSpec::new(name, suite, phases)
+}
+
+// ---------------------------------------------------------------------------
+// SPEC CPU2000 (15)
+// ---------------------------------------------------------------------------
+
+fn spec_suite() -> Vec<BenchmarkSpec> {
+    vec![
+        // --- SPEC INT ---
+        // gcc: large code, branchy, moderate INT; frontend/branch bound, so
+        // neither core has a decisive perf/watt edge (Fig. 1 "no difference").
+        spec(
+            "gcc",
+            Suite::Spec,
+            vec![
+                ph("parse", mix(0.38, 0.02, 0.0, 0.0, 0.0, 0.0, 0.26, 0.12, 0.22), 2.4, 0.10, 0.55, 64 * KB, 0.60, 32 * KB, 900_000),
+                ph("rtl", mix(0.42, 0.03, 0.0, 0.0, 0.0, 0.0, 0.24, 0.13, 0.18), 2.8, 0.09, 0.50, 80 * KB, 0.60, 32 * KB, 1_200_000),
+                ph("regalloc", mix(0.36, 0.02, 0.01, 0.0, 0.0, 0.0, 0.28, 0.14, 0.19), 2.2, 0.11, 0.55, 96 * KB, 0.55, 24 * KB, 700_000),
+            ],
+        ),
+        // mcf: pointer-chasing, severely memory-bound; IPC tiny on both
+        // cores, perf/watt roughly equal (Fig. 1).
+        spec(
+            "mcf",
+            Suite::Spec,
+            vec![ph(
+                "simplex",
+                mix(0.30, 0.01, 0.0, 0.0, 0.0, 0.0, 0.38, 0.09, 0.22),
+                1.6,
+                0.08,
+                0.45,
+                8 * MB,
+                0.10,
+                8 * KB,
+                2_000_000,
+            )],
+        ),
+        // bzip2: INT compute with streaming memory.
+        spec(
+            "bzip2",
+            Suite::Spec,
+            vec![
+                ph("sort", mix(0.48, 0.03, 0.0, 0.0, 0.0, 0.0, 0.24, 0.09, 0.16), 3.0, 0.07, 0.45, 256 * KB, 0.55, 12 * KB, 1_400_000),
+                ph("huffman", mix(0.52, 0.02, 0.0, 0.0, 0.0, 0.0, 0.20, 0.10, 0.16), 3.4, 0.05, 0.40, 64 * KB, 0.70, 8 * KB, 900_000),
+            ],
+        ),
+        // gzip: similar flavor, smaller working set.
+        spec(
+            "gzip",
+            Suite::Spec,
+            vec![
+                ph("deflate", mix(0.50, 0.02, 0.0, 0.0, 0.0, 0.0, 0.23, 0.10, 0.15), 3.2, 0.06, 0.42, 192 * KB, 0.65, 8 * KB, 1_100_000),
+                ph("longest_match", mix(0.46, 0.01, 0.0, 0.0, 0.0, 0.0, 0.28, 0.06, 0.19), 2.6, 0.08, 0.50, 96 * KB, 0.45, 6 * KB, 600_000),
+            ],
+        ),
+        // vpr: place (random walk, branchy) / route (graph search) phases
+        // with a small FP component in cost computation.
+        spec(
+            "vpr",
+            Suite::Spec,
+            vec![
+                ph("place", mix(0.26, 0.02, 0.0, 0.16, 0.09, 0.0, 0.24, 0.07, 0.16), 2.6, 0.09, 0.50, 160 * KB, 0.55, 20 * KB, 800_000),
+                ph("route", mix(0.46, 0.02, 0.0, 0.0, 0.0, 0.0, 0.28, 0.08, 0.16), 2.4, 0.08, 0.48, 192 * KB, 0.50, 24 * KB, 1_000_000),
+            ],
+        ),
+        // parser: dictionary lookups, very branchy, modest ILP.
+        spec(
+            "parser",
+            Suite::Spec,
+            vec![ph(
+                "link",
+                mix(0.37, 0.01, 0.0, 0.0, 0.0, 0.0, 0.29, 0.10, 0.23),
+                2.0,
+                0.12,
+                0.55,
+                160 * KB,
+                0.55,
+                24 * KB,
+                1_600_000,
+            )],
+        ),
+        // twolf: placement annealing; INT with sub-epoch cost-evaluation
+        // bursts that include FP.
+        spec(
+            "twolf",
+            Suite::Spec,
+            vec![
+                ph("move", mix(0.42, 0.03, 0.0, 0.02, 0.01, 0.0, 0.26, 0.08, 0.18), 2.6, 0.09, 0.50, 160 * KB, 0.55, 20 * KB, 700_000),
+                ph("cost", mix(0.18, 0.02, 0.0, 0.24, 0.14, 0.01, 0.24, 0.06, 0.11), 3.2, 0.06, 0.42, 112 * KB, 0.65, 16 * KB, 450_000),
+            ],
+        ),
+        // vortex: OO database, large code footprint, moderate INT.
+        spec(
+            "vortex",
+            Suite::Spec,
+            vec![ph(
+                "oodb",
+                mix(0.40, 0.02, 0.0, 0.0, 0.0, 0.0, 0.28, 0.13, 0.17),
+                2.8,
+                0.08,
+                0.50,
+                128 * KB,
+                0.60,
+                24 * KB,
+                1_800_000,
+            )],
+        ),
+        // --- SPEC FP ---
+        // equake: FP-heavy sparse solver alternating with integer/memory
+        // assembly phases — the canonical sub-epoch phase program (Fig. 1
+        // shows it strongly prefers the FP core).
+        spec(
+            "equake",
+            Suite::Spec,
+            vec![
+                ph("smvp", mix(0.10, 0.01, 0.0, 0.30, 0.18, 0.01, 0.28, 0.06, 0.06), 4.5, 0.03, 0.30, 112 * KB, 0.88, 8 * KB, 1_100_000),
+                ph("assemble", mix(0.38, 0.03, 0.0, 0.03, 0.01, 0.0, 0.32, 0.12, 0.11), 2.8, 0.06, 0.42, 96 * KB, 0.80, 10 * KB, 500_000),
+            ],
+        ),
+        // ammp: molecular dynamics, sustained FP with divides.
+        spec(
+            "ammp",
+            Suite::Spec,
+            vec![
+                ph("forces", mix(0.09, 0.01, 0.0, 0.27, 0.20, 0.04, 0.28, 0.06, 0.05), 4.0, 0.02, 0.28, 112 * KB, 0.85, 12 * KB, 1_300_000),
+                ph("neighbor", mix(0.38, 0.03, 0.0, 0.01, 0.0, 0.0, 0.36, 0.09, 0.13), 2.4, 0.06, 0.45, 160 * KB, 0.60, 10 * KB, 450_000),
+            ],
+        ),
+        // apsi: meteorology code with three distinct sub-epoch phases of
+        // alternating INT/FP flavor (one of the paper's "reasonable mix"
+        // representatives).
+        spec(
+            "apsi",
+            Suite::Spec,
+            vec![
+                ph("fft_z", mix(0.08, 0.01, 0.0, 0.30, 0.20, 0.01, 0.28, 0.07, 0.05), 4.2, 0.03, 0.30, 96 * KB, 0.85, 12 * KB, 600_000),
+                ph("index", mix(0.50, 0.05, 0.0, 0.01, 0.0, 0.0, 0.26, 0.07, 0.11), 2.8, 0.06, 0.45, 96 * KB, 0.75, 10 * KB, 450_000),
+                ph("advect", mix(0.10, 0.01, 0.0, 0.28, 0.18, 0.02, 0.28, 0.08, 0.05), 3.8, 0.03, 0.32, 112 * KB, 0.85, 12 * KB, 550_000),
+            ],
+        ),
+        // swim: shallow-water stencils; long, stable, stream-FP phases.
+        spec(
+            "swim",
+            Suite::Spec,
+            vec![ph(
+                "stencil",
+                mix(0.08, 0.01, 0.0, 0.30, 0.19, 0.01, 0.30, 0.08, 0.03),
+                5.0,
+                0.01,
+                0.25,
+                256 * KB,
+                0.90,
+                6 * KB,
+                2_500_000,
+            )],
+        ),
+        // art: neural-net image recognition; FP with large working set and
+        // sub-epoch scan/match alternation.
+        spec(
+            "art",
+            Suite::Spec,
+            vec![
+                ph("match", mix(0.12, 0.01, 0.0, 0.28, 0.17, 0.01, 0.31, 0.05, 0.05), 4.0, 0.02, 0.28, MB, 0.80, 8 * KB, 900_000),
+                ph("scan", mix(0.38, 0.03, 0.0, 0.01, 0.01, 0.0, 0.36, 0.08, 0.13), 2.6, 0.05, 0.40, MB, 0.70, 8 * KB, 400_000),
+            ],
+        ),
+        // applu: PDE solver, FP-dominated with divides, stable.
+        spec(
+            "applu",
+            Suite::Spec,
+            vec![ph(
+                "ssor",
+                mix(0.10, 0.01, 0.0, 0.28, 0.18, 0.03, 0.29, 0.08, 0.03),
+                4.4,
+                0.01,
+                0.25,
+                128 * KB,
+                0.90,
+                10 * KB,
+                2_200_000,
+            )],
+        ),
+        // mesa: software 3D pipeline — FP transform bursts against INT
+        // rasterization, alternating at sub-epoch scale.
+        spec(
+            "mesa",
+            Suite::Spec,
+            vec![
+                ph("xform", mix(0.12, 0.01, 0.0, 0.26, 0.18, 0.02, 0.26, 0.08, 0.07), 4.2, 0.03, 0.30, 128 * KB, 0.80, 16 * KB, 600_000),
+                ph("raster", mix(0.46, 0.04, 0.0, 0.01, 0.0, 0.0, 0.26, 0.11, 0.12), 3.0, 0.05, 0.40, 192 * KB, 0.80, 16 * KB, 700_000),
+            ],
+        ),
+    ]
+}
+
+// ---------------------------------------------------------------------------
+// MiBench (14)
+// ---------------------------------------------------------------------------
+
+fn mibench_suite() -> Vec<BenchmarkSpec> {
+    vec![
+        // bitcount: pure INT ALU kernel, tiny footprint — a paper
+        // "INT-intensive" representative.
+        spec(
+            "bitcount",
+            Suite::MiBench,
+            vec![ph(
+                "count",
+                mix(0.66, 0.02, 0.0, 0.0, 0.0, 0.0, 0.12, 0.04, 0.16),
+                4.5,
+                0.02,
+                0.35,
+                4 * KB,
+                0.90,
+                2 * KB,
+                2_000_000,
+            )],
+        ),
+        // sha: INT rotate/xor chains, moderate ILP.
+        spec(
+            "sha",
+            Suite::MiBench,
+            vec![ph(
+                "rounds",
+                mix(0.62, 0.03, 0.0, 0.0, 0.0, 0.0, 0.18, 0.07, 0.10),
+                2.6,
+                0.02,
+                0.30,
+                8 * KB,
+                0.85,
+                3 * KB,
+                2_000_000,
+            )],
+        ),
+        // CRC32: byte-at-a-time table lookups; strongly INT (Fig. 1 prefers
+        // the INT core).
+        spec(
+            "CRC32",
+            Suite::MiBench,
+            vec![ph(
+                "crc",
+                mix(0.58, 0.01, 0.0, 0.0, 0.0, 0.0, 0.26, 0.02, 0.13),
+                3.6,
+                0.01,
+                0.25,
+                2 * KB,
+                0.95,
+                KB,
+                2_000_000,
+            )],
+        ),
+        // dijkstra: graph relaxation, INT + irregular memory.
+        spec(
+            "dijkstra",
+            Suite::MiBench,
+            vec![ph(
+                "relax",
+                mix(0.44, 0.02, 0.0, 0.0, 0.0, 0.0, 0.30, 0.06, 0.18),
+                2.4,
+                0.05,
+                0.45,
+                128 * KB,
+                0.60,
+                4 * KB,
+                2_000_000,
+            )],
+        ),
+        // patricia: trie walk — pointer chasing, very low ILP.
+        spec(
+            "patricia",
+            Suite::MiBench,
+            vec![ph(
+                "lookup",
+                mix(0.40, 0.01, 0.0, 0.0, 0.0, 0.0, 0.34, 0.05, 0.20),
+                1.5,
+                0.07,
+                0.50,
+                256 * KB,
+                0.15,
+                5 * KB,
+                2_000_000,
+            )],
+        ),
+        // qsort: comparison sort, branch-mispredict heavy.
+        spec(
+            "qsort",
+            Suite::MiBench,
+            vec![ph(
+                "partition",
+                mix(0.42, 0.01, 0.0, 0.0, 0.0, 0.0, 0.28, 0.10, 0.19),
+                2.6,
+                0.14,
+                0.50,
+                96 * KB,
+                0.70,
+                3 * KB,
+                2_000_000,
+            )],
+        ),
+        // susan (smoothing): image kernel with a real FP component in the
+        // brightness function — a mild mixed workload.
+        spec(
+            "susan",
+            Suite::MiBench,
+            vec![
+                ph("edges", mix(0.50, 0.05, 0.0, 0.01, 0.01, 0.0, 0.25, 0.06, 0.12), 3.4, 0.04, 0.35, 128 * KB, 0.80, 6 * KB, 800_000),
+                ph("smooth", mix(0.22, 0.04, 0.0, 0.22, 0.13, 0.0, 0.25, 0.05, 0.09), 3.8, 0.03, 0.32, 128 * KB, 0.85, 6 * KB, 700_000,),
+            ],
+        ),
+        // jpeg encode: DCT bursts (int-mul heavy with some FP quant) vs
+        // Huffman (pure INT), sub-epoch alternation.
+        spec(
+            "jpeg_enc",
+            Suite::MiBench,
+            vec![
+                ph("dct", mix(0.24, 0.10, 0.0, 0.16, 0.10, 0.0, 0.26, 0.07, 0.07), 3.8, 0.03, 0.30, 64 * KB, 0.80, 8 * KB, 500_000),
+                ph("huffman", mix(0.52, 0.02, 0.0, 0.0, 0.0, 0.0, 0.22, 0.09, 0.15), 2.8, 0.06, 0.42, 32 * KB, 0.70, 6 * KB, 450_000),
+            ],
+        ),
+        // adpcm encode / decode: tight INT DSP loops.
+        spec(
+            "adpcm_enc",
+            Suite::MiBench,
+            vec![ph(
+                "enc",
+                mix(0.58, 0.04, 0.0, 0.0, 0.0, 0.0, 0.20, 0.06, 0.12),
+                2.2,
+                0.04,
+                0.35,
+                16 * KB,
+                0.95,
+                2 * KB,
+                2_000_000,
+            )],
+        ),
+        spec(
+            "adpcm_dec",
+            Suite::MiBench,
+            vec![ph(
+                "dec",
+                mix(0.56, 0.03, 0.0, 0.0, 0.0, 0.0, 0.22, 0.08, 0.11),
+                2.4,
+                0.03,
+                0.33,
+                16 * KB,
+                0.95,
+                2 * KB,
+                2_000_000,
+            )],
+        ),
+        // gsm: integer DSP with heavy multiplies.
+        spec(
+            "gsm",
+            Suite::MiBench,
+            vec![ph(
+                "lpc",
+                mix(0.44, 0.16, 0.01, 0.0, 0.0, 0.0, 0.22, 0.07, 0.10),
+                3.0,
+                0.03,
+                0.32,
+                24 * KB,
+                0.85,
+                5 * KB,
+                2_000_000,
+            )],
+        ),
+        // blowfish: Feistel rounds, INT xor/lookup.
+        spec(
+            "blowfish",
+            Suite::MiBench,
+            vec![ph(
+                "rounds",
+                mix(0.54, 0.02, 0.0, 0.0, 0.0, 0.0, 0.28, 0.04, 0.12),
+                2.8,
+                0.02,
+                0.28,
+                8 * KB,
+                0.60,
+                3 * KB,
+                2_000_000,
+            )],
+        ),
+        // stringsearch: Boyer-Moore scans, branchy INT.
+        spec(
+            "stringsearch",
+            Suite::MiBench,
+            vec![ph(
+                "scan",
+                mix(0.48, 0.01, 0.0, 0.0, 0.0, 0.0, 0.30, 0.03, 0.18),
+                3.0,
+                0.09,
+                0.45,
+                48 * KB,
+                0.75,
+                3 * KB,
+                2_000_000,
+            )],
+        ),
+        // ffti: MiBench telecomm FFT — FP butterflies alternating with the
+        // integer bit-reversal/index phase (a paper "mix" representative).
+        spec(
+            "ffti",
+            Suite::MiBench,
+            vec![
+                ph("butterfly", mix(0.12, 0.02, 0.0, 0.24, 0.18, 0.01, 0.28, 0.08, 0.07), 4.0, 0.02, 0.30, 96 * KB, 0.60, 5 * KB, 550_000),
+                ph("bitrev", mix(0.52, 0.05, 0.0, 0.0, 0.0, 0.0, 0.26, 0.07, 0.10), 3.0, 0.04, 0.38, 96 * KB, 0.35, 4 * KB, 400_000),
+            ],
+        ),
+    ]
+}
+
+// ---------------------------------------------------------------------------
+// MediaBench (1)
+// ---------------------------------------------------------------------------
+
+fn mediabench_suite() -> Vec<BenchmarkSpec> {
+    vec![
+        // mpeg2 decode: IDCT (FP-ish) against VLC/motion-comp (INT), the
+        // classic sub-epoch alternating media workload.
+        spec(
+            "mpeg2_dec",
+            Suite::MediaBench,
+            vec![
+                ph("vlc", mix(0.50, 0.03, 0.0, 0.0, 0.0, 0.0, 0.24, 0.08, 0.15), 2.8, 0.06, 0.42, 64 * KB, 0.65, 8 * KB, 450_000),
+                ph("idct", mix(0.10, 0.04, 0.0, 0.26, 0.20, 0.0, 0.26, 0.09, 0.05), 4.2, 0.02, 0.28, 96 * KB, 0.80, 6 * KB, 500_000),
+                ph("mocomp", mix(0.40, 0.02, 0.0, 0.02, 0.01, 0.0, 0.32, 0.12, 0.11), 3.2, 0.04, 0.35, 256 * KB, 0.75, 6 * KB, 400_000),
+            ],
+        ),
+    ]
+}
+
+// ---------------------------------------------------------------------------
+// Synthetic (7)
+// ---------------------------------------------------------------------------
+
+fn synthetic_suite() -> Vec<BenchmarkSpec> {
+    vec![
+        // intstress: saturates the integer datapath (Fig. 1 prefers INT core).
+        spec(
+            "intstress",
+            Suite::Synthetic,
+            vec![ph(
+                "int",
+                mix(0.62, 0.08, 0.01, 0.0, 0.0, 0.0, 0.14, 0.05, 0.10),
+                6.0,
+                0.01,
+                0.25,
+                4 * KB,
+                0.95,
+                KB,
+                2_000_000,
+            )],
+        ),
+        // fpstress: saturates the FP datapath (Fig. 1 prefers FP core).
+        spec(
+            "fpstress",
+            Suite::Synthetic,
+            vec![ph(
+                "fp",
+                mix(0.06, 0.0, 0.0, 0.34, 0.22, 0.02, 0.22, 0.06, 0.08),
+                6.0,
+                0.01,
+                0.25,
+                4 * KB,
+                0.95,
+                KB,
+                2_000_000,
+            )],
+        ),
+        // pi: arctan series — FP compute with an integer loop harness
+        // (a paper "mix" representative).
+        spec(
+            "pi",
+            Suite::Synthetic,
+            vec![
+                ph("series", mix(0.10, 0.01, 0.0, 0.28, 0.19, 0.04, 0.22, 0.05, 0.11), 3.4, 0.02, 0.30, 2 * KB, 0.90, KB, 700_000),
+                ph("reduce", mix(0.52, 0.06, 0.01, 0.01, 0.0, 0.0, 0.22, 0.06, 0.12), 3.0, 0.03, 0.32, 2 * KB, 0.90, KB, 500_000),
+            ],
+        ),
+        // memstress: pure pointer-chase over a huge working set.
+        spec(
+            "memstress",
+            Suite::Synthetic,
+            vec![ph(
+                "chase",
+                mix(0.24, 0.0, 0.0, 0.0, 0.0, 0.0, 0.52, 0.10, 0.14),
+                1.5,
+                0.04,
+                0.40,
+                16 * MB,
+                0.05,
+                KB,
+                2_000_000,
+            )],
+        ),
+        // branchstress: unpredictable branches dominate.
+        spec(
+            "branchstress",
+            Suite::Synthetic,
+            vec![ph(
+                "branches",
+                mix(0.40, 0.01, 0.0, 0.0, 0.0, 0.0, 0.20, 0.05, 0.34),
+                2.5,
+                0.25,
+                0.50,
+                8 * KB,
+                0.70,
+                2 * KB,
+                2_000_000,
+            )],
+        ),
+        // mixstress: antiphase INT/FP square wave at sub-epoch period — the
+        // adversarial workload for 2 ms scheduling.
+        spec(
+            "mixstress",
+            Suite::Synthetic,
+            vec![
+                ph("int_burst", mix(0.60, 0.06, 0.0, 0.02, 0.01, 0.0, 0.16, 0.05, 0.10), 4.5, 0.02, 0.30, 8 * KB, 0.90, 2 * KB, 600_000),
+                ph("fp_burst", mix(0.08, 0.01, 0.0, 0.32, 0.22, 0.02, 0.20, 0.06, 0.09), 4.5, 0.02, 0.30, 8 * KB, 0.90, 2 * KB, 600_000),
+            ],
+        ),
+        // depchain: serial dependency chain — ILP-starved on any core.
+        spec(
+            "depchain",
+            Suite::Synthetic,
+            vec![ph(
+                "chain",
+                mix(0.50, 0.06, 0.02, 0.08, 0.04, 0.01, 0.14, 0.04, 0.11),
+                1.0,
+                0.02,
+                0.30,
+                4 * KB,
+                0.90,
+                KB,
+                2_000_000,
+            )],
+        ),
+    ]
+}
+
+/// All 37 benchmark models, in a stable order.
+pub fn all() -> Vec<BenchmarkSpec> {
+    let mut v = spec_suite();
+    v.extend(mibench_suite());
+    v.extend(mediabench_suite());
+    v.extend(synthetic_suite());
+    v
+}
+
+/// Look a benchmark up by its paper name.
+pub fn by_name(name: &str) -> Option<BenchmarkSpec> {
+    all().into_iter().find(|b| b.name == name)
+}
+
+/// The nine representative benchmarks of Sections V/VI used for offline
+/// profiling: three INT-intensive, three FP-intensive, three mixed.
+pub fn representative_nine() -> Vec<BenchmarkSpec> {
+    ["bitcount", "sha", "intstress", "fpstress", "equake", "ammp", "apsi", "ffti", "pi"]
+        .iter()
+        .map(|n| by_name(n).expect("representative benchmark exists"))
+        .collect()
+}
+
+/// The six workloads of Figure 1.
+pub fn fig1_six() -> Vec<BenchmarkSpec> {
+    ["equake", "fpstress", "gcc", "mcf", "CRC32", "intstress"]
+        .iter()
+        .map(|n| by_name(n).expect("fig1 benchmark exists"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn suite_has_exactly_37_workloads() {
+        let v = all();
+        assert_eq!(v.len(), 37);
+        let spec_n = v.iter().filter(|b| b.suite == Suite::Spec).count();
+        let mib_n = v.iter().filter(|b| b.suite == Suite::MiBench).count();
+        let med_n = v.iter().filter(|b| b.suite == Suite::MediaBench).count();
+        let syn_n = v.iter().filter(|b| b.suite == Suite::Synthetic).count();
+        assert_eq!((spec_n, mib_n, med_n, syn_n), (15, 14, 1, 7));
+    }
+
+    #[test]
+    fn names_are_unique() {
+        let v = all();
+        let mut names: Vec<_> = v.iter().map(|b| b.name).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), 37);
+    }
+
+    #[test]
+    fn lookup_by_name() {
+        assert!(by_name("equake").is_some());
+        assert!(by_name("CRC32").is_some());
+        assert!(by_name("nonexistent").is_none());
+    }
+
+    #[test]
+    fn representative_nine_matches_paper_grouping() {
+        let nine = representative_nine();
+        assert_eq!(nine.len(), 9);
+        // INT-intensive ones have high %INT and near-zero %FP.
+        for n in ["bitcount", "sha", "intstress"] {
+            let b = nine.iter().find(|b| b.name == n).unwrap();
+            assert!(b.avg_int_pct() > 50.0, "{n} should be INT-intensive");
+            assert!(b.avg_fp_pct() < 5.0);
+        }
+        // FP-intensive ones have a substantial FP share.
+        for n in ["fpstress", "equake", "ammp"] {
+            let b = nine.iter().find(|b| b.name == n).unwrap();
+            assert!(b.avg_fp_pct() > 25.0, "{n} should be FP-intensive");
+        }
+        // Mixed ones have meaningful amounts of both.
+        for n in ["apsi", "ffti", "pi"] {
+            let b = nine.iter().find(|b| b.name == n).unwrap();
+            assert!(b.avg_fp_pct() > 10.0 && b.avg_int_pct() > 15.0, "{n} is a mix");
+        }
+    }
+
+    #[test]
+    fn fig1_flavors() {
+        // equake/fpstress FP-leaning; CRC32/intstress INT-leaning;
+        // gcc/mcf have no FP at all (neutral-by-memory/frontend).
+        assert!(by_name("fpstress").unwrap().avg_fp_pct() > 40.0);
+        assert!(by_name("equake").unwrap().avg_fp_pct() > 25.0);
+        assert!(by_name("CRC32").unwrap().avg_int_pct() > 50.0);
+        assert!(by_name("intstress").unwrap().avg_int_pct() > 60.0);
+        assert!(by_name("gcc").unwrap().avg_fp_pct() < 1.0);
+        assert!(by_name("mcf").unwrap().avg_fp_pct() < 1.0);
+    }
+
+    #[test]
+    fn phase_rich_benchmarks_have_subepoch_phases() {
+        // 2 ms at ~1 IPC and 2 GHz is ≈ 3-4 M instructions.
+        let epoch = 3_000_000;
+        for n in ["equake", "apsi", "mpeg2_dec", "mixstress", "ffti", "mesa"] {
+            assert!(
+                by_name(n).unwrap().has_subepoch_phases(epoch),
+                "{n} should change phases within an OS epoch"
+            );
+        }
+        for n in ["CRC32", "swim", "intstress", "fpstress"] {
+            assert!(
+                !by_name(n).unwrap().has_subepoch_phases(epoch),
+                "{n} should be phase-stable"
+            );
+        }
+    }
+
+    #[test]
+    fn all_specs_generate() {
+        use crate::generator::TraceGenerator;
+        use crate::workload::Workload;
+        for b in all() {
+            let mut g = TraceGenerator::for_thread(b, 1, 0);
+            for _ in 0..200 {
+                let _ = g.next_op();
+            }
+        }
+    }
+}

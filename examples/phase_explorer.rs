@@ -1,0 +1,83 @@
+//! Watch a phase-rich workload drift between INT and FP flavor — the
+//! program behaviour the paper's online monitor detects and the 2 ms HPE
+//! epoch misses.
+//!
+//! Runs the workload alone on each core type and prints a per-interval
+//! timeline of composition, IPC, and IPC/Watt.
+//!
+//! ```text
+//! cargo run --release --example phase_explorer [benchmark] [interval_cycles]
+//! ```
+
+use ampsched::prelude::*;
+use ampsched::system::single::run_alone;
+
+fn timeline(core: CoreConfig, spec: &BenchmarkSpec, interval: u64) {
+    let mut w = TraceGenerator::for_thread(spec.clone(), 7, 0);
+    let r = run_alone(core, MemConfig::default(), &mut w, 4_000_000, interval);
+    println!(
+        "\n=== {} on the {} core (IPC {:.3}, {:.2} W, IPC/Watt {:.3}) ===",
+        spec.name,
+        r.core,
+        r.totals.ipc(),
+        r.totals.watts(),
+        r.totals.ipc_per_watt()
+    );
+    println!("{:>4} {:>6} {:>6} {:>6} {:>6} {:>7} {:>8}  flavor", "ivl", "%INT", "%FP", "%mem", "%br", "IPC", "IPC/W");
+    for (k, s) in r.samples.iter().enumerate() {
+        let flavor = if s.int_pct >= 45.0 {
+            "INT-heavy"
+        } else if s.fp_pct >= 20.0 {
+            "FP-heavy"
+        } else {
+            "mixed"
+        };
+        let bar = "#".repeat((s.int_pct / 5.0) as usize);
+        println!(
+            "{k:>4} {:>6.1} {:>6.1} {:>6.1} {:>6.1} {:>7.3} {:>8.3}  {flavor:9} {bar}",
+            s.int_pct,
+            s.fp_pct,
+            s.mem_pct,
+            s.branch_pct,
+            s.ipc(),
+            s.ipc_per_watt()
+        );
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let name = args.first().map(String::as_str).unwrap_or("mpeg2_dec");
+    let interval: u64 = args
+        .get(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(500_000);
+    let spec = suite::by_name(name).unwrap_or_else(|| {
+        eprintln!("unknown benchmark {name}; available:");
+        for b in suite::all() {
+            eprintln!("  {} ({})", b.name, b.suite);
+        }
+        std::process::exit(2);
+    });
+
+    println!(
+        "{}: {} phases per cycle of {} instructions",
+        spec.name,
+        spec.phases.len(),
+        spec.cycle_length()
+    );
+    for p in &spec.phases {
+        println!(
+            "  phase {:12} {:>9} insts  %INT {:>4.0}  %FP {:>4.0}  ws {:>8}B  code {:>7}B",
+            p.name,
+            p.duration,
+            100.0 * p.mix.int_fraction(),
+            100.0 * p.mix.fp_fraction(),
+            p.data_working_set,
+            p.code_footprint
+        );
+    }
+
+    timeline(CoreConfig::fp_core(), &spec, interval);
+    timeline(CoreConfig::int_core(), &spec, interval);
+}

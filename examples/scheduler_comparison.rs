@@ -1,0 +1,97 @@
+//! Run one multiprogrammed pair under every scheduling scheme in the
+//! paper and compare IPC/Watt — a miniature of the Figure 7/8 evaluation.
+//!
+//! ```text
+//! cargo run --release --example scheduler_comparison [benchA benchB]
+//! ```
+//!
+//! Defaults to the adversarial pair {mixstress, mpeg2_dec}: both change
+//! flavor at sub-epoch granularity, which is exactly where fine-grained
+//! scheduling pays off.
+
+use ampsched::experiments::common::Params;
+use ampsched::experiments::profiling;
+use ampsched::metrics::Table;
+use ampsched::prelude::*;
+
+fn make_system(a: &BenchmarkSpec, b: &BenchmarkSpec, params: &Params) -> DualCoreSystem {
+    let workloads: [Box<dyn Workload>; 2] = [
+        Box::new(TraceGenerator::for_thread(a.clone(), params.seed, 0)),
+        Box::new(TraceGenerator::for_thread(b.clone(), params.seed, 1)),
+    ];
+    DualCoreSystem::new(params.system, workloads)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let name_a = args.first().map(String::as_str).unwrap_or("mixstress");
+    let name_b = args.get(1).map(String::as_str).unwrap_or("mpeg2_dec");
+    let a = suite::by_name(name_a).unwrap_or_else(|| panic!("unknown benchmark {name_a}"));
+    let b = suite::by_name(name_b).unwrap_or_else(|| panic!("unknown benchmark {name_b}"));
+
+    let mut params = Params::medium();
+    params.run_insts = 3_000_000;
+    eprintln!("[profiling for the HPE predictors ...]");
+    let preds = profiling::predictors(&params);
+
+    let mut schedulers: Vec<Box<dyn Scheduler>> = vec![
+        Box::new(StaticScheduler),
+        Box::new(RoundRobinScheduler::every_epoch()),
+        Box::new(HpeScheduler::new(HpePredictor::Matrix(preds.matrix.clone()))),
+        Box::new(HpeScheduler::new(HpePredictor::Surface(preds.surface.clone()))),
+        Box::new(MatrixFineScheduler::new(HpePredictor::Matrix(preds.matrix.clone()))),
+        Box::new(SamplingScheduler::new(2)),
+        Box::new(ProposedScheduler::with_defaults()),
+        Box::new(ExtendedScheduler::with_defaults()),
+    ];
+
+    println!("pair: {} (thread 0, FP core) + {} (thread 1, INT core)\n", a.name, b.name);
+    let mut t = Table::new(&["scheduler", "IPC/W t0", "IPC/W t1", "swaps", "cycles"]);
+    let mut static_ppw: Option<[f64; 2]> = None;
+    for sched in &mut schedulers {
+        let mut sys = make_system(&a, &b, &params);
+        let r = sys.run(&mut **sched, params.run_insts, params.max_cycles);
+        let ppw = r.ipc_per_watt();
+        if static_ppw.is_none() {
+            static_ppw = Some(ppw);
+        }
+        t.row(&[
+            r.scheduler.clone(),
+            format!("{:.4}", ppw[0]),
+            format!("{:.4}", ppw[1]),
+            r.swaps.to_string(),
+            r.cycles.to_string(),
+        ]);
+    }
+    println!("{}", t.render());
+
+    println!("weighted speedups over the static assignment:");
+    let base = static_ppw.expect("static ran first");
+    for sched_name in [
+        "round-robin",
+        "hpe-matrix",
+        "hpe-surface",
+        "matrix-fine",
+        "sampling",
+        "proposed",
+        "proposed-extended",
+    ] {
+        let mut sys = make_system(&a, &b, &params);
+        let mut sched: Box<dyn Scheduler> = match sched_name {
+            "round-robin" => Box::new(RoundRobinScheduler::every_epoch()),
+            "hpe-matrix" => Box::new(HpeScheduler::new(HpePredictor::Matrix(preds.matrix.clone()))),
+            "hpe-surface" => {
+                Box::new(HpeScheduler::new(HpePredictor::Surface(preds.surface.clone())))
+            }
+            "matrix-fine" => {
+                Box::new(MatrixFineScheduler::new(HpePredictor::Matrix(preds.matrix.clone())))
+            }
+            "sampling" => Box::new(SamplingScheduler::new(2)),
+            "proposed-extended" => Box::new(ExtendedScheduler::with_defaults()),
+            _ => Box::new(ProposedScheduler::with_defaults()),
+        };
+        let r = sys.run(&mut *sched, params.run_insts, params.max_cycles);
+        let s = weighted_speedup(&r.ipc_per_watt(), &base);
+        println!("  {sched_name:12} {:+.1}%", improvement_pct(s));
+    }
+}

@@ -1,0 +1,11 @@
+#!/bin/bash
+# Post-guard rerun of every HPE-baseline experiment.
+set -x
+cd /root/repo
+B=target/release/ampsched
+$B --csv results/fig78_per_pair.csv figs789 > results/figs789_full.txt 2>&1
+$B --pairs 16 fig6 > results/fig6_p16.txt 2>&1
+$B --pairs 12 overhead > results/overhead_p12.txt 2>&1
+$B --pairs 16 rr-interval > results/rr_interval_p16.txt 2>&1
+$B --pairs 12 ablation > results/ablation_p12.txt 2>&1
+echo CAMPAIGN2_DONE

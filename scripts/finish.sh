@@ -1,0 +1,7 @@
+#!/bin/bash
+set -x
+cd /root/repo
+until grep -q "CAMPAIGN2_DONE" results/campaign2.log 2>/dev/null; do sleep 20; done
+# Longer-run overhead check (amortization argument in EXPERIMENTS.md)
+target/release/ampsched --pairs 8 --insts 25000000 overhead > results/overhead_long.txt 2>&1
+echo FINISH_PHASE1_DONE

@@ -1,0 +1,100 @@
+//! Shape tests against the paper's qualitative claims, at reduced scale.
+//! (EXPERIMENTS.md records the full-scale paper-vs-measured numbers.)
+
+use ampsched::experiments::common::{Params, SchedKind};
+use ampsched::experiments::{fig1, fig78, profiling};
+
+fn quick(n_pairs: usize) -> Params {
+    let mut p = Params::quick();
+    p.num_pairs = n_pairs;
+    p
+}
+
+#[test]
+fn figure_1_preferences_hold() {
+    let rows = fig1::run(&quick(0));
+    let get = |n: &str| rows.iter().find(|r| r.workload == n).expect("row").ratio();
+    // Core A (FP) preferred:
+    assert!(get("fpstress") < 0.8, "fpstress B/A = {}", get("fpstress"));
+    assert!(get("equake") < 0.9, "equake B/A = {}", get("equake"));
+    // Core B (INT) preferred:
+    assert!(get("CRC32") > 1.4, "CRC32 B/A = {}", get("CRC32"));
+    assert!(get("intstress") > 1.4);
+    // No decisive preference:
+    assert!((0.6..1.6).contains(&get("gcc")));
+    assert!((0.6..1.6).contains(&get("mcf")));
+}
+
+#[test]
+fn headline_ordering_proposed_beats_hpe_beats_nothing() {
+    // At reduced scale the averages differ from the paper's, but the
+    // *ordering* — proposed ≥ HPE on average, proposed ≥ RR on average,
+    // with only a minority of losing pairs — must hold.
+    let params = quick(10);
+    let preds = profiling::quick_predictors().clone();
+    let sweep = fig78::run_sweep(&params, &preds);
+    let (w_hpe, g_hpe) = sweep.average(fig78::Reference::Hpe);
+    let (w_rr, g_rr) = sweep.average(fig78::Reference::RoundRobin);
+    assert!(w_hpe > 0.0, "proposed must beat HPE on average: {w_hpe:+.1}%");
+    assert!(w_rr > 0.0, "proposed must beat RR on average: {w_rr:+.1}%");
+    assert!(g_hpe.is_finite() && g_rr.is_finite());
+    assert!(
+        sweep.loss_fraction(fig78::Reference::Hpe) <= 0.4,
+        "most pairs should not lose to HPE"
+    );
+}
+
+#[test]
+fn swap_rate_is_well_under_one_percent() {
+    // Section VII: "in much less than 1% of the decision-making
+    // points, swapping of threads actually happened".
+    let params = quick(8);
+    let preds = profiling::quick_predictors().clone();
+    let sweep = fig78::run_sweep(&params, &preds);
+    let rate = sweep.proposed_swap_rate();
+    assert!(
+        rate < 0.01,
+        "swap rate {:.3}% should be well under 1%",
+        100.0 * rate
+    );
+}
+
+#[test]
+fn matrix_and_surface_predictors_agree_on_strong_affinities() {
+    let preds = profiling::quick_predictors();
+    for (int_pct, fp_pct) in [(70.0, 1.0), (60.0, 3.0)] {
+        assert!(preds.matrix.lookup(int_pct, fp_pct) > 1.0);
+        assert!(preds.surface.predict(int_pct, fp_pct) > 1.0);
+    }
+    for (int_pct, fp_pct) in [(10.0, 45.0), (12.0, 35.0)] {
+        assert!(preds.matrix.lookup(int_pct, fp_pct) < 1.0);
+        assert!(preds.surface.predict(int_pct, fp_pct) < 1.0);
+    }
+}
+
+#[test]
+fn hpe_with_either_predictor_beats_static_on_misplaced_pairs() {
+    use ampsched::experiments::common::{run_pair, Pair};
+    use ampsched::metrics::weighted_speedup;
+    use ampsched::workloads::suite;
+    let params = quick(0);
+    let preds = profiling::quick_predictors().clone();
+    // Build an intentionally misplaced pair: INT-heavy thread on FP core.
+    let pair = Pair {
+        a: suite::by_name("sha").expect("bench"),
+        b: suite::by_name("ammp").expect("bench"),
+        seed: 77,
+    };
+    let stat = run_pair(&pair, &SchedKind::Static, &preds, &params);
+    for kind in [SchedKind::HpeMatrix, SchedKind::HpeSurface] {
+        let hpe = run_pair(&pair, &kind, &preds, &params);
+        let s = weighted_speedup(&hpe.ipc_per_watt(), &stat.ipc_per_watt());
+        // HPE's first decision only comes one full epoch into the run, so
+        // at this reduced scale the gain is modest — but it must exist.
+        assert!(
+            s > 1.02,
+            "{kind:?} should fix the misplacement: speedup {s:.3}"
+        );
+        assert!(hpe.swaps >= 1);
+    }
+}
