@@ -5,7 +5,7 @@ use ampsched_bench::{criterion, predictors};
 use ampsched_core::{RatioMatrix, RatioSurface};
 use ampsched_experiments::common::Params;
 use ampsched_experiments::profiling;
-use criterion::{black_box, Criterion};
+use ampsched_util::timer::{black_box, Criterion};
 
 fn bench(c: &mut Criterion) {
     let preds = predictors();

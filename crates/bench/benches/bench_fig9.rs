@@ -3,7 +3,7 @@
 use ampsched_bench::{artifact_params, criterion, predictors, timing_params};
 use ampsched_experiments::common::{run_pair, sample_pairs, SchedKind};
 use ampsched_experiments::fig78;
-use criterion::{black_box, Criterion};
+use ampsched_util::timer::{black_box, Criterion};
 
 fn bench(c: &mut Criterion) {
     let preds = predictors();

@@ -2,7 +2,7 @@
 
 use ampsched_bench::{artifact_params, criterion, predictors, timing_params};
 use ampsched_experiments::overhead;
-use criterion::{black_box, Criterion};
+use ampsched_util::timer::{black_box, Criterion};
 
 fn bench(c: &mut Criterion) {
     let preds = predictors();

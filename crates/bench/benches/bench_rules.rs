@@ -4,7 +4,7 @@ use ampsched_bench::{criterion, timing_params};
 use ampsched_experiments::common::Params;
 use ampsched_experiments::profiling;
 use ampsched_experiments::rules_derivation;
-use criterion::{black_box, Criterion};
+use ampsched_util::timer::{black_box, Criterion};
 
 fn bench(c: &mut Criterion) {
     let mut params = Params::quick();

@@ -7,7 +7,7 @@ use ampsched_cpu::{Core, CoreConfig};
 use ampsched_mem::{AccessKind, MemConfig, MemSystem};
 use ampsched_system::{DualCoreSystem, SystemConfig};
 use ampsched_trace::{suite, TraceGenerator, Workload};
-use criterion::{black_box, Criterion};
+use ampsched_util::timer::{black_box, Criterion};
 
 fn bench(c: &mut Criterion) {
     c.bench_function("trace_generator_100k_ops", |b| {

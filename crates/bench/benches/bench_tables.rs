@@ -7,7 +7,7 @@ use ampsched_cpu::{Core, CoreConfig};
 use ampsched_experiments::tables;
 use ampsched_mem::MemSystem;
 use ampsched_trace::{suite, TraceGenerator};
-use criterion::{black_box, Criterion};
+use ampsched_util::timer::{black_box, Criterion};
 
 fn bench(c: &mut Criterion) {
     println!("\nTable I — core structure sizes\n\n{}", tables::render_table_i());

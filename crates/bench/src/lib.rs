@@ -1,4 +1,6 @@
-//! Shared helpers for the Criterion benches.
+//! Shared helpers for the bench targets, built on the in-tree
+//! [`ampsched_util::timer`] harness (no external Criterion dependency —
+//! the build is hermetic).
 //!
 //! Every paper table/figure has a bench target (`cargo bench -p
 //! ampsched-bench`). Each target does two things:
@@ -6,8 +8,9 @@
 //! 1. **regenerates the artifact once** at reduced scale and prints it —
 //!    so a `cargo bench` log contains every table and figure; and
 //! 2. **times the experiment's computational kernel** with a small
-//!    Criterion sample budget (the host is a single-core machine; the
-//!    full-scale regeneration lives in the `ampsched` CLI).
+//!    sample budget (the host is a single-core machine; the full-scale
+//!    regeneration lives in the `ampsched` CLI). Timing results land in
+//!    `results/bench/<target>.json`.
 
 use ampsched_experiments::common::{Params, Predictors};
 use ampsched_experiments::profiling;
@@ -34,10 +37,10 @@ pub fn predictors() -> &'static Predictors {
     profiling::quick_predictors()
 }
 
-/// Standard Criterion configuration for this crate: tiny sample counts,
+/// Standard timer configuration for this crate: tiny sample counts,
 /// short measurement windows (each iteration is a whole simulation).
-pub fn criterion() -> criterion::Criterion {
-    criterion::Criterion::default()
+pub fn criterion() -> ampsched_util::timer::Criterion {
+    ampsched_util::timer::Criterion::default()
         .sample_size(10)
         .measurement_time(std::time::Duration::from_secs(8))
         .warm_up_time(std::time::Duration::from_secs(1))

@@ -28,6 +28,7 @@ pub mod extended;
 pub mod history;
 pub mod hpe;
 pub mod matrix_fine;
+pub mod paper;
 pub mod profile;
 pub mod proposed;
 pub mod regression;

@@ -1,12 +1,20 @@
 //! Property tests: every scheduler is total (never panics), bounded in
 //! its swap rate, and deterministic over arbitrary counter sequences.
+//! Runs on the in-tree `util::check` harness with a fixed seed.
 
 use ampsched_core::{
     Assignment, Decision, ExtendedScheduler, HpePredictor, HpeScheduler, MatrixFineScheduler,
     ProfilePoint, ProposedScheduler, RatioMatrix, RatioSurface, RoundRobinScheduler, Scheduler,
     StaticScheduler, ThreadWindow, WindowSnapshot,
 };
-use proptest::prelude::*;
+use ampsched_util::check::{Checker, Source};
+use ampsched_util::{prop_assert, prop_assert_eq};
+
+const SEED: u64 = 0x5c4e_0004;
+
+fn checker() -> Checker {
+    Checker::new(SEED).cases(32)
+}
 
 fn predictor_points() -> Vec<ProfilePoint> {
     let mut pts = Vec::new();
@@ -25,32 +33,35 @@ fn predictor_points() -> Vec<ProfilePoint> {
     pts
 }
 
-fn arb_window() -> impl Strategy<Value = ThreadWindow> {
-    (0.0f64..100.0, 0.0f64..100.0, 0u64..5000, 1u64..10_000, 0.0f64..0.01).prop_map(
-        |(a, b, instructions, cycles, joules)| {
-            // Force a valid partition: int + fp <= 100.
-            let int_pct = a.min(100.0 - b.min(100.0));
-            ThreadWindow {
-                int_pct,
-                fp_pct: b.min(100.0 - int_pct),
-                mem_pct: 0.0,
-                branch_pct: 0.0,
-                instructions,
-                cycles,
-                joules,
-            }
-        },
-    )
+fn arb_window(s: &mut Source) -> ThreadWindow {
+    let a = s.f64_in(0.0, 100.0);
+    let b = s.f64_in(0.0, 100.0);
+    let instructions = s.u64_in(0, 5000);
+    let cycles = s.u64_in(1, 10_000);
+    let joules = s.f64_in(0.0, 0.01);
+    // Force a valid partition: int + fp <= 100.
+    let int_pct = a.min(100.0 - b.min(100.0));
+    ThreadWindow {
+        int_pct,
+        fp_pct: b.min(100.0 - int_pct),
+        mem_pct: 0.0,
+        branch_pct: 0.0,
+        instructions,
+        cycles,
+        joules,
+    }
 }
 
-fn arb_snapshot() -> impl Strategy<Value = WindowSnapshot> {
-    (arb_window(), arb_window(), 0u64..100_000_000, proptest::bool::ANY).prop_map(
-        |(t0, t1, cycle, swapped)| WindowSnapshot {
-            cycle,
-            assignment: Assignment { swapped },
-            threads: [t0, t1],
-        },
-    )
+fn arb_snapshot(s: &mut Source) -> WindowSnapshot {
+    let t0 = arb_window(s);
+    let t1 = arb_window(s);
+    let cycle = s.u64_in(0, 100_000_000);
+    let swapped = s.bool();
+    WindowSnapshot {
+        cycle,
+        assignment: Assignment { swapped },
+        threads: [t0, t1],
+    }
 }
 
 fn all_schedulers() -> Vec<Box<dyn Scheduler>> {
@@ -69,109 +80,127 @@ fn all_schedulers() -> Vec<Box<dyn Scheduler>> {
     ]
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(32))]
-
-    /// No scheduler panics or returns garbage on any snapshot sequence,
-    /// and resetting restores initial behaviour.
-    #[test]
-    fn schedulers_are_total_and_resettable(
-        snaps in proptest::collection::vec(arb_snapshot(), 1..60),
-    ) {
-        for sched in &mut all_schedulers() {
-            let first: Vec<Decision> = snaps
-                .iter()
-                .map(|s| {
+/// No scheduler panics or returns garbage on any snapshot sequence,
+/// and resetting restores initial behaviour.
+#[test]
+fn schedulers_are_total_and_resettable() {
+    checker().run(
+        "schedulers_are_total_and_resettable",
+        |s: &mut Source| s.vec_with(1, 59, arb_snapshot),
+        |snaps| {
+            for sched in &mut all_schedulers() {
+                let mut first: Vec<Decision> = Vec::with_capacity(snaps.len());
+                for s in snaps {
                     let dw = sched.on_window(s);
                     let de = sched.on_epoch(s);
                     prop_assert!(matches!(dw, Decision::Stay | Decision::Swap));
                     prop_assert!(matches!(de, Decision::Stay | Decision::Swap));
-                    Ok((dw, de))
-                })
-                .collect::<Result<Vec<_>, _>>()?
-                .into_iter()
-                .map(|(a, _)| a)
-                .collect();
-            sched.reset();
-            let second: Vec<Decision> = snaps
-                .iter()
-                .map(|s| {
-                    let dw = sched.on_window(s);
-                    let _ = sched.on_epoch(s);
-                    dw
-                })
-                .collect();
-            prop_assert_eq!(first, second, "{} must be deterministic after reset", sched.name());
-        }
-    }
-
-    /// The proposed scheme can never swap more than once per history
-    /// depth worth of windows (the vote ring must refill).
-    #[test]
-    fn proposed_swap_rate_bounded_by_history(
-        snaps in proptest::collection::vec(arb_snapshot(), 20..120),
-    ) {
-        let mut sched = ProposedScheduler::with_defaults();
-        let depth = sched.config().history_depth as u64;
-        let mut swaps = 0u64;
-        for s in &snaps {
-            // Keep fairness out of the picture: short-cycle snapshots.
-            let mut s = *s;
-            s.cycle %= 1_000_000;
-            if sched.on_window(&s) == Decision::Swap {
-                swaps += 1;
+                    first.push(dw);
+                }
+                sched.reset();
+                let second: Vec<Decision> = snaps
+                    .iter()
+                    .map(|s| {
+                        let dw = sched.on_window(s);
+                        let _ = sched.on_epoch(s);
+                        dw
+                    })
+                    .collect();
+                prop_assert_eq!(
+                    first,
+                    second,
+                    "{} must be deterministic after reset",
+                    sched.name()
+                );
             }
-        }
-        prop_assert!(
-            swaps <= snaps.len() as u64 / depth + 1,
-            "{swaps} swaps in {} windows exceeds the vote-ring bound",
-            snaps.len()
-        );
-    }
+            Ok(())
+        },
+    );
+}
 
-    /// HPE never oscillates: for any *fixed* pair of compositions, once it
-    /// has swapped it must not swap again on the same (role-exchanged)
-    /// observations — regardless of how extreme the flavors are.
-    #[test]
-    fn hpe_cannot_ping_pong_on_stationary_compositions(
-        t0 in arb_window(),
-        t1 in arb_window(),
-    ) {
-        let pts = predictor_points();
-        let mut hpe = HpeScheduler::new(HpePredictor::Matrix(RatioMatrix::from_points(&pts)));
-        let mut assignment = Assignment::default();
-        let mut swaps = 0;
-        for cycle in 0..20u64 {
-            let snap = WindowSnapshot {
-                cycle: cycle * 4_000_000,
-                assignment,
-                threads: [t0, t1],
-            };
-            if hpe.on_epoch(&snap) == Decision::Swap {
-                swaps += 1;
-                assignment = assignment.toggled();
+/// The proposed scheme can never swap more than once per history
+/// depth worth of windows (the vote ring must refill).
+#[test]
+fn proposed_swap_rate_bounded_by_history() {
+    checker().run(
+        "proposed_swap_rate_bounded_by_history",
+        |s: &mut Source| s.vec_with(20, 119, arb_snapshot),
+        |snaps| {
+            let mut sched = ProposedScheduler::with_defaults();
+            let depth = sched.config().history_depth as u64;
+            let mut swaps = 0u64;
+            for s in snaps {
+                // Keep fairness out of the picture: short-cycle snapshots.
+                let mut s = *s;
+                s.cycle %= 1_000_000;
+                if sched.on_window(&s) == Decision::Swap {
+                    swaps += 1;
+                }
             }
-        }
-        prop_assert!(
-            swaps <= 1,
-            "stationary compositions must produce at most one swap, got {swaps}"
-        );
-    }
+            prop_assert!(
+                swaps <= snaps.len() as u64 / depth + 1,
+                "{swaps} swaps in {} windows exceeds the vote-ring bound",
+                snaps.len()
+            );
+            Ok(())
+        },
+    );
+}
 
-    /// Round Robin's swap count is exactly floor(epochs / interval).
-    #[test]
-    fn round_robin_counts_exactly(
-        n_epochs in 1u32..100,
-        interval in 1u32..5,
-        snap in arb_snapshot(),
-    ) {
-        let mut rr = RoundRobinScheduler::new(interval);
-        let mut swaps = 0u32;
-        for _ in 0..n_epochs {
-            if rr.on_epoch(&snap) == Decision::Swap {
-                swaps += 1;
+/// HPE never oscillates: for any *fixed* pair of compositions, once it
+/// has swapped it must not swap again on the same (role-exchanged)
+/// observations — regardless of how extreme the flavors are.
+#[test]
+fn hpe_cannot_ping_pong_on_stationary_compositions() {
+    checker().run(
+        "hpe_cannot_ping_pong_on_stationary_compositions",
+        |s: &mut Source| (arb_window(s), arb_window(s)),
+        |(t0, t1)| {
+            let pts = predictor_points();
+            let mut hpe = HpeScheduler::new(HpePredictor::Matrix(RatioMatrix::from_points(&pts)));
+            let mut assignment = Assignment::default();
+            let mut swaps = 0;
+            for cycle in 0..20u64 {
+                let snap = WindowSnapshot {
+                    cycle: cycle * 4_000_000,
+                    assignment,
+                    threads: [*t0, *t1],
+                };
+                if hpe.on_epoch(&snap) == Decision::Swap {
+                    swaps += 1;
+                    assignment = assignment.toggled();
+                }
             }
-        }
-        prop_assert_eq!(swaps, n_epochs / interval);
-    }
+            prop_assert!(
+                swaps <= 1,
+                "stationary compositions must produce at most one swap, got {swaps}"
+            );
+            Ok(())
+        },
+    );
+}
+
+/// Round Robin's swap count is exactly floor(epochs / interval).
+#[test]
+fn round_robin_counts_exactly() {
+    checker().run(
+        "round_robin_counts_exactly",
+        |s: &mut Source| {
+            let n_epochs = s.u32_in(1, 100);
+            let interval = s.u32_in(1, 5);
+            let snap = arb_snapshot(s);
+            (n_epochs, interval, snap)
+        },
+        |(n_epochs, interval, snap)| {
+            let mut rr = RoundRobinScheduler::new(*interval);
+            let mut swaps = 0u32;
+            for _ in 0..*n_epochs {
+                if rr.on_epoch(snap) == Decision::Swap {
+                    swaps += 1;
+                }
+            }
+            prop_assert_eq!(swaps, n_epochs / interval);
+            Ok(())
+        },
+    );
 }

@@ -1,10 +1,18 @@
-//! Pipeline-level invariants checked against randomized workloads.
+//! Pipeline-level invariants checked against randomized workloads, on
+//! the in-tree `util::check` harness with a fixed seed.
 
 use ampsched_cpu::{Core, CoreConfig};
 use ampsched_isa::{ArchReg, MicroOp, OpClass};
 use ampsched_mem::{MemConfig, MemSystem};
 use ampsched_trace::Workload;
-use proptest::prelude::*;
+use ampsched_util::check::{Checker, Source};
+use ampsched_util::{prop_assert, prop_assert_eq};
+
+const SEED: u64 = 0xc40_0003;
+
+fn checker() -> Checker {
+    Checker::new(SEED).cases(24)
+}
 
 /// Workload producing a random but valid op stream.
 struct RandomWorkload {
@@ -26,108 +34,133 @@ impl Workload for RandomWorkload {
     }
 }
 
-fn arb_op() -> impl Strategy<Value = MicroOp> {
-    (0u8..9, 0u8..32, 0u8..32, 0u8..32, 0u64..65536, proptest::bool::ANY).prop_map(
-        |(class, s1, s2, d, addr, pred)| {
-            let class = ampsched_isa::ops::ALL_OP_CLASSES[class as usize];
-            match class {
-                OpClass::Load => MicroOp::load(addr & !7, 8, Some(ArchReg::Int(s1)), ArchReg::Int(d.max(1))),
-                OpClass::Store => MicroOp::store(addr & !7, 8, Some(ArchReg::Int(s1)), ArchReg::Int(s2.max(1))),
-                OpClass::Branch => MicroOp::branch(Some(ArchReg::Int(s1)), pred),
-                c if c.is_fp() => MicroOp::arith(
-                    c,
-                    Some(ArchReg::Fp(s1)),
-                    Some(ArchReg::Fp(s2)),
-                    Some(ArchReg::Fp(d)),
-                ),
-                c => MicroOp::arith(
-                    c,
-                    Some(ArchReg::Int(s1)),
-                    Some(ArchReg::Int(s2)),
-                    Some(ArchReg::Int(d.max(1))),
-                ),
-            }
-        },
-    )
+fn arb_op(s: &mut Source) -> MicroOp {
+    let class = ampsched_isa::ops::ALL_OP_CLASSES[s.u8_in(0, 9) as usize];
+    let s1 = s.u8_in(0, 32);
+    let s2 = s.u8_in(0, 32);
+    let d = s.u8_in(0, 32);
+    let addr = s.u64_in(0, 65536);
+    let pred = s.bool();
+    match class {
+        OpClass::Load => MicroOp::load(addr & !7, 8, Some(ArchReg::Int(s1)), ArchReg::Int(d.max(1))),
+        OpClass::Store => MicroOp::store(addr & !7, 8, Some(ArchReg::Int(s1)), ArchReg::Int(s2.max(1))),
+        OpClass::Branch => MicroOp::branch(Some(ArchReg::Int(s1)), pred),
+        c if c.is_fp() => MicroOp::arith(
+            c,
+            Some(ArchReg::Fp(s1)),
+            Some(ArchReg::Fp(s2)),
+            Some(ArchReg::Fp(d)),
+        ),
+        c => MicroOp::arith(
+            c,
+            Some(ArchReg::Int(s1)),
+            Some(ArchReg::Int(s2)),
+            Some(ArchReg::Int(d.max(1))),
+        ),
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
+/// Commit never exceeds dispatch; activity counters are consistent;
+/// the pipeline never deadlocks on any op mixture.
+#[test]
+fn pipeline_liveness_and_counter_consistency() {
+    checker().run(
+        "pipeline_liveness_and_counter_consistency",
+        |s: &mut Source| {
+            let ops = s.vec_with(8, 63, arb_op);
+            let fp_core = s.bool();
+            (ops, fp_core)
+        },
+        |(ops, fp_core)| {
+            let mut ops = ops.clone();
+            for (i, op) in ops.iter_mut().enumerate() {
+                op.pc = (i as u64) * 4 % 4096;
+            }
+            let cfg = if *fp_core {
+                CoreConfig::fp_core()
+            } else {
+                CoreConfig::int_core()
+            };
+            let mut core = Core::new(cfg, 0);
+            let mut mem = MemSystem::new(MemConfig::default(), 1);
+            let mut w = RandomWorkload { ops, i: 0 };
+            let mut committed = 0u64;
+            for now in 0..30_000u64 {
+                committed += core.tick(now, &mut w, &mut mem) as u64;
+            }
+            // Liveness: the core must retire work (no deadlock). The worst
+            // mixtures (all divides on a non-pipelined unit) still retire
+            // one op per ~12 cycles.
+            prop_assert!(committed > 500, "only {committed} commits in 30k cycles");
+            // Conservation: commits <= dispatches, and both tallies agree
+            // with the stats layer.
+            prop_assert!(core.activity.commits <= core.activity.dispatches);
+            prop_assert_eq!(core.activity.commits, committed);
+            prop_assert_eq!(core.stats.committed.total(), committed);
+            // ROB occupancy bounded by capacity.
+            prop_assert!(core.rob_occupancy() <= core.config().rob_size as usize);
+            // Cycles counted exactly once per tick.
+            prop_assert_eq!(core.stats.cycles, 30_000);
+            Ok(())
+        },
+    );
+}
 
-    /// Commit never exceeds dispatch; activity counters are consistent;
-    /// the pipeline never deadlocks on any op mixture.
-    #[test]
-    fn pipeline_liveness_and_counter_consistency(
-        ops in proptest::collection::vec(arb_op(), 8..64),
-        fp_core in proptest::bool::ANY,
-    ) {
-        let mut ops = ops;
-        for (i, op) in ops.iter_mut().enumerate() {
-            op.pc = (i as u64) * 4 % 4096;
-        }
-        let cfg = if fp_core { CoreConfig::fp_core() } else { CoreConfig::int_core() };
-        let mut core = Core::new(cfg, 0);
-        let mut mem = MemSystem::new(MemConfig::default(), 1);
-        let mut w = RandomWorkload { ops, i: 0 };
-        let mut committed = 0u64;
-        for now in 0..30_000u64 {
-            committed += core.tick(now, &mut w, &mut mem) as u64;
-        }
-        // Liveness: the core must retire work (no deadlock). The worst
-        // mixtures (all divides on a non-pipelined unit) still retire
-        // one op per ~12 cycles.
-        prop_assert!(committed > 500, "only {committed} commits in 30k cycles");
-        // Conservation: commits <= dispatches, and both tallies agree
-        // with the stats layer.
-        prop_assert!(core.activity.commits <= core.activity.dispatches);
-        prop_assert_eq!(core.activity.commits, committed);
-        prop_assert_eq!(core.stats.committed.total(), committed);
-        // ROB occupancy bounded by capacity.
-        prop_assert!(core.rob_occupancy() <= core.config().rob_size as usize);
-        // Cycles counted exactly once per tick.
-        prop_assert_eq!(core.stats.cycles, 30_000);
-    }
+/// IPC can never exceed the dispatch width.
+#[test]
+fn ipc_bounded_by_dispatch_width() {
+    checker().run(
+        "ipc_bounded_by_dispatch_width",
+        |s: &mut Source| s.vec_with(8, 31, arb_op),
+        |ops| {
+            let mut ops = ops.clone();
+            for (i, op) in ops.iter_mut().enumerate() {
+                op.pc = (i as u64) * 4 % 2048;
+            }
+            let mut core = Core::new(CoreConfig::int_core(), 0);
+            let mut mem = MemSystem::new(MemConfig::default(), 1);
+            let mut w = RandomWorkload { ops, i: 0 };
+            for now in 0..10_000u64 {
+                core.tick(now, &mut w, &mut mem);
+            }
+            prop_assert!(core.stats.ipc() <= core.config().dispatch_width as f64 + 1e-9);
+            Ok(())
+        },
+    );
+}
 
-    /// IPC can never exceed the dispatch width.
-    #[test]
-    fn ipc_bounded_by_dispatch_width(ops in proptest::collection::vec(arb_op(), 8..32)) {
-        let mut ops = ops;
-        for (i, op) in ops.iter_mut().enumerate() {
-            op.pc = (i as u64) * 4 % 2048;
-        }
-        let mut core = Core::new(CoreConfig::int_core(), 0);
-        let mut mem = MemSystem::new(MemConfig::default(), 1);
-        let mut w = RandomWorkload { ops, i: 0 };
-        for now in 0..10_000u64 {
-            core.tick(now, &mut w, &mut mem);
-        }
-        prop_assert!(core.stats.ipc() <= core.config().dispatch_width as f64 + 1e-9);
-    }
-
-    /// Flushing at an arbitrary point preserves committed counts and the
-    /// core continues to make progress.
-    #[test]
-    fn flush_anywhere_is_safe(
-        ops in proptest::collection::vec(arb_op(), 8..32),
-        flush_at in 100u64..5000,
-    ) {
-        let mut ops = ops;
-        for (i, op) in ops.iter_mut().enumerate() {
-            op.pc = (i as u64) * 4 % 2048;
-        }
-        let mut core = Core::new(CoreConfig::fp_core(), 0);
-        let mut mem = MemSystem::new(MemConfig::default(), 1);
-        let mut w = RandomWorkload { ops, i: 0 };
-        for now in 0..flush_at {
-            core.tick(now, &mut w, &mut mem);
-        }
-        let committed_at_flush = core.stats.committed.total();
-        core.flush_pipeline();
-        prop_assert_eq!(core.rob_occupancy(), 0);
-        prop_assert_eq!(core.stats.committed.total(), committed_at_flush);
-        for now in flush_at..flush_at + 20_000 {
-            core.tick(now, &mut w, &mut mem);
-        }
-        prop_assert!(core.stats.committed.total() > committed_at_flush);
-    }
+/// Flushing at an arbitrary point preserves committed counts and the
+/// core continues to make progress.
+#[test]
+fn flush_anywhere_is_safe() {
+    checker().run(
+        "flush_anywhere_is_safe",
+        |s: &mut Source| {
+            let ops = s.vec_with(8, 31, arb_op);
+            let flush_at = s.u64_in(100, 5000);
+            (ops, flush_at)
+        },
+        |(ops, flush_at)| {
+            let flush_at = *flush_at;
+            let mut ops = ops.clone();
+            for (i, op) in ops.iter_mut().enumerate() {
+                op.pc = (i as u64) * 4 % 2048;
+            }
+            let mut core = Core::new(CoreConfig::fp_core(), 0);
+            let mut mem = MemSystem::new(MemConfig::default(), 1);
+            let mut w = RandomWorkload { ops, i: 0 };
+            for now in 0..flush_at {
+                core.tick(now, &mut w, &mut mem);
+            }
+            let committed_at_flush = core.stats.committed.total();
+            core.flush_pipeline();
+            prop_assert_eq!(core.rob_occupancy(), 0);
+            prop_assert_eq!(core.stats.committed.total(), committed_at_flush);
+            for now in flush_at..flush_at + 20_000 {
+                core.tick(now, &mut w, &mut mem);
+            }
+            prop_assert!(core.stats.committed.total() > committed_at_flush);
+            Ok(())
+        },
+    );
 }

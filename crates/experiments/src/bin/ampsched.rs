@@ -1,7 +1,7 @@
 //! `ampsched` — regenerate every table and figure of the paper.
 //!
 //! ```text
-//! ampsched [--quick|--medium] [--pairs N] [--insts N] [--seed N] [--csv FILE] <command>
+//! ampsched [--quick|--medium] [--pairs N] [--insts N] [--seed N] [--csv FILE] [--json FILE] <command>
 //!
 //! commands:
 //!   tables        Tables I and II (live core configurations)
@@ -25,11 +25,13 @@ use ampsched_experiments::{
     ablation, common::Params, fig1, fig6, fig78, morphing, overhead, profiling, rr_interval,
     rules_derivation, tables,
 };
+use ampsched_util::Json;
+use std::cell::RefCell;
 use std::time::Instant;
 
 fn usage() -> ! {
     eprintln!(
-        "usage: ampsched [--quick|--medium] [--pairs N] [--insts N] [--seed N] \
+        "usage: ampsched [--quick|--medium] [--pairs N] [--insts N] [--seed N] [--csv FILE] [--json FILE] \
          <tables|fig1|fig3|fig4|fig6|fig7|fig8|fig9|figs789|overhead|rr-interval|derive-rules|ablation|morphing|workloads|all>"
     );
     std::process::exit(2);
@@ -40,6 +42,7 @@ fn main() {
     let mut params = Params::default();
     let mut command = None;
     let mut csv_path: Option<String> = None;
+    let mut json_path: Option<String> = None;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -61,12 +64,25 @@ fn main() {
                 i += 1;
                 csv_path = Some(args.get(i).cloned().unwrap_or_else(|| usage()));
             }
+            "--json" => {
+                i += 1;
+                json_path = Some(args.get(i).cloned().unwrap_or_else(|| usage()));
+            }
             c if command.is_none() && !c.starts_with('-') => command = Some(c.to_string()),
             _ => usage(),
         }
         i += 1;
     }
     let command = command.unwrap_or_else(|| usage());
+    // Reject unknown commands before the (expensive) profiling phase.
+    const COMMANDS: &[&str] = &[
+        "tables", "workloads", "fig1", "fig3", "fig4", "fig6", "fig7", "fig8", "fig9", "figs789",
+        "overhead", "rr-interval", "derive-rules", "ablation", "morphing", "all",
+    ];
+    if !COMMANDS.contains(&command.as_str()) {
+        eprintln!("unknown command: {command}");
+        usage();
+    }
 
     let t0 = Instant::now();
     let needs_predictors = !matches!(command.as_str(), "tables" | "workloads" | "fig1" | "derive-rules" | "morphing");
@@ -76,6 +92,10 @@ fn main() {
     } else {
         None
     };
+
+    // Machine-readable report sections, keyed by figure; written as one
+    // JSON document at exit when --json is given.
+    let report: RefCell<Vec<(String, Json)>> = RefCell::new(Vec::new());
 
     let run_one = |cmd: &str| match cmd {
         "tables" => {
@@ -87,7 +107,9 @@ fn main() {
         }
         "fig1" => {
             println!("Figure 1 — IPC/Watt per workload per core\n");
-            println!("{}", fig1::render(&fig1::run(&params)));
+            let rows = fig1::run(&params);
+            println!("{}", fig1::render(&rows));
+            report.borrow_mut().push(("fig1".into(), fig1::to_json(&rows)));
         }
         "fig3" => {
             println!("Figure 3 — IPC/Watt ratio matrix (INT core / FP core)\n");
@@ -110,6 +132,7 @@ fn main() {
                 fig78::write_sweep_csv(&sweep, &mut f).expect("write csv");
                 eprintln!("[per-pair results written to {path}]");
             }
+            report.borrow_mut().push(("sweep".into(), fig78::to_json(&sweep)));
             match cmd {
                 "fig7" => {
                     println!("Figure 7 — proposed vs HPE\n");
@@ -174,6 +197,7 @@ fn main() {
         run_one("fig6");
         eprintln!("[running {}-pair sweep under 3 schedulers ...]", params.num_pairs);
         let sweep = fig78::run_sweep(&params, preds.as_ref().expect("predictors"));
+        report.borrow_mut().push(("sweep".into(), fig78::to_json(&sweep)));
         println!("Figure 7 — proposed vs HPE\n");
         println!("{}", fig78::render_fig(&sweep, fig78::Reference::Hpe));
         println!("Figure 8 — proposed vs Round Robin\n");
@@ -186,6 +210,23 @@ fn main() {
         run_one("morphing");
     } else {
         run_one(&command);
+    }
+    if let Some(path) = &json_path {
+        let mut sections = vec![
+            ("command".to_string(), Json::from(command.as_str())),
+            (
+                "params".to_string(),
+                Json::obj([
+                    ("run_insts", Json::from(params.run_insts)),
+                    ("num_pairs", Json::from(params.num_pairs)),
+                    ("seed", Json::from(params.seed)),
+                ]),
+            ),
+        ];
+        sections.extend(report.into_inner());
+        let doc = Json::Obj(sections);
+        std::fs::write(path, doc.render_pretty()).expect("write json report");
+        eprintln!("[json report written to {path}]");
     }
     eprintln!("[done in {:.1}s]", t0.elapsed().as_secs_f64());
 }

@@ -8,8 +8,7 @@ use ampsched_core::{
 };
 use ampsched_system::{DualCoreSystem, RunResult, SystemConfig};
 use ampsched_trace::{suite, BenchmarkSpec, TraceGenerator, Workload};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use ampsched_util::rng::StdRng;
 
 /// Global experiment parameters.
 #[derive(Debug, Clone)]

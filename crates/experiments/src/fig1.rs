@@ -56,6 +56,19 @@ pub fn run(params: &Params) -> Vec<Fig1Row> {
     })
 }
 
+/// Serialize Figure 1 rows for the `--json` report path.
+pub fn to_json(rows: &[Fig1Row]) -> ampsched_util::Json {
+    use ampsched_util::Json;
+    Json::arr(rows.iter().map(|r| {
+        Json::obj([
+            ("workload", Json::from(r.workload.as_str())),
+            ("ppw_core_a", Json::from(r.ppw_core_a)),
+            ("ppw_core_b", Json::from(r.ppw_core_b)),
+            ("ratio", Json::from(r.ratio())),
+        ])
+    }))
+}
+
 /// Render the ASCII version of Figure 1.
 pub fn render(rows: &[Fig1Row]) -> String {
     let mut t = Table::new(&["workload", "IPC/W core A (FP)", "IPC/W core B (INT)", "B/A"]);

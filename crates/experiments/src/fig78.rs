@@ -110,6 +110,52 @@ impl SweepResult {
     }
 }
 
+/// Serialize the whole sweep (per-pair, per-scheme thread metrics plus
+/// the derived improvement summaries) for the `--json` report path.
+pub fn to_json(sweep: &SweepResult) -> ampsched_util::Json {
+    use ampsched_util::Json;
+    let run = |r: &RunResult| {
+        Json::obj([
+            ("scheduler", Json::from(r.scheduler.as_str())),
+            ("cycles", Json::from(r.cycles)),
+            ("swaps", Json::from(r.swaps)),
+            ("window_decisions", Json::from(r.window_decisions)),
+            ("epoch_decisions", Json::from(r.epoch_decisions)),
+            (
+                "threads",
+                Json::arr(r.threads.iter().map(|t| t.to_json())),
+            ),
+        ])
+    };
+    let summary = |reference: Reference| {
+        let (w, g) = sweep.average(reference);
+        Json::obj([
+            ("weighted_avg_pct", Json::from(w)),
+            ("geometric_avg_pct", Json::from(g)),
+            ("loss_fraction", Json::from(sweep.loss_fraction(reference))),
+        ])
+    };
+    Json::obj([
+        (
+            "pairs",
+            Json::arr(sweep.outcomes.iter().map(|o| {
+                Json::obj([
+                    ("label", Json::from(o.label.as_str())),
+                    ("proposed", run(&o.proposed)),
+                    ("hpe", run(&o.hpe)),
+                    ("rr", run(&o.rr)),
+                ])
+            })),
+        ),
+        ("vs_hpe", summary(Reference::Hpe)),
+        ("vs_round_robin", summary(Reference::RoundRobin)),
+        (
+            "proposed_swap_rate",
+            Json::from(sweep.proposed_swap_rate()),
+        ),
+    ])
+}
+
 /// Run the full three-scheme sweep over `params.num_pairs` combinations.
 pub fn run_sweep(params: &Params, predictors: &Predictors) -> SweepResult {
     let pairs = sample_pairs(params.num_pairs, params.seed);

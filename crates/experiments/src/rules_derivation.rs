@@ -12,8 +12,7 @@
 
 use ampsched_core::SwapRules;
 use ampsched_metrics::{mean, Table};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use ampsched_util::rng::StdRng;
 
 use crate::common::Params;
 use crate::profiling::{profile_representatives, BenchmarkProfile};

@@ -5,8 +5,8 @@
 //! scale. Work items are claimed from an atomic counter by scoped worker
 //! threads; results return in input order.
 
-use parking_lot::Mutex;
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
 
 /// Map `f` over `items` using up to `available_parallelism` threads,
 /// preserving input order in the output.
@@ -24,25 +24,29 @@ where
         return items.iter().map(&f).collect();
     }
     let next = AtomicUsize::new(0);
-    let results: Mutex<Vec<Option<R>>> =
-        Mutex::new((0..items.len()).map(|_| None).collect());
-    crossbeam::scope(|scope| {
+    // One slot per item: workers claim indices from the atomic counter
+    // and only ever write their own slot, so a plain Mutex per slot
+    // (never contended) keeps the write safe without aggregate locking.
+    let results: Vec<Mutex<Option<R>>> = (0..items.len()).map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|scope| {
         for _ in 0..n_threads {
-            scope.spawn(|_| loop {
+            scope.spawn(|| loop {
                 let i = next.fetch_add(1, Ordering::Relaxed);
                 if i >= items.len() {
                     break;
                 }
                 let r = f(&items[i]);
-                results.lock()[i] = Some(r);
+                *results[i].lock().expect("slot lock") = Some(r);
             });
         }
-    })
-    .expect("worker panicked");
+    });
     results
-        .into_inner()
         .into_iter()
-        .map(|r| r.expect("all items processed"))
+        .map(|slot| {
+            slot.into_inner()
+                .expect("slot lock")
+                .expect("all items processed")
+        })
         .collect()
 }
 

@@ -1,0 +1,45 @@
+//! End-to-end smoke test: run the `ampsched` binary on a tiny workload
+//! and assert it exits cleanly and emits a well-formed JSON report.
+
+use ampsched_util::Json;
+use std::process::Command;
+
+#[test]
+fn ampsched_fig1_emits_well_formed_json_report() {
+    let dir = std::env::temp_dir().join(format!("ampsched-smoke-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let json_path = dir.join("fig1.json");
+
+    let out = Command::new(env!("CARGO_BIN_EXE_ampsched"))
+        .args(["--quick", "--insts", "20000", "--json"])
+        .arg(&json_path)
+        .arg("fig1")
+        .output()
+        .expect("run ampsched");
+    assert!(
+        out.status.success(),
+        "ampsched failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("Figure 1"), "missing figure header:\n{stdout}");
+
+    let text = std::fs::read_to_string(&json_path).expect("report file written");
+    let doc = Json::parse(&text).expect("report must be well-formed JSON");
+    assert_eq!(doc.get("command").and_then(Json::as_str), Some("fig1"));
+    let params = doc.get("params").expect("params section");
+    assert_eq!(params.get("run_insts").and_then(Json::as_u64), Some(20000));
+
+    let rows = doc.get("fig1").and_then(Json::as_arr).expect("fig1 section");
+    assert_eq!(rows.len(), 6, "Figure 1 covers six workloads");
+    for row in rows {
+        assert!(row.get("workload").and_then(Json::as_str).is_some());
+        let a = row.get("ppw_core_a").and_then(Json::as_f64).expect("ppw_core_a");
+        let b = row.get("ppw_core_b").and_then(Json::as_f64).expect("ppw_core_b");
+        assert!(a > 0.0 && b > 0.0, "IPC/Watt must be positive");
+        let ratio = row.get("ratio").and_then(Json::as_f64).expect("ratio");
+        assert!((ratio - b / a).abs() < 1e-9);
+    }
+
+    std::fs::remove_dir_all(&dir).ok();
+}

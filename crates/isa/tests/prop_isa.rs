@@ -1,83 +1,117 @@
-//! Property tests for the ISA layer.
+//! Property tests for the ISA layer, on the in-tree `util::check`
+//! harness with a fixed seed (same seed → same cases → same failures).
 
 use ampsched_isa::ops::{ALL_OP_CLASSES, NUM_OP_CLASSES};
 use ampsched_isa::{ArchReg, InstMix, MixCounts, OpClass};
-use proptest::prelude::*;
+use ampsched_util::check::{Checker, Source};
+use ampsched_util::{prop_assert, prop_assert_eq, prop_assume};
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
+const SEED: u64 = 0x15a_0001;
 
-    #[test]
-    fn arch_reg_flat_index_is_a_bijection(idx in 0usize..64) {
-        let r = ArchReg::from_flat_index(idx);
-        prop_assert_eq!(r.flat_index(), idx);
-        // Int and Fp never alias.
-        match r {
-            ArchReg::Int(n) => prop_assert!(n < 32 && idx < 32),
-            ArchReg::Fp(n) => prop_assert!(n < 32 && idx >= 32),
-        }
-    }
+fn checker() -> Checker {
+    Checker::new(SEED).cases(128)
+}
 
-    #[test]
-    fn mix_cdf_sampling_covers_only_positive_classes(
-        weights in proptest::collection::vec(0.0f64..1.0, NUM_OP_CLASSES),
-        u in 0.0f64..1.0,
-    ) {
-        prop_assume!(weights.iter().sum::<f64>() > 1e-9);
-        let pairs: Vec<(OpClass, f64)> = ALL_OP_CLASSES
-            .iter()
-            .copied()
-            .zip(weights.iter().copied())
-            .collect();
-        let mix = InstMix::from_weights(&pairs);
-        let cdf = mix.cdf();
-        // Inverse-CDF sampling like the generator does.
-        let mut class = OpClass::Branch;
-        for (i, &c) in cdf.iter().enumerate() {
-            if u <= c {
-                class = ALL_OP_CLASSES[i];
-                break;
+#[test]
+fn arch_reg_flat_index_is_a_bijection() {
+    checker().run(
+        "arch_reg_flat_index_is_a_bijection",
+        |s: &mut Source| s.usize_in(0, 64),
+        |&idx| {
+            let r = ArchReg::from_flat_index(idx);
+            prop_assert_eq!(r.flat_index(), idx);
+            // Int and Fp never alias.
+            match r {
+                ArchReg::Int(n) => prop_assert!(n < 32 && idx < 32),
+                ArchReg::Fp(n) => prop_assert!(n < 32 && idx >= 32),
             }
-        }
-        // A sampled class must have positive probability (up to fp
-        // rounding at bin edges).
-        prop_assert!(
-            mix.probability(class) > 0.0 || u > cdf[NUM_OP_CLASSES - 1] - 1e-12,
-            "sampled {class} with zero probability"
-        );
-    }
+            Ok(())
+        },
+    );
+}
 
-    #[test]
-    fn mix_counts_merge_is_commutative_and_total_preserving(
-        a in proptest::collection::vec(0u64..100, NUM_OP_CLASSES),
-        b in proptest::collection::vec(0u64..100, NUM_OP_CLASSES),
-    ) {
-        let fill = |v: &[u64]| {
-            let mut m = MixCounts::new();
-            for (i, &n) in v.iter().enumerate() {
-                for _ in 0..n {
-                    m.record(ALL_OP_CLASSES[i]);
+#[test]
+fn mix_cdf_sampling_covers_only_positive_classes() {
+    checker().run(
+        "mix_cdf_sampling_covers_only_positive_classes",
+        |s: &mut Source| {
+            let weights = s.vec_with(NUM_OP_CLASSES, NUM_OP_CLASSES, |s| s.f64_in(0.0, 1.0));
+            let u = s.f64_unit();
+            (weights, u)
+        },
+        |(weights, u)| {
+            prop_assume!(weights.iter().sum::<f64>() > 1e-9);
+            let pairs: Vec<(OpClass, f64)> = ALL_OP_CLASSES
+                .iter()
+                .copied()
+                .zip(weights.iter().copied())
+                .collect();
+            let mix = InstMix::from_weights(&pairs);
+            let cdf = mix.cdf();
+            // Inverse-CDF sampling like the generator does.
+            let mut class = OpClass::Branch;
+            for (i, &c) in cdf.iter().enumerate() {
+                if *u <= c {
+                    class = ALL_OP_CLASSES[i];
+                    break;
                 }
             }
-            m
-        };
-        let (ma, mb) = (fill(&a), fill(&b));
-        let mut ab = ma;
-        ab.merge(&mb);
-        let mut ba = mb;
-        ba.merge(&ma);
-        prop_assert_eq!(ab, ba);
-        prop_assert_eq!(ab.total(), ma.total() + mb.total());
-        // since() inverts merge.
-        prop_assert_eq!(ab.since(&mb), ma);
-    }
+            // A sampled class must have positive probability (up to fp
+            // rounding at bin edges).
+            prop_assert!(
+                mix.probability(class) > 0.0 || *u > cdf[NUM_OP_CLASSES - 1] - 1e-12,
+                "sampled {class} with zero probability"
+            );
+            Ok(())
+        },
+    );
+}
 
-    #[test]
-    fn lerp_probabilities_are_convex_combinations(t in 0.0f64..1.0) {
-        let a = InstMix::from_weights(&[(OpClass::IntAlu, 1.0)]);
-        let b = InstMix::from_weights(&[(OpClass::FpAlu, 1.0)]);
-        let m = a.lerp(&b, t);
-        prop_assert!((m.probability(OpClass::IntAlu) - (1.0 - t)).abs() < 1e-12);
-        prop_assert!((m.probability(OpClass::FpAlu) - t).abs() < 1e-12);
-    }
+#[test]
+fn mix_counts_merge_is_commutative_and_total_preserving() {
+    checker().run(
+        "mix_counts_merge_is_commutative_and_total_preserving",
+        |s: &mut Source| {
+            let a = s.vec_with(NUM_OP_CLASSES, NUM_OP_CLASSES, |s| s.u64_in(0, 100));
+            let b = s.vec_with(NUM_OP_CLASSES, NUM_OP_CLASSES, |s| s.u64_in(0, 100));
+            (a, b)
+        },
+        |(a, b)| {
+            let fill = |v: &[u64]| {
+                let mut m = MixCounts::new();
+                for (i, &n) in v.iter().enumerate() {
+                    for _ in 0..n {
+                        m.record(ALL_OP_CLASSES[i]);
+                    }
+                }
+                m
+            };
+            let (ma, mb) = (fill(a), fill(b));
+            let mut ab = ma;
+            ab.merge(&mb);
+            let mut ba = mb;
+            ba.merge(&ma);
+            prop_assert_eq!(ab, ba);
+            prop_assert_eq!(ab.total(), ma.total() + mb.total());
+            // since() inverts merge.
+            prop_assert_eq!(ab.since(&mb), ma);
+            Ok(())
+        },
+    );
+}
+
+#[test]
+fn lerp_probabilities_are_convex_combinations() {
+    checker().run(
+        "lerp_probabilities_are_convex_combinations",
+        |s: &mut Source| s.f64_unit(),
+        |&t| {
+            let a = InstMix::from_weights(&[(OpClass::IntAlu, 1.0)]);
+            let b = InstMix::from_weights(&[(OpClass::FpAlu, 1.0)]);
+            let m = a.lerp(&b, t);
+            prop_assert!((m.probability(OpClass::IntAlu) - (1.0 - t)).abs() < 1e-12);
+            prop_assert!((m.probability(OpClass::FpAlu) - t).abs() < 1e-12);
+            Ok(())
+        },
+    );
 }

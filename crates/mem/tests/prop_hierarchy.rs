@@ -1,99 +1,124 @@
-//! Property tests over the two-level hierarchy.
+//! Property tests over the two-level hierarchy, on the in-tree
+//! `util::check` harness with a fixed seed.
 
 use ampsched_mem::{AccessKind, MemConfig, MemSystem};
-use proptest::prelude::*;
+use ampsched_util::check::{Checker, Source};
+use ampsched_util::{prop_assert, prop_assert_eq};
 
-fn kinds() -> impl Strategy<Value = AccessKind> {
-    prop_oneof![
-        Just(AccessKind::Ifetch),
-        Just(AccessKind::Load),
-        Just(AccessKind::Store),
-    ]
+const SEED: u64 = 0x3e3_0002;
+
+fn checker() -> Checker {
+    Checker::new(SEED).cases(48)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
+fn kind(s: &mut Source) -> AccessKind {
+    *s.choice(&[AccessKind::Ifetch, AccessKind::Load, AccessKind::Store])
+}
 
-    /// Latency is always bounded below by the L1 hit time and above by
-    /// the worst-case path (L1 + queue + L2 + queue + DRAM).
-    #[test]
-    fn latency_bounds(
-        accesses in proptest::collection::vec((kinds(), 0u64..1 << 22), 1..300),
-    ) {
-        let cfg = MemConfig::default();
-        let mut m = MemSystem::new(cfg, 2);
-        let worst = cfg.l1_latency
-            + cfg.l2_latency
-            + cfg.dram_latency
-            + cfg.l2_occupancy * 300
-            + cfg.dram_occupancy * 300;
-        for (i, (kind, addr)) in accesses.into_iter().enumerate() {
-            let lat = m.access(i % 2, kind, addr & !7, i as u64 * 2);
-            prop_assert!(lat >= cfg.l1_latency);
-            prop_assert!(lat <= worst, "latency {lat} beyond worst-case path");
-        }
-    }
-
-    /// Immediately repeating any access hits in L1 (temporal locality is
-    /// never lost by the bookkeeping, including prefetch fills).
-    #[test]
-    fn repeat_access_always_hits(
-        warmup in proptest::collection::vec((kinds(), 0u64..1 << 20), 0..100),
-        kind in kinds(),
-        addr in 0u64..1 << 20,
-    ) {
-        let cfg = MemConfig::default();
-        let mut m = MemSystem::new(cfg, 1);
-        let mut t = 0u64;
-        for (k, a) in warmup {
-            m.access(0, k, a & !7, t);
-            t += 4;
-        }
-        let addr = addr & !7;
-        m.access(0, kind, addr, t);
-        let again = m.access(0, kind, addr, t + 4);
-        prop_assert_eq!(again, cfg.l1_latency, "back-to-back same-line access must hit");
-    }
-
-    /// Cache statistics are consistent: accesses = hits + misses and the
-    /// L2 sees at most (L1I misses + L1D misses + L1D writebacks) accesses.
-    #[test]
-    fn stats_conservation(
-        accesses in proptest::collection::vec((kinds(), 0u64..1 << 22), 1..400),
-    ) {
-        let mut m = MemSystem::new(MemConfig::default(), 1);
-        for (i, (kind, addr)) in accesses.iter().enumerate() {
-            m.access(0, *kind, addr & !7, i as u64);
-        }
-        let l1i = *m.l1i_stats(0);
-        let l1d = *m.l1d_stats(0);
-        let l2 = *m.l2_stats();
-        prop_assert_eq!(l1i.accesses(), l1i.hits + l1i.misses);
-        prop_assert_eq!(l1d.accesses(), l1d.hits + l1d.misses);
-        prop_assert!(
-            l2.accesses() <= l1i.misses + l1d.misses + l1d.writebacks,
-            "demand L2 traffic must come from L1 misses/writebacks"
-        );
-        prop_assert!(m.dram_accesses <= l2.misses + l2.writebacks);
-    }
-
-    /// The prefetcher never makes demand latency worse: with prefetch on,
-    /// a pure sequential stream's total latency is no higher than with it
-    /// off.
-    #[test]
-    fn prefetch_helps_streams(start in 0u64..1 << 20) {
-        let total = |prefetch: bool| {
-            let cfg = MemConfig {
-                next_line_prefetch: prefetch,
-                ..MemConfig::default()
-            };
-            let mut m = MemSystem::new(cfg, 1);
-            let mut sum = 0u64;
-            for i in 0..512u64 {
-                sum += m.access(0, AccessKind::Load, start + i * 8, i * 4) as u64;
+/// Latency is always bounded below by the L1 hit time and above by
+/// the worst-case path (L1 + queue + L2 + queue + DRAM).
+#[test]
+fn latency_bounds() {
+    checker().run(
+        "latency_bounds",
+        |s: &mut Source| s.vec_with(1, 299, |s| (kind(s), s.u64_in(0, 1 << 22))),
+        |accesses| {
+            let cfg = MemConfig::default();
+            let mut m = MemSystem::new(cfg, 2);
+            let worst = cfg.l1_latency
+                + cfg.l2_latency
+                + cfg.dram_latency
+                + cfg.l2_occupancy * 300
+                + cfg.dram_occupancy * 300;
+            for (i, (kind, addr)) in accesses.iter().enumerate() {
+                let lat = m.access(i % 2, *kind, addr & !7, i as u64 * 2);
+                prop_assert!(lat >= cfg.l1_latency);
+                prop_assert!(lat <= worst, "latency {lat} beyond worst-case path");
             }
-            sum
-        };
-        prop_assert!(total(true) <= total(false));
-    }
+            Ok(())
+        },
+    );
+}
+
+/// Immediately repeating any access hits in L1 (temporal locality is
+/// never lost by the bookkeeping, including prefetch fills).
+#[test]
+fn repeat_access_always_hits() {
+    checker().run(
+        "repeat_access_always_hits",
+        |s: &mut Source| {
+            let warmup = s.vec_with(0, 99, |s| (kind(s), s.u64_in(0, 1 << 20)));
+            let k = kind(s);
+            let addr = s.u64_in(0, 1 << 20);
+            (warmup, k, addr)
+        },
+        |(warmup, kind, addr)| {
+            let cfg = MemConfig::default();
+            let mut m = MemSystem::new(cfg, 1);
+            let mut t = 0u64;
+            for (k, a) in warmup {
+                m.access(0, *k, a & !7, t);
+                t += 4;
+            }
+            let addr = addr & !7;
+            m.access(0, *kind, addr, t);
+            let again = m.access(0, *kind, addr, t + 4);
+            prop_assert_eq!(again, cfg.l1_latency, "back-to-back same-line access must hit");
+            Ok(())
+        },
+    );
+}
+
+/// Cache statistics are consistent: accesses = hits + misses and the
+/// L2 sees at most (L1I misses + L1D misses + L1D writebacks) accesses.
+#[test]
+fn stats_conservation() {
+    checker().run(
+        "stats_conservation",
+        |s: &mut Source| s.vec_with(1, 399, |s| (kind(s), s.u64_in(0, 1 << 22))),
+        |accesses| {
+            let mut m = MemSystem::new(MemConfig::default(), 1);
+            for (i, (kind, addr)) in accesses.iter().enumerate() {
+                m.access(0, *kind, addr & !7, i as u64);
+            }
+            let l1i = *m.l1i_stats(0);
+            let l1d = *m.l1d_stats(0);
+            let l2 = *m.l2_stats();
+            prop_assert_eq!(l1i.accesses(), l1i.hits + l1i.misses);
+            prop_assert_eq!(l1d.accesses(), l1d.hits + l1d.misses);
+            prop_assert!(
+                l2.accesses() <= l1i.misses + l1d.misses + l1d.writebacks,
+                "demand L2 traffic must come from L1 misses/writebacks"
+            );
+            prop_assert!(m.dram_accesses <= l2.misses + l2.writebacks);
+            Ok(())
+        },
+    );
+}
+
+/// The prefetcher never makes demand latency worse: with prefetch on,
+/// a pure sequential stream's total latency is no higher than with it
+/// off.
+#[test]
+fn prefetch_helps_streams() {
+    checker().run(
+        "prefetch_helps_streams",
+        |s: &mut Source| s.u64_in(0, 1 << 20),
+        |&start| {
+            let total = |prefetch: bool| {
+                let cfg = MemConfig {
+                    next_line_prefetch: prefetch,
+                    ..MemConfig::default()
+                };
+                let mut m = MemSystem::new(cfg, 1);
+                let mut sum = 0u64;
+                for i in 0..512u64 {
+                    sum += m.access(0, AccessKind::Load, start + i * 8, i * 4) as u64;
+                }
+                sum
+            };
+            prop_assert!(total(true) <= total(false));
+            Ok(())
+        },
+    );
 }

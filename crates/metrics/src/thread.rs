@@ -1,6 +1,6 @@
 //! Per-thread run metrics and the IPC/Watt figure of merit.
 
-use serde::{Deserialize, Serialize};
+use ampsched_util::Json;
 
 /// What one thread achieved over a run (or run segment).
 ///
@@ -8,7 +8,7 @@ use serde::{Deserialize, Serialize};
 /// threads run concurrently, so they share the same cycle count);
 /// `joules` is the energy of whichever core(s) the thread occupied,
 /// integrated over the segment.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ThreadMetrics {
     /// Committed instructions.
     pub instructions: u64,
@@ -49,6 +49,30 @@ impl ThreadMetrics {
         }
         self.instructions as f64 / (self.frequency_hz * self.joules)
     }
+
+    /// Serialize into a JSON object (the report path's exchange format).
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("instructions", Json::from(self.instructions)),
+            ("cycles", Json::from(self.cycles)),
+            ("joules", Json::from(self.joules)),
+            ("frequency_hz", Json::from(self.frequency_hz)),
+            ("ipc", Json::from(self.ipc())),
+            ("watts", Json::from(self.watts())),
+            ("ipc_per_watt", Json::from(self.ipc_per_watt())),
+        ])
+    }
+
+    /// Deserialize from the object [`ThreadMetrics::to_json`] produces
+    /// (derived fields are recomputed, not trusted).
+    pub fn from_json(doc: &Json) -> Option<ThreadMetrics> {
+        Some(ThreadMetrics {
+            instructions: doc.get("instructions")?.as_u64()?,
+            cycles: doc.get("cycles")?.as_u64()?,
+            joules: doc.get("joules")?.as_f64()?,
+            frequency_hz: doc.get("frequency_hz")?.as_f64()?,
+        })
+    }
 }
 
 #[cfg(test)]
@@ -77,6 +101,25 @@ mod tests {
     fn ipc_per_watt_identity() {
         let t = m();
         assert!((t.ipc_per_watt() - t.ipc() / t.watts()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn json_roundtrip() {
+        let t = m();
+        let doc = t.to_json();
+        let parsed = Json::parse(&doc.render()).expect("well-formed");
+        assert_eq!(ThreadMetrics::from_json(&parsed), Some(t));
+        // Derived fields are present for report consumers.
+        assert!((doc.get("ipc").unwrap().as_f64().unwrap() - 0.8).abs() < 1e-12);
+    }
+
+    #[test]
+    fn from_json_rejects_malformed() {
+        assert_eq!(ThreadMetrics::from_json(&Json::Null), None);
+        assert_eq!(
+            ThreadMetrics::from_json(&Json::obj([("instructions", Json::from(1u64))])),
+            None
+        );
     }
 
     #[test]

@@ -1,8 +1,7 @@
 //! Deterministic micro-op stream generation from a [`BenchmarkSpec`].
 
 use ampsched_isa::{ArchReg, MicroOp, OpClass};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use ampsched_util::rng::StdRng;
 
 use crate::benchmark::BenchmarkSpec;
 use crate::workload::Workload;

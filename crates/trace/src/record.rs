@@ -7,7 +7,6 @@
 //! little-endian record per micro-op.
 
 use ampsched_isa::{ArchReg, MicroOp};
-use bytes::{Buf, BufMut, Bytes, BytesMut};
 
 use crate::workload::Workload;
 
@@ -34,47 +33,48 @@ fn decode_reg(b: u8) -> Option<ArchReg> {
 }
 
 /// Serialize micro-ops into a self-describing binary blob.
-pub fn encode(ops: &[MicroOp]) -> Bytes {
-    let mut buf = BytesMut::with_capacity(8 + ops.len() * RECORD_BYTES);
-    buf.put_slice(TRACE_MAGIC);
-    buf.put_u32_le(ops.len() as u32);
+pub fn encode(ops: &[MicroOp]) -> Vec<u8> {
+    let mut buf = Vec::with_capacity(8 + ops.len() * RECORD_BYTES);
+    buf.extend_from_slice(TRACE_MAGIC);
+    buf.extend_from_slice(&(ops.len() as u32).to_le_bytes());
     for op in ops {
         let class_and_flags = op.class.index() as u8 | ((op.predicted_correctly as u8) << 6);
-        buf.put_u8(class_and_flags);
-        buf.put_u8(encode_reg(op.src1));
-        buf.put_u8(encode_reg(op.src2));
-        buf.put_u8(encode_reg(op.dst));
-        buf.put_u8(op.size);
-        buf.put_u64_le(op.pc);
-        buf.put_u64_le(op.addr);
+        buf.push(class_and_flags);
+        buf.push(encode_reg(op.src1));
+        buf.push(encode_reg(op.src2));
+        buf.push(encode_reg(op.dst));
+        buf.push(op.size);
+        buf.extend_from_slice(&op.pc.to_le_bytes());
+        buf.extend_from_slice(&op.addr.to_le_bytes());
     }
-    buf.freeze()
+    buf
 }
 
 /// Deserialize a trace blob. Returns `None` on a malformed buffer.
-pub fn decode(mut blob: Bytes) -> Option<Vec<MicroOp>> {
-    if blob.remaining() < 8 || &blob.copy_to_bytes(4)[..] != TRACE_MAGIC {
+pub fn decode(blob: &[u8]) -> Option<Vec<MicroOp>> {
+    if blob.len() < 8 || &blob[..4] != TRACE_MAGIC {
         return None;
     }
-    let n = blob.get_u32_le() as usize;
-    if blob.remaining() != n * RECORD_BYTES {
+    let n = u32::from_le_bytes(blob[4..8].try_into().expect("4 bytes")) as usize;
+    let body = &blob[8..];
+    if body.len() != n * RECORD_BYTES {
         return None;
     }
     let mut ops = Vec::with_capacity(n);
-    for _ in 0..n {
-        let class_and_flags = blob.get_u8();
+    for rec in body.chunks_exact(RECORD_BYTES) {
+        let class_and_flags = rec[0];
         let class_idx = (class_and_flags & 0x3F) as usize;
         if class_idx >= ampsched_isa::ops::NUM_OP_CLASSES {
             return None;
         }
         let class = ampsched_isa::ops::ALL_OP_CLASSES[class_idx];
         let predicted_correctly = class_and_flags & 0x40 != 0;
-        let src1 = decode_reg(blob.get_u8());
-        let src2 = decode_reg(blob.get_u8());
-        let dst = decode_reg(blob.get_u8());
-        let size = blob.get_u8();
-        let pc = blob.get_u64_le();
-        let addr = blob.get_u64_le();
+        let src1 = decode_reg(rec[1]);
+        let src2 = decode_reg(rec[2]);
+        let dst = decode_reg(rec[3]);
+        let size = rec[4];
+        let pc = u64::from_le_bytes(rec[5..13].try_into().expect("8 bytes"));
+        let addr = u64::from_le_bytes(rec[13..21].try_into().expect("8 bytes"));
         ops.push(MicroOp {
             pc,
             class,
@@ -119,7 +119,7 @@ impl RecordedTrace {
     }
 
     /// Decode from a blob produced by [`encode`].
-    pub fn from_blob(name: impl Into<String>, blob: Bytes) -> Option<Self> {
+    pub fn from_blob(name: impl Into<String>, blob: &[u8]) -> Option<Self> {
         let ops = decode(blob)?;
         if ops.is_empty() {
             return None;
@@ -128,7 +128,7 @@ impl RecordedTrace {
     }
 
     /// Serialize this trace.
-    pub fn to_blob(&self) -> Bytes {
+    pub fn to_blob(&self) -> Vec<u8> {
         encode(&self.ops)
     }
 
@@ -171,20 +171,19 @@ mod tests {
         let ops: Vec<MicroOp> = (0..5000).map(|_| g.next_op()).collect();
         let blob = encode(&ops);
         assert_eq!(blob.len(), 8 + ops.len() * RECORD_BYTES);
-        let back = decode(blob).expect("valid blob");
+        let back = decode(&blob).expect("valid blob");
         assert_eq!(back, ops);
     }
 
     #[test]
     fn malformed_blobs_are_rejected() {
-        assert!(decode(Bytes::from_static(b"")).is_none());
-        assert!(decode(Bytes::from_static(b"WRONG\0\0\0")).is_none());
+        assert!(decode(b"").is_none());
+        assert!(decode(b"WRONG\0\0\0").is_none());
         // Truncated body.
         let mut g = TraceGenerator::for_thread(suite::by_name("sha").unwrap(), 1, 0);
         let ops: Vec<MicroOp> = (0..4).map(|_| g.next_op()).collect();
         let blob = encode(&ops);
-        let truncated = blob.slice(0..blob.len() - 3);
-        assert!(decode(truncated).is_none());
+        assert!(decode(&blob[..blob.len() - 3]).is_none());
     }
 
     #[test]
@@ -203,7 +202,7 @@ mod tests {
         let mut g = TraceGenerator::for_thread(suite::by_name("gcc").unwrap(), 2, 0);
         let rec = RecordedTrace::record(&mut g, 256);
         let blob = rec.to_blob();
-        let mut back = RecordedTrace::from_blob("gcc-replay", blob).expect("valid");
+        let mut back = RecordedTrace::from_blob("gcc-replay", &blob).expect("valid");
         let mut orig = rec.clone();
         for _ in 0..512 {
             assert_eq!(orig.next_op(), back.next_op());

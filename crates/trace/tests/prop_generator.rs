@@ -1,67 +1,93 @@
-//! Property tests over the workload generator and the shipped suite.
+//! Property tests over the workload generator and the shipped suite, on
+//! the in-tree `util::check` harness with a fixed seed.
 
 use ampsched_isa::MixCounts;
 use ampsched_trace::{suite, TraceGenerator, Workload};
-use proptest::prelude::*;
+use ampsched_util::check::{Checker, Source};
+use ampsched_util::{prop_assert, prop_assert_eq};
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(16))]
+const SEED: u64 = 0x7ace_0005;
 
-    /// Any suite benchmark, any seed: the stream is valid (addresses in
-    /// the thread's window, stores have data sources, percentages track
-    /// the phase specification).
-    #[test]
-    fn any_suite_benchmark_generates_valid_streams(
-        bench_idx in 0usize..37,
-        seed in 0u64..500,
-        thread in 0usize..2,
-    ) {
-        let pool = suite::all();
-        let spec = pool[bench_idx].clone();
-        let mut g = TraceGenerator::for_thread(spec.clone(), seed, thread);
-        let base = (thread as u64 + 1) << 30;
-        let mut counts = MixCounts::new();
-        for _ in 0..4000 {
-            let op = g.next_op();
-            counts.record(op.class);
-            if op.class.is_mem() {
-                prop_assert!(op.addr >= base, "{:x} below thread base", op.addr);
-                prop_assert!(op.addr < base + (1 << 30), "address outside thread window");
-                prop_assert_eq!(op.size, 8);
+fn checker() -> Checker {
+    Checker::new(SEED).cases(16)
+}
+
+/// Any suite benchmark, any seed: the stream is valid (addresses in
+/// the thread's window, stores have data sources, percentages track
+/// the phase specification).
+#[test]
+fn any_suite_benchmark_generates_valid_streams() {
+    checker().run(
+        "any_suite_benchmark_generates_valid_streams",
+        |s: &mut Source| {
+            let bench_idx = s.usize_in(0, 37);
+            let seed = s.u64_in(0, 500);
+            let thread = s.usize_in(0, 2);
+            (bench_idx, seed, thread)
+        },
+        |&(bench_idx, seed, thread)| {
+            let pool = suite::all();
+            let spec = pool[bench_idx].clone();
+            let mut g = TraceGenerator::for_thread(spec.clone(), seed, thread);
+            let base = (thread as u64 + 1) << 30;
+            let mut counts = MixCounts::new();
+            for _ in 0..4000 {
+                let op = g.next_op();
+                counts.record(op.class);
+                if op.class.is_mem() {
+                    prop_assert!(op.addr >= base, "{:x} below thread base", op.addr);
+                    prop_assert!(op.addr < base + (1 << 30), "address outside thread window");
+                    prop_assert_eq!(op.size, 8);
+                }
+                if op.class == ampsched_isa::OpClass::Store {
+                    prop_assert!(op.src2.is_some());
+                    prop_assert!(op.dst.is_none());
+                }
+                prop_assert_eq!(op.pc % 4, 0);
             }
-            if op.class == ampsched_isa::OpClass::Store {
-                prop_assert!(op.src2.is_some());
-                prop_assert!(op.dst.is_none());
+            prop_assert_eq!(counts.total(), 4000);
+            Ok(())
+        },
+    );
+}
+
+/// The generator is a pure function of (spec, seed, bases).
+#[test]
+fn generator_is_deterministic() {
+    checker().run(
+        "generator_is_deterministic",
+        |s: &mut Source| (s.usize_in(0, 37), s.u64_in(0, 100)),
+        |&(bench_idx, seed)| {
+            let pool = suite::all();
+            let mk = || TraceGenerator::for_thread(pool[bench_idx].clone(), seed, 0);
+            let (mut a, mut b) = (mk(), mk());
+            for _ in 0..1500 {
+                prop_assert_eq!(a.next_op(), b.next_op());
             }
-            prop_assert_eq!(op.pc % 4, 0);
-        }
-        prop_assert_eq!(counts.total(), 4000);
-    }
+            Ok(())
+        },
+    );
+}
 
-    /// The generator is a pure function of (spec, seed, bases).
-    #[test]
-    fn generator_is_deterministic(bench_idx in 0usize..37, seed in 0u64..100) {
-        let pool = suite::all();
-        let mk = || TraceGenerator::for_thread(pool[bench_idx].clone(), seed, 0);
-        let (mut a, mut b) = (mk(), mk());
-        for _ in 0..1500 {
-            prop_assert_eq!(a.next_op(), b.next_op());
-        }
-    }
-
-    /// Phase progress is monotone modulo the cycle and matches the
-    /// declared durations.
-    #[test]
-    fn phase_schedule_is_honored(seed in 0u64..100) {
-        let spec = suite::by_name("apsi").expect("apsi exists");
-        let first_dur = spec.phases[0].duration;
-        let mut g = TraceGenerator::for_thread(spec, seed, 0);
-        for _ in 0..first_dur {
-            prop_assert_eq!(g.current_phase(), 0);
-            g.next_op();
-        }
-        prop_assert_eq!(g.current_phase(), 1);
-    }
+/// Phase progress is monotone modulo the cycle and matches the
+/// declared durations.
+#[test]
+fn phase_schedule_is_honored() {
+    checker().run(
+        "phase_schedule_is_honored",
+        |s: &mut Source| s.u64_in(0, 100),
+        |&seed| {
+            let spec = suite::by_name("apsi").expect("apsi exists");
+            let first_dur = spec.phases[0].duration;
+            let mut g = TraceGenerator::for_thread(spec, seed, 0);
+            for _ in 0..first_dur {
+                prop_assert_eq!(g.current_phase(), 0);
+                g.next_op();
+            }
+            prop_assert_eq!(g.current_phase(), 1);
+            Ok(())
+        },
+    );
 }
 
 #[test]

@@ -1,0 +1,599 @@
+//! A minimal property-testing harness: composable generators over a
+//! recorded choice stream, deterministic fixed seeds, and automatic
+//! input shrinking.
+//!
+//! ## Model
+//!
+//! A property test draws an arbitrary input from a [`Source`] and checks
+//! an invariant over it:
+//!
+//! ```
+//! use ampsched_util::check::{Checker, Source};
+//! use ampsched_util::{prop_assert, prop_assert_eq};
+//!
+//! #[derive(Debug, Clone)]
+//! struct Input { xs: Vec<u64> }
+//!
+//! Checker::new(0xa5c3ed).cases(64).run(
+//!     "sum_is_monotone",
+//!     |s: &mut Source| Input { xs: s.vec_with(0, 20, |s| s.u64_in(0, 100)) },
+//!     |inp| {
+//!         let sum: u64 = inp.xs.iter().sum();
+//!         prop_assert!(sum <= 100 * inp.xs.len() as u64);
+//!         Ok(())
+//!     },
+//! );
+//! ```
+//!
+//! ## Shrinking
+//!
+//! Generators draw exclusively through [`Source::draw`], and the live
+//! source records every raw draw. When a case fails, the recorded choice
+//! stream is shrunk — chunks deleted, values zeroed and halved — and the
+//! generator replays each candidate stream (missing draws read as 0, the
+//! minimal choice). Because every primitive generator maps 0 to its
+//! minimum (empty vec, range start, `false`), stream-level shrinking is
+//! input-level shrinking for free, for any composed generator type.
+//!
+//! ## Determinism
+//!
+//! Case `i` of a run is generated from `splitmix64(seed, i)`; there is no
+//! global or time-derived state. Same seed → same cases → same failures,
+//! on any host, in any test order.
+
+use crate::rng::{splitmix64, StdRng};
+use std::fmt::Debug;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+/// Why a property did not pass for one input.
+#[derive(Debug, Clone)]
+pub enum Failure {
+    /// The invariant is violated; shrink and report.
+    Fail(String),
+    /// The input does not satisfy the property's precondition
+    /// ([`crate::prop_assume!`]); draw a fresh case instead.
+    Reject(String),
+}
+
+/// Outcome of checking a property on one input.
+pub type CheckResult = Result<(), Failure>;
+
+/// Fail the property with a formatted message unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return Err($crate::check::Failure::Fail(format!($($fmt)+)));
+        }
+    };
+}
+
+/// Fail the property unless the two expressions are equal.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => {{
+        let (a, b) = (&$a, &$b);
+        $crate::prop_assert!(a == b, "{:?} != {:?}", a, b);
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)+) => {{
+        let (a, b) = (&$a, &$b);
+        if !(a == b) {
+            return Err($crate::check::Failure::Fail(format!(
+                "{:?} != {:?}: {}", a, b, format!($($fmt)+)
+            )));
+        }
+    }};
+}
+
+/// Fail the property unless the two expressions differ.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => {{
+        let (a, b) = (&$a, &$b);
+        $crate::prop_assert!(a != b, "both sides equal {:?}", a);
+    }};
+}
+
+/// Discard the current input (precondition not met) without failing.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return Err($crate::check::Failure::Reject(
+                concat!("assumption failed: ", stringify!($cond)).to_string(),
+            ));
+        }
+    };
+}
+
+/// The randomness source generators draw from.
+///
+/// In live mode draws come from a seeded [`StdRng`] and are recorded; in
+/// replay mode they come from a (possibly shrunk) recorded stream, with
+/// exhausted positions reading as 0.
+pub struct Source {
+    mode: Mode,
+}
+
+enum Mode {
+    Live { rng: StdRng, record: Vec<u64> },
+    Replay { data: Vec<u64>, pos: usize },
+}
+
+impl Source {
+    fn live(seed: u64) -> Source {
+        Source {
+            mode: Mode::Live {
+                rng: StdRng::seed_from_u64(seed),
+                record: Vec::new(),
+            },
+        }
+    }
+
+    fn replay(data: Vec<u64>) -> Source {
+        Source {
+            mode: Mode::Replay { data, pos: 0 },
+        }
+    }
+
+    fn into_record(self) -> Vec<u64> {
+        match self.mode {
+            Mode::Live { record, .. } => record,
+            Mode::Replay { data, .. } => data,
+        }
+    }
+
+    /// One raw 64-bit choice. All other generators bottom out here.
+    #[inline]
+    pub fn draw(&mut self) -> u64 {
+        match &mut self.mode {
+            Mode::Live { rng, record } => {
+                let v = rng.next_u64();
+                record.push(v);
+                v
+            }
+            Mode::Replay { data, pos } => {
+                let v = data.get(*pos).copied().unwrap_or(0);
+                *pos += 1;
+                v
+            }
+        }
+    }
+
+    /// Uniform u64 in half-open `[lo, hi)`. Shrinks toward `lo`.
+    #[inline]
+    pub fn u64_in(&mut self, lo: u64, hi: u64) -> u64 {
+        assert!(lo < hi, "u64_in on empty range");
+        let span = hi - lo;
+        lo + ((self.draw() as u128 * span as u128) >> 64) as u64
+    }
+
+    /// Uniform usize in `[lo, hi)`. Shrinks toward `lo`.
+    #[inline]
+    pub fn usize_in(&mut self, lo: usize, hi: usize) -> usize {
+        self.u64_in(lo as u64, hi as u64) as usize
+    }
+
+    /// Uniform u32 in `[lo, hi)`. Shrinks toward `lo`.
+    #[inline]
+    pub fn u32_in(&mut self, lo: u32, hi: u32) -> u32 {
+        self.u64_in(lo as u64, hi as u64) as u32
+    }
+
+    /// Uniform u8 in `[lo, hi)`. Shrinks toward `lo`.
+    #[inline]
+    pub fn u8_in(&mut self, lo: u8, hi: u8) -> u8 {
+        self.u64_in(lo as u64, hi as u64) as u8
+    }
+
+    /// Uniform f64 in `[lo, hi)`. Shrinks toward `lo`.
+    #[inline]
+    pub fn f64_in(&mut self, lo: f64, hi: f64) -> f64 {
+        lo + self.f64_unit() * (hi - lo)
+    }
+
+    /// Uniform f64 in `[0, 1)`. Shrinks toward 0.
+    #[inline]
+    pub fn f64_unit(&mut self) -> f64 {
+        (self.draw() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Fair coin. Shrinks toward `false`.
+    #[inline]
+    pub fn bool(&mut self) -> bool {
+        self.draw() >> 63 == 1
+    }
+
+    /// Uniform choice from a non-empty slice. Shrinks toward the first
+    /// element.
+    #[inline]
+    pub fn choice<'a, T>(&mut self, xs: &'a [T]) -> &'a T {
+        assert!(!xs.is_empty(), "choice over empty slice");
+        &xs[self.usize_in(0, xs.len())]
+    }
+
+    /// A vector of `min..=max` elements drawn from `elem`. Shrinks toward
+    /// `min` elements, each minimal.
+    pub fn vec_with<T>(
+        &mut self,
+        min: usize,
+        max: usize,
+        mut elem: impl FnMut(&mut Source) -> T,
+    ) -> Vec<T> {
+        let n = if min == max {
+            min
+        } else {
+            self.usize_in(min, max + 1)
+        };
+        (0..n).map(|_| elem(self)).collect()
+    }
+}
+
+/// A configured property-test runner.
+///
+/// The seed is explicit and mandatory: a suite that compiles has pinned
+/// its case sequence forever.
+pub struct Checker {
+    cases: u32,
+    seed: u64,
+    max_shrink_steps: u32,
+}
+
+impl Checker {
+    /// A runner generating cases from `seed` (default 256 cases).
+    pub fn new(seed: u64) -> Checker {
+        Checker {
+            cases: 256,
+            seed,
+            max_shrink_steps: 4096,
+        }
+    }
+
+    /// Set the number of generated inputs to check.
+    pub fn cases(mut self, n: u32) -> Checker {
+        self.cases = n;
+        self
+    }
+
+    /// Cap the number of candidate replays attempted while shrinking.
+    pub fn max_shrink_steps(mut self, n: u32) -> Checker {
+        self.max_shrink_steps = n;
+        self
+    }
+
+    /// Check `prop` over `cases` inputs drawn from `gen`.
+    ///
+    /// # Panics
+    /// Panics (failing the enclosing `#[test]`) on the first violated
+    /// case, after shrinking it, with a message that includes the
+    /// minimized input, the seed, and how to reproduce.
+    pub fn run<T, G, P>(&self, name: &str, gen: G, prop: P)
+    where
+        T: Debug,
+        G: Fn(&mut Source) -> T,
+        P: Fn(&T) -> CheckResult,
+    {
+        let mut passed = 0u32;
+        let mut attempts = 0u64;
+        // Rejection sampling: keep drawing until `cases` inputs satisfied
+        // the property's assumptions, with a generous attempt budget.
+        let max_attempts = (self.cases as u64) * 16 + 64;
+        while passed < self.cases {
+            if attempts >= max_attempts {
+                panic!(
+                    "property '{name}': gave up after {attempts} attempts \
+                     ({passed}/{} cases passed; too many prop_assume rejections)",
+                    self.cases
+                );
+            }
+            // splitmix64 over (seed, attempt index): independent per-case
+            // streams with no shared state between attempts.
+            let mut s = self
+                .seed
+                .wrapping_add(0x9E37_79B9_7F4A_7C15u64.wrapping_mul(attempts));
+            let case_seed = splitmix64(&mut s);
+            attempts += 1;
+            let mut src = Source::live(case_seed);
+            let (value, outcome) = run_one(&gen, &prop, &mut src);
+            match outcome {
+                Ok(()) => passed += 1,
+                Err(Failure::Reject(_)) => {}
+                Err(Failure::Fail(msg)) => {
+                    let record = src.into_record();
+                    let (min_record, min_msg) =
+                        self.shrink(&gen, &prop, record, msg.clone());
+                    let mut replay = Source::replay(min_record);
+                    let min_value = gen(&mut replay);
+                    panic!(
+                        "property '{name}' falsified (seed {:#x}, case {}):\n  \
+                         original input: {:?}\n  original error: {}\n  \
+                         shrunk input:   {:?}\n  shrunk error:   {}",
+                        self.seed,
+                        attempts - 1,
+                        value,
+                        msg,
+                        min_value,
+                        min_msg,
+                    );
+                }
+            }
+        }
+    }
+
+    /// Greedy choice-stream shrink: repeatedly try chunk deletions, then
+    /// zeroing, then halving, restarting after every improvement, until a
+    /// fixpoint or the step budget.
+    fn shrink<T, G, P>(
+        &self,
+        gen: &G,
+        prop: &P,
+        mut best: Vec<u64>,
+        mut best_msg: String,
+    ) -> (Vec<u64>, String)
+    where
+        T: Debug,
+        G: Fn(&mut Source) -> T,
+        P: Fn(&T) -> CheckResult,
+    {
+        let mut steps = 0u32;
+        let still_fails = |candidate: &[u64], steps: &mut u32| -> Option<String> {
+            *steps += 1;
+            let mut src = Source::replay(candidate.to_vec());
+            match run_one(gen, prop, &mut src).1 {
+                Err(Failure::Fail(m)) => Some(m),
+                _ => None,
+            }
+        };
+
+        'restart: loop {
+            if steps >= self.max_shrink_steps {
+                break;
+            }
+            // Pass 1: delete chunks (shrinks vec lengths and drops whole
+            // sub-structures). Larger chunks first.
+            let mut chunk = (best.len() / 2).max(1);
+            while chunk >= 1 {
+                let mut i = 0;
+                while i + chunk <= best.len() {
+                    let mut cand = best.clone();
+                    cand.drain(i..i + chunk);
+                    if let Some(m) = still_fails(&cand, &mut steps) {
+                        best = cand;
+                        best_msg = m;
+                        continue 'restart;
+                    }
+                    if steps >= self.max_shrink_steps {
+                        break 'restart;
+                    }
+                    i += chunk;
+                }
+                if chunk == 1 {
+                    break;
+                }
+                chunk /= 2;
+            }
+            // Pass 2: zero single choices (minimizes individual values).
+            for i in 0..best.len() {
+                if best[i] == 0 {
+                    continue;
+                }
+                let mut cand = best.clone();
+                cand[i] = 0;
+                if let Some(m) = still_fails(&cand, &mut steps) {
+                    best = cand;
+                    best_msg = m;
+                    continue 'restart;
+                }
+                if steps >= self.max_shrink_steps {
+                    break 'restart;
+                }
+            }
+            // Pass 3: binary-search each choice down to the smallest value
+            // that still fails (pass 2 established that 0 passes here).
+            let mut improved = false;
+            for i in 0..best.len() {
+                if best[i] == 0 {
+                    continue;
+                }
+                let (mut lo, mut hi) = (0u64, best[i]);
+                while lo < hi {
+                    if steps >= self.max_shrink_steps {
+                        break 'restart;
+                    }
+                    let mid = lo + (hi - lo) / 2;
+                    let mut cand = best.clone();
+                    cand[i] = mid;
+                    if let Some(m) = still_fails(&cand, &mut steps) {
+                        hi = mid;
+                        best_msg = m;
+                    } else {
+                        lo = mid + 1;
+                    }
+                }
+                if hi < best[i] {
+                    best[i] = hi;
+                    improved = true;
+                }
+            }
+            if improved {
+                continue 'restart;
+            }
+            break;
+        }
+        (best, best_msg)
+    }
+}
+
+/// Generate one input and evaluate the property, converting panics in
+/// either stage into failures so shrinking can proceed on them too.
+fn run_one<T, G, P>(gen: &G, prop: &P, src: &mut Source) -> (Option<T>, CheckResult)
+where
+    T: Debug,
+    G: Fn(&mut Source) -> T,
+    P: Fn(&T) -> CheckResult,
+{
+    let caught = catch_unwind(AssertUnwindSafe(|| {
+        let value = gen(src);
+        let outcome = prop(&value);
+        (value, outcome)
+    }));
+    match caught {
+        Ok((value, outcome)) => (Some(value), outcome),
+        Err(payload) => {
+            let msg = payload
+                .downcast_ref::<&str>()
+                .map(|s| s.to_string())
+                .or_else(|| payload.downcast_ref::<String>().cloned())
+                .unwrap_or_else(|| "panic (non-string payload)".to_string());
+            (None, Err(Failure::Fail(format!("panicked: {msg}"))))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn passing_property_runs_all_cases() {
+        // Interior mutability via Cell keeps the closure Fn.
+        let count = std::cell::Cell::new(0u32);
+        Checker::new(1).cases(50).run(
+            "sum_commutes",
+            |s| (s.u64_in(0, 1000), s.u64_in(0, 1000)),
+            |&(a, b)| {
+                count.set(count.get() + 1);
+                prop_assert_eq!(a + b, b + a);
+                Ok(())
+            },
+        );
+        assert_eq!(count.get(), 50);
+    }
+
+    #[test]
+    fn failing_property_panics_with_shrunk_input() {
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            Checker::new(7).cases(200).run(
+                "no_big_values",
+                |s| s.u64_in(0, 1_000_000),
+                |&x| {
+                    prop_assert!(x < 500_000, "{x} too big");
+                    Ok(())
+                },
+            );
+        }));
+        let msg = *result.expect_err("must fail").downcast::<String>().unwrap();
+        assert!(msg.contains("falsified"), "{msg}");
+        // Shrinking must land at the boundary of the failure region.
+        assert!(msg.contains("shrunk input:   500000"), "{msg}");
+    }
+
+    #[test]
+    fn vec_shrinks_to_minimal_witness() {
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            Checker::new(3).cases(100).run(
+                "no_vec_contains_42",
+                |s| s.vec_with(0, 30, |s| s.u64_in(0, 100)),
+                |xs| {
+                    prop_assert!(!xs.contains(&42), "found 42 in {xs:?}");
+                    Ok(())
+                },
+            );
+        }));
+        let msg = *result.expect_err("must fail").downcast::<String>().unwrap();
+        // The minimal witness is the one-element vector [42].
+        assert!(msg.contains("shrunk input:   [42]"), "{msg}");
+    }
+
+    #[test]
+    fn same_seed_same_failure() {
+        let run_once = || {
+            let result = catch_unwind(AssertUnwindSafe(|| {
+                Checker::new(99).cases(64).run(
+                    "fails_sometimes",
+                    |s| (s.u64_in(0, 1 << 40), s.bool()),
+                    |&(x, b)| {
+                        prop_assert!(!(b && x % 7 == 0), "witness {x}");
+                        Ok(())
+                    },
+                );
+            }));
+            *result.expect_err("must fail").downcast::<String>().unwrap()
+        };
+        assert_eq!(run_once(), run_once(), "failures must be reproducible");
+    }
+
+    #[test]
+    fn assume_rejections_do_not_fail() {
+        Checker::new(5).cases(32).run(
+            "only_even_inputs",
+            |s| s.u64_in(0, 1000),
+            |&x| {
+                prop_assume!(x % 2 == 0);
+                prop_assert_eq!(x % 2, 0);
+                Ok(())
+            },
+        );
+    }
+
+    #[test]
+    fn overly_restrictive_assumptions_give_up() {
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            Checker::new(5).cases(32).run(
+                "impossible",
+                |s| s.u64_in(0, 1000),
+                |_| {
+                    prop_assume!(false);
+                    Ok(())
+                },
+            );
+        }));
+        let msg = *result.expect_err("must fail").downcast::<String>().unwrap();
+        assert!(msg.contains("gave up"), "{msg}");
+    }
+
+    #[test]
+    fn panics_inside_properties_are_reported_and_shrunk() {
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            Checker::new(11).cases(100).run(
+                "index_panics",
+                |s| s.vec_with(0, 10, |s| s.u64_in(0, 10)),
+                |xs| {
+                    // Deliberate out-of-bounds when the vec is long enough.
+                    if xs.len() >= 3 {
+                        let _ = xs[xs.len() + 1];
+                    }
+                    Ok(())
+                },
+            );
+        }));
+        let msg = *result.expect_err("must fail").downcast::<String>().unwrap();
+        assert!(msg.contains("panicked"), "{msg}");
+    }
+
+    #[test]
+    fn replay_past_end_reads_zero() {
+        let mut s = Source::replay(vec![5]);
+        assert_eq!(s.draw(), 5);
+        assert_eq!(s.draw(), 0);
+        assert_eq!(s.u64_in(10, 20), 10, "exhausted stream gives minima");
+    }
+
+    #[test]
+    fn source_primitives_respect_bounds() {
+        let mut s = Source::live(17);
+        for _ in 0..500 {
+            assert!(s.u64_in(5, 10) < 10);
+            assert!(s.u8_in(0, 32) < 32);
+            let f = s.f64_in(-1.0, 1.0);
+            assert!((-1.0..1.0).contains(&f));
+            let v = s.vec_with(2, 5, |s| s.bool());
+            assert!((2..=5).contains(&v.len()));
+            let c = *s.choice(&[1, 2, 3]);
+            assert!((1..=3).contains(&c));
+        }
+    }
+}

@@ -3,11 +3,56 @@
 
 use ampsched::experiments::common::{Params, SchedKind};
 use ampsched::experiments::{fig1, fig78, profiling};
+use ampsched::sched::{paper, ProposedConfig, ProposedScheduler, Scheduler};
 
 fn quick(n_pairs: usize) -> Params {
     let mut p = Params::quick();
     p.num_pairs = n_pairs;
     p
+}
+
+#[test]
+fn golden_paper_constants_are_pinned() {
+    // The reconstructed headline numbers (PAPER.md §0). These are golden
+    // values: a change here is a change to what the repo claims the
+    // paper says, not a tuning knob.
+    assert_eq!(paper::WINDOW_INSTS, 1000);
+    assert_eq!(paper::HISTORY_DEPTH, 5);
+    assert_eq!(paper::DECISION_INTERVAL_INSTS, 5000);
+    assert_eq!(paper::RUN_INSTS, 5_000_000);
+    assert_eq!(paper::NUM_PAIRS, 80);
+    assert_eq!(paper::FAIRNESS_INTERVAL_CYCLES, 4_000_000);
+    // The perf/Watt improvement band vs HPE: 8.9% (average) to 12.9%
+    // (best), with the winning window/history config at 10.5%.
+    assert_eq!(paper::IMPROVEMENT_VS_HPE_AVG_PCT, 8.9);
+    assert_eq!(paper::IMPROVEMENT_VS_HPE_BEST_CONFIG_PCT, 10.5);
+    assert_eq!(paper::IMPROVEMENT_VS_HPE_BEST_PCT, 12.9);
+}
+
+#[test]
+fn golden_defaults_match_paper_constants() {
+    // The proposed scheduler's defaults are exactly the paper's Figure 6
+    // optimum and the 2ms fairness interval.
+    let cfg = ProposedConfig::default();
+    assert_eq!(cfg.window, paper::WINDOW_INSTS);
+    assert_eq!(cfg.history_depth, paper::HISTORY_DEPTH);
+    assert_eq!(cfg.fairness_interval_cycles, paper::FAIRNESS_INTERVAL_CYCLES);
+    // window_insts() is the *pair* window (both threads commit), i.e.
+    // twice the per-thread monitoring window.
+    let s = ProposedScheduler::with_defaults();
+    assert_eq!(s.window_insts(), Some(2 * paper::WINDOW_INSTS));
+    // An effective swap decision needs history_depth consistent windows:
+    // 5000 committed instructions per thread.
+    assert_eq!(
+        cfg.window * cfg.history_depth as u64,
+        paper::DECISION_INTERVAL_INSTS
+    );
+    // Full-scale experiment defaults reproduce the paper's run length
+    // and pair count.
+    let p = Params::default();
+    assert_eq!(p.run_insts, paper::RUN_INSTS);
+    assert_eq!(p.num_pairs, paper::NUM_PAIRS);
+    assert_eq!(p.seed, 2012);
 }
 
 #[test]
