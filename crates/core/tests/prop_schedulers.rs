@@ -13,7 +13,7 @@ use ampsched_util::{prop_assert, prop_assert_eq};
 const SEED: u64 = 0x5c4e_0004;
 
 fn checker() -> Checker {
-    Checker::new(SEED).cases(32)
+    Checker::new(SEED).cases(32).suite("core_schedulers")
 }
 
 fn predictor_points() -> Vec<ProfilePoint> {

@@ -80,6 +80,17 @@ pub struct Core {
     loads: Vec<u32>,
     stores: Vec<u32>,
 
+    // Fast-path indices over `loads`/`stores`: the age-ordered subset
+    // that has not issued yet, so the per-cycle issue scans skip entries
+    // that already issued and are only waiting for data or commit.
+    // Maintained by the fast path only (`dispatch`/`issue_loads`/
+    // `issue_stores`); the frozen reference stages never read them, and
+    // as derived state they are excluded from `state_digest`. A core must
+    // be driven through one kernel path for its whole lifetime (both
+    // runners guarantee this).
+    loads_unissued: Vec<u32>,
+    stores_unissued: Vec<u32>,
+
     // Functional units (six arithmetic classes).
     fus: [FuPool; 6],
 
@@ -120,6 +131,8 @@ impl Core {
             isq_fp: Vec::with_capacity(cfg.fp_isq as usize),
             loads: Vec::with_capacity(cfg.lsq_loads as usize),
             stores: Vec::with_capacity(cfg.lsq_stores as usize),
+            loads_unissued: Vec::with_capacity(cfg.lsq_loads as usize),
+            stores_unissued: Vec::with_capacity(cfg.lsq_stores as usize),
             fus,
             pending: None,
             fetch_ready_at: 0,
@@ -165,6 +178,14 @@ impl Core {
 
     /// Advance the core by one cycle. Returns the number of instructions
     /// committed this cycle.
+    ///
+    /// This is the *fast path*: its commit/issue/dispatch stages are
+    /// restructured for wall-clock speed (queue compaction instead of
+    /// repeated `Vec::remove`, field loads instead of whole-slot copies,
+    /// hoisted structural limits, inlined activity accounting) but must
+    /// stay cycle- and counter-identical to
+    /// [`Core::reference_tick`]. The differential suite in
+    /// `crates/cpu/tests/differential.rs` enforces that equivalence.
     pub fn tick(&mut self, now: u64, workload: &mut dyn Workload, mem: &mut MemSystem) -> u32 {
         self.stats.cycles += 1;
         self.activity.cycles += 1;
@@ -174,9 +195,90 @@ impl Core {
         committed
     }
 
+    /// Advance the core by one cycle through the frozen *reference path*.
+    ///
+    /// The `ref_*` stage bodies below are the seed simulator's original
+    /// commit/issue/dispatch implementations, kept verbatim as the
+    /// bit-exactness baseline for [`Core::tick`] and
+    /// [`Core::fast_forward`]. Do not
+    /// optimize them; optimize `tick` and prove equivalence against this.
+    pub fn reference_tick(
+        &mut self,
+        now: u64,
+        workload: &mut dyn Workload,
+        mem: &mut MemSystem,
+    ) -> u32 {
+        self.stats.cycles += 1;
+        self.activity.cycles += 1;
+        let committed = self.ref_commit(now, mem);
+        self.ref_issue(now, mem);
+        self.ref_dispatch(now, workload, mem);
+        committed
+    }
+
     // --- Commit ------------------------------------------------------
 
     fn commit(&mut self, now: u64, mem: &mut MemSystem) -> u32 {
+        let width = self.cfg.commit_width as u32;
+        let rob_cap = self.rob.len();
+        let mut n = 0u32;
+        // Batched retirement accounting: load only the head fields needed
+        // (not the whole slot), hoist the width/capacity lookups out of
+        // the loop, and roll the per-op bookkeeping into one pass.
+        while n < width && self.rob_len > 0 {
+            let idx = self.rob_head;
+            let (ready_at, class, dst_fp, addr, mispredicted) = {
+                let s = &self.rob[idx];
+                (s.ready_at, s.class, s.dst_fp, s.addr, s.mispredicted)
+            };
+            if ready_at > now {
+                break;
+            }
+            // Retire.
+            match class {
+                OpClass::Store => {
+                    // Write-back through the store buffer: update cache
+                    // state; latency is off the critical path.
+                    let _ = mem.access(self.core_id, AccessKind::Store, addr, now);
+                    self.activity.dcache_accesses += 1;
+                    // Free the store-queue entry (the head is the oldest
+                    // store, so this is the front in the common case).
+                    if let Some(pos) = self.stores.iter().position(|&s| s == idx as u32) {
+                        self.stores.remove(pos);
+                    }
+                }
+                OpClass::Load => {
+                    if let Some(pos) = self.loads.iter().position(|&s| s == idx as u32) {
+                        self.loads.remove(pos);
+                    }
+                }
+                OpClass::Branch => {
+                    self.stats.branches += 1;
+                    if mispredicted {
+                        self.stats.mispredicts += 1;
+                    }
+                }
+                _ => {}
+            }
+            if let Some(fp) = dst_fp {
+                if fp {
+                    self.fp_free += 1;
+                } else {
+                    self.int_free += 1;
+                }
+            }
+            self.stats.committed.record(class);
+            self.activity.commits += 1;
+            self.rob[idx].seq = 0;
+            self.rob_head = (idx + 1) % rob_cap;
+            self.rob_len -= 1;
+            n += 1;
+        }
+        n
+    }
+
+    /// Reference copy of the seed simulator's commit stage (frozen).
+    fn ref_commit(&mut self, now: u64, mem: &mut MemSystem) -> u32 {
         let mut n = 0u32;
         while n < self.cfg.commit_width as u32 && self.rob_len > 0 {
             let idx = self.rob_head;
@@ -184,14 +286,10 @@ impl Core {
             if slot.ready_at > now {
                 break;
             }
-            // Retire.
             match slot.class {
                 OpClass::Store => {
-                    // Write-back through the store buffer: update cache
-                    // state; latency is off the critical path.
                     let _ = mem.access(self.core_id, AccessKind::Store, slot.addr, now);
                     self.activity.dcache_accesses += 1;
-                    // Free the store-queue entry.
                     if let Some(pos) = self.stores.iter().position(|&s| s == idx as u32) {
                         self.stores.remove(pos);
                     }
@@ -239,7 +337,92 @@ impl Core {
         self.issue_stores(now);
     }
 
+    /// Reference copy of the seed simulator's issue stage (frozen).
+    fn ref_issue(&mut self, now: u64, mem: &mut MemSystem) {
+        self.activity.isq_int_wakeups += self.isq_int.len() as u64;
+        self.activity.isq_fp_wakeups += self.isq_fp.len() as u64;
+
+        self.ref_issue_arith_queue(false, now);
+        self.ref_issue_arith_queue(true, now);
+        self.ref_issue_loads(now, mem);
+        self.ref_issue_stores(now);
+    }
+
     fn issue_arith_queue(&mut self, fp: bool, now: u64) {
+        let width = if fp {
+            self.cfg.issue_width_fp
+        } else {
+            self.cfg.issue_width_int
+        } as usize;
+        // Single compaction pass over the queue instead of `Vec::remove`
+        // per issued op: surviving entries are written back in place, so
+        // age order is preserved with no quadratic shifting. A failed
+        // `try_issue` does not mutate the pool, so attempting entries in
+        // the same order yields the same grants as the reference.
+        let mut queue = std::mem::take(if fp { &mut self.isq_fp } else { &mut self.isq_int });
+        let mut issued = 0usize;
+        let mut kept = 0usize;
+        let mut i = 0usize;
+        while i < queue.len() && issued < width {
+            let slot_idx = queue[i] as usize;
+            let mut keep = true;
+            {
+                let (dispatched_at, src1, src2, class, dst_fp) = {
+                    let s = &self.rob[slot_idx];
+                    (s.dispatched_at, s.src1, s.src2, s.class, s.dst_fp)
+                };
+                if dispatched_at < now
+                    && self.dep_ready(src1, now)
+                    && self.dep_ready(src2, now)
+                {
+                    let done_at = if class.is_branch() {
+                        // Dedicated branch/condition unit, 1-cycle latency.
+                        Some(now + 1)
+                    } else {
+                        self.fus[class.index()].try_issue(now)
+                    };
+                    if let Some(done_at) = done_at {
+                        self.rob[slot_idx].ready_at = done_at;
+                        // count_issue, inlined from the captured fields.
+                        self.activity.fu_ops[class.index()] += 1;
+                        let reads = (src1.seq != 0) as u64 + (src2.seq != 0) as u64;
+                        if class.is_fp() {
+                            self.activity.fp_reg_reads += reads;
+                        } else {
+                            self.activity.int_reg_reads += reads;
+                        }
+                        match dst_fp {
+                            Some(true) => self.activity.fp_reg_writes += 1,
+                            Some(false) => self.activity.int_reg_writes += 1,
+                            None => {}
+                        }
+                        issued += 1;
+                        keep = false;
+                    }
+                }
+            }
+            if keep {
+                queue[kept] = queue[i];
+                kept += 1;
+            }
+            i += 1;
+        }
+        // Issue width exhausted: the rest of the queue survives untouched,
+        // so bulk-move it instead of inspecting each entry.
+        if i < queue.len() {
+            queue.copy_within(i.., kept);
+            kept += queue.len() - i;
+        }
+        queue.truncate(kept);
+        if fp {
+            self.isq_fp = queue;
+        } else {
+            self.isq_int = queue;
+        }
+    }
+
+    /// Reference copy of the seed simulator's arithmetic issue (frozen).
+    fn ref_issue_arith_queue(&mut self, fp: bool, now: u64) {
         let width = if fp {
             self.cfg.issue_width_fp
         } else {
@@ -296,7 +479,69 @@ impl Core {
 
     fn issue_loads(&mut self, now: u64, mem: &mut MemSystem) {
         // One load port: the oldest ready load issues. Entries stay in
-        // `loads` until commit (they hold the LQ slot).
+        // `loads` until commit (they hold the LQ slot), but the per-cycle
+        // scan walks only `loads_unissued` — entries that issued already
+        // are just waiting for data or commit and can never issue again.
+        // Fast path: load only the fields needed, skip the store scan
+        // when the store queue is empty, and inline the issue accounting
+        // (loads use the integer datapath and never a branch/FP unit).
+        for i in 0..self.loads_unissued.len() {
+            let slot_idx = self.loads_unissued[i] as usize;
+            let (dispatched_at, seq, src1, src2, addr, dst_fp) = {
+                let s = &self.rob[slot_idx];
+                (s.dispatched_at, s.seq, s.src1, s.src2, s.addr, s.dst_fp)
+            };
+            if dispatched_at >= now || !self.dep_ready(src1, now) || !self.dep_ready(src2, now) {
+                continue;
+            }
+            // Disambiguation against older, in-flight stores to the same
+            // 8-byte word (addresses are exact in a trace-driven model).
+            let mut blocked = false;
+            let mut forward = false;
+            if !self.stores.is_empty() {
+                let word = addr >> 3;
+                for &st_idx in &self.stores {
+                    let st = &self.rob[st_idx as usize];
+                    if st.seq >= seq {
+                        continue; // younger store: irrelevant
+                    }
+                    if st.addr >> 3 == word {
+                        if st.ready_at == NOT_READY || st.ready_at > now {
+                            blocked = true; // store data not ready yet
+                        } else {
+                            forward = true;
+                        }
+                    }
+                }
+            }
+            if blocked {
+                continue;
+            }
+            let done_at = if forward {
+                now + 1 // store-to-load forwarding
+            } else {
+                let lat = mem.access(self.core_id, AccessKind::Load, addr, now);
+                self.activity.dcache_accesses += 1;
+                now + lat as u64
+            };
+            self.rob[slot_idx].ready_at = done_at;
+            // count_issue, inlined: Load is integer-domain, non-FP dest
+            // unless the load targets an FP register.
+            self.activity.fu_ops[OpClass::Load.index()] += 1;
+            self.activity.int_reg_reads +=
+                (src1.seq != 0) as u64 + (src2.seq != 0) as u64;
+            match dst_fp {
+                Some(true) => self.activity.fp_reg_writes += 1,
+                Some(false) => self.activity.int_reg_writes += 1,
+                None => {}
+            }
+            self.loads_unissued.remove(i);
+            break;
+        }
+    }
+
+    /// Reference copy of the seed simulator's load issue (frozen).
+    fn ref_issue_loads(&mut self, now: u64, mem: &mut MemSystem) {
         for i in 0..self.loads.len() {
             let slot_idx = self.loads[i];
             let slot = self.rob[slot_idx as usize];
@@ -306,8 +551,6 @@ impl Core {
             if slot.dispatched_at >= now || !self.srcs_ready(&slot, now) {
                 continue;
             }
-            // Disambiguation against older, in-flight stores to the same
-            // 8-byte word (addresses are exact in a trace-driven model).
             let mut blocked = false;
             let mut forward_from: Option<u64> = None;
             for &st_idx in &self.stores {
@@ -342,7 +585,35 @@ impl Core {
     }
 
     fn issue_stores(&mut self, now: u64) {
-        // One store port: compute address + capture data.
+        // One store port: compute address + capture data. Fast path:
+        // walk only the unissued subset, with field loads plus inlined
+        // accounting (stores are integer-domain and never have a
+        // destination register).
+        for i in 0..self.stores_unissued.len() {
+            let slot_idx = self.stores_unissued[i] as usize;
+            let (dispatched_at, src1, src2, dst_fp) = {
+                let s = &self.rob[slot_idx];
+                (s.dispatched_at, s.src1, s.src2, s.dst_fp)
+            };
+            if dispatched_at >= now || !self.dep_ready(src1, now) || !self.dep_ready(src2, now) {
+                continue;
+            }
+            self.rob[slot_idx].ready_at = now + 1;
+            self.activity.fu_ops[OpClass::Store.index()] += 1;
+            self.activity.int_reg_reads +=
+                (src1.seq != 0) as u64 + (src2.seq != 0) as u64;
+            match dst_fp {
+                Some(true) => self.activity.fp_reg_writes += 1,
+                Some(false) => self.activity.int_reg_writes += 1,
+                None => {}
+            }
+            self.stores_unissued.remove(i);
+            break;
+        }
+    }
+
+    /// Reference copy of the seed simulator's store issue (frozen).
+    fn ref_issue_stores(&mut self, now: u64) {
         for &slot_idx in &self.stores {
             let slot = self.rob[slot_idx as usize];
             if slot.ready_at != NOT_READY {
@@ -361,6 +632,183 @@ impl Core {
     // --- Dispatch ----------------------------------------------------
 
     fn dispatch(&mut self, now: u64, workload: &mut dyn Workload, mem: &mut MemSystem) {
+        // Unresolved mispredicted branch: frontend fetches the wrong path;
+        // no correct-path instructions enter until resolve + penalty.
+        if let Some(dep) = self.waiting_branch {
+            let slot = &self.rob[dep.slot as usize];
+            let resolved = slot.seq != dep.seq || slot.ready_at <= now;
+            if resolved {
+                let resolve_time = if slot.seq == dep.seq { slot.ready_at } else { now };
+                self.redirect_until =
+                    resolve_time.max(now) + self.cfg.mispredict_penalty as u64;
+                self.waiting_branch = None;
+            } else {
+                self.stats.redirect_stall_cycles += 1;
+                return;
+            }
+        }
+        if self.redirect_until > now {
+            self.stats.redirect_stall_cycles += 1;
+            return;
+        }
+        if self.fetch_ready_at > now {
+            self.stats.icache_stall_cycles += 1;
+            return;
+        }
+
+        // Structural limits are fixed for the core's lifetime; hoist them
+        // out of the per-slot loop so the hot path reads locals only.
+        let width = self.cfg.dispatch_width;
+        let rob_cap = self.rob.len();
+        let lsq_loads = self.cfg.lsq_loads as usize;
+        let lsq_stores = self.cfg.lsq_stores as usize;
+        let fp_isq = self.cfg.fp_isq as usize;
+        let int_isq = self.cfg.int_isq as usize;
+        let l1_latency = mem.config().l1_latency;
+
+        for _ in 0..width {
+            // Refill the peek buffer.
+            if self.pending.is_none() {
+                self.pending = Some(workload.next_op());
+            }
+            let op = *self.pending.as_ref().expect("just filled");
+
+            // Instruction-cache access on line crossing.
+            let line = op.pc >> 6;
+            if line != self.last_fetch_line {
+                let lat = mem.access(self.core_id, AccessKind::Ifetch, op.pc, now);
+                self.activity.icache_accesses += 1;
+                self.last_fetch_line = line;
+                if lat > l1_latency {
+                    // Miss: frontend refills; retry once the line arrives.
+                    self.fetch_ready_at = now + lat as u64;
+                    self.stats.icache_stall_cycles += 1;
+                    return;
+                }
+            }
+
+            // Structural hazards.
+            if self.rob_len == rob_cap {
+                self.stats.rob_full_stalls += 1;
+                return;
+            }
+            let dst_fp = op.effective_dst().map(|r| r.is_fp());
+            match dst_fp {
+                Some(true) if self.fp_free == 0 => {
+                    self.stats.rename_stalls += 1;
+                    return;
+                }
+                Some(false) if self.int_free == 0 => {
+                    self.stats.rename_stalls += 1;
+                    return;
+                }
+                _ => {}
+            }
+            match op.class {
+                OpClass::Load => {
+                    if self.loads.len() >= lsq_loads {
+                        self.stats.lsq_full_stalls += 1;
+                        return;
+                    }
+                }
+                OpClass::Store => {
+                    if self.stores.len() >= lsq_stores {
+                        self.stats.lsq_full_stalls += 1;
+                        return;
+                    }
+                }
+                c if c.is_fp() => {
+                    if self.isq_fp.len() >= fp_isq {
+                        self.stats.isq_full_stalls += 1;
+                        return;
+                    }
+                }
+                _ => {
+                    if self.isq_int.len() >= int_isq {
+                        self.stats.isq_full_stalls += 1;
+                        return;
+                    }
+                }
+            }
+
+            // All clear: allocate and rename.
+            let seq = self.next_seq;
+            self.next_seq += 1;
+            let tail = (self.rob_head + self.rob_len) % rob_cap;
+
+            let dep_of = |r: Option<ArchReg>, lw: &[Dep]| -> Dep {
+                match r {
+                    Some(r) if !r.is_zero() => lw[r.flat_index()],
+                    _ => Dep::default(),
+                }
+            };
+            let src1 = dep_of(op.src1, &self.last_writer);
+            let src2 = dep_of(op.src2, &self.last_writer);
+
+            self.rob[tail] = RobSlot {
+                seq,
+                class: op.class,
+                dispatched_at: now,
+                ready_at: NOT_READY,
+                src1,
+                src2,
+                dst_fp,
+                addr: op.addr,
+                mispredicted: op.class.is_branch() && !op.predicted_correctly,
+            };
+            self.rob_len += 1;
+            self.pending = None;
+
+            if let Some(dst) = op.effective_dst() {
+                self.last_writer[dst.flat_index()] = Dep {
+                    slot: tail as u32,
+                    seq,
+                };
+                if dst.is_fp() {
+                    self.fp_free -= 1;
+                } else {
+                    self.int_free -= 1;
+                }
+            }
+
+            self.activity.dispatches += 1;
+            match op.class {
+                OpClass::Load | OpClass::Store => {
+                    self.activity.lsq_inserts += 1;
+                    if op.class == OpClass::Load {
+                        self.loads.push(tail as u32);
+                        self.loads_unissued.push(tail as u32);
+                    } else {
+                        self.stores.push(tail as u32);
+                        self.stores_unissued.push(tail as u32);
+                    }
+                }
+                c if c.is_fp() => {
+                    self.activity.isq_fp_inserts += 1;
+                    self.isq_fp.push(tail as u32);
+                }
+                _ => {
+                    self.activity.isq_int_inserts += 1;
+                    self.isq_int.push(tail as u32);
+                }
+            }
+
+            if op.class.is_branch() {
+                self.activity.bpred_lookups += 1;
+                if !op.predicted_correctly {
+                    self.waiting_branch = Some(Dep {
+                        slot: tail as u32,
+                        seq,
+                    });
+                    return; // younger ops are wrong-path until resolve
+                }
+            }
+        }
+    }
+
+    /// Frozen reference dispatch (verbatim seed implementation); see
+    /// [`Core::reference_tick`].
+    fn ref_dispatch(&mut self, now: u64, workload: &mut dyn Workload, mem: &mut MemSystem) {
         // Unresolved mispredicted branch: frontend fetches the wrong path;
         // no correct-path instructions enter until resolve + penalty.
         if let Some(dep) = self.waiting_branch {
@@ -542,6 +990,8 @@ impl Core {
         self.isq_fp.clear();
         self.loads.clear();
         self.stores.clear();
+        self.loads_unissued.clear();
+        self.stores_unissued.clear();
         for fu in &mut self.fus {
             fu.reset();
         }
@@ -556,6 +1006,340 @@ impl Core {
     pub fn stall_until(&mut self, cycle: u64) {
         self.fetch_ready_at = self.fetch_ready_at.max(cycle);
         self.redirect_until = self.redirect_until.max(cycle);
+    }
+
+    // --- Skip-ahead fast path ------------------------------------------
+
+    /// Earliest cycle `t >= now` at which `tick(t)` might do more than
+    /// the quiescent no-op pattern that [`Core::fast_forward`] replicates
+    /// (cycle/stall/wakeup accounting only: no commit, no issue, no
+    /// dispatch, no memory access).
+    ///
+    /// The bound is conservative: ticking at the returned cycle may still
+    /// turn out to be quiescent (e.g. an issue lost to a width conflict),
+    /// which costs a real tick but never correctness. The bound is also
+    /// *sound*: nothing can change state strictly before it, because
+    /// every state transition in the pipeline is enumerated below.
+    pub fn next_event_at_or_after(&self, now: u64) -> u64 {
+        // A candidate at `now` means the very next tick may act; bail out
+        // as soon as one appears. (Candidates strictly above `now` must
+        // all be scanned: an early return on `now + 1` could hide a
+        // different candidate at `now` later in the scan order.)
+        let horizon = now;
+        let mut best = u64::MAX;
+
+        // 1. Commit: the head retires once its result is ready. A head
+        //    with no result yet is covered by its own issue candidate.
+        if self.rob_len > 0 {
+            let r = self.rob[self.rob_head].ready_at;
+            if r != NOT_READY {
+                best = best.min(r.max(now));
+                if best <= horizon {
+                    return best;
+                }
+            }
+        }
+
+        // 2. Frontend.
+        if let Some(dep) = self.waiting_branch {
+            let slot = &self.rob[dep.slot as usize];
+            if slot.seq != dep.seq {
+                // Producer slot reused: resolves on the very next tick.
+                return now;
+            }
+            if slot.ready_at != NOT_READY {
+                // Resolution must happen at exactly the ready cycle — the
+                // redirect window is measured from it.
+                best = best.min(slot.ready_at.max(now));
+                if best <= horizon {
+                    return best;
+                }
+            }
+            // Unissued branch: covered by its issue-queue candidate.
+        } else {
+            let gate = self.redirect_until.max(self.fetch_ready_at).max(now);
+            let dispatch_blocked = match &self.pending {
+                // An empty peek buffer means the next active cycle draws
+                // from the workload and touches the I-cache: both are
+                // unpredictable here, so the gate cycle is an event.
+                None => false,
+                // The pending op's I-cache access already happened when it
+                // was buffered (`last_fetch_line` is set before the miss
+                // check), so only the structural hazards remain, probed in
+                // dispatch order. Occupancies cannot change during a
+                // quiescent region, so a blocked verdict holds until some
+                // other (commit/issue) event fires first.
+                Some(op) => {
+                    if self.rob_len == self.rob.len() {
+                        true
+                    } else {
+                        let dst_fp = op.effective_dst().map(|r| r.is_fp());
+                        let rename_blocked = match dst_fp {
+                            Some(true) => self.fp_free == 0,
+                            Some(false) => self.int_free == 0,
+                            None => false,
+                        };
+                        rename_blocked
+                            || match op.class {
+                                OpClass::Load => {
+                                    self.loads.len() >= self.cfg.lsq_loads as usize
+                                }
+                                OpClass::Store => {
+                                    self.stores.len() >= self.cfg.lsq_stores as usize
+                                }
+                                c if c.is_fp() => {
+                                    self.isq_fp.len() >= self.cfg.fp_isq as usize
+                                }
+                                _ => self.isq_int.len() >= self.cfg.int_isq as usize,
+                            }
+                    }
+                }
+            };
+            if !dispatch_blocked {
+                best = best.min(gate);
+                if best <= horizon {
+                    return best;
+                }
+            }
+        }
+
+        // 3. Issue-queue entries (all unissued by construction): an entry
+        //    can first issue once it has aged a cycle, its sources are
+        //    ready, and — for non-branches — some unit is free. A source
+        //    produced by an op that has itself not issued yet reads as
+        //    "never" here; that producer's own candidate covers it, and
+        //    the chain bottoms out at the ROB head.
+        for queue in [&self.isq_int, &self.isq_fp] {
+            for &slot_idx in queue.iter() {
+                let s = &self.rob[slot_idx as usize];
+                let mut t = (s.dispatched_at + 1)
+                    .max(self.dep_event_time(s.src1))
+                    .max(self.dep_event_time(s.src2));
+                if !s.class.is_branch() {
+                    t = t.max(self.fus[s.class.index()].earliest_free());
+                }
+                if t == u64::MAX {
+                    continue;
+                }
+                best = best.min(t.max(now));
+                if best <= horizon {
+                    return best;
+                }
+            }
+        }
+
+        // 4. Unissued loads: sources ready, plus every older in-flight
+        //    store to the same word resolved (for bypass or forwarding).
+        for &slot_idx in &self.loads {
+            let s = &self.rob[slot_idx as usize];
+            if s.ready_at != NOT_READY {
+                continue; // issued: covered by the commit candidate
+            }
+            let mut t = (s.dispatched_at + 1)
+                .max(self.dep_event_time(s.src1))
+                .max(self.dep_event_time(s.src2));
+            for &st_idx in &self.stores {
+                let st = &self.rob[st_idx as usize];
+                if st.seq < s.seq && st.addr >> 3 == s.addr >> 3 {
+                    t = t.max(st.ready_at); // NOT_READY = never (see above)
+                }
+            }
+            if t == u64::MAX {
+                continue;
+            }
+            best = best.min(t.max(now));
+            if best <= horizon {
+                return best;
+            }
+        }
+
+        // 5. Unissued stores: address/data generation needs only sources.
+        for &slot_idx in &self.stores {
+            let s = &self.rob[slot_idx as usize];
+            if s.ready_at != NOT_READY {
+                continue;
+            }
+            let t = (s.dispatched_at + 1)
+                .max(self.dep_event_time(s.src1))
+                .max(self.dep_event_time(s.src2));
+            if t == u64::MAX {
+                continue;
+            }
+            best = best.min(t.max(now));
+            if best <= horizon {
+                return best;
+            }
+        }
+
+        best
+    }
+
+    /// When the value behind `dep` becomes readable: immediately for no
+    /// dependency or a committed producer, at `ready_at` for an issued
+    /// producer, "never" (`u64::MAX`) for an unissued one — whose own
+    /// issue is a separate event candidate.
+    #[inline]
+    fn dep_event_time(&self, dep: Dep) -> u64 {
+        if dep.seq == 0 {
+            return 0;
+        }
+        let slot = &self.rob[dep.slot as usize];
+        if slot.seq != dep.seq {
+            return 0; // producer committed
+        }
+        slot.ready_at
+    }
+
+    /// Replicate `n` consecutive quiescent ticks covering cycles
+    /// `from .. from + n` in O(1): exactly the accounting `tick` performs
+    /// on a cycle where nothing commits, issues, or dispatches.
+    ///
+    /// Only valid when `from + n <= self.next_event_at_or_after(from)` —
+    /// the runner guarantees this before calling.
+    pub fn fast_forward(&mut self, from: u64, n: u64) {
+        if n == 0 {
+            return;
+        }
+        self.stats.cycles += n;
+        self.activity.cycles += n;
+        // Queue occupancies are frozen across a quiescent region, so the
+        // per-cycle CAM wakeup accounting is a multiplication.
+        self.activity.isq_int_wakeups += n * self.isq_int.len() as u64;
+        self.activity.isq_fp_wakeups += n * self.isq_fp.len() as u64;
+
+        // Dispatch-stage stall accounting, mirroring `dispatch`'s gate
+        // order. An unresolved mispredicted branch charges every cycle to
+        // the redirect stall; otherwise the redirect window covers the
+        // leading cycles, the I-cache refill the next ones, and any
+        // remainder is an active frontend blocked on the same structural
+        // hazard every cycle.
+        if self.waiting_branch.is_some() {
+            self.stats.redirect_stall_cycles += n;
+            return;
+        }
+        let n_redirect = self.redirect_until.saturating_sub(from).min(n);
+        let n_icache = self
+            .fetch_ready_at
+            .saturating_sub(from)
+            .min(n)
+            .saturating_sub(n_redirect);
+        let n_structural = n - n_redirect - n_icache;
+        self.stats.redirect_stall_cycles += n_redirect;
+        self.stats.icache_stall_cycles += n_icache;
+        if n_structural > 0 {
+            let op = self
+                .pending
+                .as_ref()
+                .expect("active quiescent frontend must hold a pending op");
+            if self.rob_len == self.rob.len() {
+                self.stats.rob_full_stalls += n_structural;
+            } else {
+                let dst_fp = op.effective_dst().map(|r| r.is_fp());
+                let rename_blocked = match dst_fp {
+                    Some(true) => self.fp_free == 0,
+                    Some(false) => self.int_free == 0,
+                    None => false,
+                };
+                if rename_blocked {
+                    self.stats.rename_stalls += n_structural;
+                } else {
+                    match op.class {
+                        OpClass::Load | OpClass::Store => {
+                            self.stats.lsq_full_stalls += n_structural
+                        }
+                        _ => self.stats.isq_full_stalls += n_structural,
+                    }
+                }
+            }
+        }
+    }
+
+    /// FNV-1a digest over the complete microarchitectural state —
+    /// everything `tick` reads or writes except the `stats`/`activity`
+    /// counters (those are compared directly via `PartialEq` in the
+    /// differential tests). Two cores with equal digests behave
+    /// identically from here on given the same inputs.
+    pub fn state_digest(&self) -> u64 {
+        const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+        let mut h = FNV_OFFSET;
+        let mut put = |v: u64| {
+            h ^= v;
+            h = h.wrapping_mul(FNV_PRIME);
+        };
+        let dep_words = |d: Dep| (d.slot as u64, d.seq);
+
+        put(self.rob_head as u64);
+        put(self.rob_len as u64);
+        put(self.next_seq);
+        for s in &self.rob {
+            if s.seq == 0 {
+                continue; // freed slots carry no future-visible state
+            }
+            put(s.seq);
+            put(s.class.index() as u64);
+            put(s.dispatched_at);
+            put(s.ready_at);
+            let (a, b) = dep_words(s.src1);
+            put(a);
+            put(b);
+            let (a, b) = dep_words(s.src2);
+            put(a);
+            put(b);
+            put(match s.dst_fp {
+                None => 0,
+                Some(false) => 1,
+                Some(true) => 2,
+            });
+            put(s.addr);
+            put(s.mispredicted as u64);
+        }
+        for d in &self.last_writer {
+            let (a, b) = dep_words(*d);
+            put(a);
+            put(b);
+        }
+        put(self.int_free as u64);
+        put(self.fp_free as u64);
+        for queue in [&self.isq_int, &self.isq_fp, &self.loads, &self.stores] {
+            put(queue.len() as u64);
+            for &i in queue.iter() {
+                put(i as u64);
+            }
+        }
+        for fu in &self.fus {
+            for &f in fu.free_at() {
+                put(f);
+            }
+        }
+        match &self.pending {
+            None => put(0),
+            Some(op) => {
+                put(1);
+                put(op.pc);
+                put(op.class.index() as u64);
+                put(op.addr);
+                put(op.size as u64);
+                put(op.predicted_correctly as u64);
+                let reg = |r: Option<ArchReg>| r.map_or(0, |r| r.flat_index() as u64 + 1);
+                put(reg(op.src1));
+                put(reg(op.src2));
+                put(reg(op.dst));
+            }
+        }
+        put(self.fetch_ready_at);
+        put(self.last_fetch_line);
+        match self.waiting_branch {
+            None => put(0),
+            Some(d) => {
+                put(1);
+                let (a, b) = dep_words(d);
+                put(a);
+                put(b);
+            }
+        }
+        put(self.redirect_until);
+        h
     }
 }
 

@@ -48,6 +48,16 @@ impl FuPool {
         self.free_at.iter().any(|f| *f <= now)
     }
 
+    /// Earliest cycle at which some unit is free (0 for an idle pool).
+    pub fn earliest_free(&self) -> u64 {
+        self.free_at.iter().copied().min().unwrap_or(0)
+    }
+
+    /// Occupancy state words, for state digests.
+    pub fn free_at(&self) -> &[u64] {
+        &self.free_at
+    }
+
     /// Forget all occupancy (pipeline flush).
     pub fn reset(&mut self) {
         self.free_at.fill(0);

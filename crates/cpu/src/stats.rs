@@ -4,7 +4,7 @@
 use ampsched_isa::MixCounts;
 
 /// Cumulative per-core statistics.
-#[derive(Debug, Clone, Copy, Default)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct CoreStats {
     /// Cycles simulated on this core.
     pub cycles: u64,

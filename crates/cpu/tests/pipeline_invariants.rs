@@ -11,7 +11,7 @@ use ampsched_util::{prop_assert, prop_assert_eq};
 const SEED: u64 = 0xc40_0003;
 
 fn checker() -> Checker {
-    Checker::new(SEED).cases(24)
+    Checker::new(SEED).cases(24).suite("cpu_pipeline")
 }
 
 /// Workload producing a random but valid op stream.

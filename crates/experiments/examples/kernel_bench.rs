@@ -1,0 +1,38 @@
+//! Dev-only micro-benchmark: time duo runs under both kernels.
+
+use ampsched_experiments::common::{run_pair, sample_pairs, Params, SchedKind};
+use ampsched_experiments::profiling;
+use ampsched_system::SimPath;
+use std::time::Instant;
+
+fn main() {
+    let mut params = Params::quick();
+    let predictors = profiling::quick_predictors();
+    let pairs = sample_pairs(6, params.seed);
+    let kinds = [SchedKind::proposed_default(&params), SchedKind::HpeMatrix, SchedKind::RoundRobin(1)];
+
+    let arg = std::env::args().nth(1).unwrap_or_default();
+    let paths: &[SimPath] = match arg.as_str() {
+        "fast" => &[SimPath::Fast],
+        "reference" => &[SimPath::Reference],
+        _ => &[SimPath::Reference, SimPath::Fast],
+    };
+    for &path in paths {
+        params.system.sim_path = path;
+        let mut best = f64::MAX;
+        for _rep in 0..5 {
+            let t = Instant::now();
+            let mut cycles = 0u64;
+            for pair in &pairs {
+                for kind in &kinds {
+                    let r = run_pair(pair, kind, predictors, &params);
+                    cycles += r.cycles;
+                }
+            }
+            let dt = t.elapsed().as_secs_f64();
+            best = best.min(dt);
+            eprintln!("{path:?}: {dt:.3}s  ({cycles} cycles)");
+        }
+        eprintln!("{path:?} best: {best:.3}s");
+    }
+}

@@ -100,6 +100,21 @@ pub fn run(params: &Params, predictors: &Predictors) -> Vec<AblationRow> {
         .collect()
 }
 
+/// Serialize the ablation battery for the `--json` report path.
+pub fn to_json(rows: &[AblationRow]) -> ampsched_util::Json {
+    use ampsched_util::Json;
+    Json::arr(rows.iter().map(|r| {
+        Json::obj([
+            ("variant", Json::from(r.variant.as_str())),
+            (
+                "weighted_vs_static_pct",
+                Json::from(r.weighted_vs_static_pct),
+            ),
+            ("swaps_per_run", Json::from(r.swaps_per_run)),
+        ])
+    }))
+}
+
 /// Render the ablation table.
 pub fn render(rows: &[AblationRow]) -> String {
     let mut t = Table::new(&["variant", "weighted IPC/W vs static (%)", "swaps/run"]);

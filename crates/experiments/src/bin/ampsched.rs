@@ -25,13 +25,17 @@ use ampsched_experiments::{
     ablation, common::Params, fig1, fig6, fig78, morphing, overhead, profiling, rr_interval,
     rules_derivation, tables,
 };
+use ampsched_system::SimPath;
+use ampsched_util::timer::{resolve_out_dir, Profiler};
 use ampsched_util::Json;
 use std::cell::RefCell;
+use std::path::Path;
 use std::time::Instant;
 
 fn usage() -> ! {
     eprintln!(
-        "usage: ampsched [--quick|--medium] [--pairs N] [--insts N] [--seed N] [--csv FILE] [--json FILE] \
+        "usage: ampsched [--quick|--medium] [--pairs N] [--insts N] [--profile-insts N] [--seed N] \
+         [--sim-path fast|reference] [--profile] [--csv FILE] [--json FILE] \
          <tables|fig1|fig3|fig4|fig6|fig7|fig8|fig9|figs789|overhead|rr-interval|derive-rules|ablation|morphing|workloads|all>"
     );
     std::process::exit(2);
@@ -43,6 +47,7 @@ fn main() {
     let mut command = None;
     let mut csv_path: Option<String> = None;
     let mut json_path: Option<String> = None;
+    let mut profile = false;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -56,6 +61,19 @@ fn main() {
                 i += 1;
                 params.run_insts = args.get(i).and_then(|s| s.parse().ok()).unwrap_or_else(|| usage());
             }
+            "--profile-insts" => {
+                i += 1;
+                params.profile_insts = args.get(i).and_then(|s| s.parse().ok()).unwrap_or_else(|| usage());
+            }
+            "--sim-path" => {
+                i += 1;
+                params.system.sim_path = match args.get(i).map(String::as_str) {
+                    Some("fast") => SimPath::Fast,
+                    Some("reference") => SimPath::Reference,
+                    _ => usage(),
+                };
+            }
+            "--profile" => profile = true,
             "--seed" => {
                 i += 1;
                 params.seed = args.get(i).and_then(|s| s.parse().ok()).unwrap_or_else(|| usage());
@@ -85,10 +103,16 @@ fn main() {
     }
 
     let t0 = Instant::now();
+    // Per-phase wall-clock accounting for `--profile`; shaped like a bench
+    // report so `scripts/bench_diff` can compare two runs.
+    let prof: RefCell<Profiler> = RefCell::new(Profiler::new());
     let needs_predictors = !matches!(command.as_str(), "tables" | "workloads" | "fig1" | "derive-rules" | "morphing");
     let preds = if needs_predictors {
         eprintln!("[profiling {} representative benchmarks ...]", 9);
-        Some(profiling::predictors(&params))
+        Some(
+            prof.borrow_mut()
+                .time("profiling", || profiling::predictors(&params)),
+        )
     } else {
         None
     };
@@ -113,16 +137,21 @@ fn main() {
         }
         "fig3" => {
             println!("Figure 3 — IPC/Watt ratio matrix (INT core / FP core)\n");
-            println!("{}", profiling::render_matrix(&preds.as_ref().expect("predictors").matrix));
+            let matrix = &preds.as_ref().expect("predictors").matrix;
+            println!("{}", profiling::render_matrix(matrix));
+            report.borrow_mut().push(("fig3".into(), profiling::matrix_to_json(matrix)));
         }
         "fig4" => {
             println!("Figure 4 — fitted ratio surface\n");
-            println!("{}", profiling::render_surface(&preds.as_ref().expect("predictors").surface));
+            let surface = &preds.as_ref().expect("predictors").surface;
+            println!("{}", profiling::render_surface(surface));
+            report.borrow_mut().push(("fig4".into(), profiling::surface_to_json(surface)));
         }
         "fig6" => {
             println!("Figure 6 — window/history sensitivity\n");
             let pts = fig6::run(&params, preds.as_ref().expect("predictors"));
             println!("{}", fig6::render(&pts));
+            report.borrow_mut().push(("fig6".into(), fig6::to_json(&pts)));
         }
         "fig7" | "fig8" | "fig9" | "figs789" => {
             eprintln!("[running {}-pair sweep under 3 schedulers ...]", params.num_pairs);
@@ -160,11 +189,13 @@ fn main() {
             println!("Section VI-C — swap-overhead sensitivity\n");
             let pts = overhead::run(&params, preds.as_ref().expect("predictors"));
             println!("{}", overhead::render(&pts));
+            report.borrow_mut().push(("overhead".into(), overhead::to_json(&pts)));
         }
         "rr-interval" => {
             println!("Section VII — Round Robin decision-interval comparison\n");
             let r = rr_interval::run(&params, preds.as_ref().expect("predictors"));
             println!("{}", rr_interval::render(&r));
+            report.borrow_mut().push(("rr_interval".into(), rr_interval::to_json(&r)));
         }
         "derive-rules" => {
             println!("Section VI-A — swap-rule threshold derivation\n");
@@ -175,11 +206,13 @@ fn main() {
             println!("Extension — core morphing sequential comparison (cf. [5])\n");
             let rows = morphing::run(&params);
             println!("{}", morphing::render(&rows));
+            report.borrow_mut().push(("morphing".into(), morphing::to_json(&rows)));
         }
         "ablation" => {
             println!("Ablation battery (all variants vs static baseline)\n");
             let rows = ablation::run(&params, preds.as_ref().expect("predictors"));
             println!("{}", ablation::render(&rows));
+            report.borrow_mut().push(("ablation".into(), ablation::to_json(&rows)));
         }
         other => {
             eprintln!("unknown command: {other}");
@@ -187,16 +220,29 @@ fn main() {
         }
     };
 
+    let timed = |cmd: &str| {
+        if profile {
+            prof.borrow_mut().time(cmd, || run_one(cmd));
+        } else {
+            run_one(cmd);
+        }
+    };
+
     if command == "all" {
         // Run the full index. fig7/8/9 share one sweep.
-        run_one("tables");
-        run_one("fig1");
-        run_one("fig3");
-        run_one("fig4");
-        run_one("derive-rules");
-        run_one("fig6");
+        timed("tables");
+        timed("fig1");
+        timed("fig3");
+        timed("fig4");
+        timed("derive-rules");
+        timed("fig6");
         eprintln!("[running {}-pair sweep under 3 schedulers ...]", params.num_pairs);
-        let sweep = fig78::run_sweep(&params, preds.as_ref().expect("predictors"));
+        let run_sweep = || fig78::run_sweep(&params, preds.as_ref().expect("predictors"));
+        let sweep = if profile {
+            prof.borrow_mut().time("figs789", run_sweep)
+        } else {
+            run_sweep()
+        };
         report.borrow_mut().push(("sweep".into(), fig78::to_json(&sweep)));
         println!("Figure 7 — proposed vs HPE\n");
         println!("{}", fig78::render_fig(&sweep, fig78::Reference::Hpe));
@@ -204,13 +250,17 @@ fn main() {
         println!("{}", fig78::render_fig(&sweep, fig78::Reference::RoundRobin));
         println!("Figure 9 — worst/average/best\n");
         println!("{}", fig78::render_fig9(&sweep));
-        run_one("overhead");
-        run_one("rr-interval");
-        run_one("ablation");
-        run_one("morphing");
+        timed("overhead");
+        timed("rr-interval");
+        timed("ablation");
+        timed("morphing");
     } else {
-        run_one(&command);
+        timed(&command);
     }
+    let sim_path_name = match params.system.sim_path {
+        SimPath::Fast => "fast",
+        SimPath::Reference => "reference",
+    };
     if let Some(path) = &json_path {
         let mut sections = vec![
             ("command".to_string(), Json::from(command.as_str())),
@@ -220,6 +270,7 @@ fn main() {
                     ("run_insts", Json::from(params.run_insts)),
                     ("num_pairs", Json::from(params.num_pairs)),
                     ("seed", Json::from(params.seed)),
+                    ("sim_path", Json::from(sim_path_name)),
                 ]),
             ),
         ];
@@ -227,6 +278,18 @@ fn main() {
         let doc = Json::Obj(sections);
         std::fs::write(path, doc.render_pretty()).expect("write json report");
         eprintln!("[json report written to {path}]");
+    }
+    if profile {
+        let prof = prof.into_inner();
+        println!("Timing report ({command}, {sim_path_name} kernel)\n");
+        println!("{}", prof.render());
+        let dir = resolve_out_dir(Path::new("results/bench"));
+        std::fs::create_dir_all(&dir).expect("create results/bench");
+        let out = dir.join(format!("profile-{command}-{sim_path_name}.json"));
+        let target = format!("ampsched {command} ({sim_path_name})");
+        std::fs::write(&out, prof.to_bench_json(&target).render_pretty())
+            .expect("write profile json");
+        eprintln!("[profile written to {}]", out.display());
     }
     eprintln!("[done in {:.1}s]", t0.elapsed().as_secs_f64());
 }

@@ -3,7 +3,7 @@
 
 use ampsched_cpu::CoreConfig;
 use ampsched_metrics::Table;
-use ampsched_system::single::run_alone;
+use ampsched_system::single::run_alone_with;
 use ampsched_trace::{suite, TraceGenerator};
 
 use crate::common::Params;
@@ -33,17 +33,19 @@ pub fn run(params: &Params) -> Vec<Fig1Row> {
     parallel_map(&names, |name| {
         let spec = suite::by_name(name).expect("fig1 benchmark");
         let mut w = TraceGenerator::for_thread(spec.clone(), params.seed, 0);
-        let a = run_alone(
+        let a = run_alone_with(
             CoreConfig::fp_core(),
             params.system.mem,
+            params.system.sim_path,
             &mut w,
             params.run_insts,
             params.profile_interval_cycles,
         );
         let mut w = TraceGenerator::for_thread(spec, params.seed, 0);
-        let b = run_alone(
+        let b = run_alone_with(
             CoreConfig::int_core(),
             params.system.mem,
+            params.system.sim_path,
             &mut w,
             params.run_insts,
             params.profile_interval_cycles,

@@ -60,6 +60,21 @@ pub fn run(params: &Params, predictors: &Predictors) -> Vec<Fig6Point> {
         .collect()
 }
 
+/// Serialize the sensitivity grid for the `--json` report path.
+pub fn to_json(points: &[Fig6Point]) -> ampsched_util::Json {
+    use ampsched_util::Json;
+    Json::arr(points.iter().map(|p| {
+        Json::obj([
+            ("window", Json::from(p.window)),
+            ("history", Json::from(p.history)),
+            (
+                "weighted_improvement_pct",
+                Json::from(p.weighted_improvement_pct),
+            ),
+        ])
+    }))
+}
+
 /// Render the Figure 6 series (`window_history` on the x axis).
 pub fn render(points: &[Fig6Point]) -> String {
     let mut t = Table::new(&["window_history", "weighted IPC/W improvement vs HPE (%)"]);

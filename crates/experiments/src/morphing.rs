@@ -12,7 +12,7 @@
 
 use ampsched_cpu::CoreConfig;
 use ampsched_metrics::Table;
-use ampsched_system::single::run_alone;
+use ampsched_system::single::run_alone_with;
 use ampsched_trace::{suite, TraceGenerator};
 
 use crate::common::Params;
@@ -58,9 +58,10 @@ pub fn run(params: &Params) -> Vec<MorphRow> {
         let mut ppw = [0.0; 4];
         for (k, cfg) in configs.iter().enumerate() {
             let mut w = TraceGenerator::for_thread(spec.clone(), params.seed, 0);
-            let r = run_alone(
+            let r = run_alone_with(
                 cfg.clone(),
                 params.system.mem,
+                params.system.sim_path,
                 &mut w,
                 params.run_insts,
                 params.profile_interval_cycles,
@@ -74,6 +75,20 @@ pub fn run(params: &Params) -> Vec<MorphRow> {
             ppw,
         }
     })
+}
+
+/// Serialize the morphing comparison for the `--json` report path.
+pub fn to_json(rows: &[MorphRow]) -> ampsched_util::Json {
+    use ampsched_util::Json;
+    Json::arr(rows.iter().map(|r| {
+        Json::obj([
+            ("workload", Json::from(r.workload.as_str())),
+            ("ipc", Json::arr(r.ipc.iter().map(|&v| Json::from(v)))),
+            ("ppw", Json::arr(r.ppw.iter().map(|&v| Json::from(v)))),
+            ("seq_speedup", Json::from(r.morph_speedup())),
+            ("ppw_ratio", Json::from(r.morph_ppw_ratio())),
+        ])
+    }))
 }
 
 /// Render the comparison.
@@ -137,6 +152,7 @@ mod tests {
         // A morph gain needs the run to cover both flavors of phase, so
         // run `pi` (1.2M-instruction phase cycle) for a full cycle on the
         // best single core vs the morphed strong core.
+        use ampsched_system::single::run_alone;
         use ampsched_trace::{suite, TraceGenerator};
         let params = Params::quick();
         let spec = suite::by_name("pi").expect("pi exists");

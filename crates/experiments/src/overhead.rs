@@ -42,6 +42,20 @@ pub fn run(params: &Params, predictors: &Predictors) -> Vec<OverheadPoint> {
         .collect()
 }
 
+/// Serialize the overhead sweep for the `--json` report path.
+pub fn to_json(points: &[OverheadPoint]) -> ampsched_util::Json {
+    use ampsched_util::Json;
+    Json::arr(points.iter().map(|p| {
+        Json::obj([
+            ("overhead_cycles", Json::from(p.overhead_cycles)),
+            (
+                "weighted_improvement_pct",
+                Json::from(p.weighted_improvement_pct),
+            ),
+        ])
+    }))
+}
+
 /// Render the overhead series and the 100-cycle vs 1M-cycle drop the
 /// paper quotes (≈ 0.9%).
 pub fn render(points: &[OverheadPoint]) -> String {

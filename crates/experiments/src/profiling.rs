@@ -30,7 +30,8 @@ pub fn profile_benchmark(name: &str, params: &Params) -> BenchmarkProfile {
     let spec = suite::by_name(name).unwrap_or_else(|| panic!("unknown benchmark {name}"));
     let run = |core_cfg: CoreConfig| {
         let mut w = TraceGenerator::for_thread(spec.clone(), params.seed, 0);
-        let mut runner = SingleCoreRunner::new(core_cfg, params.system.mem);
+        let mut runner =
+            SingleCoreRunner::new(core_cfg, params.system.mem).with_sim_path(params.system.sim_path);
         runner.run(
             &mut w,
             params.profile_insts,
@@ -102,6 +103,36 @@ pub fn quick_predictors() -> &'static Predictors {
     use std::sync::OnceLock;
     static CACHE: OnceLock<Predictors> = OnceLock::new();
     CACHE.get_or_init(|| predictors(&Params::quick()))
+}
+
+/// Serialize the Figure 3 matrix for the `--json` report path: one entry
+/// per bin center, with the looked-up ratio and whether the cell was
+/// directly profiled.
+pub fn matrix_to_json(m: &RatioMatrix) -> ampsched_util::Json {
+    use ampsched_util::Json;
+    let mut cells = Vec::new();
+    for i in 0..5u32 {
+        for j in 0..5u32 {
+            let int_pct = f64::from(i) * 20.0 + 10.0;
+            let fp_pct = f64::from(j) * 20.0 + 10.0;
+            cells.push(Json::obj([
+                ("int_pct", Json::from(int_pct)),
+                ("fp_pct", Json::from(fp_pct)),
+                ("ratio", Json::from(m.lookup(int_pct, fp_pct))),
+                ("profiled", Json::from(m.cell_was_profiled(int_pct, fp_pct))),
+            ]));
+        }
+    }
+    Json::arr(cells)
+}
+
+/// Serialize the Figure 4 surface (its coefficient vector) for `--json`.
+pub fn surface_to_json(su: &RatioSurface) -> ampsched_util::Json {
+    use ampsched_util::Json;
+    Json::obj([(
+        "beta",
+        Json::arr(su.beta.iter().map(|&b| Json::from(b))),
+    )])
 }
 
 /// Render Figure 3: the binned IPC/Watt ratio matrix (INT ÷ FP core).

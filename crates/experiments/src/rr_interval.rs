@@ -34,6 +34,26 @@ pub fn run(params: &Params, predictors: &Predictors) -> RrIntervalResult {
     }
 }
 
+/// Serialize the comparison for the `--json` report path.
+pub fn to_json(r: &RrIntervalResult) -> ampsched_util::Json {
+    use ampsched_util::Json;
+    Json::obj([
+        (
+            "rr1_vs_rr2_weighted_pct",
+            Json::from(r.rr1_vs_rr2_weighted_pct),
+        ),
+        (
+            "per_pair",
+            Json::arr(r.per_pair.iter().map(|(label, v)| {
+                Json::obj([
+                    ("pair", Json::from(label.as_str())),
+                    ("weighted_pct", Json::from(*v)),
+                ])
+            })),
+        ),
+    ])
+}
+
 /// Render the comparison.
 pub fn render(r: &RrIntervalResult) -> String {
     let mut t = Table::new(&["pair", "RR@2ms vs RR@4ms weighted IPC/W (%)"]);

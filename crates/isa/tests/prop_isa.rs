@@ -9,7 +9,7 @@ use ampsched_util::{prop_assert, prop_assert_eq, prop_assume};
 const SEED: u64 = 0x15a_0001;
 
 fn checker() -> Checker {
-    Checker::new(SEED).cases(128)
+    Checker::new(SEED).cases(128).suite("isa")
 }
 
 #[test]

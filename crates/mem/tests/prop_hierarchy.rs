@@ -8,7 +8,7 @@ use ampsched_util::{prop_assert, prop_assert_eq};
 const SEED: u64 = 0x3e3_0002;
 
 fn checker() -> Checker {
-    Checker::new(SEED).cases(48)
+    Checker::new(SEED).cases(48).suite("mem_hierarchy")
 }
 
 fn kind(s: &mut Source) -> AccessKind {

@@ -8,6 +8,23 @@ use ampsched_metrics::ThreadMetrics;
 use ampsched_power::{EnergyAccount, EnergyModel};
 use ampsched_trace::Workload;
 
+/// Which simulation kernel a run uses.
+///
+/// `Fast` is the production path: the optimized [`Core::tick`] stages plus
+/// cycle-skip-ahead over quiescent regions. `Reference` drives
+/// [`Core::reference_tick`] every single cycle — slower, but the frozen
+/// baseline the differential harness compares against. Both must produce
+/// bit-identical results; `crates/cpu/tests/differential.rs` and the
+/// system-level differential tests enforce that.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum SimPath {
+    /// Optimized stages + skip-ahead (default).
+    #[default]
+    Fast,
+    /// Frozen per-cycle reference kernel.
+    Reference,
+}
+
 /// System-level parameters.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct SystemConfig {
@@ -21,6 +38,8 @@ pub struct SystemConfig {
     /// Ablation: additionally flush both cores' L1s on a swap, modeling a
     /// destructive state transfer instead of transfer-through-shared-L2.
     pub flush_l1_on_swap: bool,
+    /// Simulation kernel selection (fast path vs frozen reference).
+    pub sim_path: SimPath,
 }
 
 impl Default for SystemConfig {
@@ -30,8 +49,33 @@ impl Default for SystemConfig {
             epoch_cycles: 4_000_000,
             swap_overhead_cycles: 1000,
             flush_l1_on_swap: false,
+            sim_path: SimPath::Fast,
         }
     }
+}
+
+/// Which kind of decision point produced a [`DecisionRecord`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DecisionKind {
+    /// Fine-grained monitoring-window callback.
+    Window,
+    /// OS context-switch epoch callback.
+    Epoch,
+}
+
+/// One scheduler decision point: when it fired and what it chose.
+///
+/// The per-decision trace lets the differential harness assert that the
+/// fast and reference kernels agree not just on totals but on every
+/// individual swap choice.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DecisionRecord {
+    /// Cycle at which the decision point fired.
+    pub cycle: u64,
+    /// Window or epoch boundary.
+    pub kind: DecisionKind,
+    /// Whether the scheduler ordered a swap.
+    pub swap: bool,
 }
 
 /// Baseline of one accounting period (window or epoch).
@@ -62,6 +106,8 @@ pub struct RunResult {
     pub window_decisions: u64,
     /// Epoch decision points evaluated.
     pub epoch_decisions: u64,
+    /// Every decision point in order, with the choice taken.
+    pub decisions: Vec<DecisionRecord>,
 }
 
 impl RunResult {
@@ -218,6 +264,7 @@ impl DualCoreSystem {
         let mut next_epoch = self.cycle + self.cfg.epoch_cycles;
         let mut window_decisions = 0u64;
         let mut epoch_decisions = 0u64;
+        let mut decisions = Vec::new();
         let start_cycle = self.cycle;
         let start_insts = self.thread_insts;
         let start_joules_settled = {
@@ -225,14 +272,83 @@ impl DualCoreSystem {
             self.thread_joules
         };
 
+        // Per-core quiescence bound: ticks at cycles strictly below
+        // `quiet_until[c]` are provably the no-op pattern that
+        // [`Core::fast_forward`] replicates, certified by one event scan
+        // after an idle tick. The bound stays valid while the other core
+        // runs (cross-core coupling is only through memory accesses, and
+        // a quiescent core makes none) but is invalidated by a swap's
+        // pipeline flush, which resets it below.
+        let mut quiet_until = [0u64; 2];
+        // Scan gate: isolated commit-free cycles (dependency bubbles in
+        // otherwise busy code) are common and not worth an event scan;
+        // two in a row signal a real stall region.
+        let mut idle_streak = [false; 2];
         while self.thread_insts[0] < start_insts[0] + target_insts
             && self.thread_insts[1] < start_insts[1] + target_insts
             && self.cycle - start_cycle < max_cycles
         {
+            if self.cfg.sim_path == SimPath::Fast {
+                // Joint skip: both cores certified quiescent — replicate
+                // the whole region in O(1) instead of ticking through it.
+                // Quiescent cycles commit nothing, so the window check
+                // below cannot fire inside the region; epoch boundaries
+                // and the cycle budget are purely time-based, so clamp
+                // the jump to land the normal tick on the last cycle
+                // before either would trigger.
+                let q = quiet_until[0].min(quiet_until[1]);
+                if q > self.cycle {
+                    let target = q
+                        .min(next_epoch - 1)
+                        .min(start_cycle + max_cycles - 1);
+                    if target > self.cycle {
+                        let n = target - self.cycle;
+                        self.cores[0].fast_forward(self.cycle, n);
+                        self.cores[1].fast_forward(self.cycle, n);
+                        self.cycle = target;
+                    }
+                }
+            }
+
             // One cycle on both cores.
             for c in 0..2 {
                 let t = self.assignment.thread_on(core_kind(c));
-                let n = self.cores[c].tick(self.cycle, &mut *self.workloads[t], &mut self.mem);
+                let n = match self.cfg.sim_path {
+                    SimPath::Fast => {
+                        if quiet_until[c] > self.cycle {
+                            // Certified no-op cycle on this core (the
+                            // other core is busy): replicate it in O(1)
+                            // without rescanning.
+                            self.cores[c].fast_forward(self.cycle, 1);
+                            0
+                        } else {
+                            let n = self.cores[c].tick(
+                                self.cycle,
+                                &mut *self.workloads[t],
+                                &mut self.mem,
+                            );
+                            if n == 0 {
+                                if idle_streak[c] {
+                                    // One scan can certify an entire
+                                    // stall region; committing cycles
+                                    // never pay for it.
+                                    quiet_until[c] =
+                                        self.cores[c].next_event_at_or_after(self.cycle + 1);
+                                } else {
+                                    idle_streak[c] = true;
+                                }
+                            } else {
+                                idle_streak[c] = false;
+                            }
+                            n
+                        }
+                    }
+                    SimPath::Reference => self.cores[c].reference_tick(
+                        self.cycle,
+                        &mut *self.workloads[t],
+                        &mut self.mem,
+                    ),
+                };
                 self.thread_insts[t] += n as u64;
             }
             self.cycle += 1;
@@ -247,8 +363,16 @@ impl DualCoreSystem {
                     let snap = self.snapshot(&window_base);
                     window_decisions += 1;
                     let decision = scheduler.on_window(&snap);
+                    decisions.push(DecisionRecord {
+                        cycle: self.cycle,
+                        kind: DecisionKind::Window,
+                        swap: decision == Decision::Swap,
+                    });
                     if decision == Decision::Swap {
                         self.do_swap();
+                        // The flush + stall changed core state; drop the
+                        // quiescence certificates.
+                        quiet_until = [0; 2];
                         epoch_base = self.period_base();
                     }
                     window_base = self.period_base();
@@ -261,8 +385,14 @@ impl DualCoreSystem {
                 let snap = self.snapshot(&epoch_base);
                 epoch_decisions += 1;
                 let decision = scheduler.on_epoch(&snap);
+                decisions.push(DecisionRecord {
+                    cycle: self.cycle,
+                    kind: DecisionKind::Epoch,
+                    swap: decision == Decision::Swap,
+                });
                 if decision == Decision::Swap {
                     self.do_swap();
+                    quiet_until = [0; 2];
                     window_base = self.period_base();
                 }
                 epoch_base = self.period_base();
@@ -285,6 +415,7 @@ impl DualCoreSystem {
             swaps: self.swaps,
             window_decisions,
             epoch_decisions,
+            decisions,
         }
     }
 }

@@ -20,5 +20,5 @@
 pub mod duo;
 pub mod single;
 
-pub use duo::{DualCoreSystem, RunResult, SystemConfig};
-pub use single::{IntervalSample, SingleCoreRunner, SingleRunResult};
+pub use duo::{DecisionKind, DecisionRecord, DualCoreSystem, RunResult, SimPath, SystemConfig};
+pub use single::{run_alone, run_alone_with, IntervalSample, SingleCoreRunner, SingleRunResult};

@@ -9,7 +9,7 @@ use ampsched_util::{prop_assert, prop_assert_eq};
 const SEED: u64 = 0x7ace_0005;
 
 fn checker() -> Checker {
-    Checker::new(SEED).cases(16)
+    Checker::new(SEED).cases(16).suite("trace_generator")
 }
 
 /// Any suite benchmark, any seed: the stream is valid (addresses in

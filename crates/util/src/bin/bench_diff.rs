@@ -1,0 +1,79 @@
+//! `bench_diff` — compare two `results/bench/*.json` runs.
+//!
+//! ```text
+//! bench_diff <before.json> <after.json> [--max-regress PCT]
+//! ```
+//!
+//! Pairs up benchmarks by name (Criterion bench output and `--profile`
+//! phase reports share the same shape), prints a before/after table, and
+//! exits nonzero when any shared benchmark's mean regresses by more than
+//! the threshold (default 10%).
+
+use ampsched_util::timer::{diff_benchmarks, render_diff};
+use ampsched_util::Json;
+
+fn usage() -> ! {
+    eprintln!("usage: bench_diff <before.json> <after.json> [--max-regress PCT]");
+    std::process::exit(2);
+}
+
+fn load(path: &str) -> Json {
+    let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+        eprintln!("bench_diff: cannot read {path}: {e}");
+        std::process::exit(2);
+    });
+    Json::parse(&text).unwrap_or_else(|e| {
+        eprintln!("bench_diff: {path} is not valid JSON: {e:?}");
+        std::process::exit(2);
+    })
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut paths = Vec::new();
+    let mut max_regress_pct = 10.0f64;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--max-regress" => {
+                i += 1;
+                max_regress_pct = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| usage());
+            }
+            a if a.starts_with('-') => usage(),
+            a => paths.push(a.to_string()),
+        }
+        i += 1;
+    }
+    let [before_path, after_path] = paths.as_slice() else {
+        usage();
+    };
+
+    let before = load(before_path);
+    let after = load(after_path);
+    let deltas = match diff_benchmarks(&before, &after) {
+        Ok(d) => d,
+        Err(e) => {
+            eprintln!("bench_diff: {e}");
+            std::process::exit(2);
+        }
+    };
+    if deltas.is_empty() {
+        eprintln!("bench_diff: no benchmarks shared between the two runs");
+        std::process::exit(2);
+    }
+    print!("{}", render_diff(&deltas, max_regress_pct));
+    let regressions: Vec<_> = deltas
+        .iter()
+        .filter(|d| d.change_pct() > max_regress_pct)
+        .collect();
+    if !regressions.is_empty() {
+        eprintln!(
+            "bench_diff: {} benchmark(s) regressed past {max_regress_pct}%",
+            regressions.len()
+        );
+        std::process::exit(1);
+    }
+}

@@ -41,9 +41,11 @@
 //! global or time-derived state. Same seed → same cases → same failures,
 //! on any host, in any test order.
 
+use crate::json::Json;
 use crate::rng::{splitmix64, StdRng};
 use std::fmt::Debug;
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::{Path, PathBuf};
 
 /// Why a property did not pass for one input.
 #[derive(Debug, Clone)]
@@ -240,6 +242,8 @@ pub struct Checker {
     cases: u32,
     seed: u64,
     max_shrink_steps: u32,
+    suite: Option<String>,
+    corpus_dir: Option<PathBuf>,
 }
 
 impl Checker {
@@ -249,6 +253,8 @@ impl Checker {
             cases: 256,
             seed,
             max_shrink_steps: 4096,
+            suite: None,
+            corpus_dir: None,
         }
     }
 
@@ -264,6 +270,35 @@ impl Checker {
         self
     }
 
+    /// Enable failing-case corpus persistence under a suite name.
+    ///
+    /// When a property falsifies, its shrunk choice stream is recorded to
+    /// `results/corpus/<suite>.json` (anchored at the workspace root).
+    /// Every subsequent [`Checker::run`] of a property with the same name
+    /// replays the recorded streams *before* generating fresh cases, so a
+    /// once-found failure is re-checked forever, across sessions, with no
+    /// dependence on seeds or case budgets.
+    pub fn suite(mut self, name: &str) -> Checker {
+        self.suite = Some(name.to_string());
+        self
+    }
+
+    /// Override the directory corpus files live in (default:
+    /// `results/corpus` at the workspace root). Mainly for tests.
+    pub fn corpus_dir(mut self, dir: impl Into<PathBuf>) -> Checker {
+        self.corpus_dir = Some(dir.into());
+        self
+    }
+
+    fn corpus_path(&self) -> Option<PathBuf> {
+        let suite = self.suite.as_ref()?;
+        let dir = match &self.corpus_dir {
+            Some(d) => d.clone(),
+            None => crate::timer::resolve_out_dir(Path::new("results/corpus")),
+        };
+        Some(dir.join(format!("{suite}.json")))
+    }
+
     /// Check `prop` over `cases` inputs drawn from `gen`.
     ///
     /// # Panics
@@ -276,6 +311,28 @@ impl Checker {
         G: Fn(&mut Source) -> T,
         P: Fn(&T) -> CheckResult,
     {
+        // Replay recorded failing cases first: a corpus regression must
+        // fail the suite even if fresh generation would no longer find it.
+        if let Some(path) = self.corpus_path() {
+            for entry in load_corpus(&path) {
+                if entry.property != name {
+                    continue;
+                }
+                let mut src = Source::replay(entry.stream.clone());
+                let (value, outcome) = run_one(&gen, &prop, &mut src);
+                if let Err(Failure::Fail(msg)) = outcome {
+                    panic!(
+                        "property '{name}' corpus regression ({}):\n  \
+                         recorded input: {:?}\n  error: {}\n  recorded error: {}",
+                        path.display(),
+                        value,
+                        msg,
+                        entry.error,
+                    );
+                }
+            }
+        }
+
         let mut passed = 0u32;
         let mut attempts = 0u64;
         // Rejection sampling: keep drawing until `cases` inputs satisfied
@@ -305,12 +362,27 @@ impl Checker {
                     let record = src.into_record();
                     let (min_record, min_msg) =
                         self.shrink(&gen, &prop, record, msg.clone());
+                    let corpus_note = match self.corpus_path() {
+                        Some(path) => match save_corpus_entry(
+                            &path,
+                            self.suite.as_deref().unwrap_or(""),
+                            name,
+                            &min_record,
+                            &min_msg,
+                        ) {
+                            Ok(()) => {
+                                format!("\n  shrunk stream recorded to {}", path.display())
+                            }
+                            Err(e) => format!("\n  (could not record corpus entry: {e})"),
+                        },
+                        None => String::new(),
+                    };
                     let mut replay = Source::replay(min_record);
                     let min_value = gen(&mut replay);
                     panic!(
                         "property '{name}' falsified (seed {:#x}, case {}):\n  \
                          original input: {:?}\n  original error: {}\n  \
-                         shrunk input:   {:?}\n  shrunk error:   {}",
+                         shrunk input:   {:?}\n  shrunk error:   {}{corpus_note}",
                         self.seed,
                         attempts - 1,
                         value,
@@ -425,6 +497,93 @@ impl Checker {
         }
         (best, best_msg)
     }
+}
+
+/// One recorded failing case of a corpus file.
+#[derive(Debug, Clone)]
+struct CorpusEntry {
+    property: String,
+    error: String,
+    stream: Vec<u64>,
+}
+
+/// Read a corpus file; missing or malformed files read as empty (the
+/// corpus is an accelerant, never a hard dependency).
+fn load_corpus(path: &Path) -> Vec<CorpusEntry> {
+    let Ok(text) = std::fs::read_to_string(path) else {
+        return Vec::new();
+    };
+    let Ok(doc) = Json::parse(&text) else {
+        return Vec::new();
+    };
+    let Some(entries) = doc.get("entries").and_then(Json::as_arr) else {
+        return Vec::new();
+    };
+    entries
+        .iter()
+        .filter_map(|e| {
+            let property = e.get("property")?.as_str()?.to_string();
+            let error = e
+                .get("error")
+                .and_then(Json::as_str)
+                .unwrap_or("")
+                .to_string();
+            let stream = e
+                .get("stream")?
+                .as_arr()?
+                .iter()
+                .map(|v| {
+                    v.as_str()
+                        .and_then(|s| s.parse::<u64>().ok())
+                        .or_else(|| v.as_f64().map(|f| f as u64))
+                })
+                .collect::<Option<Vec<u64>>>()?;
+            Some(CorpusEntry {
+                property,
+                error,
+                stream,
+            })
+        })
+        .collect()
+}
+
+/// Insert-or-replace the entry for `property` and rewrite the file.
+fn save_corpus_entry(
+    path: &Path,
+    suite: &str,
+    property: &str,
+    stream: &[u64],
+    error: &str,
+) -> std::io::Result<()> {
+    let mut entries = load_corpus(path);
+    entries.retain(|e| e.property != property);
+    entries.push(CorpusEntry {
+        property: property.to_string(),
+        error: error.to_string(),
+        stream: stream.to_vec(),
+    });
+    if let Some(dir) = path.parent() {
+        std::fs::create_dir_all(dir)?;
+    }
+    let doc = Json::obj([
+        ("suite", Json::from(suite)),
+        (
+            "entries",
+            Json::arr(entries.iter().map(|e| {
+                Json::obj([
+                    ("property", Json::from(e.property.as_str())),
+                    ("error", Json::from(e.error.as_str())),
+                    // Raw u64 choices; JSON numbers are f64 and lose
+                    // precision past 2^53, so store decimal strings.
+                    (
+                        "stream",
+                        Json::arr(e.stream.iter().map(|v| Json::from(v.to_string()))),
+                    ),
+                ])
+            })),
+        ),
+    ]);
+    std::fs::write(path, doc.render_pretty())
 }
 
 /// Generate one input and evaluate the property, converting panics in
@@ -572,6 +731,108 @@ mod tests {
         }));
         let msg = *result.expect_err("must fail").downcast::<String>().unwrap();
         assert!(msg.contains("panicked"), "{msg}");
+    }
+
+    #[test]
+    fn corpus_records_failures_and_replays_them() {
+        let dir = std::env::temp_dir().join(format!(
+            "ampsched-corpus-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+
+        // 1. A failing run under a suite seeds the corpus file.
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            Checker::new(7)
+                .cases(200)
+                .suite("selftest")
+                .corpus_dir(&dir)
+                .run(
+                    "no_big_values",
+                    |s| s.u64_in(0, 1_000_000),
+                    |&x| {
+                        prop_assert!(x < 500_000, "{x} too big");
+                        Ok(())
+                    },
+                );
+        }));
+        let msg = *result.expect_err("must fail").downcast::<String>().unwrap();
+        assert!(msg.contains("recorded to"), "{msg}");
+        let path = dir.join("selftest.json");
+        assert!(path.is_file(), "corpus file must exist at {path:?}");
+
+        // 2. A fresh checker whose own generation would likely miss the
+        //    bug (1 case, different seed) still fails via corpus replay.
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            Checker::new(0xDEAD)
+                .cases(1)
+                .suite("selftest")
+                .corpus_dir(&dir)
+                .run(
+                    "no_big_values",
+                    |s| s.u64_in(0, 1_000_000),
+                    |&x| {
+                        prop_assert!(x < 500_000, "{x} too big");
+                        Ok(())
+                    },
+                );
+        }));
+        let msg = *result.expect_err("replay must fail").downcast::<String>().unwrap();
+        assert!(msg.contains("corpus regression"), "{msg}");
+
+        // 3. Once the property is fixed, replay passes and fresh cases run.
+        Checker::new(0xBEEF)
+            .cases(8)
+            .suite("selftest")
+            .corpus_dir(&dir)
+            .run(
+                "no_big_values",
+                |s| s.u64_in(0, 1_000_000),
+                |&x| {
+                    prop_assert!(x < 1_000_000, "{x} out of range");
+                    Ok(())
+                },
+            );
+
+        // 4. Entries for other properties do not interfere.
+        Checker::new(1)
+            .cases(4)
+            .suite("selftest")
+            .corpus_dir(&dir)
+            .run("unrelated", |s| s.bool(), |_| Ok(()));
+
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corpus_streams_round_trip_large_values() {
+        let dir = std::env::temp_dir().join(format!(
+            "ampsched-corpus-rt-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let path = dir.join("rt.json");
+        // u64::MAX is not representable as an f64 JSON number; the string
+        // encoding must preserve it exactly.
+        let stream = vec![u64::MAX, 0, 1 << 63, 12345];
+        save_corpus_entry(&path, "rt", "prop_a", &stream, "boom").unwrap();
+        save_corpus_entry(&path, "rt", "prop_b", &[7], "pow").unwrap();
+        // Re-saving a property replaces its old entry.
+        save_corpus_entry(&path, "rt", "prop_a", &stream, "boom2").unwrap();
+        let entries = load_corpus(&path);
+        assert_eq!(entries.len(), 2);
+        let a = entries.iter().find(|e| e.property == "prop_a").unwrap();
+        assert_eq!(a.stream, stream);
+        assert_eq!(a.error, "boom2");
+        let b = entries.iter().find(|e| e.property == "prop_b").unwrap();
+        assert_eq!(b.stream, vec![7]);
+        // Tolerant loader: garbage reads as empty, not a panic.
+        std::fs::write(&path, "not json at all").unwrap();
+        assert!(load_corpus(&path).is_empty());
+        assert!(load_corpus(Path::new("/nonexistent/x.json")).is_empty());
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

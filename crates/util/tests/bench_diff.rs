@@ -1,0 +1,56 @@
+//! Integration tests of the `bench_diff` tool on two fixture runs: the
+//! "kernel" benchmark regresses 100ns -> 180ns (+80%), "parse" improves.
+
+use ampsched_util::timer::diff_benchmarks;
+use ampsched_util::Json;
+use std::process::Command;
+
+fn fixture(name: &str) -> String {
+    format!("{}/tests/fixtures/{name}", env!("CARGO_MANIFEST_DIR"))
+}
+
+#[test]
+fn library_diff_reports_fixture_deltas() {
+    let load = |n: &str| Json::parse(&std::fs::read_to_string(fixture(n)).unwrap()).unwrap();
+    let deltas = diff_benchmarks(&load("bench_before.json"), &load("bench_after.json")).unwrap();
+    assert_eq!(deltas.len(), 2);
+    let kernel = deltas.iter().find(|d| d.name == "kernel").unwrap();
+    assert!((kernel.change_pct() - 80.0).abs() < 1e-9);
+    assert!(kernel.speedup() < 1.0);
+    let parse = deltas.iter().find(|d| d.name == "parse").unwrap();
+    assert!(parse.change_pct() < 0.0, "parse must improve");
+}
+
+#[test]
+fn cli_exits_nonzero_on_regression_past_threshold() {
+    let out = Command::new(env!("CARGO_BIN_EXE_bench_diff"))
+        .args([fixture("bench_before.json"), fixture("bench_after.json")])
+        .output()
+        .expect("run bench_diff");
+    assert_eq!(out.status.code(), Some(1), "default 10% threshold: +80% fails");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("kernel") && stdout.contains("REGRESSION"), "{stdout}");
+}
+
+#[test]
+fn cli_passes_under_loose_threshold() {
+    let out = Command::new(env!("CARGO_BIN_EXE_bench_diff"))
+        .args([
+            fixture("bench_before.json"),
+            fixture("bench_after.json"),
+            "--max-regress".into(),
+            "100".into(),
+        ])
+        .output()
+        .expect("run bench_diff");
+    assert!(out.status.success(), "+80% is under a 100% threshold");
+}
+
+#[test]
+fn cli_rejects_bad_usage() {
+    let out = Command::new(env!("CARGO_BIN_EXE_bench_diff"))
+        .arg(fixture("bench_before.json"))
+        .output()
+        .expect("run bench_diff");
+    assert_eq!(out.status.code(), Some(2), "one file is a usage error");
+}

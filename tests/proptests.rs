@@ -12,7 +12,7 @@ use ampsched_util::{prop_assert, prop_assert_eq, prop_assert_ne};
 const SEED: u64 = 0xa3b5_0006;
 
 fn checker() -> Checker {
-    Checker::new(SEED).cases(64)
+    Checker::new(SEED).cases(64).suite("workspace_props")
 }
 
 fn arb_mix(s: &mut Source) -> InstMix {
