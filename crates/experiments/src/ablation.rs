@@ -137,8 +137,7 @@ mod tests {
     fn ablation_runs_all_variants() {
         let mut params = Params::quick();
         params.num_pairs = 3;
-        let preds = profiling::quick_predictors().clone();
-        let rows = run(&params, &preds);
+        let rows = run(&params, profiling::quick_predictors());
         assert_eq!(rows.len(), 11);
         for r in &rows {
             assert!(r.weighted_vs_static_pct.is_finite(), "{}", r.variant);

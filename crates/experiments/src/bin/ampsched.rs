@@ -1,7 +1,8 @@
 //! `ampsched` — regenerate every table and figure of the paper.
 //!
 //! ```text
-//! ampsched [--quick|--medium] [--pairs N] [--insts N] [--seed N] [--csv FILE] [--json FILE] <command>
+//! ampsched [--quick|--medium] [--pairs N] [--insts N] [--seed N] [--sim-path fast|reference]
+//!          [--trace-path arena|stream] [--profile] [--csv FILE] [--json FILE] <command>
 //!
 //! commands:
 //!   tables        Tables I and II (live core configurations)
@@ -26,6 +27,7 @@ use ampsched_experiments::{
     rules_derivation, tables,
 };
 use ampsched_system::SimPath;
+use ampsched_trace::{timing, TracePath};
 use ampsched_util::timer::{resolve_out_dir, Profiler};
 use ampsched_util::Json;
 use std::cell::RefCell;
@@ -35,7 +37,7 @@ use std::time::Instant;
 fn usage() -> ! {
     eprintln!(
         "usage: ampsched [--quick|--medium] [--pairs N] [--insts N] [--profile-insts N] [--seed N] \
-         [--sim-path fast|reference] [--profile] [--csv FILE] [--json FILE] \
+         [--sim-path fast|reference] [--trace-path arena|stream] [--profile] [--csv FILE] [--json FILE] \
          <tables|fig1|fig3|fig4|fig6|fig7|fig8|fig9|figs789|overhead|rr-interval|derive-rules|ablation|morphing|workloads|all>"
     );
     std::process::exit(2);
@@ -73,6 +75,13 @@ fn main() {
                     _ => usage(),
                 };
             }
+            "--trace-path" => {
+                i += 1;
+                params.trace_path = args
+                    .get(i)
+                    .and_then(|s| TracePath::from_flag(s))
+                    .unwrap_or_else(|| usage());
+            }
             "--profile" => profile = true,
             "--seed" => {
                 i += 1;
@@ -104,8 +113,15 @@ fn main() {
 
     let t0 = Instant::now();
     // Per-phase wall-clock accounting for `--profile`; shaped like a bench
-    // report so `scripts/bench_diff` can compare two runs.
+    // report so `scripts/bench_diff` can compare two runs. Trace
+    // provisioning time (arena materialize+decode, or sampled live
+    // generation on `--trace-path stream`) is accumulated globally by the
+    // trace crate and reported as the synthetic "trace" benchmark.
     let prof: RefCell<Profiler> = RefCell::new(Profiler::new());
+    if profile {
+        timing::reset();
+        timing::set_stream_sampling(true);
+    }
     let needs_predictors = !matches!(command.as_str(), "tables" | "workloads" | "fig1" | "derive-rules" | "morphing");
     let preds = if needs_predictors {
         eprintln!("[profiling {} representative benchmarks ...]", 9);
@@ -261,6 +277,7 @@ fn main() {
         SimPath::Fast => "fast",
         SimPath::Reference => "reference",
     };
+    let trace_path_name = params.trace_path.name();
     if let Some(path) = &json_path {
         let mut sections = vec![
             ("command".to_string(), Json::from(command.as_str())),
@@ -271,6 +288,7 @@ fn main() {
                     ("num_pairs", Json::from(params.num_pairs)),
                     ("seed", Json::from(params.seed)),
                     ("sim_path", Json::from(sim_path_name)),
+                    ("trace_path", Json::from(trace_path_name)),
                 ]),
             ),
         ];
@@ -280,13 +298,24 @@ fn main() {
         eprintln!("[json report written to {path}]");
     }
     if profile {
-        let prof = prof.into_inner();
-        println!("Timing report ({command}, {sim_path_name} kernel)\n");
+        let mut prof = prof.into_inner();
+        let trace_time = timing::total();
+        prof.add("trace", trace_time);
+        println!("Timing report ({command}, {sim_path_name} kernel, {trace_path_name} traces)\n");
         println!("{}", prof.render());
+        let wall = t0.elapsed();
+        println!(
+            "trace provisioning: {:.3}s = {:.1}% of {:.1}s wall-clock ({trace_path_name})\n",
+            trace_time.as_secs_f64(),
+            100.0 * trace_time.as_secs_f64() / wall.as_secs_f64().max(1e-9),
+            wall.as_secs_f64()
+        );
         let dir = resolve_out_dir(Path::new("results/bench"));
         std::fs::create_dir_all(&dir).expect("create results/bench");
-        let out = dir.join(format!("profile-{command}-{sim_path_name}.json"));
-        let target = format!("ampsched {command} ({sim_path_name})");
+        let out = dir.join(format!(
+            "profile-{command}-{sim_path_name}-{trace_path_name}.json"
+        ));
+        let target = format!("ampsched {command} ({sim_path_name}, {trace_path_name})");
         std::fs::write(&out, prof.to_bench_json(&target).render_pretty())
             .expect("write profile json");
         eprintln!("[profile written to {}]", out.display());

@@ -7,7 +7,7 @@ use ampsched_core::{
     StaticScheduler,
 };
 use ampsched_system::{DualCoreSystem, RunResult, SystemConfig};
-use ampsched_trace::{suite, BenchmarkSpec, TraceGenerator, Workload};
+use ampsched_trace::{suite, BenchmarkSpec, TracePath, Workload};
 use ampsched_util::rng::StdRng;
 
 /// Global experiment parameters.
@@ -28,6 +28,9 @@ pub struct Params {
     pub seed: u64,
     /// System parameters (epoch length, swap overhead, caches).
     pub system: SystemConfig,
+    /// How instruction streams are provisioned: replayed from the shared
+    /// trace arena (default) or generated live (`--trace-path stream`).
+    pub trace_path: TracePath,
 }
 
 impl Default for Params {
@@ -40,6 +43,7 @@ impl Default for Params {
             profile_interval_cycles: 4_000_000,
             seed: 2012,
             system: SystemConfig::default(),
+            trace_path: TracePath::default(),
         }
     }
 }
@@ -60,6 +64,7 @@ impl Params {
                 epoch_cycles: 400_000,
                 ..SystemConfig::default()
             },
+            trace_path: TracePath::default(),
         }
     }
 
@@ -76,6 +81,7 @@ impl Params {
                 epoch_cycles: 1_000_000,
                 ..SystemConfig::default()
             },
+            trace_path: TracePath::default(),
         }
     }
 }
@@ -172,11 +178,12 @@ impl Pair {
         format!("{}+{}", self.a.name, self.b.name)
     }
 
-    /// Fresh workloads for this pair (deterministic in the pair seed).
-    pub fn workloads(&self) -> [Box<dyn Workload>; 2] {
+    /// Fresh workloads for this pair (deterministic in the pair seed),
+    /// provisioned through the arena or generated live per `path`.
+    pub fn workloads(&self, path: TracePath) -> [Box<dyn Workload>; 2] {
         [
-            Box::new(TraceGenerator::for_thread(self.a.clone(), self.seed, 0)),
-            Box::new(TraceGenerator::for_thread(self.b.clone(), self.seed, 1)),
+            path.workload_for_thread(self.a.clone(), self.seed, 0),
+            path.workload_for_thread(self.b.clone(), self.seed, 1),
         ]
     }
 }
@@ -204,9 +211,12 @@ pub fn sample_pairs(n: usize, seed: u64) -> Vec<Pair> {
     pairs
 }
 
-/// Run one pair under one scheduler, from a cold system.
+/// Run one pair under one scheduler, from a cold system. The pair's
+/// instruction streams come from the shared trace arena (or live
+/// generators) per `params.trace_path`, so repeated runs of the same
+/// pair under different schedulers materialize each stream only once.
 pub fn run_pair(pair: &Pair, kind: &SchedKind, predictors: &Predictors, params: &Params) -> RunResult {
-    let mut sys = DualCoreSystem::new(params.system, pair.workloads());
+    let mut sys = DualCoreSystem::new(params.system, pair.workloads(params.trace_path));
     let mut sched = kind.build(predictors);
     sys.run(&mut *sched, params.run_insts, params.max_cycles)
 }

@@ -4,7 +4,7 @@
 use ampsched_cpu::CoreConfig;
 use ampsched_metrics::Table;
 use ampsched_system::single::run_alone_with;
-use ampsched_trace::{suite, TraceGenerator};
+use ampsched_trace::suite;
 
 use crate::common::Params;
 use crate::runner::parallel_map;
@@ -32,21 +32,23 @@ pub fn run(params: &Params) -> Vec<Fig1Row> {
     let names: Vec<&'static str> = suite::fig1_six().iter().map(|b| b.name).collect();
     parallel_map(&names, |name| {
         let spec = suite::by_name(name).expect("fig1 benchmark");
-        let mut w = TraceGenerator::for_thread(spec.clone(), params.seed, 0);
+        // Both cores replay the same arena stream: one materialization
+        // serves the A and B runs (and the profiling pass, same seed).
+        let mut w = params.trace_path.workload_for_thread(spec.clone(), params.seed, 0);
         let a = run_alone_with(
             CoreConfig::fp_core(),
             params.system.mem,
             params.system.sim_path,
-            &mut w,
+            &mut *w,
             params.run_insts,
             params.profile_interval_cycles,
         );
-        let mut w = TraceGenerator::for_thread(spec, params.seed, 0);
+        let mut w = params.trace_path.workload_for_thread(spec, params.seed, 0);
         let b = run_alone_with(
             CoreConfig::int_core(),
             params.system.mem,
             params.system.sim_path,
-            &mut w,
+            &mut *w,
             params.run_insts,
             params.profile_interval_cycles,
         );

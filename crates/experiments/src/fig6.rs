@@ -26,9 +26,11 @@ pub const HISTORIES: [usize; 2] = [5, 10];
 /// Run the Figure 6 sweep.
 pub fn run(params: &Params, predictors: &Predictors) -> Vec<Fig6Point> {
     let pairs = sample_pairs(params.num_pairs, params.seed);
-    // HPE baselines are shared by every configuration.
+    // HPE baselines are shared by every configuration, and the selector
+    // by every pair.
+    let hpe_kind = SchedKind::HpeMatrix;
     let hpe: Vec<[f64; 2]> = parallel_map(&pairs, |p| {
-        run_pair(p, &SchedKind::HpeMatrix, predictors, params).ipc_per_watt()
+        run_pair(p, &hpe_kind, predictors, params).ipc_per_watt()
     });
     let mut grid = Vec::new();
     for &window in &WINDOWS {
@@ -109,8 +111,7 @@ mod tests {
     fn sweep_covers_the_grid_and_renders() {
         let mut params = Params::quick();
         params.num_pairs = 4;
-        let preds = profiling::quick_predictors().clone();
-        let pts = run(&params, &preds);
+        let pts = run(&params, profiling::quick_predictors());
         assert_eq!(pts.len(), WINDOWS.len() * HISTORIES.len());
         for p in &pts {
             assert!(p.weighted_improvement_pct.is_finite());

@@ -159,12 +159,17 @@ pub fn to_json(sweep: &SweepResult) -> ampsched_util::Json {
 /// Run the full three-scheme sweep over `params.num_pairs` combinations.
 pub fn run_sweep(params: &Params, predictors: &Predictors) -> SweepResult {
     let pairs = sample_pairs(params.num_pairs, params.seed);
+    // One selector per scheme for the whole sweep: `run_pair` rebuilds the
+    // scheduler state per run, so the kinds (and the predictors they
+    // borrow) are shared, not reconstructed per pair.
     let proposed = SchedKind::proposed_default(params);
+    let hpe = SchedKind::HpeMatrix;
+    let rr = SchedKind::RoundRobin(1);
     let outcomes = parallel_map(&pairs, |pair| PairOutcome {
         label: pair.label(),
         proposed: run_pair(pair, &proposed, predictors, params),
-        hpe: run_pair(pair, &SchedKind::HpeMatrix, predictors, params),
-        rr: run_pair(pair, &SchedKind::RoundRobin(1), predictors, params),
+        hpe: run_pair(pair, &hpe, predictors, params),
+        rr: run_pair(pair, &rr, predictors, params),
     });
     SweepResult { outcomes }
 }
@@ -311,8 +316,7 @@ mod tests {
     fn small_sweep() -> SweepResult {
         let mut params = Params::quick();
         params.num_pairs = 6;
-        let preds = profiling::quick_predictors().clone();
-        run_sweep(&params, &preds)
+        run_sweep(&params, profiling::quick_predictors())
     }
 
     #[test]

@@ -9,6 +9,8 @@
 //! Criterion benches in `ampsched-bench` call the same entry points at
 //! reduced scale.
 
+#![warn(missing_docs)]
+
 pub mod ablation;
 pub mod common;
 pub mod fig1;

@@ -13,7 +13,7 @@
 use ampsched_cpu::CoreConfig;
 use ampsched_metrics::Table;
 use ampsched_system::single::run_alone_with;
-use ampsched_trace::{suite, TraceGenerator};
+use ampsched_trace::suite;
 
 use crate::common::Params;
 use crate::runner::parallel_map;
@@ -57,12 +57,12 @@ pub fn run(params: &Params) -> Vec<MorphRow> {
         let mut ipc = [0.0; 4];
         let mut ppw = [0.0; 4];
         for (k, cfg) in configs.iter().enumerate() {
-            let mut w = TraceGenerator::for_thread(spec.clone(), params.seed, 0);
+            let mut w = params.trace_path.workload_for_thread(spec.clone(), params.seed, 0);
             let r = run_alone_with(
                 cfg.clone(),
                 params.system.mem,
                 params.system.sim_path,
-                &mut w,
+                &mut *w,
                 params.run_insts,
                 params.profile_interval_cycles,
             );

@@ -23,6 +23,7 @@ pub const OVERHEADS: [u64; 5] = [100, 1_000, 10_000, 100_000, 1_000_000];
 /// proposed scheme at each point (both schemes pay to swap).
 pub fn run(params: &Params, predictors: &Predictors) -> Vec<OverheadPoint> {
     let pairs = sample_pairs(params.num_pairs, params.seed);
+    let hpe = SchedKind::HpeMatrix;
     OVERHEADS
         .iter()
         .map(|&overhead_cycles| {
@@ -31,7 +32,7 @@ pub fn run(params: &Params, predictors: &Predictors) -> Vec<OverheadPoint> {
             let kind = SchedKind::proposed_default(&p);
             let imps: Vec<f64> = parallel_map(&pairs, |pair| {
                 let new = run_pair(pair, &kind, predictors, &p).ipc_per_watt();
-                let base = run_pair(pair, &SchedKind::HpeMatrix, predictors, &p).ipc_per_watt();
+                let base = run_pair(pair, &hpe, predictors, &p).ipc_per_watt();
                 improvement_pct(weighted_speedup(&new, &base))
             });
             OverheadPoint {
@@ -89,8 +90,7 @@ mod tests {
     fn gain_degrades_gracefully_with_overhead() {
         let mut params = Params::quick();
         params.num_pairs = 4;
-        let preds = profiling::quick_predictors().clone();
-        let pts = run(&params, &preds);
+        let pts = run(&params, profiling::quick_predictors());
         assert_eq!(pts.len(), OVERHEADS.len());
         // The cheap end must not be worse than the expensive end by more
         // than noise; usually it is strictly better.

@@ -5,7 +5,7 @@
 use ampsched_core::{ProfilePoint, RatioMatrix, RatioSurface};
 use ampsched_cpu::CoreConfig;
 use ampsched_system::SingleCoreRunner;
-use ampsched_trace::{suite, TraceGenerator};
+use ampsched_trace::suite;
 
 use crate::common::{Params, Predictors};
 use crate::runner::parallel_map;
@@ -29,11 +29,11 @@ pub struct BenchmarkProfile {
 pub fn profile_benchmark(name: &str, params: &Params) -> BenchmarkProfile {
     let spec = suite::by_name(name).unwrap_or_else(|| panic!("unknown benchmark {name}"));
     let run = |core_cfg: CoreConfig| {
-        let mut w = TraceGenerator::for_thread(spec.clone(), params.seed, 0);
+        let mut w = params.trace_path.workload_for_thread(spec.clone(), params.seed, 0);
         let mut runner =
             SingleCoreRunner::new(core_cfg, params.system.mem).with_sim_path(params.system.sim_path);
         runner.run(
-            &mut w,
+            &mut *w,
             params.profile_insts,
             params.profile_interval_cycles,
             params.max_cycles,

@@ -20,9 +20,11 @@ pub struct RrIntervalResult {
 /// Run the comparison.
 pub fn run(params: &Params, predictors: &Predictors) -> RrIntervalResult {
     let pairs = sample_pairs(params.num_pairs, params.seed);
+    let kind1 = SchedKind::RoundRobin(1);
+    let kind2 = SchedKind::RoundRobin(2);
     let per_pair: Vec<(String, f64)> = parallel_map(&pairs, |pair| {
-        let rr1 = run_pair(pair, &SchedKind::RoundRobin(1), predictors, params).ipc_per_watt();
-        let rr2 = run_pair(pair, &SchedKind::RoundRobin(2), predictors, params).ipc_per_watt();
+        let rr1 = run_pair(pair, &kind1, predictors, params).ipc_per_watt();
+        let rr2 = run_pair(pair, &kind2, predictors, params).ipc_per_watt();
         (
             pair.label(),
             improvement_pct(weighted_speedup(&rr1, &rr2)),
@@ -77,8 +79,7 @@ mod tests {
     fn comparison_runs_and_renders() {
         let mut params = Params::quick();
         params.num_pairs = 4;
-        let preds = profiling::quick_predictors().clone();
-        let r = run(&params, &preds);
+        let r = run(&params, profiling::quick_predictors());
         assert_eq!(r.per_pair.len(), 4);
         assert!(r.rr1_vs_rr2_weighted_pct.is_finite());
         assert!(render(&r).contains("average"));

@@ -10,6 +10,13 @@ use std::sync::Mutex;
 
 /// Map `f` over `items` using up to `available_parallelism` threads,
 /// preserving input order in the output.
+///
+/// ```
+/// use ampsched_experiments::runner::parallel_map;
+///
+/// let squares = parallel_map(&[1u64, 2, 3, 4], |x| x * x);
+/// assert_eq!(squares, vec![1, 4, 9, 16]);
+/// ```
 pub fn parallel_map<T, R, F>(items: &[T], f: F) -> Vec<R>
 where
     T: Sync,

@@ -1,0 +1,94 @@
+//! Trace-provisioning differential harness: a full multiprogrammed run
+//! whose instruction streams are replayed from the shared trace arena
+//! must be bit-identical to the same run with live per-run generators —
+//! same per-thread metrics, same cycle count, same swaps, and the same
+//! choice at every individual decision point — for several seeds and all
+//! three scheduler families the paper evaluates. This is the guarantee
+//! that lets every figure default to `--trace-path arena`.
+
+use ampsched_cpu::CoreConfig;
+use ampsched_experiments::common::{run_pair, sample_pairs, Params, SchedKind};
+use ampsched_experiments::profiling;
+use ampsched_system::single::run_alone_with;
+use ampsched_system::RunResult;
+use ampsched_trace::{suite, TracePath};
+
+fn assert_bit_identical(arena: &RunResult, stream: &RunResult, ctx: &str) {
+    assert_eq!(arena.scheduler, stream.scheduler, "{ctx}");
+    assert_eq!(arena.cycles, stream.cycles, "cycles diverged: {ctx}");
+    assert_eq!(arena.swaps, stream.swaps, "swaps diverged: {ctx}");
+    assert_eq!(
+        arena.window_decisions, stream.window_decisions,
+        "window decisions diverged: {ctx}"
+    );
+    assert_eq!(
+        arena.epoch_decisions, stream.epoch_decisions,
+        "epoch decisions diverged: {ctx}"
+    );
+    assert_eq!(
+        arena.decisions, stream.decisions,
+        "per-decision-point trace diverged: {ctx}"
+    );
+    // ThreadMetrics equality covers instructions, cycles, and the exact
+    // joule totals (same activity counters through the same f64 ops).
+    assert_eq!(arena.threads, stream.threads, "thread metrics diverged: {ctx}");
+}
+
+#[test]
+fn arena_and_stream_provisioning_agree_on_full_runs() {
+    let preds = profiling::quick_predictors();
+    for seed in [2012u64, 7, 99] {
+        let mut params = Params::quick();
+        params.seed = seed;
+        // Long enough to cross several arena chunk boundaries (8192 ops
+        // per chunk) and at least one epoch.
+        params.run_insts = 120_000;
+        params.system.epoch_cycles = 100_000;
+        let pairs = sample_pairs(2, seed);
+        let kinds = [
+            SchedKind::proposed_default(&params),
+            SchedKind::HpeMatrix,
+            SchedKind::RoundRobin(1),
+        ];
+        for pair in &pairs {
+            for kind in &kinds {
+                let mut arena_params = params.clone();
+                arena_params.trace_path = TracePath::Arena;
+                let arena = run_pair(pair, kind, preds, &arena_params);
+
+                let mut stream_params = params.clone();
+                stream_params.trace_path = TracePath::Stream;
+                let stream = run_pair(pair, kind, preds, &stream_params);
+
+                let ctx = format!("seed {seed} pair {} kind {kind:?}", pair.label());
+                assert_bit_identical(&arena, &stream, &ctx);
+                assert!(arena.cycles > 0, "{ctx}");
+            }
+        }
+    }
+}
+
+#[test]
+fn arena_and_stream_provisioning_agree_on_single_core_runs() {
+    // The single-core path (profiling, fig1, morphing) goes through
+    // `run_alone_with` rather than `run_pair`; check it separately.
+    let params = Params::quick();
+    for name in ["gcc", "fpstress", "mcf"] {
+        let spec = suite::by_name(name).expect("benchmark");
+        let run = |path: TracePath| {
+            let mut w = path.workload_for_thread(spec.clone(), params.seed, 0);
+            run_alone_with(
+                CoreConfig::fp_core(),
+                params.system.mem,
+                params.system.sim_path,
+                &mut *w,
+                60_000,
+                params.profile_interval_cycles,
+            )
+        };
+        let arena = run(TracePath::Arena);
+        let stream = run(TracePath::Stream);
+        assert_eq!(arena.totals, stream.totals, "{name}: totals diverged");
+        assert_eq!(arena.samples, stream.samples, "{name}: samples diverged");
+    }
+}

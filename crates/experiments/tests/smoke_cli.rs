@@ -44,6 +44,7 @@ fn ampsched_fig1_emits_well_formed_json_report() {
     let params = doc.get("params").expect("params section");
     assert_eq!(params.get("run_insts").and_then(Json::as_u64), Some(20000));
     assert_eq!(params.get("sim_path").and_then(Json::as_str), Some("fast"));
+    assert_eq!(params.get("trace_path").and_then(Json::as_str), Some("arena"));
 
     let rows = doc.get("fig1").and_then(Json::as_arr).expect("fig1 section");
     assert_eq!(rows.len(), 6, "Figure 1 covers six workloads");
@@ -210,7 +211,7 @@ fn ampsched_profile_flag_writes_bench_report() {
     );
     let stdout = String::from_utf8_lossy(&out.stdout);
     assert!(stdout.contains("Timing report"), "missing timing report:\n{stdout}");
-    let report = dir.join("results/bench/profile-fig1-reference.json");
+    let report = dir.join("results/bench/profile-fig1-reference-arena.json");
     // The binary anchors results/ at the workspace root it derives from
     // CARGO_MANIFEST_DIR, which we pointed at the temp dir.
     let text = std::fs::read_to_string(&report).expect("profile json written");
@@ -223,8 +224,33 @@ fn ampsched_profile_flag_writes_bench_report() {
         benches.iter().any(|b| b.get("name").and_then(Json::as_str) == Some("fig1")),
         "fig1 phase must be timed"
     );
+    assert!(
+        benches.iter().any(|b| b.get("name").and_then(Json::as_str) == Some("trace")),
+        "trace provisioning must be timed"
+    );
     for b in benches {
         assert!(b.get("mean_ns").and_then(Json::as_f64).expect("mean_ns") > 0.0);
     }
     std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn ampsched_trace_path_stream_matches_arena_report() {
+    // The two provisioning paths must be observationally identical at the
+    // CLI level: byte-identical figure sections in the JSON report.
+    let arena = run_with_json("fig1", &["--quick", "--insts", "20000", "--trace-path", "arena"]);
+    let stream = run_with_json("fig1", &["--quick", "--insts", "20000", "--trace-path", "stream"]);
+    assert_eq!(
+        arena.get("params").and_then(|p| p.get("trace_path")).and_then(Json::as_str),
+        Some("arena")
+    );
+    assert_eq!(
+        stream.get("params").and_then(|p| p.get("trace_path")).and_then(Json::as_str),
+        Some("stream")
+    );
+    assert_eq!(
+        arena.get("fig1").expect("fig1 section").render_pretty(),
+        stream.get("fig1").expect("fig1 section").render_pretty(),
+        "arena and stream provisioning must produce identical results"
+    );
 }

@@ -1,0 +1,32 @@
+//! Microbenchmark for the arena cost split: times raw generation,
+//! packed encoding, and decoding of a 4M-op gcc stream, and prints the
+//! ns/op of each plus bytes/op of the encoding. The round-trip is also
+//! asserted exact, so this doubles as a large-stream codec check.
+//!
+//! Run with `cargo run --release -p ampsched-trace --example split_bench`.
+
+use ampsched_trace::{suite, TraceGenerator, Workload};
+use ampsched_trace::arena::{encode_stream, decode_stream};
+use std::time::Instant;
+
+fn main() {
+    let spec = suite::by_name("gcc").unwrap();
+    let mut g = TraceGenerator::for_thread(spec.clone(), 2012, 0);
+    let n = 4_000_000usize;
+    let t = Instant::now();
+    let ops: Vec<_> = (0..n).map(|_| g.next_op()).collect();
+    let gen_t = t.elapsed();
+    let mut buf = Vec::new();
+    let t = Instant::now();
+    encode_stream(&ops, &mut buf);
+    let enc_t = t.elapsed();
+    let mut out = Vec::with_capacity(n);
+    let t = Instant::now();
+    decode_stream(&buf, n, &mut out).unwrap();
+    let dec_t = t.elapsed();
+    assert_eq!(out, ops);
+    println!("gen    {:?} ({:.1} ns/op)", gen_t, gen_t.as_nanos() as f64 / n as f64);
+    println!("encode {:?} ({:.1} ns/op)", enc_t, enc_t.as_nanos() as f64 / n as f64);
+    println!("decode {:?} ({:.1} ns/op)", dec_t, dec_t.as_nanos() as f64 / n as f64);
+    println!("bytes/op {:.2}", buf.len() as f64 / n as f64);
+}

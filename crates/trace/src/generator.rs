@@ -30,7 +30,12 @@ impl RecentDsts {
 
     #[inline]
     fn push(&mut self, reg: u8) {
-        self.head = (self.head + 1) % DEP_RING;
+        // `head` stays < DEP_RING, so wrap-around is a compare, not a
+        // hardware divide (this runs 1–4 times per generated op).
+        self.head += 1;
+        if self.head == DEP_RING {
+            self.head = 0;
+        }
         self.regs[self.head] = reg;
     }
 
@@ -38,7 +43,11 @@ impl RecentDsts {
     #[inline]
     fn at_distance(&self, distance: usize) -> u8 {
         let d = distance.clamp(1, DEP_RING) - 1;
-        self.regs[(self.head + DEP_RING - d) % DEP_RING]
+        let mut i = self.head + DEP_RING - d; // in [1, 2*DEP_RING)
+        if i >= DEP_RING {
+            i -= DEP_RING;
+        }
+        self.regs[i]
     }
 }
 
@@ -86,6 +95,19 @@ const HOT_REGION: u64 = 2048;
 /// Fraction of taken branches that are far jumps relocating the hot
 /// region (calls/returns across the footprint).
 const FAR_JUMP_FRACTION: f64 = 0.05;
+
+/// `x % m` that skips the hardware divide when `x` is already in range —
+/// the common case for the generator's wrap-around updates, where the
+/// operand only leaves `[0, m)` on a wrap or after a phase change shrank
+/// `m`. Exactly equivalent to `%` for every input.
+#[inline]
+fn fast_mod(x: u64, m: u64) -> u64 {
+    if x >= m {
+        x % m
+    } else {
+        x
+    }
+}
 
 impl TraceGenerator {
     /// Build a generator for `spec`, deterministic in `seed`, with data at
@@ -195,7 +217,7 @@ impl TraceGenerator {
     #[inline]
     fn data_addr(&mut self, ws: u64, stride_fraction: f64) -> u64 {
         let off = if self.rng.gen::<f64>() < stride_fraction {
-            self.seq_ptr = (self.seq_ptr + 8) % ws;
+            self.seq_ptr = fast_mod(self.seq_ptr + 8, ws);
             self.seq_ptr
         } else {
             (self.rng.gen::<u64>() % ws) & !7
@@ -291,7 +313,7 @@ impl Workload for TraceGenerator {
         // relocate the region — the I-cache misses of big-code workloads
         // (gcc, vortex) come from these relocations.
         let span = HOT_REGION.min(code);
-        op.pc = self.code_base + (self.region_base + self.local_off) % code;
+        op.pc = self.code_base + fast_mod(self.region_base + self.local_off, code);
         if class.is_branch() && self.rng.gen::<f64>() < taken {
             if code > span && self.rng.gen::<f64>() < FAR_JUMP_FRACTION {
                 // Call-graph locality: 75% of far jumps revisit a recent
@@ -308,10 +330,10 @@ impl Workload for TraceGenerator {
                 self.local_off = 0;
             } else {
                 let back = (self.rng.gen::<u64>() % span) & !3;
-                self.local_off = (self.local_off + span - back) % span;
+                self.local_off = fast_mod(self.local_off + span - back, span);
             }
         } else {
-            self.local_off = (self.local_off + 4) % span;
+            self.local_off = fast_mod(self.local_off + 4, span);
         }
 
         self.generated += 1;

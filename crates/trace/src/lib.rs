@@ -32,15 +32,23 @@
 //! * [`suite::all`] — all 37 benchmark specs;
 //! * [`suite::by_name`] — look one up;
 //! * [`TraceGenerator`] — turn a spec into a deterministic [`Workload`]
-//!   stream of [`ampsched_isa::MicroOp`]s.
+//!   stream of [`ampsched_isa::MicroOp`]s;
+//! * [`ReplaySource`] / [`TracePath`] — the memoized trace [`arena`]:
+//!   materialize each stream once, replay it everywhere, bit-identical
+//!   to live generation.
 
+#![warn(missing_docs)]
+
+pub mod arena;
 pub mod benchmark;
 pub mod generator;
 pub mod phase;
 pub mod record;
 pub mod suite;
+pub mod timing;
 pub mod workload;
 
+pub use arena::{ReplaySource, TracePath};
 pub use benchmark::{BenchmarkSpec, Suite};
 pub use generator::TraceGenerator;
 pub use phase::PhaseSpec;

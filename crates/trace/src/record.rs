@@ -16,7 +16,7 @@ pub const RECORD_BYTES: usize = 21;
 /// Magic header identifying a trace blob (and its version).
 pub const TRACE_MAGIC: &[u8; 4] = b"AST1";
 
-fn encode_reg(r: Option<ArchReg>) -> u8 {
+pub(crate) fn encode_reg(r: Option<ArchReg>) -> u8 {
     match r {
         None => 0xFF,
         Some(ArchReg::Int(n)) => n,
@@ -24,7 +24,7 @@ fn encode_reg(r: Option<ArchReg>) -> u8 {
     }
 }
 
-fn decode_reg(b: u8) -> Option<ArchReg> {
+pub(crate) fn decode_reg(b: u8) -> Option<ArchReg> {
     match b {
         0xFF => None,
         n if n & 0x80 != 0 => Some(ArchReg::Fp(n & 0x7F)),

@@ -1,0 +1,77 @@
+//! Wall-clock accounting for trace provisioning.
+//!
+//! Every nanosecond spent producing instruction streams — arena chunk
+//! materialization, chunk decoding, or (when sampling is enabled)
+//! streaming generation — is accumulated into one process-wide counter.
+//! The `ampsched --profile` path reads the total and reports it as a
+//! `"trace"` phase next to the per-figure timings, which is how the
+//! trace-generation share of wall-clock is measured and gated by
+//! `scripts/bench_diff`.
+//!
+//! Arena costs are recorded unconditionally: they are measured per chunk
+//! (thousands of ops), so the two `Instant` reads are amortized to
+//! nothing. Streaming generation has no such batching point, so it is
+//! only measured when [`set_stream_sampling`] is on, via a sampling
+//! wrapper that times one op out of every [`STREAM_SAMPLE_EVERY`] and
+//! scales up.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::time::Duration;
+
+static NANOS: AtomicU64 = AtomicU64::new(0);
+static STREAM_SAMPLING: AtomicBool = AtomicBool::new(false);
+
+/// One op in every this-many is timed by the streaming sampler; the
+/// measured duration is scaled by the same factor.
+pub const STREAM_SAMPLE_EVERY: u32 = 32;
+
+/// Add a measured slice of trace-provisioning time to the global total.
+#[inline]
+pub fn record(d: Duration) {
+    NANOS.fetch_add(d.as_nanos() as u64, Ordering::Relaxed);
+}
+
+/// Total trace-provisioning time accumulated so far in this process.
+pub fn total() -> Duration {
+    Duration::from_nanos(NANOS.load(Ordering::Relaxed))
+}
+
+/// Zero the accumulated total (profiling runs call this at startup).
+pub fn reset() {
+    NANOS.store(0, Ordering::Relaxed);
+}
+
+/// Enable or disable sampled timing of *streaming* generation
+/// (`--trace-path stream` under `--profile`). Off by default so the
+/// un-profiled streaming path pays zero instrumentation cost.
+pub fn set_stream_sampling(on: bool) {
+    STREAM_SAMPLING.store(on, Ordering::Relaxed);
+}
+
+/// Whether streaming-generation sampling is currently enabled.
+pub fn stream_sampling() -> bool {
+    STREAM_SAMPLING.load(Ordering::Relaxed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_accumulates_and_reset_clears() {
+        reset();
+        record(Duration::from_nanos(500));
+        record(Duration::from_micros(2));
+        assert!(total() >= Duration::from_nanos(2500));
+        reset();
+        assert_eq!(total(), Duration::ZERO);
+    }
+
+    #[test]
+    fn sampling_flag_round_trips() {
+        set_stream_sampling(true);
+        assert!(stream_sampling());
+        set_stream_sampling(false);
+        assert!(!stream_sampling());
+    }
+}

@@ -90,6 +90,62 @@ fn phase_schedule_is_honored() {
     );
 }
 
+/// Arena codec round-trip: any generated op sequence survives
+/// `encode_stream` → `decode_stream` exactly, and a corrupted byte (or a
+/// truncation) never decodes silently — it either round-trips to the same
+/// ops or is rejected with `None`.
+#[test]
+fn arena_codec_roundtrips_and_rejects_corruption() {
+    use ampsched_trace::arena::{decode_stream, encode_stream};
+    checker().run(
+        "arena_codec_roundtrips_and_rejects_corruption",
+        |s: &mut Source| {
+            let bench_idx = s.usize_in(0, 37);
+            let seed = s.u64_in(0, 500);
+            let n_ops = s.usize_in(1, 600);
+            let flip_at = s.usize_in(0, 4096);
+            let flip_bits = s.u64_in(1, 256) as u8;
+            (bench_idx, seed, n_ops, flip_at, flip_bits)
+        },
+        |&(bench_idx, seed, n_ops, flip_at, flip_bits)| {
+            let pool = suite::all();
+            let mut g = TraceGenerator::for_thread(pool[bench_idx].clone(), seed, 0);
+            let ops: Vec<_> = (0..n_ops).map(|_| g.next_op()).collect();
+            let mut buf = Vec::new();
+            encode_stream(&ops, &mut buf);
+
+            let mut back = Vec::new();
+            prop_assert!(decode_stream(&buf, n_ops, &mut back).is_some());
+            prop_assert_eq!(&back, &ops);
+
+            // Truncation must be rejected, never mis-decoded.
+            if buf.len() > 1 {
+                let mut out = Vec::new();
+                prop_assert!(decode_stream(&buf[..buf.len() - 1], n_ops, &mut out).is_none());
+            }
+
+            // A single flipped byte either still decodes to a *valid*
+            // op sequence of the right length or is rejected — but a
+            // decode that claims success with the original bytes intact
+            // elsewhere must still produce exactly n_ops ops.
+            let mut corrupt = buf.clone();
+            let at = flip_at % corrupt.len();
+            corrupt[at] ^= flip_bits;
+            let mut out = Vec::new();
+            if decode_stream(&corrupt, n_ops, &mut out).is_some() {
+                prop_assert_eq!(out.len(), n_ops);
+                for op in &out {
+                    if !op.class.is_mem() {
+                        prop_assert_eq!(op.addr, 0);
+                        prop_assert_eq!(op.size, 0);
+                    }
+                }
+            }
+            Ok(())
+        },
+    );
+}
+
 #[test]
 fn suite_average_compositions_are_sane() {
     for b in suite::all() {

@@ -5,6 +5,20 @@
 //! snapshots are built as [`Json`] values and rendered to text; the
 //! parser exists so tests can assert emitted reports are well-formed and
 //! round-trip.
+//!
+//! ```
+//! use ampsched_util::Json;
+//!
+//! let doc = Json::obj([
+//!     ("benchmark", Json::from("gcc")),
+//!     ("ipc", Json::from(1.25)),
+//!     ("phases", Json::arr([Json::from(0u64), Json::from(1u64)])),
+//! ]);
+//! let text = doc.render();
+//! let back = Json::parse(&text).expect("serializer output parses");
+//! assert_eq!(back, doc);
+//! assert_eq!(back.get("benchmark").and_then(Json::as_str), Some("gcc"));
+//! ```
 
 use std::fmt::Write as _;
 
