@@ -2,7 +2,8 @@
 //!
 //! ```text
 //! ampsched [--quick|--medium] [--pairs N] [--insts N] [--seed N] [--sim-path fast|reference]
-//!          [--trace-path arena|stream] [--profile] [--csv FILE] [--json FILE] <command>
+//!          [--trace-path arena|stream] [--trace-cache DIR] [--profile]
+//!          [--csv FILE] [--json FILE] <command>
 //!
 //! commands:
 //!   tables        Tables I and II (live core configurations)
@@ -19,15 +20,22 @@
 //!   derive-rules  re-derive the Figure 5 thresholds (Section VI-A)
 //!   ablation      design-choice ablation battery
 //!   morphing      core-morphing extension comparison (cf. \[5\])
+//!   trace-cache   maintain the --trace-cache dir (stats|verify|gc)
 //!   all           everything above, in order
 //! ```
+//!
+//! `--trace-cache DIR` (default: the `AMPSCHED_TRACE_CACHE` environment
+//! variable, unset = no persistence) makes the trace arena durable: a
+//! cold run writes each materialized stream to a checksummed chunk file
+//! under DIR, and warm runs load instead of regenerating — bit-identical
+//! either way, with corrupt or stale files deleted and regenerated.
 
 use ampsched_experiments::{
     ablation, common::Params, fig1, fig6, fig78, morphing, overhead, profiling, rr_interval,
-    rules_derivation, tables,
+    rules_derivation, tables, trace_cache,
 };
 use ampsched_system::SimPath;
-use ampsched_trace::{timing, TracePath};
+use ampsched_trace::{arena, persist, timing, TracePath};
 use ampsched_util::timer::{resolve_out_dir, Profiler};
 use ampsched_util::Json;
 use std::cell::RefCell;
@@ -37,8 +45,11 @@ use std::time::Instant;
 fn usage() -> ! {
     eprintln!(
         "usage: ampsched [--quick|--medium] [--pairs N] [--insts N] [--profile-insts N] [--seed N] \
-         [--sim-path fast|reference] [--trace-path arena|stream] [--profile] [--csv FILE] [--json FILE] \
-         <tables|fig1|fig3|fig4|fig6|fig7|fig8|fig9|figs789|overhead|rr-interval|derive-rules|ablation|morphing|workloads|all>"
+         [--sim-path fast|reference] [--trace-path arena|stream] [--trace-cache DIR] [--profile] \
+         [--csv FILE] [--json FILE] \
+         <tables|fig1|fig3|fig4|fig6|fig7|fig8|fig9|figs789|overhead|rr-interval|derive-rules|ablation|morphing|workloads|trace-cache|all>\n\
+         \n\
+         trace-cache actions: ampsched --trace-cache DIR trace-cache <stats|verify|gc>"
     );
     std::process::exit(2);
 }
@@ -46,7 +57,8 @@ fn usage() -> ! {
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut params = Params::default();
-    let mut command = None;
+    let mut command: Option<String> = None;
+    let mut action: Option<String> = None;
     let mut csv_path: Option<String> = None;
     let mut json_path: Option<String> = None;
     let mut profile = false;
@@ -82,6 +94,11 @@ fn main() {
                     .and_then(|s| TracePath::from_flag(s))
                     .unwrap_or_else(|| usage());
             }
+            "--trace-cache" => {
+                i += 1;
+                let dir = args.get(i).cloned().unwrap_or_else(|| usage());
+                params.trace_cache = Some(std::path::PathBuf::from(dir));
+            }
             "--profile" => profile = true,
             "--seed" => {
                 i += 1;
@@ -96,6 +113,13 @@ fn main() {
                 json_path = Some(args.get(i).cloned().unwrap_or_else(|| usage()));
             }
             c if command.is_none() && !c.starts_with('-') => command = Some(c.to_string()),
+            // `trace-cache` takes one action word (stats|verify|gc).
+            c if command.as_deref() == Some("trace-cache")
+                && action.is_none()
+                && !c.starts_with('-') =>
+            {
+                action = Some(c.to_string())
+            }
             _ => usage(),
         }
         i += 1;
@@ -104,12 +128,54 @@ fn main() {
     // Reject unknown commands before the (expensive) profiling phase.
     const COMMANDS: &[&str] = &[
         "tables", "workloads", "fig1", "fig3", "fig4", "fig6", "fig7", "fig8", "fig9", "figs789",
-        "overhead", "rr-interval", "derive-rules", "ablation", "morphing", "all",
+        "overhead", "rr-interval", "derive-rules", "ablation", "morphing", "trace-cache", "all",
     ];
     if !COMMANDS.contains(&command.as_str()) {
         eprintln!("unknown command: {command}");
         usage();
     }
+    // Environment default for the persistent trace cache; the explicit
+    // flag wins.
+    if params.trace_cache.is_none() {
+        if let Some(dir) = std::env::var_os("AMPSCHED_TRACE_CACHE") {
+            if !dir.is_empty() {
+                params.trace_cache = Some(std::path::PathBuf::from(dir));
+            }
+        }
+    }
+
+    // Cache maintenance runs standalone: no profiling, no simulation.
+    if command == "trace-cache" {
+        let Some(dir) = &params.trace_cache else {
+            eprintln!("trace-cache: no cache directory (pass --trace-cache DIR or set AMPSCHED_TRACE_CACHE)");
+            std::process::exit(2);
+        };
+        let action = action
+            .as_deref()
+            .and_then(trace_cache::Action::from_flag)
+            .unwrap_or_else(|| {
+                eprintln!("trace-cache: expected an action: stats | verify | gc");
+                usage()
+            });
+        let outcome = trace_cache::run(action, dir);
+        print!("{}", outcome.rendered);
+        if let Some(path) = &json_path {
+            let doc = Json::obj([
+                ("command", Json::from("trace-cache")),
+                ("trace_cache", outcome.json),
+            ]);
+            std::fs::write(path, doc.render_pretty()).expect("write json report");
+            eprintln!("[json report written to {path}]");
+        }
+        std::process::exit(if outcome.healthy { 0 } else { 1 });
+    }
+
+    // Warm/cold label for profile artifacts: the run is warm when the
+    // cache directory already holds chunk files at startup.
+    let cache_state = params.trace_cache.as_deref().map(|dir| {
+        let has_files = persist::scan(dir).iter().any(|r| r.is_valid());
+        if has_files { "warm" } else { "cold" }
+    });
 
     let t0 = Instant::now();
     // Per-phase wall-clock accounting for `--profile`; shaped like a bench
@@ -273,6 +339,12 @@ fn main() {
     } else {
         timed(&command);
     }
+    // Persist any streams materialized this run before reporting, so the
+    // next process starts warm even when no doubling write-back or
+    // eviction fired.
+    if params.trace_cache.is_some() {
+        arena::flush();
+    }
     let sim_path_name = match params.system.sim_path {
         SimPath::Fast => "fast",
         SimPath::Reference => "reference",
@@ -289,6 +361,13 @@ fn main() {
                     ("seed", Json::from(params.seed)),
                     ("sim_path", Json::from(sim_path_name)),
                     ("trace_path", Json::from(trace_path_name)),
+                    (
+                        "trace_cache",
+                        match &params.trace_cache {
+                            Some(dir) => Json::from(dir.display().to_string()),
+                            None => Json::Null,
+                        },
+                    ),
                 ]),
             ),
         ];
@@ -312,10 +391,16 @@ fn main() {
         );
         let dir = resolve_out_dir(Path::new("results/bench"));
         std::fs::create_dir_all(&dir).expect("create results/bench");
+        // With a persistent cache the warm/cold distinction dominates the
+        // trace phase, so it becomes part of the artifact identity.
+        let state_suffix = cache_state.map(|s| format!("-{s}")).unwrap_or_default();
         let out = dir.join(format!(
-            "profile-{command}-{sim_path_name}-{trace_path_name}.json"
+            "profile-{command}-{sim_path_name}-{trace_path_name}{state_suffix}.json"
         ));
-        let target = format!("ampsched {command} ({sim_path_name}, {trace_path_name})");
+        let target = match cache_state {
+            Some(s) => format!("ampsched {command} ({sim_path_name}, {trace_path_name}, {s} cache)"),
+            None => format!("ampsched {command} ({sim_path_name}, {trace_path_name})"),
+        };
         std::fs::write(&out, prof.to_bench_json(&target).render_pretty())
             .expect("write profile json");
         eprintln!("[profile written to {}]", out.display());

@@ -31,6 +31,10 @@ pub struct Params {
     /// How instruction streams are provisioned: replayed from the shared
     /// trace arena (default) or generated live (`--trace-path stream`).
     pub trace_path: TracePath,
+    /// Directory for the persistent on-disk trace cache
+    /// (`--trace-cache`, or the `AMPSCHED_TRACE_CACHE` environment
+    /// variable). `None` keeps the arena in-memory only.
+    pub trace_cache: Option<std::path::PathBuf>,
 }
 
 impl Default for Params {
@@ -44,6 +48,7 @@ impl Default for Params {
             seed: 2012,
             system: SystemConfig::default(),
             trace_path: TracePath::default(),
+            trace_cache: None,
         }
     }
 }
@@ -65,6 +70,7 @@ impl Params {
                 ..SystemConfig::default()
             },
             trace_path: TracePath::default(),
+            trace_cache: None,
         }
     }
 
@@ -82,7 +88,23 @@ impl Params {
                 ..SystemConfig::default()
             },
             trace_path: TracePath::default(),
+            trace_cache: None,
         }
+    }
+
+    /// Provision one thread's workload per this configuration's trace
+    /// path *and* persistent cache directory. Every experiment module
+    /// that builds workloads goes through here (or [`Pair::workloads`])
+    /// so `--trace-cache` uniformly covers profiling, fig1, morphing,
+    /// and the pair sweeps.
+    pub fn workload_for_thread(
+        &self,
+        spec: BenchmarkSpec,
+        seed: u64,
+        thread: usize,
+    ) -> Box<dyn Workload> {
+        self.trace_path
+            .workload_for_thread_cached(spec, seed, thread, self.trace_cache.as_deref())
     }
 }
 
@@ -179,11 +201,12 @@ impl Pair {
     }
 
     /// Fresh workloads for this pair (deterministic in the pair seed),
-    /// provisioned through the arena or generated live per `path`.
-    pub fn workloads(&self, path: TracePath) -> [Box<dyn Workload>; 2] {
+    /// provisioned through the arena or generated live — and through the
+    /// persistent cache, when configured — per `params`.
+    pub fn workloads(&self, params: &Params) -> [Box<dyn Workload>; 2] {
         [
-            path.workload_for_thread(self.a.clone(), self.seed, 0),
-            path.workload_for_thread(self.b.clone(), self.seed, 1),
+            params.workload_for_thread(self.a.clone(), self.seed, 0),
+            params.workload_for_thread(self.b.clone(), self.seed, 1),
         ]
     }
 }
@@ -216,7 +239,7 @@ pub fn sample_pairs(n: usize, seed: u64) -> Vec<Pair> {
 /// generators) per `params.trace_path`, so repeated runs of the same
 /// pair under different schedulers materialize each stream only once.
 pub fn run_pair(pair: &Pair, kind: &SchedKind, predictors: &Predictors, params: &Params) -> RunResult {
-    let mut sys = DualCoreSystem::new(params.system, pair.workloads(params.trace_path));
+    let mut sys = DualCoreSystem::new(params.system, pair.workloads(params));
     let mut sched = kind.build(predictors);
     sys.run(&mut *sched, params.run_insts, params.max_cycles)
 }

@@ -34,7 +34,7 @@ pub fn run(params: &Params) -> Vec<Fig1Row> {
         let spec = suite::by_name(name).expect("fig1 benchmark");
         // Both cores replay the same arena stream: one materialization
         // serves the A and B runs (and the profiling pass, same seed).
-        let mut w = params.trace_path.workload_for_thread(spec.clone(), params.seed, 0);
+        let mut w = params.workload_for_thread(spec.clone(), params.seed, 0);
         let a = run_alone_with(
             CoreConfig::fp_core(),
             params.system.mem,
@@ -43,7 +43,7 @@ pub fn run(params: &Params) -> Vec<Fig1Row> {
             params.run_insts,
             params.profile_interval_cycles,
         );
-        let mut w = params.trace_path.workload_for_thread(spec, params.seed, 0);
+        let mut w = params.workload_for_thread(spec, params.seed, 0);
         let b = run_alone_with(
             CoreConfig::int_core(),
             params.system.mem,

@@ -23,5 +23,6 @@ pub mod rr_interval;
 pub mod rules_derivation;
 pub mod runner;
 pub mod tables;
+pub mod trace_cache;
 
 pub use common::{Params, SchedKind};

@@ -57,7 +57,7 @@ pub fn run(params: &Params) -> Vec<MorphRow> {
         let mut ipc = [0.0; 4];
         let mut ppw = [0.0; 4];
         for (k, cfg) in configs.iter().enumerate() {
-            let mut w = params.trace_path.workload_for_thread(spec.clone(), params.seed, 0);
+            let mut w = params.workload_for_thread(spec.clone(), params.seed, 0);
             let r = run_alone_with(
                 cfg.clone(),
                 params.system.mem,

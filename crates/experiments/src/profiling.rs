@@ -29,7 +29,7 @@ pub struct BenchmarkProfile {
 pub fn profile_benchmark(name: &str, params: &Params) -> BenchmarkProfile {
     let spec = suite::by_name(name).unwrap_or_else(|| panic!("unknown benchmark {name}"));
     let run = |core_cfg: CoreConfig| {
-        let mut w = params.trace_path.workload_for_thread(spec.clone(), params.seed, 0);
+        let mut w = params.workload_for_thread(spec.clone(), params.seed, 0);
         let mut runner =
             SingleCoreRunner::new(core_cfg, params.system.mem).with_sim_path(params.system.sim_path);
         runner.run(

@@ -68,6 +68,65 @@ fn arena_and_stream_provisioning_agree_on_full_runs() {
     }
 }
 
+/// The persistent cache (`--trace-cache`) must never change results:
+/// the same pair/scheduler run is bit-identical with no cache, with a
+/// cold cache (generate + persist), with a warm cache (replay from
+/// disk), and after every cache file has been deliberately corrupted
+/// (detect, delete, regenerate).
+#[test]
+fn persistent_cache_runs_are_bit_identical_cold_warm_and_corrupted() {
+    use ampsched_trace::{arena, persist};
+    let preds = profiling::quick_predictors();
+    let dir = std::env::temp_dir().join(format!("ampsched-diff-cache-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let mut params = Params::quick();
+    params.run_insts = 120_000;
+    params.system.epoch_cycles = 100_000;
+    let pair = &sample_pairs(2, 2012)[1];
+    let kind = SchedKind::proposed_default(&params);
+
+    let reference = run_pair(pair, &kind, preds, &params);
+    arena::clear();
+
+    let mut cached = params.clone();
+    cached.trace_cache = Some(dir.clone());
+    let cold = run_pair(pair, &kind, preds, &cached);
+    assert_bit_identical(&cold, &reference, "cold cache vs uncached");
+    arena::flush();
+    arena::clear();
+
+    let valid = persist::scan(&dir).iter().filter(|r| r.is_valid()).count();
+    assert_eq!(valid, 2, "one cache file per thread after the cold run");
+    let warm = run_pair(pair, &kind, preds, &cached);
+    assert_bit_identical(&warm, &reference, "warm cache vs uncached");
+    arena::clear();
+
+    // Flip one payload byte in every cache file: loads must fail, the
+    // stale files must be deleted, and the run must regenerate the exact
+    // same streams.
+    for report in persist::scan(&dir) {
+        let mut image = std::fs::read(&report.path).expect("read cache file");
+        let at = image.len() - 100;
+        image[at] ^= 0x10;
+        std::fs::write(&report.path, &image).expect("plant corruption");
+    }
+    assert!(
+        persist::scan(&dir).iter().all(|r| !r.is_valid()),
+        "corrupted files must fail validation"
+    );
+    let regenerated = run_pair(pair, &kind, preds, &cached);
+    assert_bit_identical(&regenerated, &reference, "corrupted cache vs uncached");
+    arena::flush();
+    arena::clear();
+    assert_eq!(
+        persist::scan(&dir).iter().filter(|r| r.is_valid()).count(),
+        2,
+        "corrupted files replaced by valid regenerations"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
 #[test]
 fn arena_and_stream_provisioning_agree_on_single_core_runs() {
     // The single-core path (profiling, fig1, morphing) goes through

@@ -42,7 +42,18 @@
 //! `Arc`-shared, and when the packed total exceeds the byte budget the
 //! least-recently-acquired entries *not currently held by a reader* are
 //! evicted (an evicted stream is simply regenerated if needed again —
-//! determinism makes eviction invisible).
+//! determinism makes eviction invisible). Shrinking the budget with
+//! [`set_budget_bytes`] evicts immediately.
+//!
+//! ## Persistence
+//!
+//! With a cache directory (CLI `--trace-cache`, threaded through the
+//! `_cached` constructors), materialized chunks additionally persist to
+//! disk in the checksummed format of [`crate::persist`]: a fresh entry
+//! adopts the persisted prefix instead of generating, dirty entries are
+//! written back at doubling points, on eviction, and at [`flush`], and
+//! any invalid file (version skew, truncation, corruption) is deleted
+//! with a warning and regenerated live — bit-identical either way.
 //!
 //! ## Differential guarantee
 //!
@@ -55,6 +66,7 @@
 //! default.
 
 use std::collections::HashMap;
+use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
 use std::time::Instant;
@@ -63,6 +75,7 @@ use ampsched_isa::{ArchReg, MicroOp};
 
 use crate::benchmark::BenchmarkSpec;
 use crate::generator::TraceGenerator;
+use crate::persist;
 use crate::record::encode_reg;
 use crate::timing;
 use crate::workload::Workload;
@@ -106,8 +119,25 @@ impl TracePath {
         seed: u64,
         thread: usize,
     ) -> Box<dyn Workload> {
+        self.workload_for_thread_cached(spec, seed, thread, None)
+    }
+
+    /// Like [`TracePath::workload_for_thread`], but with an optional
+    /// on-disk cache directory (see [`crate::persist`]): on the arena
+    /// path, materialized chunks are loaded from and written back to
+    /// `cache_dir`. The stream path ignores the cache (it is the live
+    /// differential reference).
+    pub fn workload_for_thread_cached(
+        self,
+        spec: BenchmarkSpec,
+        seed: u64,
+        thread: usize,
+        cache_dir: Option<&Path>,
+    ) -> Box<dyn Workload> {
         match self {
-            TracePath::Arena => Box::new(ReplaySource::for_thread(spec, seed, thread)),
+            TracePath::Arena => {
+                Box::new(ReplaySource::for_thread_cached(spec, seed, thread, cache_dir))
+            }
             TracePath::Stream => {
                 let gen = TraceGenerator::for_thread(spec, seed, thread);
                 if timing::stream_sampling() {
@@ -331,10 +361,19 @@ struct Chunk {
 }
 
 struct EntryInner {
-    /// The live generator, parked at the end of the materialized prefix;
-    /// advancing it by one chunk extends the stream on demand.
+    /// The live generator; advancing it by one chunk extends the stream
+    /// on demand. When a prefix was loaded from the on-disk cache the
+    /// generator lags behind `chunks` (see `gen_chunks`) and is only
+    /// caught up if a consumer reads past the persisted prefix.
     gen: TraceGenerator,
+    /// Chunks the embedded generator has actually produced. Equal to
+    /// `chunks.len()` for entries materialized live; smaller when a
+    /// disk-loaded prefix let us skip generation.
+    gen_chunks: usize,
     chunks: Vec<Arc<Chunk>>,
+    /// Chunks already persisted in this entry's cache file; the entry is
+    /// dirty when `chunks.len()` exceeds this.
+    disk_chunks: usize,
 }
 
 /// One memoized stream: a benchmark × seed × address-space combination.
@@ -344,6 +383,14 @@ struct ArenaEntry {
     /// Packed bytes materialized so far (mirrors `inner` without needing
     /// its lock, so eviction never touches another entry's mutex).
     bytes: AtomicU64,
+    /// The store key, kept for cache-file naming.
+    key: Key,
+    /// Benchmark name, the human-readable cache-file prefix.
+    name: &'static str,
+    /// Where this entry persists its chunks, captured at creation (the
+    /// first acquisition of a stream decides; `None` disables
+    /// persistence for the entry).
+    cache_dir: Option<PathBuf>,
     inner: Mutex<EntryInner>,
 }
 
@@ -353,22 +400,57 @@ impl ArenaEntry {
         let mut inner = self.inner.lock().expect("arena entry lock");
         while inner.chunks.len() <= idx {
             let t = Instant::now();
+            // Catch the generator up over any disk-loaded prefix it
+            // never produced itself (only needed when a consumer reads
+            // past what the cache file held).
+            while inner.gen_chunks < inner.chunks.len() {
+                for _ in 0..CHUNK_OPS {
+                    inner.gen.next_op();
+                }
+                inner.gen_chunks += 1;
+            }
             let mut ops = Vec::with_capacity(CHUNK_OPS);
             for _ in 0..CHUNK_OPS {
                 ops.push(inner.gen.next_op());
             }
+            inner.gen_chunks += 1;
             let mut data = Vec::with_capacity(CHUNK_OPS * 8);
             encode_stream(&ops, &mut data);
             timing::record(t.elapsed());
             self.bytes.fetch_add(data.len() as u64, Ordering::Relaxed);
             TOTAL_BYTES.fetch_add(data.len() as u64, Ordering::Relaxed);
             inner.chunks.push(Arc::new(Chunk { data }));
+            // Write back at doubling points so long runs persist
+            // progress in amortized-linear total bytes written; flush()
+            // and eviction catch the remainder.
+            if self.cache_dir.is_some() && inner.chunks.len() >= inner.disk_chunks.max(1) * 2 {
+                self.write_back(&mut inner);
+            }
         }
         inner.chunks[idx].clone()
     }
+
+    /// Persist any chunks beyond the on-disk prefix by rewriting the
+    /// entry's cache file (temp file + atomic rename). A write failure
+    /// warns and leaves the previous file intact — persistence is an
+    /// optimization, never a correctness dependency.
+    fn write_back(&self, inner: &mut EntryInner) {
+        let Some(dir) = &self.cache_dir else { return };
+        if inner.chunks.len() <= inner.disk_chunks {
+            return;
+        }
+        let payloads: Vec<&[u8]> = inner.chunks.iter().map(|c| c.data.as_slice()).collect();
+        let path = persist::chunk_file_path(dir, self.name, self.key);
+        match persist::save(&path, self.key, &payloads) {
+            Ok(()) => inner.disk_chunks = inner.chunks.len(),
+            Err(e) => {
+                eprintln!("warning: trace cache: could not write {}: {e}", path.display());
+            }
+        }
+    }
 }
 
-type Key = (u64, u64, u64, u64);
+pub(crate) type Key = (u64, u64, u64, u64);
 
 struct Store {
     entries: HashMap<Key, Arc<ArenaEntry>>,
@@ -421,8 +503,17 @@ fn fingerprint(spec: &BenchmarkSpec) -> u64 {
 }
 
 /// Fetch or create the memoized entry for a stream, stamping its LRU
-/// clock and evicting cold unreferenced entries if over budget.
-fn acquire(spec: &BenchmarkSpec, seed: u64, addr_base: u64, code_base: u64) -> Arc<ArenaEntry> {
+/// clock and evicting cold unreferenced entries if over budget. A fresh
+/// entry first tries to adopt the persisted chunks from `cache_dir` (a
+/// stale or corrupt cache file is warned about, deleted, and silently
+/// replaced by live regeneration).
+fn acquire(
+    spec: &BenchmarkSpec,
+    seed: u64,
+    addr_base: u64,
+    code_base: u64,
+    cache_dir: Option<&Path>,
+) -> Arc<ArenaEntry> {
     let key = (fingerprint(spec), seed, addr_base, code_base);
     let mut store = store().lock().expect("arena store lock");
     store.clock += 1;
@@ -431,12 +522,22 @@ fn acquire(spec: &BenchmarkSpec, seed: u64, addr_base: u64, code_base: u64) -> A
         .entries
         .entry(key)
         .or_insert_with(|| {
+            let chunks = cache_dir
+                .map(|dir| load_from_disk(dir, spec.name, key))
+                .unwrap_or_default();
+            let bytes: u64 = chunks.iter().map(|c| c.data.len() as u64).sum();
+            TOTAL_BYTES.fetch_add(bytes, Ordering::Relaxed);
             Arc::new(ArenaEntry {
                 last_use: AtomicU64::new(now),
-                bytes: AtomicU64::new(0),
+                bytes: AtomicU64::new(bytes),
+                key,
+                name: spec.name,
+                cache_dir: cache_dir.map(Path::to_path_buf),
                 inner: Mutex::new(EntryInner {
                     gen: TraceGenerator::new(spec.clone(), seed, addr_base, code_base),
-                    chunks: Vec::new(),
+                    gen_chunks: 0,
+                    disk_chunks: chunks.len(),
+                    chunks,
                 }),
             })
         })
@@ -444,6 +545,34 @@ fn acquire(spec: &BenchmarkSpec, seed: u64, addr_base: u64, code_base: u64) -> A
     entry.last_use.store(now, Ordering::Relaxed);
     evict_locked(&mut store);
     entry
+}
+
+/// Load a stream's persisted chunks, enforcing the full corruption
+/// policy: any invalid file is deleted (with a warning) and an empty
+/// prefix is returned, so the caller falls back to live regeneration.
+/// The load is trace-provisioning time and is accounted as such.
+fn load_from_disk(dir: &Path, name: &'static str, key: Key) -> Vec<Arc<Chunk>> {
+    let path = persist::chunk_file_path(dir, name, key);
+    if !path.exists() {
+        return Vec::new();
+    }
+    let t = Instant::now();
+    let loaded = persist::load(&path, key);
+    timing::record(t.elapsed());
+    match loaded {
+        Ok(payloads) => payloads
+            .into_iter()
+            .map(|data| Arc::new(Chunk { data }))
+            .collect(),
+        Err(e) => {
+            eprintln!(
+                "warning: trace cache: {}: {e}; deleting and regenerating",
+                path.display()
+            );
+            let _ = std::fs::remove_file(&path);
+            Vec::new()
+        }
+    }
 }
 
 /// Drop least-recently-acquired entries with no outside references until
@@ -462,6 +591,12 @@ fn evict_locked(store: &mut Store) {
         match victim {
             Some(k) => {
                 if let Some(e) = store.entries.remove(&k) {
+                    // Persist unsaved chunks before dropping them, so
+                    // eviction never discards work a warm run could
+                    // have reused.
+                    let mut inner = e.inner.lock().expect("arena entry lock");
+                    e.write_back(&mut inner);
+                    drop(inner);
                     TOTAL_BYTES.fetch_sub(e.bytes.load(Ordering::Relaxed), Ordering::Relaxed);
                 }
             }
@@ -478,8 +613,32 @@ pub fn stats() -> (usize, u64) {
 
 /// Override the arena byte budget (tests exercise eviction with tiny
 /// budgets; long-lived processes may want more or less cache).
+///
+/// Takes effect immediately: shrinking the budget below the resident
+/// total evicts cold unreferenced entries right away rather than
+/// waiting for the next acquisition.
 pub fn set_budget_bytes(bytes: u64) {
     BUDGET_BYTES.store(bytes, Ordering::Relaxed);
+    let mut store = store().lock().expect("arena store lock");
+    evict_locked(&mut store);
+}
+
+/// Write every dirty entry's chunks to its on-disk cache file. Entries
+/// acquired without a cache directory are untouched. Call once at
+/// process exit (the `ampsched` CLI does) so short runs persist streams
+/// that never hit a doubling write-back point or eviction.
+pub fn flush() {
+    let entries: Vec<Arc<ArenaEntry>> = store()
+        .lock()
+        .expect("arena store lock")
+        .entries
+        .values()
+        .cloned()
+        .collect();
+    for e in entries {
+        let mut inner = e.inner.lock().expect("arena entry lock");
+        e.write_back(&mut inner);
+    }
 }
 
 /// Drop every unreferenced entry, regardless of budget. Mainly for tests
@@ -537,15 +696,43 @@ impl ReplaySource {
     /// Arena-backed equivalent of [`TraceGenerator::for_thread`]: same
     /// per-thread seed derivation and disjoint address bases.
     pub fn for_thread(spec: BenchmarkSpec, seed: u64, thread: usize) -> ReplaySource {
+        ReplaySource::for_thread_cached(spec, seed, thread, None)
+    }
+
+    /// [`ReplaySource::for_thread`] with an optional on-disk cache
+    /// directory (see [`crate::persist`]) for cross-process reuse.
+    pub fn for_thread_cached(
+        spec: BenchmarkSpec,
+        seed: u64,
+        thread: usize,
+        cache_dir: Option<&Path>,
+    ) -> ReplaySource {
         let base = (thread as u64 + 1) << 30;
-        ReplaySource::new(spec, seed.wrapping_add(thread as u64), base, base + (1 << 28))
+        ReplaySource::new_cached(
+            spec,
+            seed.wrapping_add(thread as u64),
+            base,
+            base + (1 << 28),
+            cache_dir,
+        )
     }
 
     /// Arena-backed equivalent of [`TraceGenerator::new`].
     pub fn new(spec: BenchmarkSpec, seed: u64, addr_base: u64, code_base: u64) -> ReplaySource {
+        ReplaySource::new_cached(spec, seed, addr_base, code_base, None)
+    }
+
+    /// [`ReplaySource::new`] with an optional on-disk cache directory.
+    pub fn new_cached(
+        spec: BenchmarkSpec,
+        seed: u64,
+        addr_base: u64,
+        code_base: u64,
+        cache_dir: Option<&Path>,
+    ) -> ReplaySource {
         let name = spec.name;
         let durations: Vec<u64> = spec.phases.iter().map(|p| p.duration).collect();
-        let entry = acquire(&spec, seed, addr_base, code_base);
+        let entry = acquire(&spec, seed, addr_base, code_base, cache_dir);
         let left_in_phase = durations[0];
         ReplaySource {
             entry,
@@ -702,7 +889,7 @@ mod tests {
             a.next_op();
         }
         let base = 1u64 << 30;
-        let entry = acquire(&spec, seed, base, base + (1 << 28));
+        let entry = acquire(&spec, seed, base, base + (1 << 28), None);
         let chunks_before = entry.inner.lock().unwrap().chunks.len();
         assert_eq!(chunks_before, 1, "first reader materialized one chunk");
         let mut b = ReplaySource::for_thread(spec.clone(), seed, 0);
@@ -756,6 +943,89 @@ mod tests {
         for _ in 0..200 {
             assert_eq!(again.next_op(), fresh.next_op());
         }
+    }
+
+    #[test]
+    fn shrinking_the_budget_evicts_immediately() {
+        // Regression: set_budget_bytes used to only take effect at the
+        // next acquisition, so a shrunk budget left the arena over
+        // budget indefinitely. A seed no other test uses.
+        let spec = suite::by_name("gsm").unwrap();
+        let seed = 0x000b_06e7_0001_u64;
+        {
+            let mut r = ReplaySource::for_thread(spec.clone(), seed, 0);
+            for _ in 0..CHUNK_OPS {
+                r.next_op();
+            }
+        } // reader dropped: the entry is cold and evictable
+        let key = (fingerprint(&spec), seed, 1u64 << 30, (1u64 << 30) + (1 << 28));
+        assert!(
+            store().lock().unwrap().entries.contains_key(&key),
+            "entry resident before the budget shrink"
+        );
+        set_budget_bytes(0);
+        let evicted = !store().lock().unwrap().entries.contains_key(&key);
+        set_budget_bytes(DEFAULT_BUDGET_BYTES);
+        assert!(evicted, "set_budget_bytes must evict immediately, not at the next acquire");
+    }
+
+    #[test]
+    fn persisted_chunks_survive_clear_and_replay_identically() {
+        let dir = std::env::temp_dir().join(format!("ampsched-arena-persist-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let spec = suite::by_name("ammp").unwrap();
+        let seed = 0xd15c_0001u64;
+        // Cold pass: materialize two chunks and a bit, then flush.
+        {
+            let mut cold = ReplaySource::for_thread_cached(spec.clone(), seed, 0, Some(&dir));
+            for _ in 0..(2 * CHUNK_OPS + 64) {
+                cold.next_op();
+            }
+        }
+        flush();
+        clear();
+        let files = crate::persist::scan(&dir);
+        assert_eq!(files.len(), 1, "one cache file per stream");
+        assert!(files[0].is_valid());
+        assert_eq!(files[0].chunks, 3, "flush persists every materialized chunk");
+
+        // Warm pass: the entry must adopt the persisted prefix (no
+        // generator work for it) and replay bit-identically, including
+        // past the persisted prefix (generator catch-up).
+        let mut warm = ReplaySource::for_thread_cached(spec.clone(), seed, 0, Some(&dir));
+        let key = (fingerprint(&spec), seed, 1u64 << 30, (1u64 << 30) + (1 << 28));
+        {
+            let store = store().lock().unwrap();
+            let inner = store.entries[&key].inner.lock().unwrap();
+            assert_eq!(inner.chunks.len(), 3, "warm entry adopted the disk prefix");
+            assert_eq!(inner.gen_chunks, 0, "no generation on the warm path");
+        }
+        let mut live = TraceGenerator::for_thread(spec.clone(), seed, 0);
+        for i in 0..(4 * CHUNK_OPS) {
+            assert_eq!(warm.next_op(), live.next_op(), "op {i} diverged on the warm path");
+        }
+        drop(warm);
+        clear();
+
+        // Corruption pass: flip one payload byte; the warm acquire must
+        // detect it, delete the file, and regenerate identically.
+        let path = &crate::persist::scan(&dir)[0].path;
+        let mut image = std::fs::read(path).unwrap();
+        let at = image.len() - 100;
+        image[at] ^= 0x10;
+        std::fs::write(path, &image).unwrap();
+        let mut after = ReplaySource::for_thread_cached(spec.clone(), seed, 0, Some(&dir));
+        let mut fresh = TraceGenerator::for_thread(spec, seed, 0);
+        for i in 0..CHUNK_OPS {
+            assert_eq!(after.next_op(), fresh.next_op(), "op {i} diverged after corruption");
+        }
+        assert!(
+            crate::persist::scan(&dir).iter().all(|r| r.is_valid()),
+            "the corrupt file must have been deleted (and possibly rewritten valid)"
+        );
+        drop(after);
+        clear();
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

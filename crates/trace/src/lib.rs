@@ -35,13 +35,16 @@
 //!   stream of [`ampsched_isa::MicroOp`]s;
 //! * [`ReplaySource`] / [`TracePath`] — the memoized trace [`arena`]:
 //!   materialize each stream once, replay it everywhere, bit-identical
-//!   to live generation.
+//!   to live generation;
+//! * [`persist`] — the arena's on-disk cache (checksummed chunk files),
+//!   so the generate-once cost survives process exits.
 
 #![warn(missing_docs)]
 
 pub mod arena;
 pub mod benchmark;
 pub mod generator;
+pub mod persist;
 pub mod phase;
 pub mod record;
 pub mod suite;

@@ -146,6 +146,99 @@ fn arena_codec_roundtrips_and_rejects_corruption() {
     );
 }
 
+/// Persisted chunk files (the `--trace-cache` path): for any suite
+/// benchmark and seed, a warm reload from disk replays bit-identically
+/// to the cold run, and every corruption mode — truncation, a single
+/// bit-flip, a version-bumped header (with its CRC recomputed, so the
+/// version check itself fires) — is detected by a scan, then repaired by
+/// falling back to regeneration that again matches the cold run exactly.
+#[test]
+fn persisted_chunk_files_roundtrip_and_reject_corruption() {
+    use ampsched_trace::arena::{self, CHUNK_OPS};
+    use ampsched_trace::{persist, ReplaySource};
+    use ampsched_util::hash::crc32;
+
+    let root = std::env::temp_dir().join(format!("ampsched-prop-persist-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&root);
+
+    // Two chunks plus a partial third, so the warm path exercises both
+    // whole-prefix adoption and generator catch-up past the prefix.
+    let n_ops = 2 * CHUNK_OPS + 700;
+    checker().cases(6).run(
+        "persisted_chunk_files_roundtrip_and_reject_corruption",
+        |s: &mut Source| {
+            let bench_idx = s.usize_in(0, 37);
+            let seed = s.u64_in(0, 500);
+            let flip = s.usize_in(0, 4096);
+            (bench_idx, seed, flip)
+        },
+        |&(bench_idx, seed, flip)| {
+            let pool = suite::all();
+            let spec = pool[bench_idx].clone();
+            let dir = root.join(format!("case-{bench_idx}-{seed}"));
+            let replay = |dir: &std::path::Path| {
+                let mut r = ReplaySource::for_thread_cached(spec.clone(), seed, 0, Some(dir));
+                (0..n_ops).map(|_| r.next_op()).collect::<Vec<_>>()
+            };
+
+            // Cold: generate, persist, forget.
+            let cold = replay(&dir);
+            arena::flush();
+            arena::clear();
+            let reports = persist::scan(&dir);
+            prop_assert_eq!(reports.iter().filter(|r| r.is_valid()).count(), 1);
+            let path = reports[0].path.clone();
+
+            // Warm: the on-disk prefix replays bit-identically.
+            let warm = replay(&dir);
+            prop_assert_eq!(&warm, &cold);
+            arena::flush();
+            arena::clear();
+
+            // Each corruption mode in turn; after each, the scan must
+            // flag the file and a fresh replay must regenerate the exact
+            // cold stream (which also re-persists a valid file for the
+            // next mode).
+            let image = std::fs::read(&path).expect("read cache file");
+            prop_assert!(image.len() > 160, "cache file implausibly small");
+            let truncated = image[..image.len() - 1 - flip % 8].to_vec();
+            let mut flipped = image.clone();
+            let at = 60 + flip % (image.len() - 60);
+            flipped[at] ^= 1 << (flip % 8);
+            let mut version_bumped = image.clone();
+            version_bumped[8] = version_bumped[8].wrapping_add(1);
+            let fixed_crc = crc32(&version_bumped[..44]);
+            version_bumped[44..48].copy_from_slice(&fixed_crc.to_le_bytes());
+            for (mode, bytes) in [
+                ("truncated", &truncated),
+                ("bit-flipped", &flipped),
+                ("version-bumped", &version_bumped),
+            ] {
+                std::fs::write(&path, bytes).expect("plant corrupt file");
+                let scan = persist::scan(&dir);
+                prop_assert!(
+                    scan.iter().all(|r| !r.is_valid()),
+                    "{mode} file must fail validation"
+                );
+                if mode == "version-bumped" {
+                    let err = scan[0].error.as_deref().unwrap_or_default();
+                    prop_assert!(err.contains("version"), "wrong error for {mode}: {err}");
+                }
+                let regen = replay(&dir);
+                prop_assert_eq!(&regen, &cold);
+                arena::flush();
+                arena::clear();
+                prop_assert!(
+                    persist::scan(&dir).iter().filter(|r| r.is_valid()).count() == 1,
+                    "{mode} file must be replaced by a valid regeneration"
+                );
+            }
+            Ok(())
+        },
+    );
+    let _ = std::fs::remove_dir_all(&root);
+}
+
 #[test]
 fn suite_average_compositions_are_sane() {
     for b in suite::all() {

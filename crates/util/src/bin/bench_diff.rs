@@ -2,18 +2,24 @@
 //!
 //! ```text
 //! bench_diff <before.json> <after.json> [--max-regress PCT]
+//!            [--label-before NAME] [--label-after NAME]
 //! ```
 //!
 //! Pairs up benchmarks by name (Criterion bench output and `--profile`
 //! phase reports share the same shape), prints a before/after table, and
 //! exits nonzero when any shared benchmark's mean regresses by more than
-//! the threshold (default 10%).
+//! the threshold (default 10%). `--label-before`/`--label-after` rename
+//! the table columns — e.g. `cold`/`warm` when comparing the
+//! `--trace-cache` profiles under `results/bench/`.
 
-use ampsched_util::timer::{diff_benchmarks, render_diff};
+use ampsched_util::timer::{diff_benchmarks, render_diff_labeled};
 use ampsched_util::Json;
 
 fn usage() -> ! {
-    eprintln!("usage: bench_diff <before.json> <after.json> [--max-regress PCT]");
+    eprintln!(
+        "usage: bench_diff <before.json> <after.json> [--max-regress PCT] \
+         [--label-before NAME] [--label-after NAME]"
+    );
     std::process::exit(2);
 }
 
@@ -32,6 +38,8 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut paths = Vec::new();
     let mut max_regress_pct = 10.0f64;
+    let mut label_before = "before".to_string();
+    let mut label_after = "after".to_string();
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -41,6 +49,14 @@ fn main() {
                     .get(i)
                     .and_then(|s| s.parse().ok())
                     .unwrap_or_else(|| usage());
+            }
+            "--label-before" => {
+                i += 1;
+                label_before = args.get(i).cloned().unwrap_or_else(|| usage());
+            }
+            "--label-after" => {
+                i += 1;
+                label_after = args.get(i).cloned().unwrap_or_else(|| usage());
             }
             a if a.starts_with('-') => usage(),
             a => paths.push(a.to_string()),
@@ -64,7 +80,10 @@ fn main() {
         eprintln!("bench_diff: no benchmarks shared between the two runs");
         std::process::exit(2);
     }
-    print!("{}", render_diff(&deltas, max_regress_pct));
+    print!(
+        "{}",
+        render_diff_labeled(&deltas, max_regress_pct, &label_before, &label_after)
+    );
     let regressions: Vec<_> = deltas
         .iter()
         .filter(|d| d.change_pct() > max_regress_pct)

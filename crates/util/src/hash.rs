@@ -1,0 +1,114 @@
+//! Small, hermetic hash functions for integrity checks.
+//!
+//! [`crc32`] is the standard CRC-32/ISO-HDLC (the zlib/PNG/gzip
+//! polynomial, reflected, init and xorout `0xFFFF_FFFF`), computed with
+//! a compile-time 256-entry table. It exists so on-disk artifacts — the
+//! trace-arena cache files in `ampsched-trace` — can detect truncation
+//! and bit-rot without pulling a crates.io dependency into the
+//! otherwise hermetic build.
+//!
+//! ```
+//! use ampsched_util::hash::crc32;
+//!
+//! // The canonical CRC-32 check value.
+//! assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+//! ```
+
+/// Reflected CRC-32 polynomial (ISO-HDLC / zlib).
+const POLY: u32 = 0xEDB8_8320;
+
+/// One table entry per byte value, generated at compile time.
+static TABLE: [u32; 256] = {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            crc = if crc & 1 != 0 { (crc >> 1) ^ POLY } else { crc >> 1 };
+            bit += 1;
+        }
+        table[i] = crc;
+        i += 1;
+    }
+    table
+};
+
+/// CRC-32 of `data` in one call (init/xorout `0xFFFF_FFFF`).
+pub fn crc32(data: &[u8]) -> u32 {
+    let mut h = Crc32::new();
+    h.update(data);
+    h.finish()
+}
+
+/// Incremental CRC-32, for hashing a file's sections without
+/// concatenating them first.
+#[derive(Debug, Clone)]
+pub struct Crc32 {
+    state: u32,
+}
+
+impl Default for Crc32 {
+    fn default() -> Self {
+        Crc32::new()
+    }
+}
+
+impl Crc32 {
+    /// A fresh hasher.
+    pub fn new() -> Crc32 {
+        Crc32 { state: 0xFFFF_FFFF }
+    }
+
+    /// Fold `data` into the running checksum.
+    pub fn update(&mut self, data: &[u8]) {
+        let mut crc = self.state;
+        for &b in data {
+            crc = (crc >> 8) ^ TABLE[((crc ^ u32::from(b)) & 0xFF) as usize];
+        }
+        self.state = crc;
+    }
+
+    /// The final checksum (the hasher may keep being updated; `finish`
+    /// is a pure read).
+    pub fn finish(&self) -> u32 {
+        !self.state
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_vectors() {
+        // Check values from the CRC catalogue (CRC-32/ISO-HDLC).
+        assert_eq!(crc32(b""), 0);
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b"a"), 0xE8B7_BE43);
+        assert_eq!(crc32(b"The quick brown fox jumps over the lazy dog"), 0x414F_A339);
+    }
+
+    #[test]
+    fn incremental_matches_oneshot() {
+        let data = b"split across several update calls";
+        let mut h = Crc32::new();
+        for part in data.chunks(7) {
+            h.update(part);
+        }
+        assert_eq!(h.finish(), crc32(data));
+    }
+
+    #[test]
+    fn single_bit_flips_change_the_checksum() {
+        let base: Vec<u8> = (0u16..512).map(|i| (i % 251) as u8).collect();
+        let reference = crc32(&base);
+        for at in [0usize, 1, 255, 511] {
+            for bit in 0..8 {
+                let mut corrupt = base.clone();
+                corrupt[at] ^= 1 << bit;
+                assert_ne!(crc32(&corrupt), reference, "flip at {at} bit {bit} undetected");
+            }
+        }
+    }
+}

@@ -68,9 +68,15 @@ impl Json {
     }
 
     /// The number as u64, if this is a non-negative integral number.
+    ///
+    /// `u64::MAX as f64` rounds *up* to 2^64 (not representable in u64),
+    /// so the range check must be a strict `<`: a value of exactly 2^64
+    /// would otherwise pass the guard and saturate on the cast. The
+    /// largest accepted value is the largest f64 below 2^64,
+    /// 2^64 − 2048.
     pub fn as_u64(&self) -> Option<u64> {
         match self {
-            Json::Num(n) if *n >= 0.0 && n.fract() == 0.0 && *n <= u64::MAX as f64 => {
+            Json::Num(n) if *n >= 0.0 && n.fract() == 0.0 && *n < u64::MAX as f64 => {
                 Some(*n as u64)
             }
             _ => None,
@@ -451,16 +457,29 @@ impl<'a> Parser<'a> {
         }
     }
 
+    /// Parse a number per the JSON grammar (RFC 8259 §6):
+    /// `-?(0|[1-9][0-9]*)(\.[0-9]+)?([eE][+-]?[0-9]+)?`. Deferring to
+    /// `f64::parse` alone is too lax — it accepts `1.`, `-.5`, and
+    /// leading zeros like `01`, none of which are JSON.
     fn number(&mut self) -> Result<Json, ParseError> {
         let start = self.pos;
         if self.peek() == Some(b'-') {
             self.pos += 1;
         }
-        while matches!(self.peek(), Some(b'0'..=b'9')) {
-            self.pos += 1;
+        match self.peek() {
+            Some(b'0') => self.pos += 1,
+            Some(b'1'..=b'9') => {
+                while matches!(self.peek(), Some(b'0'..=b'9')) {
+                    self.pos += 1;
+                }
+            }
+            _ => return Err(self.err("expected digit")),
         }
         if self.peek() == Some(b'.') {
             self.pos += 1;
+            if !matches!(self.peek(), Some(b'0'..=b'9')) {
+                return Err(self.err("expected digit after '.'"));
+            }
             while matches!(self.peek(), Some(b'0'..=b'9')) {
                 self.pos += 1;
             }
@@ -469,6 +488,9 @@ impl<'a> Parser<'a> {
             self.pos += 1;
             if matches!(self.peek(), Some(b'+' | b'-')) {
                 self.pos += 1;
+            }
+            if !matches!(self.peek(), Some(b'0'..=b'9')) {
+                return Err(self.err("expected digit in exponent"));
             }
             while matches!(self.peek(), Some(b'0'..=b'9')) {
                 self.pos += 1;
@@ -534,6 +556,31 @@ mod tests {
     }
 
     #[test]
+    fn number_grammar_is_enforced() {
+        // Each of these passes f64::parse (or used to slip through the
+        // loose digit scan) but is not a JSON number.
+        for bad in [
+            "1.", "[1.]", "-.5", "[-.5]", ".5", "+1", "01", "[01]", "-01", "00",
+            "1.e3", "[1.e3]", "1e", "1e+", "[2.5e]", "-",
+        ] {
+            assert!(Json::parse(bad).is_err(), "{bad:?} must be rejected");
+        }
+        // The grammar still admits everything JSON allows.
+        for (good, want) in [
+            ("0", 0.0),
+            ("-0", -0.0),
+            ("0.5", 0.5),
+            ("-0.25", -0.25),
+            ("10", 10.0),
+            ("1e3", 1000.0),
+            ("2.5E+1", 25.0),
+            ("1e-2", 0.01),
+        ] {
+            assert_eq!(Json::parse(good).unwrap().as_f64(), Some(want), "{good:?}");
+        }
+    }
+
+    #[test]
     fn deep_nesting_is_bounded() {
         let deep = "[".repeat(1000) + &"]".repeat(1000);
         assert!(Json::parse(&deep).is_err(), "parser must bound recursion");
@@ -559,6 +606,25 @@ mod tests {
         assert_eq!(doc.get("missing"), None);
         assert_eq!(Json::from(1.5).as_u64(), None);
         assert_eq!(Json::Bool(true).as_bool(), Some(true));
+    }
+
+    #[test]
+    fn as_u64_boundaries() {
+        // 2^53: every integer up to here is exactly representable.
+        let two_53 = 9_007_199_254_740_992.0_f64;
+        assert_eq!(Json::Num(two_53).as_u64(), Some(1u64 << 53));
+        // 2^64 − 2048 is the largest f64 strictly below 2^64.
+        let max_ok = 18_446_744_073_709_549_568.0_f64;
+        assert_eq!(Json::Num(max_ok).as_u64(), Some(u64::MAX - 2047));
+        // `u64::MAX as f64` rounds up to exactly 2^64; it must be
+        // rejected, not saturated to u64::MAX.
+        let two_64 = u64::MAX as f64;
+        assert_eq!(two_64, 18_446_744_073_709_551_616.0);
+        assert_eq!(Json::Num(two_64).as_u64(), None);
+        assert_eq!(Json::Num(two_64 * 2.0).as_u64(), None);
+        assert_eq!(Json::Num(-1.0).as_u64(), None);
+        assert_eq!(Json::Num(f64::NAN).as_u64(), None);
+        assert_eq!(Json::Num(f64::INFINITY).as_u64(), None);
     }
 
     #[test]

@@ -11,12 +11,14 @@
 //! | [`check`] | `proptest` | property-testing harness: composable generators, fixed seeds, choice-stream shrinking |
 //! | [`json`] | `serde`/`serde_json` | a small JSON value type, serializer, and parser |
 //! | [`timer`] | `criterion` | warmup + timed-iteration micro-bench harness with JSON output |
+//! | [`hash`] | `crc32fast` | compile-time-tabled CRC-32 for on-disk integrity checks |
 //!
 //! Every generator and harness in this crate is deterministic: the same
 //! seed produces the same byte stream, the same test cases, and the same
 //! failures, on every host.
 
 pub mod check;
+pub mod hash;
 pub mod json;
 pub mod rng;
 pub mod timer;

@@ -512,10 +512,27 @@ pub fn diff_benchmarks(before: &Json, after: &Json) -> Result<Vec<BenchDelta>, S
 
 /// A text table of [`BenchDelta`]s, flagging entries past `max_regress_pct`.
 pub fn render_diff(deltas: &[BenchDelta], max_regress_pct: f64) -> String {
+    render_diff_labeled(deltas, max_regress_pct, "before", "after")
+}
+
+/// [`render_diff`] with custom column headers for the two runs — e.g.
+/// `"cold"`/`"warm"` when diffing persistent-trace-cache profiles.
+/// Labels longer than a column are truncated to keep the table aligned.
+pub fn render_diff_labeled(
+    deltas: &[BenchDelta],
+    max_regress_pct: f64,
+    before_label: &str,
+    after_label: &str,
+) -> String {
+    let clip = |s: &str| -> String { s.chars().take(12).collect() };
     let mut out = String::new();
     out.push_str(&format!(
         "{:<44} {:>12} {:>12} {:>9} {:>9}\n",
-        "benchmark", "before", "after", "speedup", "change"
+        "benchmark",
+        clip(before_label),
+        clip(after_label),
+        "speedup",
+        "change"
     ));
     for d in deltas {
         out.push_str(&format!(
