@@ -57,6 +57,12 @@ impl MajorityVote {
         self.ring.len()
     }
 
+    /// Number of recorded "swap" votes currently in the window (for the
+    /// decision audit trail).
+    pub fn yes_votes(&self) -> usize {
+        self.ring.iter().filter(|b| **b).count()
+    }
+
     /// True when no decisions are recorded yet.
     pub fn is_empty(&self) -> bool {
         self.ring.is_empty()
@@ -118,6 +124,7 @@ mod tests {
         v.push(false);
         assert!(!v.majority(), "window is now t,f,f");
         assert_eq!(v.len(), 3);
+        assert_eq!(v.yes_votes(), 1);
     }
 
     #[test]

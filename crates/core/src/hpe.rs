@@ -11,7 +11,7 @@
 use crate::counters::{CoreKind, WindowSnapshot};
 use crate::profile::ProfilePoint;
 use crate::regression::quad_basis;
-use crate::scheduler::{Decision, Scheduler};
+use crate::scheduler::{Decision, DecisionExplain, PredictorSource, Scheduler};
 
 /// Number of 20-percentage-point bins per axis (0–100%).
 pub const MATRIX_BINS: usize = 5;
@@ -172,8 +172,22 @@ impl HpePredictor {
     /// Predicted IPC/Watt ratio (INT core ÷ FP core) for a composition.
     pub fn predict_ratio(&self, int_pct: f64, fp_pct: f64) -> f64 {
         match self {
-            HpePredictor::Matrix(m) => m.lookup(int_pct, fp_pct),
-            HpePredictor::Surface(s) => s.predict(int_pct, fp_pct),
+            HpePredictor::Matrix(m) => {
+                ampsched_obs::counter!("sim.predictor.query.matrix");
+                m.lookup(int_pct, fp_pct)
+            }
+            HpePredictor::Surface(s) => {
+                ampsched_obs::counter!("sim.predictor.query.surface");
+                s.predict(int_pct, fp_pct)
+            }
+        }
+    }
+
+    /// The audit-trail provenance tag for this predictor form.
+    pub fn source(&self) -> PredictorSource {
+        match self {
+            HpePredictor::Matrix(_) => PredictorSource::Matrix,
+            HpePredictor::Surface(_) => PredictorSource::Surface,
         }
     }
 }
@@ -189,6 +203,7 @@ pub struct HpeScheduler {
     pub decision_points: u64,
     /// Swaps issued.
     pub swaps_issued: u64,
+    last_explain: Option<DecisionExplain>,
 }
 
 impl HpeScheduler {
@@ -199,6 +214,7 @@ impl HpeScheduler {
             threshold: 1.05,
             decision_points: 0,
             swaps_issued: 0,
+            last_explain: None,
         }
     }
 
@@ -251,7 +267,18 @@ impl Scheduler for HpeScheduler {
 
     fn on_epoch(&mut self, snap: &WindowSnapshot) -> Decision {
         self.decision_points += 1;
-        if self.estimated_swap_speedup(snap) > self.threshold && self.swap_is_stable(snap) {
+        let on_fp = snap.on_core(CoreKind::Fp);
+        let on_int = snap.on_core(CoreKind::Int);
+        let r_fp_thread = self.predictor.predict_ratio(on_fp.int_pct, on_fp.fp_pct);
+        let r_int_thread = self.predictor.predict_ratio(on_int.int_pct, on_int.fp_pct);
+        let speedup = (r_fp_thread + 1.0 / r_int_thread.max(1e-6)) / 2.0;
+        self.last_explain = Some(DecisionExplain {
+            ratio_on_fp: Some(r_fp_thread),
+            ratio_on_int: Some(r_int_thread),
+            predicted_speedup: Some(speedup),
+            ..DecisionExplain::from_source(self.predictor.source())
+        });
+        if speedup > self.threshold && self.swap_is_stable(snap) {
             self.swaps_issued += 1;
             Decision::Swap
         } else {
@@ -259,9 +286,14 @@ impl Scheduler for HpeScheduler {
         }
     }
 
+    fn explain_last(&self) -> Option<DecisionExplain> {
+        self.last_explain
+    }
+
     fn reset(&mut self) {
         self.decision_points = 0;
         self.swaps_issued = 0;
+        self.last_explain = None;
     }
 }
 
@@ -414,6 +446,24 @@ mod tests {
         let misplaced = snap((80.0, 2.0), (5.0, 60.0));
         assert!(hpe.swap_is_stable(&misplaced));
         assert_eq!(hpe.on_epoch(&misplaced), Decision::Swap);
+    }
+
+    #[test]
+    fn explain_reports_predictor_outputs() {
+        let mut hpe = HpeScheduler::new(HpePredictor::Matrix(RatioMatrix::from_points(
+            &synthetic_points(),
+        )));
+        assert!(hpe.explain_last().is_none());
+        let s = snap((80.0, 2.0), (5.0, 60.0));
+        let expected = hpe.estimated_swap_speedup(&s);
+        let _ = hpe.on_epoch(&s);
+        let e = hpe.explain_last().expect("explained after a decision");
+        assert_eq!(e.source, PredictorSource::Matrix);
+        assert_eq!(e.predicted_speedup, Some(expected));
+        assert!(e.ratio_on_fp.unwrap() > 1.0, "INT-heavy thread on FP core");
+        assert!(e.ratio_on_int.unwrap() < 1.0, "FP-heavy thread on INT core");
+        hpe.reset();
+        assert!(hpe.explain_last().is_none());
     }
 
     #[test]

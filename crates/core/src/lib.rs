@@ -48,5 +48,5 @@ pub use proposed::{ProposedConfig, ProposedScheduler};
 pub use round_robin::RoundRobinScheduler;
 pub use sampling::SamplingScheduler;
 pub use rules::SwapRules;
-pub use scheduler::{Decision, Scheduler};
+pub use scheduler::{Decision, DecisionExplain, PredictorSource, Scheduler};
 pub use static_sched::StaticScheduler;

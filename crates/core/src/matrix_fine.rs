@@ -11,7 +11,7 @@
 use crate::counters::WindowSnapshot;
 use crate::history::MajorityVote;
 use crate::hpe::HpePredictor;
-use crate::scheduler::{Decision, Scheduler};
+use crate::scheduler::{Decision, DecisionExplain, Scheduler};
 
 /// Fine-grained matrix/surface-predictor scheduler.
 #[derive(Debug, Clone)]
@@ -23,6 +23,7 @@ pub struct MatrixFineScheduler {
     pub threshold: f64,
     /// Swaps issued.
     pub swaps_issued: u64,
+    last_explain: Option<DecisionExplain>,
 }
 
 impl MatrixFineScheduler {
@@ -40,6 +41,7 @@ impl MatrixFineScheduler {
             vote: MajorityVote::new(history_depth),
             threshold: 1.05,
             swaps_issued: 0,
+            last_explain: None,
         }
     }
 }
@@ -64,6 +66,14 @@ impl Scheduler for MatrixFineScheduler {
         // back would not also look beneficial (see `swap_is_stable`).
         let stable = (r_int + 1.0 / r_fp.max(1e-6)) / 2.0 < 1.0;
         self.vote.push(est > self.threshold && stable);
+        self.last_explain = Some(DecisionExplain {
+            ratio_on_fp: Some(r_fp),
+            ratio_on_int: Some(r_int),
+            predicted_speedup: Some(est),
+            votes_for: Some(self.vote.yes_votes() as u32),
+            vote_depth: Some(self.vote.depth() as u32),
+            source: self.predictor.source(),
+        });
         if self.vote.majority() {
             self.vote.clear();
             self.swaps_issued += 1;
@@ -73,9 +83,14 @@ impl Scheduler for MatrixFineScheduler {
         }
     }
 
+    fn explain_last(&self) -> Option<DecisionExplain> {
+        self.last_explain
+    }
+
     fn reset(&mut self) {
         self.vote.clear();
         self.swaps_issued = 0;
+        self.last_explain = None;
     }
 }
 

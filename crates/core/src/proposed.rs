@@ -10,7 +10,7 @@
 use crate::counters::{CoreKind, WindowSnapshot};
 use crate::history::MajorityVote;
 use crate::rules::SwapRules;
-use crate::scheduler::{Decision, Scheduler};
+use crate::scheduler::{Decision, DecisionExplain, PredictorSource, Scheduler};
 
 /// Tunables of the proposed scheme (paper defaults: window 1000,
 /// history 5 — the Figure 6 sensitivity optimum).
@@ -48,6 +48,7 @@ pub struct ProposedScheduler {
     pub decision_points: u64,
     /// Swaps issued.
     pub swaps_issued: u64,
+    last_explain: Option<DecisionExplain>,
 }
 
 impl ProposedScheduler {
@@ -59,6 +60,7 @@ impl ProposedScheduler {
             last_swap_cycle: 0,
             decision_points: 0,
             swaps_issued: 0,
+            last_explain: None,
         }
     }
 
@@ -92,7 +94,15 @@ impl Scheduler for ProposedScheduler {
         // Step 2: tentative decision from the composition rules, filtered
         // through the history vote.
         let tentative = self.cfg.rules.beneficial_swap(on_fp, on_int);
+        ampsched_obs::counter!("sim.predictor.query.rules");
         self.vote.push(tentative);
+        // Capture the vote state at decision time (before a swap clears
+        // the ring) for the audit trail.
+        self.last_explain = Some(DecisionExplain {
+            votes_for: Some(self.vote.yes_votes() as u32),
+            vote_depth: Some(self.vote.depth() as u32),
+            ..DecisionExplain::from_source(PredictorSource::Rules)
+        });
         if self.vote.majority() {
             self.vote.clear();
             self.last_swap_cycle = snap.cycle;
@@ -114,11 +124,16 @@ impl Scheduler for ProposedScheduler {
         Decision::Stay
     }
 
+    fn explain_last(&self) -> Option<DecisionExplain> {
+        self.last_explain
+    }
+
     fn reset(&mut self) {
         self.vote.clear();
         self.last_swap_cycle = 0;
         self.decision_points = 0;
         self.swaps_issued = 0;
+        self.last_explain = None;
     }
 }
 
@@ -253,6 +268,27 @@ mod tests {
         s.reset();
         assert_eq!(s.swaps_issued, 0);
         assert_eq!(s.decision_points, 0);
+    }
+
+    #[test]
+    fn explain_reports_vote_state_at_decision_time() {
+        let mut s = ProposedScheduler::with_defaults();
+        assert!(s.explain_last().is_none());
+        let _ = s.on_window(&snap(0, (60.0, 1.0), (20.0, 1.0)));
+        let e = s.explain_last().expect("explained after a decision");
+        assert_eq!(e.source, PredictorSource::Rules);
+        assert_eq!(e.votes_for, Some(1));
+        assert_eq!(e.vote_depth, Some(5));
+        // The swap decision clears the vote ring, but the explanation
+        // keeps the pre-clear tally.
+        for i in 1..5 {
+            let _ = s.on_window(&snap(i * 1000, (60.0, 1.0), (20.0, 1.0)));
+        }
+        assert_eq!(s.swaps_issued, 1);
+        let e = s.explain_last().expect("explained");
+        assert_eq!(e.votes_for, Some(5));
+        s.reset();
+        assert!(s.explain_last().is_none());
     }
 
     #[test]

@@ -3,7 +3,7 @@
 //! intervals of 1 and 2 context-switch periods and finds 1 better).
 
 use crate::counters::WindowSnapshot;
-use crate::scheduler::{Decision, Scheduler};
+use crate::scheduler::{Decision, DecisionExplain, PredictorSource, Scheduler};
 
 /// Unconditional periodic swapper.
 #[derive(Debug, Clone)]
@@ -12,6 +12,7 @@ pub struct RoundRobinScheduler {
     epochs_seen: u32,
     /// Swaps issued.
     pub swaps_issued: u64,
+    decided: bool,
 }
 
 impl RoundRobinScheduler {
@@ -25,6 +26,7 @@ impl RoundRobinScheduler {
             interval_epochs,
             epochs_seen: 0,
             swaps_issued: 0,
+            decided: false,
         }
     }
 
@@ -46,6 +48,7 @@ impl Scheduler for RoundRobinScheduler {
 
     fn on_epoch(&mut self, _snap: &WindowSnapshot) -> Decision {
         self.epochs_seen += 1;
+        self.decided = true;
         if self.epochs_seen.is_multiple_of(self.interval_epochs) {
             self.swaps_issued += 1;
             Decision::Swap
@@ -54,9 +57,15 @@ impl Scheduler for RoundRobinScheduler {
         }
     }
 
+    fn explain_last(&self) -> Option<DecisionExplain> {
+        self.decided
+            .then(|| DecisionExplain::from_source(PredictorSource::Interval))
+    }
+
     fn reset(&mut self) {
         self.epochs_seen = 0;
         self.swaps_issued = 0;
+        self.decided = false;
     }
 }
 

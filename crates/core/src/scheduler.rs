@@ -11,6 +11,72 @@ pub enum Decision {
     Swap,
 }
 
+/// Which estimator produced a decision — the audit trail's provenance
+/// tag (see [`DecisionExplain`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PredictorSource {
+    /// The proposed scheme's Figure 5 swap rules over observed INT/FP mix.
+    Rules,
+    /// The HPE ratio matrix (profiled 5×5 INT/FP bins).
+    Matrix,
+    /// The HPE fitted ratio surface (quadratic in log-ratio space).
+    Surface,
+    /// A fixed swap interval (Round Robin); no performance estimate.
+    Interval,
+}
+
+impl PredictorSource {
+    /// Lowercase identifier used in telemetry records.
+    pub fn name(self) -> &'static str {
+        match self {
+            PredictorSource::Rules => "rules",
+            PredictorSource::Matrix => "matrix",
+            PredictorSource::Surface => "surface",
+            PredictorSource::Interval => "interval",
+        }
+    }
+}
+
+/// Predictor inputs and outputs behind the most recent decision, exposed
+/// by [`Scheduler::explain_last`] for the decision audit trail.
+///
+/// Every field is a value the scheduler already computed while deciding;
+/// capturing it is read-only and cannot perturb the decision itself.
+/// Optional fields are `None` where a scheme has no such concept (the
+/// ratio fields for rule-based schemes, the vote fields for epoch-based
+/// schemes). `Option<f64>` is used instead of NaN sentinels so records
+/// stay `PartialEq`-comparable in the differential suites.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DecisionExplain {
+    /// Which estimator drove the decision.
+    pub source: PredictorSource,
+    /// Predicted INT-core/FP-core IPC/Watt ratio for the thread
+    /// currently on the FP core (HPE-style predictors).
+    pub ratio_on_fp: Option<f64>,
+    /// Predicted ratio for the thread currently on the INT core.
+    pub ratio_on_int: Option<f64>,
+    /// Predicted weighted IPC/Watt speedup if the threads swap.
+    pub predicted_speedup: Option<f64>,
+    /// Swap votes currently in the history window (vote-based schemes).
+    pub votes_for: Option<u32>,
+    /// Size of the history vote window.
+    pub vote_depth: Option<u32>,
+}
+
+impl DecisionExplain {
+    /// An explanation carrying only the provenance tag.
+    pub fn from_source(source: PredictorSource) -> DecisionExplain {
+        DecisionExplain {
+            source,
+            ratio_on_fp: None,
+            ratio_on_int: None,
+            predicted_speedup: None,
+            votes_for: None,
+            vote_depth: None,
+        }
+    }
+}
+
 /// A thread-scheduling policy for the dual-core AMP.
 ///
 /// The system driver invokes:
@@ -45,6 +111,13 @@ pub trait Scheduler {
         Decision::Stay
     }
 
+    /// Predictor state behind the most recent `on_window`/`on_epoch`
+    /// decision, for the telemetry audit trail. Default: no explanation
+    /// (schemes without predictor state need not implement this).
+    fn explain_last(&self) -> Option<DecisionExplain> {
+        None
+    }
+
     /// Reset internal state (new run).
     fn reset(&mut self) {}
 }
@@ -74,6 +147,7 @@ mod tests {
             threads: [ThreadWindow::default(); 2],
         };
         assert_eq!(s.window_insts(), None);
+        assert_eq!(s.explain_last(), None);
         assert_eq!(s.on_window(&snap), Decision::Stay);
         assert_eq!(s.on_epoch(&snap), Decision::Swap);
         s.reset();

@@ -3,6 +3,7 @@
 //! ```text
 //! ampsched [--quick|--medium] [--pairs N] [--insts N] [--seed N] [--sim-path fast|reference]
 //!          [--trace-path arena|stream] [--trace-cache DIR] [--profile]
+//!          [--telemetry FILE] [--trace-events FILE]
 //!          [--csv FILE] [--json FILE] <command>
 //!
 //! commands:
@@ -21,6 +22,7 @@
 //!   ablation      design-choice ablation battery
 //!   morphing      core-morphing extension comparison (cf. \[5\])
 //!   trace-cache   maintain the --trace-cache dir (stats|verify|gc)
+//!   obs-summary   aggregate a --telemetry JSONL file per scheduler
 //!   all           everything above, in order
 //! ```
 //!
@@ -29,10 +31,18 @@
 //! cold run writes each materialized stream to a checksummed chunk file
 //! under DIR, and warm runs load instead of regenerating — bit-identical
 //! either way, with corrupt or stale files deleted and regenerated.
+//!
+//! `--telemetry FILE` streams every scheduler decision as one JSON
+//! object per line (the audit trail: predictor inputs, outputs, swap
+//! cost, post-hoc misprediction); `ampsched obs-summary FILE` reads the
+//! stream back. `--trace-events FILE` records host-time spans and writes
+//! a Chrome trace-event file (open in about://tracing or Perfetto).
+//! Both are pure observations: report output is byte-identical with or
+//! without them.
 
 use ampsched_experiments::{
-    ablation, common::Params, fig1, fig6, fig78, morphing, overhead, profiling, rr_interval,
-    rules_derivation, tables, trace_cache,
+    ablation, common::Params, fig1, fig6, fig78, morphing, obs_summary, overhead, profiling,
+    rr_interval, rules_derivation, tables, telemetry, trace_cache,
 };
 use ampsched_system::SimPath;
 use ampsched_trace::{arena, persist, timing, TracePath};
@@ -46,10 +56,11 @@ fn usage() -> ! {
     eprintln!(
         "usage: ampsched [--quick|--medium] [--pairs N] [--insts N] [--profile-insts N] [--seed N] \
          [--sim-path fast|reference] [--trace-path arena|stream] [--trace-cache DIR] [--profile] \
-         [--csv FILE] [--json FILE] \
-         <tables|fig1|fig3|fig4|fig6|fig7|fig8|fig9|figs789|overhead|rr-interval|derive-rules|ablation|morphing|workloads|trace-cache|all>\n\
+         [--telemetry FILE] [--trace-events FILE] [--csv FILE] [--json FILE] \
+         <tables|fig1|fig3|fig4|fig6|fig7|fig8|fig9|figs789|overhead|rr-interval|derive-rules|ablation|morphing|workloads|trace-cache|obs-summary|all>\n\
          \n\
-         trace-cache actions: ampsched --trace-cache DIR trace-cache <stats|verify|gc>"
+         trace-cache actions: ampsched --trace-cache DIR trace-cache <stats|verify|gc>\n\
+         obs-summary usage:   ampsched obs-summary FILE   (FILE from a --telemetry run)"
     );
     std::process::exit(2);
 }
@@ -99,6 +110,16 @@ fn main() {
                 let dir = args.get(i).cloned().unwrap_or_else(|| usage());
                 params.trace_cache = Some(std::path::PathBuf::from(dir));
             }
+            "--telemetry" => {
+                i += 1;
+                let file = args.get(i).cloned().unwrap_or_else(|| usage());
+                params.telemetry = Some(std::path::PathBuf::from(file));
+            }
+            "--trace-events" => {
+                i += 1;
+                let file = args.get(i).cloned().unwrap_or_else(|| usage());
+                params.trace_events = Some(std::path::PathBuf::from(file));
+            }
             "--profile" => profile = true,
             "--seed" => {
                 i += 1;
@@ -113,8 +134,9 @@ fn main() {
                 json_path = Some(args.get(i).cloned().unwrap_or_else(|| usage()));
             }
             c if command.is_none() && !c.starts_with('-') => command = Some(c.to_string()),
-            // `trace-cache` takes one action word (stats|verify|gc).
-            c if command.as_deref() == Some("trace-cache")
+            // `trace-cache` takes one action word (stats|verify|gc);
+            // `obs-summary` takes the telemetry file to read.
+            c if matches!(command.as_deref(), Some("trace-cache") | Some("obs-summary"))
                 && action.is_none()
                 && !c.starts_with('-') =>
             {
@@ -128,7 +150,8 @@ fn main() {
     // Reject unknown commands before the (expensive) profiling phase.
     const COMMANDS: &[&str] = &[
         "tables", "workloads", "fig1", "fig3", "fig4", "fig6", "fig7", "fig8", "fig9", "figs789",
-        "overhead", "rr-interval", "derive-rules", "ablation", "morphing", "trace-cache", "all",
+        "overhead", "rr-interval", "derive-rules", "ablation", "morphing", "trace-cache",
+        "obs-summary", "all",
     ];
     if !COMMANDS.contains(&command.as_str()) {
         eprintln!("unknown command: {command}");
@@ -168,6 +191,46 @@ fn main() {
             eprintln!("[json report written to {path}]");
         }
         std::process::exit(if outcome.healthy { 0 } else { 1 });
+    }
+
+    // Telemetry aggregation also runs standalone: read back a JSONL
+    // audit trail, no profiling, no simulation.
+    if command == "obs-summary" {
+        let Some(file) = &action else {
+            eprintln!("obs-summary: expected a telemetry file: ampsched obs-summary FILE");
+            usage()
+        };
+        let text = std::fs::read_to_string(file).unwrap_or_else(|e| {
+            eprintln!("obs-summary: cannot read {file}: {e}");
+            std::process::exit(1);
+        });
+        let summaries = obs_summary::summarize(&text).unwrap_or_else(|e| {
+            eprintln!("obs-summary: {file}: {e}");
+            std::process::exit(1);
+        });
+        println!("Telemetry summary — {file}\n");
+        println!("{}", obs_summary::render(&summaries));
+        if let Some(path) = &json_path {
+            let doc = Json::obj([
+                ("command", Json::from("obs-summary")),
+                ("obs_summary", obs_summary::to_json(&summaries)),
+            ]);
+            std::fs::write(path, doc.render_pretty()).expect("write json report");
+            eprintln!("[json report written to {path}]");
+        }
+        std::process::exit(0);
+    }
+
+    // Observability side channels: the JSONL decision stream and host-time
+    // span recording. Both observe the run without feeding back into it.
+    if let Some(file) = &params.telemetry {
+        if let Err(e) = ampsched_obs::telemetry::install(file) {
+            eprintln!("cannot open telemetry file {}: {e}", file.display());
+            std::process::exit(2);
+        }
+    }
+    if profile || params.trace_events.is_some() {
+        ampsched_obs::span::set_enabled(true);
     }
 
     // Warm/cold label for profile artifacts: the run is warm when the
@@ -345,6 +408,18 @@ fn main() {
     if params.trace_cache.is_some() {
         arena::flush();
     }
+    // Flush the JSONL audit trail before reporting so the file is
+    // complete when the process exits.
+    if let Some(file) = &params.telemetry {
+        ampsched_obs::telemetry::close();
+        eprintln!("[telemetry stream written to {}]", file.display());
+    }
+    if let Some(file) = &params.trace_events {
+        match ampsched_obs::span::write_trace_events(file) {
+            Ok(n) => eprintln!("[{n} trace events written to {}]", file.display()),
+            Err(e) => eprintln!("cannot write trace events to {}: {e}", file.display()),
+        }
+    }
     let sim_path_name = match params.system.sim_path {
         SimPath::Fast => "fast",
         SimPath::Reference => "reference",
@@ -372,6 +447,10 @@ fn main() {
             ),
         ];
         sections.extend(report.into_inner());
+        // Runtime counters, restricted to the deterministic `sim.*`
+        // namespace so the report stays byte-identical across trace
+        // provisioning modes, cache temperature, and telemetry flags.
+        sections.push(("telemetry".to_string(), telemetry::summary_json()));
         let doc = Json::Obj(sections);
         std::fs::write(path, doc.render_pretty()).expect("write json report");
         eprintln!("[json report written to {path}]");
@@ -380,6 +459,13 @@ fn main() {
         let mut prof = prof.into_inner();
         let trace_time = timing::total();
         prof.add("trace", trace_time);
+        // Fold recorded spans in under a `span.` prefix: new per-name
+        // phases appear alongside the coarse command timings, and
+        // `bench_diff` skips names the baseline lacks, so span-derived
+        // phases never break profile comparisons.
+        for (name, dur, _count) in ampsched_obs::span::aggregate() {
+            prof.add(&format!("span.{name}"), dur);
+        }
         println!("Timing report ({command}, {sim_path_name} kernel, {trace_path_name} traces)\n");
         println!("{}", prof.render());
         let wall = t0.elapsed();

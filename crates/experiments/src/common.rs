@@ -35,6 +35,13 @@ pub struct Params {
     /// (`--trace-cache`, or the `AMPSCHED_TRACE_CACHE` environment
     /// variable). `None` keeps the arena in-memory only.
     pub trace_cache: Option<std::path::PathBuf>,
+    /// JSONL decision-telemetry output file (`--telemetry`). `None`
+    /// disables emission. Telemetry is an observation of each run, never
+    /// an input: report output is byte-identical either way.
+    pub telemetry: Option<std::path::PathBuf>,
+    /// Chrome trace-event output file (`--trace-events`). Enables span
+    /// recording for the process and writes the event file at exit.
+    pub trace_events: Option<std::path::PathBuf>,
 }
 
 impl Default for Params {
@@ -49,6 +56,8 @@ impl Default for Params {
             system: SystemConfig::default(),
             trace_path: TracePath::default(),
             trace_cache: None,
+            telemetry: None,
+            trace_events: None,
         }
     }
 }
@@ -71,6 +80,8 @@ impl Params {
             },
             trace_path: TracePath::default(),
             trace_cache: None,
+            telemetry: None,
+            trace_events: None,
         }
     }
 
@@ -89,6 +100,8 @@ impl Params {
             },
             trace_path: TracePath::default(),
             trace_cache: None,
+            telemetry: None,
+            trace_events: None,
         }
     }
 
@@ -239,9 +252,14 @@ pub fn sample_pairs(n: usize, seed: u64) -> Vec<Pair> {
 /// generators) per `params.trace_path`, so repeated runs of the same
 /// pair under different schedulers materialize each stream only once.
 pub fn run_pair(pair: &Pair, kind: &SchedKind, predictors: &Predictors, params: &Params) -> RunResult {
+    let _span = ampsched_obs::span!("experiments.run_pair", pair.label());
     let mut sys = DualCoreSystem::new(params.system, pair.workloads(params));
     let mut sched = kind.build(predictors);
-    sys.run(&mut *sched, params.run_insts, params.max_cycles)
+    let result = sys.run(&mut *sched, params.run_insts, params.max_cycles);
+    // Observation only: the stream never feeds back into the run, so
+    // reports stay byte-identical with or without a sink installed.
+    crate::telemetry::emit_run(&pair.label(), pair.seed, &result);
+    result
 }
 
 #[cfg(test)]

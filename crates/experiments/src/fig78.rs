@@ -114,6 +114,31 @@ impl SweepResult {
 /// the derived improvement summaries) for the `--json` report path.
 pub fn to_json(sweep: &SweepResult) -> ampsched_util::Json {
     use ampsched_util::Json;
+    // Cap the per-run decision audit trail at the first and last
+    // `DECISIONS_CAP` records: enough to see the initial placement
+    // settle and the final behavior without ballooning the report (a
+    // full-scale run has thousands of decision points). The complete
+    // stream is available via `--telemetry`.
+    const DECISIONS_CAP: usize = 10;
+    let decisions = |r: &RunResult| {
+        let n = r.decisions.len();
+        let shown: Vec<&_> = if n <= 2 * DECISIONS_CAP {
+            r.decisions.iter().collect()
+        } else {
+            r.decisions[..DECISIONS_CAP]
+                .iter()
+                .chain(r.decisions[n - DECISIONS_CAP..].iter())
+                .collect()
+        };
+        Json::obj([
+            ("total", Json::from(n as u64)),
+            ("truncated", Json::from(n > 2 * DECISIONS_CAP)),
+            (
+                "records",
+                Json::arr(shown.into_iter().map(crate::telemetry::decision_to_json)),
+            ),
+        ])
+    };
     let run = |r: &RunResult| {
         Json::obj([
             ("scheduler", Json::from(r.scheduler.as_str())),
@@ -125,6 +150,7 @@ pub fn to_json(sweep: &SweepResult) -> ampsched_util::Json {
                 "threads",
                 Json::arr(r.threads.iter().map(|t| t.to_json())),
             ),
+            ("decisions", decisions(r)),
         ])
     };
     let summary = |reference: Reference| {

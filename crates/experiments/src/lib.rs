@@ -17,12 +17,14 @@ pub mod fig1;
 pub mod fig6;
 pub mod fig78;
 pub mod morphing;
+pub mod obs_summary;
 pub mod overhead;
 pub mod profiling;
 pub mod rr_interval;
 pub mod rules_derivation;
 pub mod runner;
 pub mod tables;
+pub mod telemetry;
 pub mod trace_cache;
 
 pub use common::{Params, SchedKind};

@@ -1,0 +1,221 @@
+//! `ampsched obs-summary FILE` — aggregate a `--telemetry` JSONL file
+//! back into a per-scheduler decision-quality table.
+//!
+//! Reads the stream written by [`crate::telemetry`] and reports, per
+//! scheduler: decision points, swaps and swap rate, the mean absolute
+//! misprediction of the predictor on its swap decisions, and how often
+//! a swap realized an actual IPC/Watt improvement over the following
+//! decision period. This is the paper's "why did it swap" question
+//! answered from the audit trail alone — no re-simulation.
+
+use ampsched_metrics::Table;
+use ampsched_util::Json;
+
+/// Aggregated audit-trail statistics for one scheduler.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct SchedulerSummary {
+    /// Scheduler name as recorded in the stream.
+    pub scheduler: String,
+    /// `"run"` records seen.
+    pub runs: u64,
+    /// `"decision"` records seen.
+    pub decisions: u64,
+    /// Decisions that ordered a swap.
+    pub swaps: u64,
+    /// Swap decisions carrying misprediction attribution.
+    pub attributed: u64,
+    /// Mean of `|mispredict|` over attributed swap decisions.
+    pub mean_abs_mispredict: f64,
+    /// Swap decisions whose realized speedup exceeded 1.0, over swap
+    /// decisions with a realized measurement.
+    pub realized_wins: u64,
+    /// Swap decisions with a realized-speedup measurement.
+    pub realized_measured: u64,
+}
+
+impl SchedulerSummary {
+    /// Fraction of decision points that swapped.
+    pub fn swap_rate(&self) -> f64 {
+        if self.decisions == 0 {
+            0.0
+        } else {
+            self.swaps as f64 / self.decisions as f64
+        }
+    }
+
+    /// Fraction of measured swap decisions that realized a speedup.
+    pub fn win_rate(&self) -> Option<f64> {
+        (self.realized_measured > 0)
+            .then(|| self.realized_wins as f64 / self.realized_measured as f64)
+    }
+}
+
+/// Parse a telemetry JSONL document and aggregate it per scheduler.
+/// Returns summaries sorted by scheduler name. Lines that are not valid
+/// JSON objects with a recognized `type` are counted and reported as an
+/// error — a telemetry file is machine-written, so any malformed line
+/// means truncation or corruption worth surfacing.
+pub fn summarize(text: &str) -> Result<Vec<SchedulerSummary>, String> {
+    let mut by_sched: Vec<SchedulerSummary> = Vec::new();
+    fn entry(by_sched: &mut Vec<SchedulerSummary>, name: &str) -> usize {
+        match by_sched.iter().position(|s| s.scheduler == name) {
+            Some(i) => i,
+            None => {
+                by_sched.push(SchedulerSummary {
+                    scheduler: name.to_string(),
+                    ..SchedulerSummary::default()
+                });
+                by_sched.len() - 1
+            }
+        }
+    }
+    let mut abs_mispredict_sum: Vec<f64> = Vec::new();
+    for (lineno, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let doc = Json::parse(line)
+            .map_err(|e| format!("line {}: not valid JSON: {e:?}", lineno + 1))?;
+        let ty = doc
+            .get("type")
+            .and_then(Json::as_str)
+            .ok_or_else(|| format!("line {}: missing \"type\"", lineno + 1))?;
+        let sched = doc
+            .get("scheduler")
+            .and_then(Json::as_str)
+            .ok_or_else(|| format!("line {}: missing \"scheduler\"", lineno + 1))?;
+        let i = entry(&mut by_sched, sched);
+        if abs_mispredict_sum.len() <= i {
+            abs_mispredict_sum.resize(i + 1, 0.0);
+        }
+        match ty {
+            "run" => by_sched[i].runs += 1,
+            "decision" => {
+                let s = &mut by_sched[i];
+                s.decisions += 1;
+                let swapped = doc.get("swap").and_then(Json::as_bool).unwrap_or(false);
+                if swapped {
+                    s.swaps += 1;
+                    if let Some(m) = doc.get("mispredict").and_then(Json::as_f64) {
+                        s.attributed += 1;
+                        abs_mispredict_sum[i] += m.abs();
+                    }
+                    if let Some(r) = doc.get("realized_speedup").and_then(Json::as_f64) {
+                        s.realized_measured += 1;
+                        if r > 1.0 {
+                            s.realized_wins += 1;
+                        }
+                    }
+                }
+            }
+            other => return Err(format!("line {}: unknown type {other:?}", lineno + 1)),
+        }
+    }
+    for (i, s) in by_sched.iter_mut().enumerate() {
+        if s.attributed > 0 {
+            s.mean_abs_mispredict = abs_mispredict_sum[i] / s.attributed as f64;
+        }
+    }
+    by_sched.sort_by(|a, b| a.scheduler.cmp(&b.scheduler));
+    Ok(by_sched)
+}
+
+/// Render the per-scheduler table.
+pub fn render(summaries: &[SchedulerSummary]) -> String {
+    let mut t = Table::new(&[
+        "scheduler",
+        "runs",
+        "decisions",
+        "swaps",
+        "swap rate (%)",
+        "mean |mispredict|",
+        "realized win rate (%)",
+    ]);
+    for s in summaries {
+        t.row(&[
+            s.scheduler.clone(),
+            s.runs.to_string(),
+            s.decisions.to_string(),
+            s.swaps.to_string(),
+            format!("{:.2}", 100.0 * s.swap_rate()),
+            if s.attributed > 0 {
+                format!("{:.4}", s.mean_abs_mispredict)
+            } else {
+                "-".into()
+            },
+            match s.win_rate() {
+                Some(w) => format!("{:.1}", 100.0 * w),
+                None => "-".into(),
+            },
+        ]);
+    }
+    t.render()
+}
+
+/// Serialize the summaries for the `--json` report path.
+pub fn to_json(summaries: &[SchedulerSummary]) -> Json {
+    Json::arr(summaries.iter().map(|s| {
+        Json::obj([
+            ("scheduler", Json::from(s.scheduler.as_str())),
+            ("runs", Json::from(s.runs)),
+            ("decisions", Json::from(s.decisions)),
+            ("swaps", Json::from(s.swaps)),
+            ("swap_rate", Json::from(s.swap_rate())),
+            (
+                "mean_abs_mispredict",
+                if s.attributed > 0 {
+                    Json::from(s.mean_abs_mispredict)
+                } else {
+                    Json::Null
+                },
+            ),
+            (
+                "realized_win_rate",
+                s.win_rate().map(Json::from).unwrap_or(Json::Null),
+            ),
+        ])
+    }))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> String {
+        [
+            r#"{"type":"decision","pair":"a+b","scheduler":"proposed","seed":1,"swap":true,"mispredict":0.2,"realized_speedup":1.5}"#,
+            r#"{"type":"decision","pair":"a+b","scheduler":"proposed","seed":1,"swap":true,"mispredict":-0.4,"realized_speedup":0.9}"#,
+            r#"{"type":"decision","pair":"a+b","scheduler":"proposed","seed":1,"swap":false,"mispredict":null,"realized_speedup":1.1}"#,
+            r#"{"type":"run","pair":"a+b","scheduler":"proposed","seed":1,"cycles":100}"#,
+            r#"{"type":"decision","pair":"a+b","scheduler":"rr-1","seed":1,"swap":true,"mispredict":null,"realized_speedup":null}"#,
+            "",
+        ]
+        .join("\n")
+    }
+
+    #[test]
+    fn aggregates_per_scheduler() {
+        let s = summarize(&sample()).expect("valid stream");
+        assert_eq!(s.len(), 2);
+        let p = &s[0];
+        assert_eq!(p.scheduler, "proposed");
+        assert_eq!((p.runs, p.decisions, p.swaps), (1, 3, 2));
+        assert_eq!(p.attributed, 2);
+        assert!((p.mean_abs_mispredict - 0.3).abs() < 1e-12);
+        assert_eq!(p.win_rate(), Some(0.5));
+        assert!((p.swap_rate() - 2.0 / 3.0).abs() < 1e-12);
+        let rr = &s[1];
+        assert_eq!(rr.scheduler, "rr-1");
+        assert_eq!(rr.win_rate(), None);
+        let table = render(&s);
+        assert!(table.contains("proposed"));
+        assert!(table.contains("66.67"));
+    }
+
+    #[test]
+    fn malformed_lines_are_errors() {
+        assert!(summarize("not json\n").is_err());
+        assert!(summarize(r#"{"type":"decision"}"#).unwrap_err().contains("scheduler"));
+        assert!(summarize(r#"{"type":"wat","scheduler":"x"}"#).unwrap_err().contains("unknown type"));
+    }
+}

@@ -1,0 +1,161 @@
+//! JSONL decision-telemetry emission (`--telemetry FILE`).
+//!
+//! When a telemetry sink is installed (see `ampsched_obs::telemetry`),
+//! every simulated run streams its scheduler audit trail as one JSON
+//! object per line: a `"decision"` record per decision point carrying
+//! the predictor's inputs, outputs, and post-hoc misprediction
+//! attribution, then one `"run"` record with the run totals. The stream
+//! is an *observation* of the run, never an input to it — the
+//! simulation consumes nothing from this module, which is what keeps
+//! `--json` reports byte-identical with telemetry on or off (enforced
+//! by `tests/differential_telemetry.rs`).
+//!
+//! The JSONL schema is documented in EXPERIMENTS.md; `ampsched
+//! obs-summary FILE` (see [`crate::obs_summary`]) aggregates a file
+//! back into a per-scheduler table.
+
+use ampsched_system::{DecisionKind, DecisionRecord, RunResult};
+use ampsched_util::Json;
+
+fn opt_f64(v: Option<f64>) -> Json {
+    v.map(Json::from).unwrap_or(Json::Null)
+}
+
+/// One decision record's audit-trail fields (shared by the JSONL stream
+/// and the capped `decisions` arrays in the fig7/8/9 `--json` report).
+pub fn decision_to_json(d: &DecisionRecord) -> Json {
+    let kind = match d.kind {
+        DecisionKind::Window => "window",
+        DecisionKind::Epoch => "epoch",
+    };
+    let explain = match &d.explain {
+        Some(e) => Json::obj([
+            ("source", Json::from(e.source.name())),
+            ("ratio_on_fp", opt_f64(e.ratio_on_fp)),
+            ("ratio_on_int", opt_f64(e.ratio_on_int)),
+            ("predicted_speedup", opt_f64(e.predicted_speedup)),
+            (
+                "votes_for",
+                e.votes_for.map(|v| Json::from(v as u64)).unwrap_or(Json::Null),
+            ),
+            (
+                "vote_depth",
+                e.vote_depth.map(|v| Json::from(v as u64)).unwrap_or(Json::Null),
+            ),
+        ]),
+        None => Json::Null,
+    };
+    Json::obj([
+        ("cycle", Json::from(d.cycle)),
+        ("kind", Json::from(kind)),
+        ("swap", Json::from(d.swap)),
+        ("swap_cost_cycles", Json::from(d.swap_cost_cycles)),
+        (
+            "threads",
+            Json::arr(d.threads.iter().map(|t| {
+                Json::obj([
+                    ("int_pct", Json::from(t.int_pct)),
+                    ("fp_pct", Json::from(t.fp_pct)),
+                    ("instructions", Json::from(t.instructions)),
+                    ("ipc", Json::from(t.ipc)),
+                    ("ipc_per_watt", Json::from(t.ipc_per_watt)),
+                ])
+            })),
+        ),
+        ("explain", explain),
+        ("realized_speedup", opt_f64(d.realized_speedup)),
+        ("mispredict", opt_f64(d.mispredict)),
+    ])
+}
+
+/// Stream one run's audit trail to the installed telemetry sink: one
+/// `"decision"` line per decision point, then one `"run"` line. A no-op
+/// (one relaxed atomic load) when no sink is installed.
+pub fn emit_run(pair: &str, seed: u64, result: &RunResult) {
+    if !ampsched_obs::telemetry::active() {
+        return;
+    }
+    let envelope = |body: Json, ty: &str| {
+        let mut fields = vec![
+            ("type".to_string(), Json::from(ty)),
+            ("pair".to_string(), Json::from(pair)),
+            ("scheduler".to_string(), Json::from(result.scheduler.as_str())),
+            ("seed".to_string(), Json::from(seed)),
+        ];
+        match body {
+            Json::Obj(members) => fields.extend(members),
+            other => fields.push(("body".to_string(), other)),
+        }
+        Json::Obj(fields)
+    };
+    for d in &result.decisions {
+        ampsched_obs::telemetry::emit(&envelope(decision_to_json(d), "decision"));
+    }
+    let ppw = result.ipc_per_watt();
+    let totals = Json::obj([
+        ("cycles", Json::from(result.cycles)),
+        ("swaps", Json::from(result.swaps)),
+        ("window_decisions", Json::from(result.window_decisions)),
+        ("epoch_decisions", Json::from(result.epoch_decisions)),
+        ("ipc_per_watt", Json::arr(ppw.iter().map(|&v| Json::from(v)))),
+    ]);
+    ampsched_obs::telemetry::emit(&envelope(totals, "run"));
+}
+
+/// The `telemetry` block of the `--json` report: a snapshot of the
+/// `sim.*` instrument namespace only.
+///
+/// `sim.*` instruments are pure functions of the simulation inputs, so
+/// including them keeps the report byte-identical across trace
+/// provisioning modes, cache temperature, and telemetry flags; `trace.*`
+/// and `obs.*` instruments vary with all three and are deliberately
+/// excluded (run `ampsched obs-summary` or read `--trace-events` output
+/// for those).
+pub fn summary_json() -> Json {
+    ampsched_obs::metrics::snapshot().filtered("sim.").to_json()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ampsched_system::DecisionThread;
+
+    fn record() -> DecisionRecord {
+        DecisionRecord {
+            cycle: 4000,
+            kind: DecisionKind::Window,
+            swap: true,
+            threads: [DecisionThread::default(); 2],
+            explain: None,
+            swap_cost_cycles: 1000,
+            realized_speedup: Some(1.25),
+            mispredict: None,
+        }
+    }
+
+    #[test]
+    fn decision_json_shape() {
+        let j = decision_to_json(&record());
+        assert_eq!(j.get("cycle").and_then(Json::as_u64), Some(4000));
+        assert_eq!(j.get("kind").and_then(Json::as_str), Some("window"));
+        assert_eq!(j.get("swap").and_then(Json::as_bool), Some(true));
+        assert_eq!(j.get("explain"), Some(&Json::Null));
+        assert_eq!(
+            j.get("realized_speedup").and_then(Json::as_f64),
+            Some(1.25)
+        );
+        assert_eq!(j.get("mispredict"), Some(&Json::Null));
+        assert_eq!(j.get("threads").and_then(Json::as_arr).map(<[Json]>::len), Some(2));
+        // Single line: JSONL consumers split on newlines.
+        assert!(!j.render().contains('\n'));
+    }
+
+    #[test]
+    fn summary_contains_only_sim_namespace() {
+        ampsched_obs::counter!("sim.test.telemetry_mod");
+        let j = summary_json();
+        let counters = j.get("counters").and_then(Json::as_obj).expect("counters obj");
+        assert!(counters.iter().any(|(n, _)| n == "sim.test.telemetry_mod"));
+        assert!(counters.iter().all(|(n, _)| n.starts_with("sim.")));
+    }
+}

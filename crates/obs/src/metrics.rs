@@ -1,0 +1,344 @@
+//! Process-global counters and fixed-bucket histograms.
+//!
+//! Instruments register themselves by name on first use and live for the
+//! life of the process (the registry leaks one allocation per unique
+//! name, giving out `&'static` handles that increment with a single
+//! relaxed atomic op — no locking after the first touch). The
+//! [`counter!`](crate::counter) and [`hist!`](crate::hist) macros cache
+//! the handle per call site, so steady-state cost is one atomic
+//! fetch-add.
+//!
+//! Histograms use power-of-two buckets: bucket 0 holds exactly `0`,
+//! bucket `i >= 1` holds `[2^(i-1), 2^i - 1]`. Bucket boundaries are
+//! total and contiguous over `u64` (see the `prop_obs` property suite).
+//!
+//! Counter names are dot-separated, lowest-frequency component last
+//! (`trace.arena.hit`). The `sim.*` namespace is reserved for values that
+//! are a pure function of simulation inputs — those are the only
+//! instruments the experiment `--json` telemetry block may include, so
+//! the report stays byte-identical across trace provisioning modes and
+//! cache temperature.
+
+use ampsched_util::Json;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, OnceLock};
+
+/// Number of histogram buckets: `{0}` plus one per power of two.
+pub const BUCKETS: usize = 65;
+
+/// A monotonically increasing event count.
+#[derive(Debug)]
+pub struct Counter {
+    value: AtomicU64,
+}
+
+impl Counter {
+    const fn new() -> Counter {
+        Counter {
+            value: AtomicU64::new(0),
+        }
+    }
+
+    /// Add `n` to the counter.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.value.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// A fixed-bucket power-of-two histogram of `u64` samples.
+#[derive(Debug)]
+pub struct Hist {
+    count: AtomicU64,
+    sum: AtomicU64,
+    buckets: [AtomicU64; BUCKETS],
+}
+
+impl Hist {
+    fn new() -> Hist {
+        Hist {
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+        }
+    }
+
+    /// Record one sample.
+    #[inline]
+    pub fn record(&self, v: u64) {
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+        self.buckets[bucket_index(v)].fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+/// The bucket a sample lands in: 0 for `v == 0`, else `64 - clz(v)`.
+pub fn bucket_index(v: u64) -> usize {
+    if v == 0 {
+        0
+    } else {
+        64 - v.leading_zeros() as usize
+    }
+}
+
+/// Inclusive `[lo, hi]` range of values stored in bucket `i`.
+///
+/// # Panics
+/// If `i >= BUCKETS`.
+pub fn bucket_bounds(i: usize) -> (u64, u64) {
+    assert!(i < BUCKETS, "bucket index {i} out of range");
+    if i == 0 {
+        (0, 0)
+    } else if i == BUCKETS - 1 {
+        (1 << (i - 1), u64::MAX)
+    } else {
+        (1 << (i - 1), (1 << i) - 1)
+    }
+}
+
+struct Registry {
+    counters: Vec<(&'static str, &'static Counter)>,
+    hists: Vec<(&'static str, &'static Hist)>,
+}
+
+fn registry() -> &'static Mutex<Registry> {
+    static REGISTRY: OnceLock<Mutex<Registry>> = OnceLock::new();
+    REGISTRY.get_or_init(|| {
+        Mutex::new(Registry {
+            counters: Vec::new(),
+            hists: Vec::new(),
+        })
+    })
+}
+
+/// Look up (or register) the counter named `name`. The handle is
+/// `&'static`: cache it (the [`counter!`](crate::counter) macro does)
+/// rather than calling this per event.
+pub fn counter(name: &'static str) -> &'static Counter {
+    let mut reg = registry().lock().expect("metrics registry lock");
+    if let Some((_, c)) = reg.counters.iter().find(|(n, _)| *n == name) {
+        return c;
+    }
+    let c: &'static Counter = Box::leak(Box::new(Counter::new()));
+    reg.counters.push((name, c));
+    c
+}
+
+/// Look up (or register) the histogram named `name`.
+pub fn hist(name: &'static str) -> &'static Hist {
+    let mut reg = registry().lock().expect("metrics registry lock");
+    if let Some((_, h)) = reg.hists.iter().find(|(n, _)| *n == name) {
+        return h;
+    }
+    let h: &'static Hist = Box::leak(Box::new(Hist::new()));
+    reg.hists.push((name, h));
+    h
+}
+
+/// Point-in-time copy of every registered instrument, sorted by name.
+#[derive(Debug, Clone)]
+pub struct Snapshot {
+    /// `(name, value)` for every counter.
+    pub counters: Vec<(String, u64)>,
+    /// One entry per histogram.
+    pub hists: Vec<HistSnapshot>,
+}
+
+/// Point-in-time copy of one histogram.
+#[derive(Debug, Clone)]
+pub struct HistSnapshot {
+    /// Registered name.
+    pub name: String,
+    /// Total samples recorded.
+    pub count: u64,
+    /// Sum of all samples (wrapping on overflow).
+    pub sum: u64,
+    /// Non-empty buckets as `(lo, hi, count)` with inclusive bounds.
+    pub buckets: Vec<(u64, u64, u64)>,
+}
+
+/// Snapshot every registered counter and histogram, sorted by name.
+pub fn snapshot() -> Snapshot {
+    let reg = registry().lock().expect("metrics registry lock");
+    let mut counters: Vec<(String, u64)> = reg
+        .counters
+        .iter()
+        .map(|(n, c)| (n.to_string(), c.get()))
+        .collect();
+    counters.sort();
+    let mut hists: Vec<HistSnapshot> = reg
+        .hists
+        .iter()
+        .map(|(n, h)| HistSnapshot {
+            name: n.to_string(),
+            count: h.count.load(Ordering::Relaxed),
+            sum: h.sum.load(Ordering::Relaxed),
+            buckets: (0..BUCKETS)
+                .filter_map(|i| {
+                    let c = h.buckets[i].load(Ordering::Relaxed);
+                    (c > 0).then(|| {
+                        let (lo, hi) = bucket_bounds(i);
+                        (lo, hi, c)
+                    })
+                })
+                .collect(),
+        })
+        .collect();
+    hists.sort_by(|a, b| a.name.cmp(&b.name));
+    Snapshot { counters, hists }
+}
+
+/// Zero every registered instrument (registrations persist). For tests.
+pub fn reset() {
+    let reg = registry().lock().expect("metrics registry lock");
+    for (_, c) in &reg.counters {
+        c.value.store(0, Ordering::Relaxed);
+    }
+    for (_, h) in &reg.hists {
+        h.count.store(0, Ordering::Relaxed);
+        h.sum.store(0, Ordering::Relaxed);
+        for b in &h.buckets {
+            b.store(0, Ordering::Relaxed);
+        }
+    }
+}
+
+impl Snapshot {
+    /// Keep only instruments whose name starts with `prefix`.
+    pub fn filtered(&self, prefix: &str) -> Snapshot {
+        Snapshot {
+            counters: self
+                .counters
+                .iter()
+                .filter(|(n, _)| n.starts_with(prefix))
+                .cloned()
+                .collect(),
+            hists: self
+                .hists
+                .iter()
+                .filter(|h| h.name.starts_with(prefix))
+                .cloned()
+                .collect(),
+        }
+    }
+
+    /// Render as `{"counters": {...}, "hists": {...}}`.
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            (
+                "counters",
+                Json::Obj(
+                    self.counters
+                        .iter()
+                        .map(|(n, v)| (n.clone(), Json::from(*v)))
+                        .collect(),
+                ),
+            ),
+            (
+                "hists",
+                Json::Obj(
+                    self.hists
+                        .iter()
+                        .map(|h| {
+                            (
+                                h.name.clone(),
+                                Json::obj([
+                                    ("count", Json::from(h.count)),
+                                    ("sum", Json::from(h.sum)),
+                                    (
+                                        "buckets",
+                                        Json::arr(h.buckets.iter().map(|&(lo, hi, c)| {
+                                            Json::obj([
+                                                ("lo", Json::from(lo)),
+                                                ("hi", Json::from(hi)),
+                                                ("count", Json::from(c)),
+                                            ])
+                                        })),
+                                    ),
+                                ]),
+                            )
+                        })
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+}
+
+/// Increment a named counter: `counter!("sim.swap")` adds 1,
+/// `counter!("trace.cache.load_chunks", n)` adds `n`. The instrument
+/// handle is resolved once per call site.
+#[macro_export]
+macro_rules! counter {
+    ($name:literal) => {
+        $crate::counter!($name, 1u64)
+    };
+    ($name:literal, $n:expr) => {{
+        static SITE: ::std::sync::OnceLock<&'static $crate::metrics::Counter> =
+            ::std::sync::OnceLock::new();
+        SITE.get_or_init(|| $crate::metrics::counter($name)).add($n as u64);
+    }};
+}
+
+/// Record a sample in a named histogram: `hist!("sim.run.cycles", c)`.
+/// The instrument handle is resolved once per call site.
+#[macro_export]
+macro_rules! hist {
+    ($name:literal, $v:expr) => {{
+        static SITE: ::std::sync::OnceLock<&'static $crate::metrics::Hist> =
+            ::std::sync::OnceLock::new();
+        SITE.get_or_init(|| $crate::metrics::hist($name)).record($v as u64);
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_registry_dedups() {
+        let a = counter("test.metrics.dedup");
+        let b = counter("test.metrics.dedup");
+        assert!(std::ptr::eq(a, b));
+        a.add(2);
+        b.add(3);
+        assert_eq!(a.get(), 5);
+    }
+
+    #[test]
+    fn bucket_edges() {
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 1);
+        assert_eq!(bucket_index(2), 2);
+        assert_eq!(bucket_index(3), 2);
+        assert_eq!(bucket_index(4), 3);
+        assert_eq!(bucket_index(u64::MAX), 64);
+        assert_eq!(bucket_bounds(0), (0, 0));
+        assert_eq!(bucket_bounds(1), (1, 1));
+        assert_eq!(bucket_bounds(2), (2, 3));
+        assert_eq!(bucket_bounds(64), (1 << 63, u64::MAX));
+    }
+
+    #[test]
+    fn hist_snapshot_places_samples() {
+        let h = hist("test.metrics.hist");
+        h.record(0);
+        h.record(5);
+        h.record(5);
+        let snap = snapshot();
+        let hs = snap
+            .hists
+            .iter()
+            .find(|h| h.name == "test.metrics.hist")
+            .expect("registered");
+        assert_eq!(hs.count, 3);
+        assert_eq!(hs.sum, 10);
+        assert!(hs.buckets.contains(&(0, 0, 1)));
+        assert!(hs.buckets.contains(&(4, 7, 2)));
+    }
+}

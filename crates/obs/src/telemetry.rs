@@ -1,0 +1,82 @@
+//! JSONL telemetry sink for the scheduler decision audit trail.
+//!
+//! One process-global sink, installed by the experiments CLI when
+//! `--telemetry FILE` is given. Producers build a
+//! [`Json`] document per event and call [`emit`];
+//! each document is rendered compactly on its own line (JSON string
+//! escaping guarantees the rendered form contains no raw newline, so the
+//! file is valid JSONL — see the `prop_obs` escaping property).
+//!
+//! When no sink is installed, [`active`] is a relaxed atomic load and
+//! producers skip building documents entirely. Emission never feeds back
+//! into simulation state, which is what keeps `--json` reports
+//! byte-identical with telemetry on or off.
+
+use ampsched_util::Json;
+use std::fs::File;
+use std::io::{BufWriter, Write};
+use std::path::Path;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Mutex;
+
+static ACTIVE: AtomicBool = AtomicBool::new(false);
+static SINK: Mutex<Option<BufWriter<File>>> = Mutex::new(None);
+
+/// Whether a telemetry sink is installed. Check this before building
+/// event documents; it is a single relaxed atomic load.
+pub fn active() -> bool {
+    ACTIVE.load(Ordering::Relaxed)
+}
+
+/// Open `path` (truncating) and install it as the process-global sink.
+pub fn install(path: &Path) -> std::io::Result<()> {
+    let file = File::create(path)?;
+    *SINK.lock().expect("telemetry sink lock") = Some(BufWriter::new(file));
+    ACTIVE.store(true, Ordering::Relaxed);
+    Ok(())
+}
+
+/// Render `doc` compactly and append it as one line. A no-op when no
+/// sink is installed; write errors disable the sink with a logged error
+/// rather than panicking mid-experiment.
+pub fn emit(doc: &Json) {
+    if !active() {
+        return;
+    }
+    let mut guard = SINK.lock().expect("telemetry sink lock");
+    let Some(sink) = guard.as_mut() else {
+        return;
+    };
+    let mut line = doc.render();
+    line.push('\n');
+    if let Err(e) = sink.write_all(line.as_bytes()) {
+        crate::error!("telemetry", "write failed, disabling sink: {}", e);
+        *guard = None;
+        ACTIVE.store(false, Ordering::Relaxed);
+        return;
+    }
+    crate::counter!("obs.telemetry.records");
+}
+
+/// Flush and close the sink. Safe to call when none is installed.
+pub fn close() {
+    let mut guard = SINK.lock().expect("telemetry sink lock");
+    if let Some(mut sink) = guard.take() {
+        if let Err(e) = sink.flush() {
+            crate::error!("telemetry", "flush failed: {}", e);
+        }
+    }
+    ACTIVE.store(false, Ordering::Relaxed);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn emit_without_sink_is_noop() {
+        // Not installed by default in unit tests.
+        emit(&Json::obj([("type", Json::from("noop"))]));
+        assert!(!active());
+    }
+}

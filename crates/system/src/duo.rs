@@ -1,6 +1,8 @@
 //! The dual-core AMP and its scheduling loop.
 
-use ampsched_core::{Assignment, Decision, Scheduler, ThreadWindow, WindowSnapshot};
+use ampsched_core::{
+    Assignment, Decision, DecisionExplain, Scheduler, ThreadWindow, WindowSnapshot,
+};
 use ampsched_cpu::{Core, CoreConfig};
 use ampsched_isa::MixCounts;
 use ampsched_mem::{MemConfig, MemSystem};
@@ -63,12 +65,36 @@ pub enum DecisionKind {
     Epoch,
 }
 
-/// One scheduler decision point: when it fired and what it chose.
+/// Observed per-thread hardware-counter values over the period a
+/// decision was based on (the scheduler's inputs, indexed by thread id).
+///
+/// Ratios are guarded: a zero-cycle or zero-energy period reports `0.0`
+/// rather than NaN so records stay `PartialEq`-comparable in the
+/// differential suites.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct DecisionThread {
+    /// Percentage of committed instructions that were INT ops.
+    pub int_pct: f64,
+    /// Percentage of committed instructions that were FP ops.
+    pub fp_pct: f64,
+    /// Instructions the thread committed in the period.
+    pub instructions: u64,
+    /// Observed IPC over the period.
+    pub ipc: f64,
+    /// Observed IPC/Watt over the period (the paper's figure of merit).
+    pub ipc_per_watt: f64,
+}
+
+/// One scheduler decision point: when it fired, what it chose, and the
+/// full audit trail of why — the predictor's inputs ([`DecisionThread`]),
+/// its outputs ([`DecisionExplain`]), the cost charged for a swap, and
+/// the post-hoc misprediction attribution filled in at end of run.
 ///
 /// The per-decision trace lets the differential harness assert that the
 /// fast and reference kernels agree not just on totals but on every
-/// individual swap choice.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+/// individual swap choice — including every predictor output, since the
+/// whole record is compared with `PartialEq`.
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct DecisionRecord {
     /// Cycle at which the decision point fired.
     pub cycle: u64,
@@ -76,6 +102,21 @@ pub struct DecisionRecord {
     pub kind: DecisionKind,
     /// Whether the scheduler ordered a swap.
     pub swap: bool,
+    /// Observed per-thread counters over the decision period.
+    pub threads: [DecisionThread; 2],
+    /// Predictor state behind the decision (None for schemes that do not
+    /// implement `Scheduler::explain_last`).
+    pub explain: Option<DecisionExplain>,
+    /// Cycles charged for the swap (0 when the decision was Stay).
+    pub swap_cost_cycles: u64,
+    /// Post-hoc: mean per-thread IPC/Watt ratio of the *following*
+    /// decision period over this one. `None` for the last record or when
+    /// a period observed no energy.
+    pub realized_speedup: Option<f64>,
+    /// Post-hoc: predicted minus realized speedup, for swap decisions
+    /// whose scheme published a prediction. Positive = the predictor
+    /// over-promised.
+    pub mispredict: Option<f64>,
 }
 
 /// Baseline of one accounting period (window or epoch).
@@ -234,6 +275,53 @@ impl DualCoreSystem {
         }
     }
 
+    /// Build the audit-trail record for one decision point. Pure
+    /// observation: every input is a value the simulation already
+    /// computed for the scheduler.
+    fn decision_record(
+        &self,
+        kind: DecisionKind,
+        decision: Decision,
+        snap: &WindowSnapshot,
+        explain: Option<DecisionExplain>,
+    ) -> DecisionRecord {
+        let swap = decision == Decision::Swap;
+        let mut threads = [DecisionThread::default(); 2];
+        for (t, out) in threads.iter_mut().enumerate() {
+            let w = &snap.threads[t];
+            let ipc = if w.cycles > 0 {
+                w.instructions as f64 / w.cycles as f64
+            } else {
+                0.0
+            };
+            // Same formula as ThreadMetrics::ipc_per_watt —
+            // (insts/cycles) / (joules·f/cycles) = insts / (f·joules).
+            let denom = self.frequency_hz * w.joules;
+            let ipc_per_watt = if w.cycles > 0 && denom > 0.0 {
+                w.instructions as f64 / denom
+            } else {
+                0.0
+            };
+            *out = DecisionThread {
+                int_pct: w.int_pct,
+                fp_pct: w.fp_pct,
+                instructions: w.instructions,
+                ipc,
+                ipc_per_watt,
+            };
+        }
+        DecisionRecord {
+            cycle: self.cycle,
+            kind,
+            swap,
+            threads,
+            explain,
+            swap_cost_cycles: if swap { self.cfg.swap_overhead_cycles } else { 0 },
+            realized_speedup: None,
+            mispredict: None,
+        }
+    }
+
     /// Execute a thread swap with its full cost.
     fn do_swap(&mut self) {
         // Energy up to the swap belongs to the old assignment.
@@ -248,6 +336,7 @@ impl DualCoreSystem {
         }
         self.assignment = self.assignment.toggled();
         self.swaps += 1;
+        ampsched_obs::counter!("sim.swap");
     }
 
     /// Run under `scheduler` until one thread commits `target_insts`
@@ -258,6 +347,7 @@ impl DualCoreSystem {
         target_insts: u64,
         max_cycles: u64,
     ) -> RunResult {
+        let _span = ampsched_obs::span!("system.run");
         let window = scheduler.window_insts();
         let mut window_base = self.period_base();
         let mut epoch_base = self.period_base();
@@ -306,6 +396,8 @@ impl DualCoreSystem {
                         self.cores[0].fast_forward(self.cycle, n);
                         self.cores[1].fast_forward(self.cycle, n);
                         self.cycle = target;
+                        ampsched_obs::counter!("sim.skip.joint");
+                        ampsched_obs::hist!("sim.skip.joint_cycles", n);
                     }
                 }
             }
@@ -362,12 +454,14 @@ impl DualCoreSystem {
                     self.settle_energy();
                     let snap = self.snapshot(&window_base);
                     window_decisions += 1;
+                    ampsched_obs::counter!("sim.decision.window");
                     let decision = scheduler.on_window(&snap);
-                    decisions.push(DecisionRecord {
-                        cycle: self.cycle,
-                        kind: DecisionKind::Window,
-                        swap: decision == Decision::Swap,
-                    });
+                    decisions.push(self.decision_record(
+                        DecisionKind::Window,
+                        decision,
+                        &snap,
+                        scheduler.explain_last(),
+                    ));
                     if decision == Decision::Swap {
                         self.do_swap();
                         // The flush + stall changed core state; drop the
@@ -384,12 +478,14 @@ impl DualCoreSystem {
                 self.settle_energy();
                 let snap = self.snapshot(&epoch_base);
                 epoch_decisions += 1;
+                ampsched_obs::counter!("sim.decision.epoch");
                 let decision = scheduler.on_epoch(&snap);
-                decisions.push(DecisionRecord {
-                    cycle: self.cycle,
-                    kind: DecisionKind::Epoch,
-                    swap: decision == Decision::Swap,
-                });
+                decisions.push(self.decision_record(
+                    DecisionKind::Epoch,
+                    decision,
+                    &snap,
+                    scheduler.explain_last(),
+                ));
                 if decision == Decision::Swap {
                     self.do_swap();
                     quiet_until = [0; 2];
@@ -401,6 +497,9 @@ impl DualCoreSystem {
         }
 
         self.settle_energy();
+        attribute_mispredictions(&mut decisions);
+        ampsched_obs::counter!("sim.run");
+        ampsched_obs::hist!("sim.run.cycles", self.cycle - start_cycle);
         let cycles = self.cycle - start_cycle;
         let threads = [0, 1].map(|t| ThreadMetrics {
             instructions: self.thread_insts[t] - start_insts[t],
@@ -417,6 +516,41 @@ impl DualCoreSystem {
             epoch_decisions,
             decisions,
         }
+    }
+}
+
+/// Post-hoc misprediction attribution: compare what each decision's
+/// predictor promised against what the *next* decision period realized.
+///
+/// `realized_speedup[i]` is the mean per-thread IPC/Watt ratio of period
+/// `i+1` over period `i` (the same weighted form the HPE estimate uses);
+/// `mispredict` is `predicted - realized` for swap decisions whose scheme
+/// published a prediction. Both stay `None` where a ratio is undefined
+/// (last record, or a period that observed no energy) — no NaN sentinels,
+/// so the differential suites can keep comparing records with
+/// `PartialEq`. Runs once at end of run, purely over recorded values.
+fn attribute_mispredictions(decisions: &mut [DecisionRecord]) {
+    for i in 0..decisions.len() {
+        let realized = match decisions.get(i + 1) {
+            Some(next)
+                if decisions[i].threads.iter().all(|t| t.ipc_per_watt > 0.0)
+                    && next.threads.iter().all(|t| t.ipc_per_watt > 0.0) =>
+            {
+                Some(
+                    (next.threads[0].ipc_per_watt / decisions[i].threads[0].ipc_per_watt
+                        + next.threads[1].ipc_per_watt / decisions[i].threads[1].ipc_per_watt)
+                        / 2.0,
+                )
+            }
+            _ => None,
+        };
+        let rec = &mut decisions[i];
+        rec.realized_speedup = realized;
+        rec.mispredict = match (rec.swap, rec.explain.and_then(|e| e.predicted_speedup), realized)
+        {
+            (true, Some(predicted), Some(realized)) => Some(predicted - realized),
+            _ => None,
+        };
     }
 }
 
@@ -581,6 +715,39 @@ mod tests {
         assert_eq!(a.swaps, b.swaps);
         assert_eq!(a.threads[0].instructions, b.threads[0].instructions);
         assert!((a.threads[0].joules - b.threads[0].joules).abs() < 1e-12);
+    }
+
+    #[test]
+    fn decision_records_carry_audit_trail() {
+        let mut sys = DualCoreSystem::new(
+            quick_cfg(),
+            [workload("intstress", 0), workload("fpstress", 1)],
+        );
+        let mut sched = ProposedScheduler::with_defaults();
+        let r = sys.run(&mut sched, 100_000, 10_000_000);
+        assert!(!r.decisions.is_empty());
+        for d in &r.decisions {
+            // The proposed scheme explains every window decision.
+            if d.kind == DecisionKind::Window {
+                let e = d.explain.expect("proposed implements explain_last");
+                assert_eq!(e.source, ampsched_core::PredictorSource::Rules);
+                assert!(e.vote_depth == Some(5));
+            }
+            assert_eq!(d.swap_cost_cycles, if d.swap { 1000 } else { 0 });
+            for t in &d.threads {
+                assert!(t.ipc.is_finite() && t.ipc_per_watt.is_finite());
+                assert!(t.int_pct >= 0.0 && t.fp_pct >= 0.0);
+            }
+        }
+        // The observed compositions reflect the workloads.
+        assert!(r.decisions.iter().any(|d| d.threads[0].int_pct > 40.0));
+        // Post-hoc attribution fills realized speedups for interior
+        // records with observable energy; the last record has none.
+        assert!(r.decisions.iter().any(|d| d.realized_speedup.is_some()));
+        assert!(r.decisions.last().unwrap().realized_speedup.is_none());
+        // Rule-based decisions publish no speedup prediction, so no
+        // misprediction is attributed.
+        assert!(r.decisions.iter().all(|d| d.mispredict.is_none()));
     }
 
     #[test]

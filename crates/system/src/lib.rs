@@ -20,5 +20,7 @@
 pub mod duo;
 pub mod single;
 
-pub use duo::{DecisionKind, DecisionRecord, DualCoreSystem, RunResult, SimPath, SystemConfig};
+pub use duo::{
+    DecisionKind, DecisionRecord, DecisionThread, DualCoreSystem, RunResult, SimPath, SystemConfig,
+};
 pub use single::{run_alone, run_alone_with, IntervalSample, SingleCoreRunner, SingleRunResult};

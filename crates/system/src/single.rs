@@ -104,6 +104,7 @@ impl SingleCoreRunner {
         max_cycles: u64,
     ) -> SingleRunResult {
         assert!(interval_cycles > 0, "interval must be positive");
+        let _span = ampsched_obs::span!("system.run_single");
         let mut cycle = 0u64;
         let mut committed = 0u64;
         let mut samples = Vec::new();
@@ -132,6 +133,8 @@ impl SingleCoreRunner {
                     .min(max_cycles - 1);
                 if target > cycle {
                     self.core.fast_forward(cycle, target - cycle);
+                    ampsched_obs::counter!("sim.skip.single");
+                    ampsched_obs::hist!("sim.skip.single_cycles", target - cycle);
                     cycle = target;
                 }
             }

@@ -417,6 +417,8 @@ impl ArenaEntry {
             let mut data = Vec::with_capacity(CHUNK_OPS * 8);
             encode_stream(&ops, &mut data);
             timing::record(t.elapsed());
+            ampsched_obs::counter!("trace.arena.chunk.materialize");
+            ampsched_obs::hist!("trace.arena.chunk_bytes", data.len());
             self.bytes.fetch_add(data.len() as u64, Ordering::Relaxed);
             TOTAL_BYTES.fetch_add(data.len() as u64, Ordering::Relaxed);
             inner.chunks.push(Arc::new(Chunk { data }));
@@ -442,9 +444,16 @@ impl ArenaEntry {
         let payloads: Vec<&[u8]> = inner.chunks.iter().map(|c| c.data.as_slice()).collect();
         let path = persist::chunk_file_path(dir, self.name, self.key);
         match persist::save(&path, self.key, &payloads) {
-            Ok(()) => inner.disk_chunks = inner.chunks.len(),
+            Ok(()) => {
+                inner.disk_chunks = inner.chunks.len();
+                ampsched_obs::counter!("trace.cache.write");
+            }
             Err(e) => {
-                eprintln!("warning: trace cache: could not write {}: {e}", path.display());
+                ampsched_obs::counter!("trace.cache.write_error");
+                ampsched_obs::warn!(
+                    "trace.cache",
+                    "could not write {}: {}", path.display(), e
+                );
             }
         }
     }
@@ -518,10 +527,12 @@ fn acquire(
     let mut store = store().lock().expect("arena store lock");
     store.clock += 1;
     let now = store.clock;
+    let mut created = false;
     let entry = store
         .entries
         .entry(key)
         .or_insert_with(|| {
+            created = true;
             let chunks = cache_dir
                 .map(|dir| load_from_disk(dir, spec.name, key))
                 .unwrap_or_default();
@@ -542,6 +553,11 @@ fn acquire(
             })
         })
         .clone();
+    if created {
+        ampsched_obs::counter!("trace.arena.miss");
+    } else {
+        ampsched_obs::counter!("trace.arena.hit");
+    }
     entry.last_use.store(now, Ordering::Relaxed);
     evict_locked(&mut store);
     entry
@@ -560,14 +576,19 @@ fn load_from_disk(dir: &Path, name: &'static str, key: Key) -> Vec<Arc<Chunk>> {
     let loaded = persist::load(&path, key);
     timing::record(t.elapsed());
     match loaded {
-        Ok(payloads) => payloads
-            .into_iter()
-            .map(|data| Arc::new(Chunk { data }))
-            .collect(),
+        Ok(payloads) => {
+            ampsched_obs::counter!("trace.cache.load");
+            ampsched_obs::counter!("trace.cache.load_chunks", payloads.len());
+            payloads
+                .into_iter()
+                .map(|data| Arc::new(Chunk { data }))
+                .collect()
+        }
         Err(e) => {
-            eprintln!(
-                "warning: trace cache: {}: {e}; deleting and regenerating",
-                path.display()
+            ampsched_obs::counter!("trace.cache.load_reject");
+            ampsched_obs::warn!(
+                "trace.cache",
+                "{}: {}; deleting and regenerating", path.display(), e
             );
             let _ = std::fs::remove_file(&path);
             Vec::new()
@@ -590,6 +611,7 @@ fn evict_locked(store: &mut Store) {
             .map(|(k, _)| *k);
         match victim {
             Some(k) => {
+                ampsched_obs::counter!("trace.arena.evict");
                 if let Some(e) = store.entries.remove(&k) {
                     // Persist unsaved chunks before dropping them, so
                     // eviction never discards work a warm run could

@@ -129,7 +129,14 @@ pub(crate) fn save(path: &Path, key: Key, payloads: &[&[u8]]) -> std::io::Result
     let tmp = dir.join(format!(".{base}.{}.tmp", std::process::id()));
     std::fs::write(&tmp, file_image(key, payloads))?;
     match std::fs::rename(&tmp, path) {
-        Ok(()) => Ok(()),
+        Ok(()) => {
+            ampsched_obs::debug!(
+                "trace.cache",
+                "wrote {}", path.display();
+                chunks = payloads.len().to_string()
+            );
+            Ok(())
+        }
         Err(e) => {
             let _ = std::fs::remove_file(&tmp);
             Err(e)
@@ -207,7 +214,13 @@ fn parse_image(data: &[u8], expect_key: Option<Key>) -> Result<Vec<Vec<u8>>, Str
 /// caller decides whether to delete and regenerate.
 pub(crate) fn load(path: &Path, key: Key) -> Result<Vec<Vec<u8>>, String> {
     let data = std::fs::read(path).map_err(|e| format!("unreadable: {e}"))?;
-    parse_image(&data, Some(key))
+    let payloads = parse_image(&data, Some(key))?;
+    ampsched_obs::debug!(
+        "trace.cache",
+        "loaded {}", path.display();
+        chunks = payloads.len().to_string()
+    );
+    Ok(payloads)
 }
 
 /// What [`scan`] learned about one cache file.

@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! bench_diff <before.json> <after.json> [--max-regress PCT]
-//!            [--label-before NAME] [--label-after NAME]
+//!            [--label-before NAME] [--label-after NAME] [--json FILE]
 //! ```
 //!
 //! Pairs up benchmarks by name (Criterion bench output and `--profile`
@@ -10,7 +10,14 @@
 //! exits nonzero when any shared benchmark's mean regresses by more than
 //! the threshold (default 10%). `--label-before`/`--label-after` rename
 //! the table columns — e.g. `cold`/`warm` when comparing the
-//! `--trace-cache` profiles under `results/bench/`.
+//! `--trace-cache` profiles under `results/bench/`. `--json FILE`
+//! additionally writes the deltas machine-readably:
+//!
+//! ```text
+//! {"max_regress_pct": .., "regressions": N,
+//!  "deltas": [{"name", "before_ns", "after_ns", "speedup",
+//!              "change_pct", "regressed"}, ..]}
+//! ```
 
 use ampsched_util::timer::{diff_benchmarks, render_diff_labeled};
 use ampsched_util::Json;
@@ -18,7 +25,7 @@ use ampsched_util::Json;
 fn usage() -> ! {
     eprintln!(
         "usage: bench_diff <before.json> <after.json> [--max-regress PCT] \
-         [--label-before NAME] [--label-after NAME]"
+         [--label-before NAME] [--label-after NAME] [--json FILE]"
     );
     std::process::exit(2);
 }
@@ -40,6 +47,7 @@ fn main() {
     let mut max_regress_pct = 10.0f64;
     let mut label_before = "before".to_string();
     let mut label_after = "after".to_string();
+    let mut json_path: Option<String> = None;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -57,6 +65,10 @@ fn main() {
             "--label-after" => {
                 i += 1;
                 label_after = args.get(i).cloned().unwrap_or_else(|| usage());
+            }
+            "--json" => {
+                i += 1;
+                json_path = Some(args.get(i).cloned().unwrap_or_else(|| usage()));
             }
             a if a.starts_with('-') => usage(),
             a => paths.push(a.to_string()),
@@ -88,6 +100,32 @@ fn main() {
         .iter()
         .filter(|d| d.change_pct() > max_regress_pct)
         .collect();
+    if let Some(path) = &json_path {
+        let doc = Json::obj([
+            ("before", Json::from(before_path.as_str())),
+            ("after", Json::from(after_path.as_str())),
+            ("max_regress_pct", Json::from(max_regress_pct)),
+            ("regressions", Json::from(regressions.len() as u64)),
+            (
+                "deltas",
+                Json::arr(deltas.iter().map(|d| {
+                    Json::obj([
+                        ("name", Json::from(d.name.as_str())),
+                        ("before_ns", Json::from(d.before_ns)),
+                        ("after_ns", Json::from(d.after_ns)),
+                        ("speedup", Json::from(d.speedup())),
+                        ("change_pct", Json::from(d.change_pct())),
+                        ("regressed", Json::from(d.change_pct() > max_regress_pct)),
+                    ])
+                })),
+            ),
+        ]);
+        if let Err(e) = std::fs::write(path, doc.render_pretty()) {
+            eprintln!("bench_diff: cannot write {path}: {e}");
+            std::process::exit(2);
+        }
+        eprintln!("[diff report written to {path}]");
+    }
     if !regressions.is_empty() {
         eprintln!(
             "bench_diff: {} benchmark(s) regressed past {max_regress_pct}%",

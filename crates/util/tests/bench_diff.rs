@@ -47,6 +47,34 @@ fn cli_passes_under_loose_threshold() {
 }
 
 #[test]
+fn cli_json_report_mirrors_the_table() {
+    let out_path = std::env::temp_dir().join(format!("bench-diff-json-{}.json", std::process::id()));
+    let out = Command::new(env!("CARGO_BIN_EXE_bench_diff"))
+        .args([
+            fixture("bench_before.json"),
+            fixture("bench_after.json"),
+            "--json".into(),
+            out_path.display().to_string(),
+        ])
+        .output()
+        .expect("run bench_diff");
+    assert_eq!(out.status.code(), Some(1), "regression exit survives --json");
+    let doc = Json::parse(&std::fs::read_to_string(&out_path).expect("json written")).unwrap();
+    std::fs::remove_file(&out_path).ok();
+    assert_eq!(doc.get("regressions").and_then(Json::as_u64), Some(1));
+    assert_eq!(doc.get("max_regress_pct").and_then(Json::as_f64), Some(10.0));
+    let deltas = doc.get("deltas").and_then(Json::as_arr).expect("deltas");
+    assert_eq!(deltas.len(), 2);
+    let kernel = deltas
+        .iter()
+        .find(|d| d.get("name").and_then(Json::as_str) == Some("kernel"))
+        .expect("kernel delta");
+    assert_eq!(kernel.get("regressed").and_then(Json::as_bool), Some(true));
+    assert!((kernel.get("change_pct").and_then(Json::as_f64).unwrap() - 80.0).abs() < 1e-9);
+    assert!(kernel.get("speedup").and_then(Json::as_f64).unwrap() < 1.0);
+}
+
+#[test]
 fn cli_rejects_bad_usage() {
     let out = Command::new(env!("CARGO_BIN_EXE_bench_diff"))
         .arg(fixture("bench_before.json"))

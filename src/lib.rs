@@ -20,6 +20,7 @@
 //! | [`sched`] | `ampsched-core` | **the paper's contribution** + reference schedulers |
 //! | [`system`] | `ampsched-system` | the dual-core AMP and run loop |
 //! | [`metrics`] | `ampsched-metrics` | IPC/Watt, speedups, reporting |
+//! | [`obs`] | `ampsched-obs` | logging, counters, spans, decision telemetry |
 //! | [`experiments`] | `ampsched-experiments` | per-figure/table drivers |
 //!
 //! ## Quickstart
@@ -46,6 +47,7 @@ pub use ampsched_experiments as experiments;
 pub use ampsched_isa as isa;
 pub use ampsched_mem as mem;
 pub use ampsched_metrics as metrics;
+pub use ampsched_obs as obs;
 pub use ampsched_power as power;
 pub use ampsched_system as system;
 pub use ampsched_trace as workloads;
