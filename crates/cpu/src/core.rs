@@ -13,10 +13,17 @@ use ampsched_trace::Workload;
 use crate::activity::ActivityCounters;
 use crate::config::CoreConfig;
 use crate::fu::FuPool;
+use crate::profile::{PipeSnapshot, StallCause};
 use crate::stats::CoreStats;
 
 /// Sentinel: result not yet produced.
 const NOT_READY: u64 = u64::MAX;
+
+// Indices into `Core::issue_wake`, one per issue structure.
+const IW_INT: usize = 0;
+const IW_FP: usize = 1;
+const IW_LOADS: usize = 2;
+const IW_STORES: usize = 3;
 
 /// A resolved data dependency: the producing ROB slot plus its sequence
 /// number (slot reuse is detected by sequence mismatch, which implies the
@@ -58,13 +65,151 @@ impl Default for RobSlot {
     }
 }
 
+/// Packed encoding of [`RobSlot::dst_fp`], shared with `state_digest`.
+const DST_NONE: u8 = 0;
+const DST_INT: u8 = 1;
+const DST_FP: u8 = 2;
+
+/// Reorder-buffer storage as a struct of parallel packed arrays.
+///
+/// The per-cycle sweeps — issue wakeup over the queues, the quiescence
+/// event scan, dependency checks, the commit select — each read only one
+/// or two fields of many slots. Packing each field densely keeps those
+/// sweeps inside a handful of cache lines instead of striding across
+/// ~88-byte `RobSlot` records, which is where the fast path's wide
+/// stage passes get their locality.
+///
+/// The frozen reference stages keep reading and writing whole seed-shaped
+/// [`RobSlot`] values through [`Rob::get`]/[`Rob::set`], so their stage
+/// bodies stay semantically verbatim over the new layout. Both kernels
+/// share this storage; there is no mirrored state to keep coherent.
+struct Rob {
+    seq: Vec<u64>,
+    ready_at: Vec<u64>,
+    dispatched_at: Vec<u64>,
+    class: Vec<OpClass>,
+    src1_slot: Vec<u32>,
+    src1_seq: Vec<u64>,
+    src2_slot: Vec<u32>,
+    src2_seq: Vec<u64>,
+    /// `DST_NONE` / `DST_INT` / `DST_FP`.
+    dst_fp: Vec<u8>,
+    addr: Vec<u64>,
+    mispredicted: Vec<bool>,
+}
+
+impl Rob {
+    fn new(cap: usize) -> Self {
+        Rob {
+            seq: vec![0; cap],
+            ready_at: vec![NOT_READY; cap],
+            dispatched_at: vec![0; cap],
+            class: vec![OpClass::IntAlu; cap],
+            src1_slot: vec![0; cap],
+            src1_seq: vec![0; cap],
+            src2_slot: vec![0; cap],
+            src2_seq: vec![0; cap],
+            dst_fp: vec![DST_NONE; cap],
+            addr: vec![0; cap],
+            mispredicted: vec![false; cap],
+        }
+    }
+
+    /// Number of slots (the configured ROB size).
+    #[inline]
+    fn cap(&self) -> usize {
+        self.seq.len()
+    }
+
+    /// Materialize slot `i` as the seed simulator's `RobSlot` value (the
+    /// frozen reference stages consume whole slots, exactly as the seed
+    /// did over the array-of-structs layout).
+    #[inline]
+    fn get(&self, i: usize) -> RobSlot {
+        RobSlot {
+            seq: self.seq[i],
+            class: self.class[i],
+            dispatched_at: self.dispatched_at[i],
+            ready_at: self.ready_at[i],
+            src1: Dep {
+                slot: self.src1_slot[i],
+                seq: self.src1_seq[i],
+            },
+            src2: Dep {
+                slot: self.src2_slot[i],
+                seq: self.src2_seq[i],
+            },
+            dst_fp: match self.dst_fp[i] {
+                DST_NONE => None,
+                DST_INT => Some(false),
+                _ => Some(true),
+            },
+            addr: self.addr[i],
+            mispredicted: self.mispredicted[i],
+        }
+    }
+
+    /// Scatter a whole `RobSlot` value into the parallel arrays.
+    #[inline]
+    fn set(&mut self, i: usize, s: RobSlot) {
+        self.seq[i] = s.seq;
+        self.ready_at[i] = s.ready_at;
+        self.dispatched_at[i] = s.dispatched_at;
+        self.class[i] = s.class;
+        self.src1_slot[i] = s.src1.slot;
+        self.src1_seq[i] = s.src1.seq;
+        self.src2_slot[i] = s.src2.slot;
+        self.src2_seq[i] = s.src2.seq;
+        self.dst_fp[i] = match s.dst_fp {
+            None => DST_NONE,
+            Some(false) => DST_INT,
+            Some(true) => DST_FP,
+        };
+        self.addr[i] = s.addr;
+        self.mispredicted[i] = s.mispredicted;
+    }
+
+    /// Is the value behind dependency (`slot`, `seq`) readable at `now`?
+    /// A sequence mismatch means the producer committed (slot reuse), so
+    /// the value is architecturally available.
+    #[inline]
+    fn dep_ready(&self, slot: u32, seq: u64, now: u64) -> bool {
+        if seq == 0 {
+            return true;
+        }
+        let i = slot as usize;
+        self.seq[i] != seq || self.ready_at[i] <= now
+    }
+
+    /// The first cycle at which dependency (`slot`, `seq`) is readable:
+    /// 0 when already architecturally available, the producer's
+    /// `ready_at` when it has issued, [`NOT_READY`] when the completion
+    /// time is still unknown. `dep_time(..) <= now` ⇔ `dep_ready(.., now)`,
+    /// and the value can only move *earlier* through a `ready_at` write
+    /// (an issue event) — never through commit, which needs
+    /// `ready_at <= now` itself. The issue-horizon skips below rely on
+    /// exactly that monotonicity.
+    #[inline]
+    fn dep_time(&self, slot: u32, seq: u64) -> u64 {
+        if seq == 0 {
+            return 0;
+        }
+        let i = slot as usize;
+        if self.seq[i] != seq {
+            0
+        } else {
+            self.ready_at[i]
+        }
+    }
+}
+
 /// One out-of-order core executing a [`Workload`] stream.
 pub struct Core {
     cfg: CoreConfig,
     core_id: usize,
 
-    // Reorder buffer (ring).
-    rob: Vec<RobSlot>,
+    // Reorder buffer (ring), stored as parallel packed arrays.
+    rob: Rob,
     rob_head: usize,
     rob_len: usize,
     next_seq: u64,
@@ -90,6 +235,41 @@ pub struct Core {
     // runners guarantee this).
     loads_unissued: Vec<u32>,
     stores_unissued: Vec<u32>,
+
+    // Issue horizons (fast path only): `issue_wake[q]` is a proven lower
+    // bound on the next cycle at which issue structure `q` could grant
+    // anything, so sweeps at cycles strictly below it are skipped
+    // entirely. A full sweep that grants nothing computes the bound from
+    // its failure causes (producer `ready_at`, dispatch cycle, FU
+    // occupancy); any issue event drags every horizon down to its
+    // completion time (a dependent cannot wake before its producer's
+    // `ready_at`), a dispatch insert zeroes the target queue's horizon,
+    // and a flush or the reference path resets them all. Derived state:
+    // excluded from `state_digest`, never read by the `ref_*` stages.
+    issue_wake: [u64; 4],
+
+    // Per-entry wake caches for the four issue structures, maintained in
+    // lockstep with `isq_int`/`isq_fp`/`loads_unissued`/`stores_unissued`
+    // by the fast path (push on dispatch, compact or remove with the
+    // sweep). `wake[i]` is a sound lower bound on entry `i`'s first
+    // eligible cycle: finite bounds stay valid forever (dep times are
+    // immutable once known, FU pools only get busier, and a load's
+    // blocking stores are all present at dispatch — in-order dispatch —
+    // and cannot leave the store queue before their own `ready_at`),
+    // while `NOT_READY` means "blocked on a producer or store whose
+    // completion is unknown" and must be re-examined once any issue
+    // event lands — `isq_recheck[q]` tracks the earliest such event per
+    // structure (indexed by `IW_*`). The sweep skips a cached entry with
+    // one compare instead of re-reading its whole dependency state (for
+    // loads that includes the O(store-queue) disambiguation scan). The
+    // reference path clears the caches (its frozen stages push/remove
+    // without maintaining them); the fast sweeps re-align a cleared
+    // cache by refilling with zeros.
+    isq_int_wake: Vec<u64>,
+    isq_fp_wake: Vec<u64>,
+    loads_wake: Vec<u64>,
+    stores_wake: Vec<u64>,
+    isq_recheck: [u64; 4],
 
     // Functional units (six arithmetic classes).
     fus: [FuPool; 6],
@@ -120,7 +300,7 @@ impl Core {
             FuPool::new(cfg.fu[5]),
         ];
         Core {
-            rob: vec![RobSlot::default(); cfg.rob_size as usize],
+            rob: Rob::new(cfg.rob_size as usize),
             rob_head: 0,
             rob_len: 0,
             next_seq: 1,
@@ -133,6 +313,12 @@ impl Core {
             stores: Vec::with_capacity(cfg.lsq_stores as usize),
             loads_unissued: Vec::with_capacity(cfg.lsq_loads as usize),
             stores_unissued: Vec::with_capacity(cfg.lsq_stores as usize),
+            issue_wake: [0; 4],
+            isq_int_wake: Vec::with_capacity(cfg.int_isq as usize),
+            isq_fp_wake: Vec::with_capacity(cfg.fp_isq as usize),
+            loads_wake: Vec::with_capacity(cfg.lsq_loads as usize),
+            stores_wake: Vec::with_capacity(cfg.lsq_stores as usize),
+            isq_recheck: [NOT_READY; 4],
             fus,
             pending: None,
             fetch_ready_at: 0,
@@ -163,12 +349,22 @@ impl Core {
 
     #[inline]
     fn dep_ready(&self, dep: Dep, now: u64) -> bool {
-        if dep.seq == 0 {
-            return true;
-        }
-        let slot = &self.rob[dep.slot as usize];
         // Slot reused or freed => producer committed => value available.
-        slot.seq != dep.seq || slot.ready_at <= now
+        self.rob.dep_ready(dep.slot, dep.seq, now)
+    }
+
+    /// Drag every issue horizon down to `t`: an issue event with
+    /// completion time `t` may wake dependents in any structure, but none
+    /// of them before the producing result is ready. Entries cached as
+    /// blocked-on-unknown-producer must be re-examined from `t` as well.
+    #[inline]
+    fn wake_all_at(&mut self, t: u64) {
+        for w in &mut self.issue_wake {
+            *w = (*w).min(t);
+        }
+        for r in &mut self.isq_recheck {
+            *r = (*r).min(t);
+        }
     }
 
     #[inline]
@@ -210,6 +406,17 @@ impl Core {
     ) -> u32 {
         self.stats.cycles += 1;
         self.activity.cycles += 1;
+        // The frozen stages below mutate `ready_at` and the queues
+        // without maintaining the fast path's issue horizons or wake
+        // caches; keep them inert so a core that ever ran reference
+        // ticks can still be ticked fast safely (the fast sweep refills
+        // a cleared cache with zeros, forcing full re-examination).
+        self.issue_wake = [0; 4];
+        self.isq_int_wake.clear();
+        self.isq_fp_wake.clear();
+        self.loads_wake.clear();
+        self.stores_wake.clear();
+        self.isq_recheck = [0; 4];
         let committed = self.ref_commit(now, mem);
         self.ref_issue(now, mem);
         self.ref_dispatch(now, workload, mem);
@@ -220,26 +427,36 @@ impl Core {
 
     fn commit(&mut self, now: u64, mem: &mut MemSystem) -> u32 {
         let width = self.cfg.commit_width as u32;
-        let rob_cap = self.rob.len();
+        let rob_cap = self.rob.cap();
+        // Select pass: sweep the ring head over the packed `ready_at`
+        // array to size this cycle's retirement batch. Retiring an op
+        // never changes a younger op's `ready_at`, so the batch decided
+        // here equals what the per-op interleaved loop would retire.
+        // Branchy ring wrap instead of `%`: the capacity is not a power
+        // of two, so modulo compiles to an integer division on the
+        // per-op path.
         let mut n = 0u32;
-        // Batched retirement accounting: load only the head fields needed
-        // (not the whole slot), hoist the width/capacity lookups out of
-        // the loop, and roll the per-op bookkeeping into one pass.
-        while n < width && self.rob_len > 0 {
-            let idx = self.rob_head;
-            let (ready_at, class, dst_fp, addr, mispredicted) = {
-                let s = &self.rob[idx];
-                (s.ready_at, s.class, s.dst_fp, s.addr, s.mispredicted)
-            };
-            if ready_at > now {
-                break;
+        let mut idx = self.rob_head;
+        while n < width && (n as usize) < self.rob_len && self.rob.ready_at[idx] <= now {
+            n += 1;
+            idx += 1;
+            if idx == rob_cap {
+                idx = 0;
             }
-            // Retire.
+        }
+        if n == 0 {
+            return 0;
+        }
+        // Retire pass: per-op bookkeeping for the whole batch, reading
+        // only the fields each op class needs from the packed arrays.
+        let mut idx = self.rob_head;
+        for _ in 0..n {
+            let class = self.rob.class[idx];
             match class {
                 OpClass::Store => {
                     // Write-back through the store buffer: update cache
                     // state; latency is off the critical path.
-                    let _ = mem.access(self.core_id, AccessKind::Store, addr, now);
+                    let _ = mem.access(self.core_id, AccessKind::Store, self.rob.addr[idx], now);
                     self.activity.dcache_accesses += 1;
                     // Free the store-queue entry (the head is the oldest
                     // store, so this is the front in the common case).
@@ -254,26 +471,27 @@ impl Core {
                 }
                 OpClass::Branch => {
                     self.stats.branches += 1;
-                    if mispredicted {
+                    if self.rob.mispredicted[idx] {
                         self.stats.mispredicts += 1;
                     }
                 }
                 _ => {}
             }
-            if let Some(fp) = dst_fp {
-                if fp {
-                    self.fp_free += 1;
-                } else {
-                    self.int_free += 1;
-                }
+            match self.rob.dst_fp[idx] {
+                DST_FP => self.fp_free += 1,
+                DST_INT => self.int_free += 1,
+                _ => {}
             }
             self.stats.committed.record(class);
-            self.activity.commits += 1;
-            self.rob[idx].seq = 0;
-            self.rob_head = (idx + 1) % rob_cap;
-            self.rob_len -= 1;
-            n += 1;
+            self.rob.seq[idx] = 0;
+            idx += 1;
+            if idx == rob_cap {
+                idx = 0;
+            }
         }
+        self.activity.commits += n as u64;
+        self.rob_head = idx;
+        self.rob_len -= n as usize;
         n
     }
 
@@ -282,7 +500,7 @@ impl Core {
         let mut n = 0u32;
         while n < self.cfg.commit_width as u32 && self.rob_len > 0 {
             let idx = self.rob_head;
-            let slot = self.rob[idx];
+            let slot = self.rob.get(idx);
             if slot.ready_at > now {
                 break;
             }
@@ -316,8 +534,8 @@ impl Core {
             }
             self.stats.committed.record(slot.class);
             self.activity.commits += 1;
-            self.rob[idx].seq = 0;
-            self.rob_head = (self.rob_head + 1) % self.rob.len();
+            self.rob.seq[idx] = 0;
+            self.rob_head = (self.rob_head + 1) % self.rob.cap();
             self.rob_len -= 1;
             n += 1;
         }
@@ -327,14 +545,25 @@ impl Core {
     // --- Issue -------------------------------------------------------
 
     fn issue(&mut self, now: u64, mem: &mut MemSystem) {
-        // CAM wakeup energy ∝ queue occupancy.
+        // CAM wakeup energy ∝ queue occupancy (charged every cycle, even
+        // when a sweep below is skipped: the CAM still burns power).
         self.activity.isq_int_wakeups += self.isq_int.len() as u64;
         self.activity.isq_fp_wakeups += self.isq_fp.len() as u64;
 
-        self.issue_arith_queue(false, now);
-        self.issue_arith_queue(true, now);
-        self.issue_loads(now, mem);
-        self.issue_stores(now);
+        // Sweep each structure only at or past its issue horizon: below
+        // it, the sweep is proven to grant nothing and mutate nothing.
+        if self.issue_wake[IW_INT] <= now {
+            self.issue_arith_queue(false, now);
+        }
+        if self.issue_wake[IW_FP] <= now {
+            self.issue_arith_queue(true, now);
+        }
+        if self.issue_wake[IW_LOADS] <= now {
+            self.issue_loads(now, mem);
+        }
+        if self.issue_wake[IW_STORES] <= now {
+            self.issue_stores(now);
+        }
     }
 
     /// Reference copy of the seed simulator's issue stage (frozen).
@@ -354,27 +583,62 @@ impl Core {
         } else {
             self.cfg.issue_width_int
         } as usize;
-        // Single compaction pass over the queue instead of `Vec::remove`
-        // per issued op: surviving entries are written back in place, so
-        // age order is preserved with no quadratic shifting. A failed
-        // `try_issue` does not mutate the pool, so attempting entries in
-        // the same order yields the same grants as the reference.
+        // One wide wakeup/select sweep per cycle: a single compaction
+        // pass over the whole queue batch instead of `Vec::remove` per
+        // issued op — surviving entries are written back in place, so age
+        // order is preserved with no quadratic shifting. Every per-entry
+        // check is a packed-array read (`dispatched_at`, then the
+        // `seq`/`ready_at` pairs behind each source), so the sweep stays
+        // in a few hot cache lines. A failed `try_issue` does not mutate
+        // the pool, so attempting entries in the same order yields the
+        // same grants as the reference.
+        let q = if fp { IW_FP } else { IW_INT };
         let mut queue = std::mem::take(if fp { &mut self.isq_fp } else { &mut self.isq_int });
+        let mut wakes = std::mem::take(if fp {
+            &mut self.isq_fp_wake
+        } else {
+            &mut self.isq_int_wake
+        });
+        // Re-align a cache the reference path cleared (or a fresh core):
+        // zeros force a full re-examination, which is always sound.
+        if wakes.len() != queue.len() {
+            wakes.clear();
+            wakes.resize(queue.len(), 0);
+        }
+        let recheck = self.isq_recheck[q];
         let mut issued = 0usize;
         let mut kept = 0usize;
         let mut i = 0usize;
+        // Issue-horizon accumulators: `earliest` is the min over failing
+        // entries of the first cycle each could become eligible;
+        // `min_done` is the min completion time of this sweep's grants
+        // (dependents anywhere cannot wake before that).
+        let mut earliest = u64::MAX;
+        let mut min_done = u64::MAX;
+        let mut skipped_unknown = false;
         while i < queue.len() && issued < width {
+            // Cached skip: a finite bound stays sound forever; an unknown
+            // one (`NOT_READY`) holds until the recheck event.
+            let cached = wakes[i];
+            if cached > now && (cached != NOT_READY || recheck > now) {
+                earliest = earliest.min(cached);
+                skipped_unknown |= cached == NOT_READY;
+                queue[kept] = queue[i];
+                wakes[kept] = cached;
+                kept += 1;
+                i += 1;
+                continue;
+            }
             let slot_idx = queue[i] as usize;
             let mut keep = true;
-            {
-                let (dispatched_at, src1, src2, class, dst_fp) = {
-                    let s = &self.rob[slot_idx];
-                    (s.dispatched_at, s.src1, s.src2, s.class, s.dst_fp)
-                };
-                if dispatched_at < now
-                    && self.dep_ready(src1, now)
-                    && self.dep_ready(src2, now)
-                {
+            let mut entry_wake = now + 1; // dispatched-this-cycle default
+            if self.rob.dispatched_at[slot_idx] < now {
+                let s1_seq = self.rob.src1_seq[slot_idx];
+                let s2_seq = self.rob.src2_seq[slot_idx];
+                let d1 = self.rob.dep_time(self.rob.src1_slot[slot_idx], s1_seq);
+                let d2 = self.rob.dep_time(self.rob.src2_slot[slot_idx], s2_seq);
+                if d1 <= now && d2 <= now {
+                    let class = self.rob.class[slot_idx];
                     let done_at = if class.is_branch() {
                         // Dedicated branch/condition unit, 1-cycle latency.
                         Some(now + 1)
@@ -382,42 +646,85 @@ impl Core {
                         self.fus[class.index()].try_issue(now)
                     };
                     if let Some(done_at) = done_at {
-                        self.rob[slot_idx].ready_at = done_at;
-                        // count_issue, inlined from the captured fields.
+                        self.rob.ready_at[slot_idx] = done_at;
+                        min_done = min_done.min(done_at);
+                        // count_issue, inlined from the packed fields.
                         self.activity.fu_ops[class.index()] += 1;
-                        let reads = (src1.seq != 0) as u64 + (src2.seq != 0) as u64;
+                        let reads = (s1_seq != 0) as u64 + (s2_seq != 0) as u64;
                         if class.is_fp() {
                             self.activity.fp_reg_reads += reads;
                         } else {
                             self.activity.int_reg_reads += reads;
                         }
-                        match dst_fp {
-                            Some(true) => self.activity.fp_reg_writes += 1,
-                            Some(false) => self.activity.int_reg_writes += 1,
-                            None => {}
+                        match self.rob.dst_fp[slot_idx] {
+                            DST_FP => self.activity.fp_reg_writes += 1,
+                            DST_INT => self.activity.int_reg_writes += 1,
+                            _ => {}
                         }
                         issued += 1;
                         keep = false;
+                    } else {
+                        // Every unit busy; the pool only gets busier
+                        // within this sweep, so its current earliest-free
+                        // time is a sound (conservative) wake bound.
+                        entry_wake = self.fus[class.index()].earliest_free();
+                        earliest = earliest.min(entry_wake);
                     }
+                } else {
+                    // Not ready: eligible no earlier than the later source
+                    // (`NOT_READY` saturates — wake comes via an issue
+                    // event instead).
+                    entry_wake = d1.max(d2);
+                    earliest = earliest.min(entry_wake);
                 }
+            } else {
+                // Dispatched this very cycle: eligible next cycle.
+                earliest = earliest.min(now + 1);
             }
             if keep {
                 queue[kept] = queue[i];
+                wakes[kept] = entry_wake;
                 kept += 1;
             }
             i += 1;
         }
         // Issue width exhausted: the rest of the queue survives untouched,
-        // so bulk-move it instead of inspecting each entry.
-        if i < queue.len() {
+        // so bulk-move it instead of inspecting each entry — but those
+        // entries were never examined, so the horizon cannot rise past
+        // the next cycle.
+        let full_scan = i == queue.len();
+        if !full_scan {
             queue.copy_within(i.., kept);
+            wakes.copy_within(i.., kept);
             kept += queue.len() - i;
+            earliest = now + 1;
         }
         queue.truncate(kept);
+        wakes.truncate(kept);
         if fp {
             self.isq_fp = queue;
+            self.isq_fp_wake = wakes;
         } else {
             self.isq_int = queue;
+            self.isq_int_wake = wakes;
+        }
+        if full_scan && recheck <= now {
+            // Every unknown-producer entry was just re-examined; the next
+            // issue event will lower this again.
+            self.isq_recheck[q] = NOT_READY;
+        }
+        // Unknown-producer entries that were skip-kept under `recheck > now`
+        // contribute nothing to `earliest`; the horizon must not overwrite
+        // the pending recheck bound, or those entries sleep forever.
+        let mut wake = earliest.min(min_done);
+        if skipped_unknown {
+            wake = wake.min(self.isq_recheck[q]);
+        }
+        self.issue_wake[q] = wake;
+        if min_done != u64::MAX {
+            // Grants this sweep: dependents in any structure may wake
+            // once the earliest result is ready.
+            self.wake_all_at(min_done);
         }
     }
 
@@ -435,7 +742,7 @@ impl Core {
                 break;
             }
             let slot_idx = if fp { self.isq_fp[i] } else { self.isq_int[i] } as usize;
-            let slot = self.rob[slot_idx];
+            let slot = self.rob.get(slot_idx);
             let eligible = slot.dispatched_at < now && self.srcs_ready(&slot, now);
             if eligible {
                 let done_at = if slot.class.is_branch() {
@@ -445,7 +752,7 @@ impl Core {
                     self.fus[slot.class.index()].try_issue(now)
                 };
                 if let Some(done_at) = done_at {
-                    self.rob[slot_idx].ready_at = done_at;
+                    self.rob.ready_at[slot_idx] = done_at;
                     self.count_issue(&slot);
                     if fp {
                         self.isq_fp.remove(i);
@@ -485,29 +792,72 @@ impl Core {
         // Fast path: load only the fields needed, skip the store scan
         // when the store queue is empty, and inline the issue accounting
         // (loads use the integer datapath and never a branch/FP unit).
+        //
+        // Per-entry cache: `loads_wake[i]` bounds entry `i`'s first
+        // eligible cycle, so a waiting load costs one compare instead of
+        // the dependency checks plus the O(store-queue) disambiguation
+        // scan. The bound is permanent when finite — dep times are
+        // immutable once known, and a load's blocking stores are all
+        // older, hence present at its dispatch (in-order), and cannot
+        // leave the queue before their own `ready_at`. `NOT_READY` means
+        // some producer or blocking store has not issued yet; those
+        // entries re-examine at the next issue event (`isq_recheck`).
+        if self.loads_wake.len() != self.loads_unissued.len() {
+            // Reference path ran in between: rebuild with zeros (full
+            // re-examination is always sound).
+            self.loads_wake.clear();
+            self.loads_wake.resize(self.loads_unissued.len(), 0);
+        }
+        let recheck = self.isq_recheck[IW_LOADS];
+        let mut earliest = u64::MAX;
+        let mut skipped_unknown = false;
         for i in 0..self.loads_unissued.len() {
-            let slot_idx = self.loads_unissued[i] as usize;
-            let (dispatched_at, seq, src1, src2, addr, dst_fp) = {
-                let s = &self.rob[slot_idx];
-                (s.dispatched_at, s.seq, s.src1, s.src2, s.addr, s.dst_fp)
-            };
-            if dispatched_at >= now || !self.dep_ready(src1, now) || !self.dep_ready(src2, now) {
+            let cached = self.loads_wake[i];
+            if cached > now && (cached != NOT_READY || recheck > now) {
+                earliest = earliest.min(cached);
+                skipped_unknown |= cached == NOT_READY;
                 continue;
             }
+            let slot_idx = self.loads_unissued[i] as usize;
+            let da = self.rob.dispatched_at[slot_idx];
+            if da >= now {
+                self.loads_wake[i] = now + 1; // dispatched this cycle
+                earliest = earliest.min(now + 1);
+                continue;
+            }
+            let s1_seq = self.rob.src1_seq[slot_idx];
+            let s2_seq = self.rob.src2_seq[slot_idx];
+            let d1 = self.rob.dep_time(self.rob.src1_slot[slot_idx], s1_seq);
+            let d2 = self.rob.dep_time(self.rob.src2_slot[slot_idx], s2_seq);
+            if d1 > now || d2 > now {
+                self.loads_wake[i] = d1.max(d2);
+                earliest = earliest.min(d1.max(d2));
+                continue;
+            }
+            let seq = self.rob.seq[slot_idx];
+            let addr = self.rob.addr[slot_idx];
             // Disambiguation against older, in-flight stores to the same
-            // 8-byte word (addresses are exact in a trace-driven model).
+            // 8-byte word (addresses are exact in a trace-driven model):
+            // a dense sweep over the store queue's `seq`/`addr`/`ready_at`
+            // columns.
             let mut blocked = false;
             let mut forward = false;
+            // The load unblocks once the *last* matching older store has
+            // its data (a store can never leave the queue before its own
+            // `ready_at`, so retirement cannot unblock it any earlier).
+            let mut unblock_at = 0u64;
             if !self.stores.is_empty() {
                 let word = addr >> 3;
                 for &st_idx in &self.stores {
-                    let st = &self.rob[st_idx as usize];
-                    if st.seq >= seq {
+                    let st = st_idx as usize;
+                    if self.rob.seq[st] >= seq {
                         continue; // younger store: irrelevant
                     }
-                    if st.addr >> 3 == word {
-                        if st.ready_at == NOT_READY || st.ready_at > now {
+                    if self.rob.addr[st] >> 3 == word {
+                        let r = self.rob.ready_at[st];
+                        if r == NOT_READY || r > now {
                             blocked = true; // store data not ready yet
+                            unblock_at = unblock_at.max(r);
                         } else {
                             forward = true;
                         }
@@ -515,6 +865,8 @@ impl Core {
                 }
             }
             if blocked {
+                self.loads_wake[i] = unblock_at;
+                earliest = earliest.min(unblock_at);
                 continue;
             }
             let done_at = if forward {
@@ -524,27 +876,42 @@ impl Core {
                 self.activity.dcache_accesses += 1;
                 now + lat as u64
             };
-            self.rob[slot_idx].ready_at = done_at;
+            self.rob.ready_at[slot_idx] = done_at;
             // count_issue, inlined: Load is integer-domain, non-FP dest
             // unless the load targets an FP register.
             self.activity.fu_ops[OpClass::Load.index()] += 1;
-            self.activity.int_reg_reads +=
-                (src1.seq != 0) as u64 + (src2.seq != 0) as u64;
-            match dst_fp {
-                Some(true) => self.activity.fp_reg_writes += 1,
-                Some(false) => self.activity.int_reg_writes += 1,
-                None => {}
+            self.activity.int_reg_reads += (s1_seq != 0) as u64 + (s2_seq != 0) as u64;
+            match self.rob.dst_fp[slot_idx] {
+                DST_FP => self.activity.fp_reg_writes += 1,
+                DST_INT => self.activity.int_reg_writes += 1,
+                _ => {}
             }
             self.loads_unissued.remove(i);
-            break;
+            self.loads_wake.remove(i);
+            // Single load port: the rest of the queue was not examined,
+            // and this grant may wake dependents anywhere.
+            self.issue_wake[IW_LOADS] = now + 1;
+            self.wake_all_at(done_at);
+            return;
         }
+        // Nothing issued and every non-skipped unissued load examined.
+        if recheck <= now {
+            self.isq_recheck[IW_LOADS] = NOT_READY;
+        }
+        // As in the arith sweep: skip-kept unknown entries are covered by
+        // the pending recheck bound, which the horizon must respect.
+        let mut wake = earliest;
+        if skipped_unknown {
+            wake = wake.min(self.isq_recheck[IW_LOADS]);
+        }
+        self.issue_wake[IW_LOADS] = wake;
     }
 
     /// Reference copy of the seed simulator's load issue (frozen).
     fn ref_issue_loads(&mut self, now: u64, mem: &mut MemSystem) {
         for i in 0..self.loads.len() {
             let slot_idx = self.loads[i];
-            let slot = self.rob[slot_idx as usize];
+            let slot = self.rob.get(slot_idx as usize);
             if slot.ready_at != NOT_READY {
                 continue; // already issued, waiting for data
             }
@@ -554,7 +921,7 @@ impl Core {
             let mut blocked = false;
             let mut forward_from: Option<u64> = None;
             for &st_idx in &self.stores {
-                let st = self.rob[st_idx as usize];
+                let st = self.rob.get(st_idx as usize);
                 if st.seq >= slot.seq {
                     continue; // younger store: irrelevant
                 }
@@ -577,8 +944,8 @@ impl Core {
                 self.activity.dcache_accesses += 1;
                 now + lat as u64
             };
-            self.rob[slot_idx].ready_at = done_at;
-            let s = self.rob[slot_idx];
+            self.rob.ready_at[slot_idx] = done_at;
+            let s = self.rob.get(slot_idx);
             self.count_issue(&s);
             break;
         }
@@ -588,42 +955,76 @@ impl Core {
         // One store port: compute address + capture data. Fast path:
         // walk only the unissued subset, with field loads plus inlined
         // accounting (stores are integer-domain and never have a
-        // destination register).
+        // destination register). Per-entry cache as in `issue_loads`,
+        // minus the disambiguation term (stores have none).
+        if self.stores_wake.len() != self.stores_unissued.len() {
+            self.stores_wake.clear();
+            self.stores_wake.resize(self.stores_unissued.len(), 0);
+        }
+        let recheck = self.isq_recheck[IW_STORES];
+        let mut earliest = u64::MAX;
+        let mut skipped_unknown = false;
         for i in 0..self.stores_unissued.len() {
-            let slot_idx = self.stores_unissued[i] as usize;
-            let (dispatched_at, src1, src2, dst_fp) = {
-                let s = &self.rob[slot_idx];
-                (s.dispatched_at, s.src1, s.src2, s.dst_fp)
-            };
-            if dispatched_at >= now || !self.dep_ready(src1, now) || !self.dep_ready(src2, now) {
+            let cached = self.stores_wake[i];
+            if cached > now && (cached != NOT_READY || recheck > now) {
+                earliest = earliest.min(cached);
+                skipped_unknown |= cached == NOT_READY;
                 continue;
             }
-            self.rob[slot_idx].ready_at = now + 1;
+            let slot_idx = self.stores_unissued[i] as usize;
+            if self.rob.dispatched_at[slot_idx] >= now {
+                self.stores_wake[i] = now + 1; // dispatched this cycle
+                earliest = earliest.min(now + 1);
+                continue;
+            }
+            let s1_seq = self.rob.src1_seq[slot_idx];
+            let s2_seq = self.rob.src2_seq[slot_idx];
+            let d1 = self.rob.dep_time(self.rob.src1_slot[slot_idx], s1_seq);
+            let d2 = self.rob.dep_time(self.rob.src2_slot[slot_idx], s2_seq);
+            if d1 > now || d2 > now {
+                self.stores_wake[i] = d1.max(d2);
+                earliest = earliest.min(d1.max(d2));
+                continue;
+            }
+            self.rob.ready_at[slot_idx] = now + 1;
             self.activity.fu_ops[OpClass::Store.index()] += 1;
-            self.activity.int_reg_reads +=
-                (src1.seq != 0) as u64 + (src2.seq != 0) as u64;
-            match dst_fp {
-                Some(true) => self.activity.fp_reg_writes += 1,
-                Some(false) => self.activity.int_reg_writes += 1,
-                None => {}
+            self.activity.int_reg_reads += (s1_seq != 0) as u64 + (s2_seq != 0) as u64;
+            match self.rob.dst_fp[slot_idx] {
+                DST_FP => self.activity.fp_reg_writes += 1,
+                DST_INT => self.activity.int_reg_writes += 1,
+                _ => {}
             }
             self.stores_unissued.remove(i);
-            break;
+            self.stores_wake.remove(i);
+            // Single store port: unexamined tail + a grant that may wake
+            // dependents (store-to-load forwarding) next cycle.
+            self.issue_wake[IW_STORES] = now + 1;
+            self.wake_all_at(now + 1);
+            return;
         }
+        // Nothing issued and every non-skipped unissued store examined.
+        if recheck <= now {
+            self.isq_recheck[IW_STORES] = NOT_READY;
+        }
+        let mut wake = earliest;
+        if skipped_unknown {
+            wake = wake.min(self.isq_recheck[IW_STORES]);
+        }
+        self.issue_wake[IW_STORES] = wake;
     }
 
     /// Reference copy of the seed simulator's store issue (frozen).
     fn ref_issue_stores(&mut self, now: u64) {
         for &slot_idx in &self.stores {
-            let slot = self.rob[slot_idx as usize];
+            let slot = self.rob.get(slot_idx as usize);
             if slot.ready_at != NOT_READY {
                 continue;
             }
             if slot.dispatched_at >= now || !self.srcs_ready(&slot, now) {
                 continue;
             }
-            self.rob[slot_idx as usize].ready_at = now + 1;
-            let s = self.rob[slot_idx as usize];
+            self.rob.ready_at[slot_idx as usize] = now + 1;
+            let s = self.rob.get(slot_idx as usize);
             self.count_issue(&s);
             break;
         }
@@ -635,10 +1036,11 @@ impl Core {
         // Unresolved mispredicted branch: frontend fetches the wrong path;
         // no correct-path instructions enter until resolve + penalty.
         if let Some(dep) = self.waiting_branch {
-            let slot = &self.rob[dep.slot as usize];
-            let resolved = slot.seq != dep.seq || slot.ready_at <= now;
+            let i = dep.slot as usize;
+            let (slot_seq, slot_ready) = (self.rob.seq[i], self.rob.ready_at[i]);
+            let resolved = slot_seq != dep.seq || slot_ready <= now;
             if resolved {
-                let resolve_time = if slot.seq == dep.seq { slot.ready_at } else { now };
+                let resolve_time = if slot_seq == dep.seq { slot_ready } else { now };
                 self.redirect_until =
                     resolve_time.max(now) + self.cfg.mispredict_penalty as u64;
                 self.waiting_branch = None;
@@ -659,7 +1061,7 @@ impl Core {
         // Structural limits are fixed for the core's lifetime; hoist them
         // out of the per-slot loop so the hot path reads locals only.
         let width = self.cfg.dispatch_width;
-        let rob_cap = self.rob.len();
+        let rob_cap = self.rob.cap();
         let lsq_loads = self.cfg.lsq_loads as usize;
         let lsq_stores = self.cfg.lsq_stores as usize;
         let fp_isq = self.cfg.fp_isq as usize;
@@ -734,7 +1136,10 @@ impl Core {
             // All clear: allocate and rename.
             let seq = self.next_seq;
             self.next_seq += 1;
-            let tail = (self.rob_head + self.rob_len) % rob_cap;
+            let mut tail = self.rob_head + self.rob_len;
+            if tail >= rob_cap {
+                tail -= rob_cap;
+            }
 
             let dep_of = |r: Option<ArchReg>, lw: &[Dep]| -> Dep {
                 match r {
@@ -745,17 +1150,23 @@ impl Core {
             let src1 = dep_of(op.src1, &self.last_writer);
             let src2 = dep_of(op.src2, &self.last_writer);
 
-            self.rob[tail] = RobSlot {
-                seq,
-                class: op.class,
-                dispatched_at: now,
-                ready_at: NOT_READY,
-                src1,
-                src2,
-                dst_fp,
-                addr: op.addr,
-                mispredicted: op.class.is_branch() && !op.predicted_correctly,
+            // Scatter the new op across the packed columns (one store per
+            // column; the per-cycle sweeps read them back densely).
+            self.rob.seq[tail] = seq;
+            self.rob.class[tail] = op.class;
+            self.rob.dispatched_at[tail] = now;
+            self.rob.ready_at[tail] = NOT_READY;
+            self.rob.src1_slot[tail] = src1.slot;
+            self.rob.src1_seq[tail] = src1.seq;
+            self.rob.src2_slot[tail] = src2.slot;
+            self.rob.src2_seq[tail] = src2.seq;
+            self.rob.dst_fp[tail] = match dst_fp {
+                None => DST_NONE,
+                Some(false) => DST_INT,
+                Some(true) => DST_FP,
             };
+            self.rob.addr[tail] = op.addr;
+            self.rob.mispredicted[tail] = op.class.is_branch() && !op.predicted_correctly;
             self.rob_len += 1;
             self.pending = None;
 
@@ -772,24 +1183,34 @@ impl Core {
             }
 
             self.activity.dispatches += 1;
+            // A fresh entry is eligible next cycle: zero the target
+            // structure's issue horizon.
             match op.class {
                 OpClass::Load | OpClass::Store => {
                     self.activity.lsq_inserts += 1;
                     if op.class == OpClass::Load {
                         self.loads.push(tail as u32);
                         self.loads_unissued.push(tail as u32);
+                        self.loads_wake.push(0);
+                        self.issue_wake[IW_LOADS] = 0;
                     } else {
                         self.stores.push(tail as u32);
                         self.stores_unissued.push(tail as u32);
+                        self.stores_wake.push(0);
+                        self.issue_wake[IW_STORES] = 0;
                     }
                 }
                 c if c.is_fp() => {
                     self.activity.isq_fp_inserts += 1;
                     self.isq_fp.push(tail as u32);
+                    self.isq_fp_wake.push(0);
+                    self.issue_wake[IW_FP] = 0;
                 }
                 _ => {
                     self.activity.isq_int_inserts += 1;
                     self.isq_int.push(tail as u32);
+                    self.isq_int_wake.push(0);
+                    self.issue_wake[IW_INT] = 0;
                 }
             }
 
@@ -812,7 +1233,7 @@ impl Core {
         // Unresolved mispredicted branch: frontend fetches the wrong path;
         // no correct-path instructions enter until resolve + penalty.
         if let Some(dep) = self.waiting_branch {
-            let slot = &self.rob[dep.slot as usize];
+            let slot = self.rob.get(dep.slot as usize);
             let resolved = slot.seq != dep.seq || slot.ready_at <= now;
             if resolved {
                 let resolve_time = if slot.seq == dep.seq { slot.ready_at } else { now };
@@ -855,7 +1276,7 @@ impl Core {
             }
 
             // Structural hazards.
-            if self.rob_len == self.rob.len() {
+            if self.rob_len == self.rob.cap() {
                 self.stats.rob_full_stalls += 1;
                 return;
             }
@@ -901,7 +1322,7 @@ impl Core {
             // All clear: allocate and rename.
             let seq = self.next_seq;
             self.next_seq += 1;
-            let tail = (self.rob_head + self.rob_len) % self.rob.len();
+            let tail = (self.rob_head + self.rob_len) % self.rob.cap();
 
             let dep_of = |r: Option<ArchReg>, lw: &[Dep]| -> Dep {
                 match r {
@@ -912,17 +1333,20 @@ impl Core {
             let src1 = dep_of(op.src1, &self.last_writer);
             let src2 = dep_of(op.src2, &self.last_writer);
 
-            self.rob[tail] = RobSlot {
-                seq,
-                class: op.class,
-                dispatched_at: now,
-                ready_at: NOT_READY,
-                src1,
-                src2,
-                dst_fp,
-                addr: op.addr,
-                mispredicted: op.class.is_branch() && !op.predicted_correctly,
-            };
+            self.rob.set(
+                tail,
+                RobSlot {
+                    seq,
+                    class: op.class,
+                    dispatched_at: now,
+                    ready_at: NOT_READY,
+                    src1,
+                    src2,
+                    dst_fp,
+                    addr: op.addr,
+                    mispredicted: op.class.is_branch() && !op.predicted_correctly,
+                },
+            );
             self.rob_len += 1;
             self.pending = None;
 
@@ -978,9 +1402,7 @@ impl Core {
     /// a thread is migrated off this core; uncommitted trace ops are
     /// dropped (statistically irrelevant for a stochastic trace).
     pub fn flush_pipeline(&mut self) {
-        for s in &mut self.rob {
-            s.seq = 0;
-        }
+        self.rob.seq.fill(0);
         self.rob_head = 0;
         self.rob_len = 0;
         self.last_writer = [Dep::default(); ampsched_isa::regs::NUM_ARCH_REGS];
@@ -992,6 +1414,12 @@ impl Core {
         self.stores.clear();
         self.loads_unissued.clear();
         self.stores_unissued.clear();
+        self.issue_wake = [0; 4];
+        self.isq_int_wake.clear();
+        self.isq_fp_wake.clear();
+        self.loads_wake.clear();
+        self.stores_wake.clear();
+        self.isq_recheck = [NOT_READY; 4];
         for fu in &mut self.fus {
             fu.reset();
         }
@@ -1006,6 +1434,42 @@ impl Core {
     pub fn stall_until(&mut self, cycle: u64) {
         self.fetch_ready_at = self.fetch_ready_at.max(cycle);
         self.redirect_until = self.redirect_until.max(cycle);
+    }
+
+    /// Classify and snapshot the pipeline for the sampled profiler —
+    /// occupancies, cumulative committed count, and the dominant stall
+    /// cause at `now`. Pure observation: reads packed state the stages
+    /// already maintain, mutates nothing, and is identical under either
+    /// kernel path (it only touches architectural state both share).
+    pub fn pipe_snapshot(&self, now: u64) -> PipeSnapshot {
+        let stall = if self.rob_len == 0 {
+            if self.fetch_ready_at > now || self.redirect_until > now {
+                // Swap overhead, an L1I miss, or a branch redirect is
+                // holding fetch while the window sits empty.
+                StallCause::FrontendStall
+            } else {
+                StallCause::FrontendEmpty
+            }
+        } else {
+            let h = self.rob_head;
+            if self.rob.ready_at[h] <= now {
+                StallCause::Committing
+            } else if self.rob.class[h].is_mem() {
+                StallCause::MemWait
+            } else {
+                StallCause::ExecWait
+            }
+        };
+        PipeSnapshot {
+            rob: self.rob_len as u32,
+            isq_int: self.isq_int.len() as u32,
+            isq_fp: self.isq_fp.len() as u32,
+            lq: self.loads.len() as u32,
+            sq: self.stores.len() as u32,
+            committed: self.stats.committed.total(),
+            issue_slots: (self.cfg.issue_width_int + self.cfg.issue_width_fp + 2) as u32,
+            stall,
+        }
     }
 
     // --- Skip-ahead fast path ------------------------------------------
@@ -1031,7 +1495,7 @@ impl Core {
         // 1. Commit: the head retires once its result is ready. A head
         //    with no result yet is covered by its own issue candidate.
         if self.rob_len > 0 {
-            let r = self.rob[self.rob_head].ready_at;
+            let r = self.rob.ready_at[self.rob_head];
             if r != NOT_READY {
                 best = best.min(r.max(now));
                 if best <= horizon {
@@ -1042,15 +1506,16 @@ impl Core {
 
         // 2. Frontend.
         if let Some(dep) = self.waiting_branch {
-            let slot = &self.rob[dep.slot as usize];
-            if slot.seq != dep.seq {
+            let i = dep.slot as usize;
+            if self.rob.seq[i] != dep.seq {
                 // Producer slot reused: resolves on the very next tick.
                 return now;
             }
-            if slot.ready_at != NOT_READY {
+            let ready = self.rob.ready_at[i];
+            if ready != NOT_READY {
                 // Resolution must happen at exactly the ready cycle — the
                 // redirect window is measured from it.
-                best = best.min(slot.ready_at.max(now));
+                best = best.min(ready.max(now));
                 if best <= horizon {
                     return best;
                 }
@@ -1070,7 +1535,7 @@ impl Core {
                 // quiescent region, so a blocked verdict holds until some
                 // other (commit/issue) event fires first.
                 Some(op) => {
-                    if self.rob_len == self.rob.len() {
+                    if self.rob_len == self.rob.cap() {
                         true
                     } else {
                         let dst_fp = op.effective_dst().map(|r| r.is_fp());
@@ -1111,12 +1576,13 @@ impl Core {
         //    the chain bottoms out at the ROB head.
         for queue in [&self.isq_int, &self.isq_fp] {
             for &slot_idx in queue.iter() {
-                let s = &self.rob[slot_idx as usize];
-                let mut t = (s.dispatched_at + 1)
-                    .max(self.dep_event_time(s.src1))
-                    .max(self.dep_event_time(s.src2));
-                if !s.class.is_branch() {
-                    t = t.max(self.fus[s.class.index()].earliest_free());
+                let s = slot_idx as usize;
+                let class = self.rob.class[s];
+                let mut t = (self.rob.dispatched_at[s] + 1)
+                    .max(self.dep_event_time(self.rob.src1_slot[s], self.rob.src1_seq[s]))
+                    .max(self.dep_event_time(self.rob.src2_slot[s], self.rob.src2_seq[s]));
+                if !class.is_branch() {
+                    t = t.max(self.fus[class.index()].earliest_free());
                 }
                 if t == u64::MAX {
                     continue;
@@ -1131,17 +1597,19 @@ impl Core {
         // 4. Unissued loads: sources ready, plus every older in-flight
         //    store to the same word resolved (for bypass or forwarding).
         for &slot_idx in &self.loads {
-            let s = &self.rob[slot_idx as usize];
-            if s.ready_at != NOT_READY {
+            let s = slot_idx as usize;
+            if self.rob.ready_at[s] != NOT_READY {
                 continue; // issued: covered by the commit candidate
             }
-            let mut t = (s.dispatched_at + 1)
-                .max(self.dep_event_time(s.src1))
-                .max(self.dep_event_time(s.src2));
+            let mut t = (self.rob.dispatched_at[s] + 1)
+                .max(self.dep_event_time(self.rob.src1_slot[s], self.rob.src1_seq[s]))
+                .max(self.dep_event_time(self.rob.src2_slot[s], self.rob.src2_seq[s]));
+            let seq = self.rob.seq[s];
+            let word = self.rob.addr[s] >> 3;
             for &st_idx in &self.stores {
-                let st = &self.rob[st_idx as usize];
-                if st.seq < s.seq && st.addr >> 3 == s.addr >> 3 {
-                    t = t.max(st.ready_at); // NOT_READY = never (see above)
+                let st = st_idx as usize;
+                if self.rob.seq[st] < seq && self.rob.addr[st] >> 3 == word {
+                    t = t.max(self.rob.ready_at[st]); // NOT_READY = never (see above)
                 }
             }
             if t == u64::MAX {
@@ -1155,13 +1623,13 @@ impl Core {
 
         // 5. Unissued stores: address/data generation needs only sources.
         for &slot_idx in &self.stores {
-            let s = &self.rob[slot_idx as usize];
-            if s.ready_at != NOT_READY {
+            let s = slot_idx as usize;
+            if self.rob.ready_at[s] != NOT_READY {
                 continue;
             }
-            let t = (s.dispatched_at + 1)
-                .max(self.dep_event_time(s.src1))
-                .max(self.dep_event_time(s.src2));
+            let t = (self.rob.dispatched_at[s] + 1)
+                .max(self.dep_event_time(self.rob.src1_slot[s], self.rob.src1_seq[s]))
+                .max(self.dep_event_time(self.rob.src2_slot[s], self.rob.src2_seq[s]));
             if t == u64::MAX {
                 continue;
             }
@@ -1179,15 +1647,15 @@ impl Core {
     /// producer, "never" (`u64::MAX`) for an unissued one — whose own
     /// issue is a separate event candidate.
     #[inline]
-    fn dep_event_time(&self, dep: Dep) -> u64 {
-        if dep.seq == 0 {
+    fn dep_event_time(&self, dep_slot: u32, dep_seq: u64) -> u64 {
+        if dep_seq == 0 {
             return 0;
         }
-        let slot = &self.rob[dep.slot as usize];
-        if slot.seq != dep.seq {
+        let i = dep_slot as usize;
+        if self.rob.seq[i] != dep_seq {
             return 0; // producer committed
         }
-        slot.ready_at
+        self.rob.ready_at[i]
     }
 
     /// Replicate `n` consecutive quiescent ticks covering cycles
@@ -1231,7 +1699,7 @@ impl Core {
                 .pending
                 .as_ref()
                 .expect("active quiescent frontend must hold a pending op");
-            if self.rob_len == self.rob.len() {
+            if self.rob_len == self.rob.cap() {
                 self.stats.rob_full_stalls += n_structural;
             } else {
                 let dst_fp = op.effective_dst().map(|r| r.is_fp());
@@ -1272,27 +1740,25 @@ impl Core {
         put(self.rob_head as u64);
         put(self.rob_len as u64);
         put(self.next_seq);
-        for s in &self.rob {
-            if s.seq == 0 {
+        // Slot iteration in index order over the packed columns, with the
+        // same field order and `dst_fp` encoding as the original
+        // array-of-structs digest (`DST_*` matches the old 0/1/2 map).
+        for i in 0..self.rob.cap() {
+            let seq = self.rob.seq[i];
+            if seq == 0 {
                 continue; // freed slots carry no future-visible state
             }
-            put(s.seq);
-            put(s.class.index() as u64);
-            put(s.dispatched_at);
-            put(s.ready_at);
-            let (a, b) = dep_words(s.src1);
-            put(a);
-            put(b);
-            let (a, b) = dep_words(s.src2);
-            put(a);
-            put(b);
-            put(match s.dst_fp {
-                None => 0,
-                Some(false) => 1,
-                Some(true) => 2,
-            });
-            put(s.addr);
-            put(s.mispredicted as u64);
+            put(seq);
+            put(self.rob.class[i].index() as u64);
+            put(self.rob.dispatched_at[i]);
+            put(self.rob.ready_at[i]);
+            put(self.rob.src1_slot[i] as u64);
+            put(self.rob.src1_seq[i]);
+            put(self.rob.src2_slot[i] as u64);
+            put(self.rob.src2_seq[i]);
+            put(self.rob.dst_fp[i] as u64);
+            put(self.rob.addr[i]);
+            put(self.rob.mispredicted[i] as u64);
         }
         for d in &self.last_writer {
             let (a, b) = dep_words(*d);
@@ -1569,9 +2035,9 @@ mod tests {
         let mut ready: HashMap<u64, (OpClass, u64)> = HashMap::new();
         for now in 0..600 {
             c.tick(now, &mut w, &mut m);
-            for s in &c.rob {
-                if s.seq != 0 && s.ready_at != NOT_READY {
-                    ready.insert(s.seq, (s.class, s.ready_at));
+            for i in 0..c.rob.cap() {
+                if c.rob.seq[i] != 0 && c.rob.ready_at[i] != NOT_READY {
+                    ready.insert(c.rob.seq[i], (c.rob.class[i], c.rob.ready_at[i]));
                 }
             }
         }

@@ -29,9 +29,11 @@ pub mod activity;
 pub mod config;
 pub mod core;
 pub mod fu;
+pub mod profile;
 pub mod stats;
 
 pub use crate::core::Core;
 pub use activity::ActivityCounters;
 pub use config::{CoreConfig, CoreFlavor, FuSpec};
+pub use profile::{PipeSnapshot, StallCause, STALL_CAUSE_NAMES};
 pub use stats::CoreStats;

@@ -1,0 +1,102 @@
+//! Read-only pipeline snapshot types for the sampled profiler.
+//!
+//! [`Core::pipe_snapshot`](crate::Core::pipe_snapshot) classifies the
+//! pipeline at one cycle into a [`PipeSnapshot`]: structure occupancies,
+//! the cumulative committed count (so a sampler can difference
+//! consecutive snapshots into per-window throughput), and a total
+//! [`StallCause`] classification of what the core is doing at that
+//! instant. The types live here, decoupled from the sampler itself
+//! (`ampsched-obs`), so the cpu crate stays dependency-free.
+
+/// What the core is doing at the sampled cycle, classified by the head
+/// of the reorder buffer — the in-order commit point, so whatever blocks
+/// it is the pipeline's current bottleneck.
+///
+/// The five variants are **total**: `classify`'s decision tree has no
+/// fall-through, so every possible core state maps to exactly one cause
+/// (asserted by the profiler test suite).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum StallCause {
+    /// The ROB head is ready: the core is retiring work this cycle.
+    Committing,
+    /// The ROB head is an unfinished load or store — memory-bound.
+    MemWait,
+    /// The ROB head is an unfinished arithmetic or branch op —
+    /// dependency- or functional-unit-bound.
+    ExecWait,
+    /// The window is empty and fetch is gated (swap-overhead stall, L1I
+    /// miss, or branch-redirect penalty).
+    FrontendStall,
+    /// The window is empty and fetch is free to proceed — the stream is
+    /// between ops (dispatch refills next cycle) or the core just
+    /// flushed.
+    FrontendEmpty,
+}
+
+/// Number of [`StallCause`] variants.
+pub const NUM_STALL_CAUSES: usize = 5;
+
+/// Display names, indexed by [`StallCause::code`].
+pub const STALL_CAUSE_NAMES: [&str; NUM_STALL_CAUSES] =
+    ["committing", "mem_wait", "exec_wait", "frontend_stall", "frontend_empty"];
+
+/// All variants, in [`StallCause::code`] order.
+pub const ALL_STALL_CAUSES: [StallCause; NUM_STALL_CAUSES] = [
+    StallCause::Committing,
+    StallCause::MemWait,
+    StallCause::ExecWait,
+    StallCause::FrontendStall,
+    StallCause::FrontendEmpty,
+];
+
+impl StallCause {
+    /// Dense code of this cause, matching [`ALL_STALL_CAUSES`] and
+    /// [`STALL_CAUSE_NAMES`] order.
+    #[inline]
+    pub const fn code(self) -> u8 {
+        self as u8
+    }
+
+    /// Display name of this cause.
+    pub const fn name(self) -> &'static str {
+        STALL_CAUSE_NAMES[self as usize]
+    }
+}
+
+/// One read-only snapshot of the pipeline at a sampled cycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PipeSnapshot {
+    /// Occupied reorder-buffer slots.
+    pub rob: u32,
+    /// Integer issue-queue entries.
+    pub isq_int: u32,
+    /// Floating-point issue-queue entries.
+    pub isq_fp: u32,
+    /// Load-queue entries.
+    pub lq: u32,
+    /// Store-queue entries.
+    pub sq: u32,
+    /// Cumulative committed instructions on this core (difference two
+    /// snapshots for per-window throughput / issue-width utilization).
+    pub committed: u64,
+    /// Peak sustainable issue slots per cycle on this core
+    /// (INT width + FP width + one load + one store), the denominator
+    /// for utilization.
+    pub issue_slots: u32,
+    /// Stall classification at the sampled cycle.
+    pub stall: StallCause,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cause_codes_are_dense_and_named() {
+        for (i, c) in ALL_STALL_CAUSES.iter().enumerate() {
+            assert_eq!(c.code() as usize, i);
+            assert_eq!(c.name(), STALL_CAUSE_NAMES[i]);
+        }
+        assert_eq!(ALL_STALL_CAUSES.len(), NUM_STALL_CAUSES);
+    }
+}

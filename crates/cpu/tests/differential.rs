@@ -6,7 +6,7 @@
 //! over the real trace generator with fixed seeds.
 
 use ampsched_cpu::core::Core;
-use ampsched_cpu::CoreConfig;
+use ampsched_cpu::{CoreConfig, FuSpec};
 use ampsched_isa::{ArchReg, MicroOp, OpClass};
 use ampsched_mem::{MemConfig, MemSystem};
 use ampsched_trace::{suite, TraceGenerator, Workload};
@@ -272,6 +272,129 @@ fn trace_generator_differential_fixed_seeds() {
             );
         }
     }
+}
+
+/// A random *valid* core shape: every structural size drawn from the
+/// bottom of its legal range up to (a bit past) the paper's Table I
+/// values, so the sweep hits degenerate shapes the two stock cores never
+/// produce — size-1 issue queues and LSQ halves, a ROB barely wider than
+/// dispatch (wraparound every few cycles), rename pools one register
+/// deep, single-unit non-pipelined FU pools with long latencies.
+fn random_config(s: &mut Source) -> CoreConfig {
+    let mut c = if s.bool() {
+        CoreConfig::fp_core()
+    } else {
+        CoreConfig::int_core()
+    };
+    c.name = "FUZZ";
+    c.dispatch_width = s.u8_in(1, 5);
+    c.commit_width = s.u8_in(1, 7);
+    c.issue_width_int = s.u8_in(1, 5);
+    c.issue_width_fp = s.u8_in(1, 5);
+    c.rob_size = s.u64_in(c.dispatch_width as u64, 48) as u16;
+    c.int_regs = s.u64_in(33, 80) as u16;
+    c.fp_regs = s.u64_in(33, 80) as u16;
+    c.int_isq = s.u64_in(1, 24) as u16;
+    c.fp_isq = s.u64_in(1, 16) as u16;
+    c.lsq_loads = s.u64_in(1, 12) as u16;
+    c.lsq_stores = s.u64_in(1, 12) as u16;
+    for fu in &mut c.fu {
+        *fu = FuSpec::new(s.u8_in(1, 3), s.u8_in(1, 16), s.bool());
+    }
+    c.mispredict_penalty = s.u8_in(1, 20);
+    c.validate();
+    c
+}
+
+#[derive(Debug, Clone)]
+struct ShapedProgram {
+    config: CoreConfig,
+    cycles: u64,
+    flush_at: Option<u64>,
+    ops: Vec<MicroOp>,
+}
+
+fn gen_shaped_program(s: &mut Source) -> ShapedProgram {
+    let mut pc = 0x1000;
+    ShapedProgram {
+        config: random_config(s),
+        cycles: s.u64_in(200, 2000),
+        flush_at: if s.bool() { Some(s.u64_in(50, 150)) } else { None },
+        ops: s.vec_with(1, 64, |s| random_op(s, &mut pc)),
+    }
+}
+
+/// Config-fuzzed lockstep differential: the structural-hazard, ring-wrap,
+/// and wake-cache logic must agree with the reference on *every* legal
+/// core shape, not just the two the paper ships. Degenerate shapes are
+/// where horizon/cache bookkeeping slips: a size-1 queue makes every
+/// insert a full-queue stall, a tiny ROB wraps `rob_head` constantly, and
+/// a one-deep rename pool serializes dispatch.
+#[test]
+fn fast_tick_matches_reference_on_fuzzed_core_shapes() {
+    Checker::new(0xd1ff_0003)
+        .cases(64)
+        .suite("cpu_differential")
+        .run("config_fuzz_lockstep", gen_shaped_program, |p| {
+            let mut fast = Core::new(p.config.clone(), 0);
+            let mut refc = Core::new(p.config.clone(), 0);
+            let mut mf = mem();
+            let mut mr = mem();
+            let mut wf = VecWorkload::new(p.ops.clone());
+            let mut wr = VecWorkload::new(p.ops.clone());
+            for now in 0..p.cycles {
+                if p.flush_at == Some(now) {
+                    fast.flush_pipeline();
+                    fast.stall_until(now + 40);
+                    refc.flush_pipeline();
+                    refc.stall_until(now + 40);
+                }
+                let cf = fast.tick(now, &mut wf, &mut mf);
+                let cr = refc.reference_tick(now, &mut wr, &mut mr);
+                prop_assert_eq!(cf, cr, "commit count diverged at cycle {}", now);
+                prop_assert_eq!(
+                    fast.state_digest(),
+                    refc.state_digest(),
+                    "state diverged at cycle {}",
+                    now
+                );
+            }
+            prop_assert_eq!(fast.stats, refc.stats);
+            prop_assert_eq!(fast.activity, refc.activity);
+            Ok(())
+        });
+}
+
+/// Same fuzzed shapes through the skip-ahead loop: `next_event_at_or_after`
+/// certificates and `fast_forward` replication must hold on degenerate
+/// shapes too (end-state, stats, and activity equality).
+#[test]
+fn skip_ahead_matches_reference_on_fuzzed_core_shapes() {
+    Checker::new(0xd1ff_0004)
+        .cases(64)
+        .suite("cpu_differential")
+        .run("config_fuzz_skip_ahead", gen_shaped_program, |p| {
+            let mut fast = Core::new(p.config.clone(), 0);
+            let mut refc = Core::new(p.config.clone(), 0);
+            let mut mf = mem();
+            let mut mr = mem();
+            let mut wf = VecWorkload::new(p.ops.clone());
+            let mut wr = VecWorkload::new(p.ops.clone());
+
+            let real = run_fast_skipping(&mut fast, &mut wf, &mut mf, p.cycles, p.flush_at);
+            for now in 0..p.cycles {
+                if p.flush_at == Some(now) {
+                    refc.flush_pipeline();
+                    refc.stall_until(now + 40);
+                }
+                refc.reference_tick(now, &mut wr, &mut mr);
+            }
+            prop_assert!(real <= p.cycles, "cannot tick more than the cycle budget");
+            prop_assert_eq!(fast.state_digest(), refc.state_digest());
+            prop_assert_eq!(fast.stats, refc.stats);
+            prop_assert_eq!(fast.activity, refc.activity);
+            Ok(())
+        });
 }
 
 /// The skip-ahead must actually engage on a memory-bound workload — the

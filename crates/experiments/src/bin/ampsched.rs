@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! ampsched [--quick|--medium] [--pairs N] [--insts N] [--seed N] [--sim-path fast|reference]
-//!          [--trace-path arena|stream] [--trace-cache DIR] [--profile]
+//!          [--trace-path arena|stream] [--trace-cache DIR] [--profile] [--profile-sample N]
 //!          [--telemetry FILE] [--trace-events FILE]
 //!          [--csv FILE] [--json FILE] <command>
 //!
@@ -39,6 +39,14 @@
 //! a Chrome trace-event file (open in about://tracing or Perfetto).
 //! Both are pure observations: report output is byte-identical with or
 //! without them.
+//!
+//! `--profile` also samples pipeline state (ROB/ISQ/LSQ occupancy,
+//! issue-width utilization, stall cause at the ROB head) every 8192
+//! simulated cycles; `--profile-sample N` changes the cadence, and on
+//! its own enables just the sampler. Per-core summaries land in the
+//! timing report, a `pipeline` section of the bench artifact, and — with
+//! `--trace-events` — counter tracks in the Chrome trace. Sampling is
+//! read-only: `--json` reports stay byte-identical with it enabled.
 
 use ampsched_experiments::{
     ablation, common::Params, fig1, fig6, fig78, morphing, obs_summary, overhead, profiling,
@@ -56,7 +64,7 @@ fn usage() -> ! {
     eprintln!(
         "usage: ampsched [--quick|--medium] [--pairs N] [--insts N] [--profile-insts N] [--seed N] \
          [--sim-path fast|reference] [--trace-path arena|stream] [--trace-cache DIR] [--profile] \
-         [--telemetry FILE] [--trace-events FILE] [--csv FILE] [--json FILE] \
+         [--profile-sample N] [--telemetry FILE] [--trace-events FILE] [--csv FILE] [--json FILE] \
          <tables|fig1|fig3|fig4|fig6|fig7|fig8|fig9|figs789|overhead|rr-interval|derive-rules|ablation|morphing|workloads|trace-cache|obs-summary|all>\n\
          \n\
          trace-cache actions: ampsched --trace-cache DIR trace-cache <stats|verify|gc>\n\
@@ -73,6 +81,7 @@ fn main() {
     let mut csv_path: Option<String> = None;
     let mut json_path: Option<String> = None;
     let mut profile = false;
+    let mut profile_sample: Option<u64> = None;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -121,6 +130,11 @@ fn main() {
                 params.trace_events = Some(std::path::PathBuf::from(file));
             }
             "--profile" => profile = true,
+            "--profile-sample" => {
+                i += 1;
+                profile_sample =
+                    Some(args.get(i).and_then(|s| s.parse().ok()).unwrap_or_else(|| usage()));
+            }
             "--seed" => {
                 i += 1;
                 params.seed = args.get(i).and_then(|s| s.parse().ok()).unwrap_or_else(|| usage());
@@ -231,6 +245,12 @@ fn main() {
     }
     if profile || params.trace_events.is_some() {
         ampsched_obs::span::set_enabled(true);
+    }
+    // Pipeline sampling: `--profile` turns it on at the default cadence;
+    // `--profile-sample N` overrides the interval and also works on its
+    // own (summary to stdout, no bench artifact).
+    if profile || profile_sample.is_some() {
+        ampsched_obs::profiler::set_interval(profile_sample.unwrap_or(8192).max(1));
     }
 
     // Warm/cold label for profile artifacts: the run is warm when the
@@ -468,6 +488,10 @@ fn main() {
         }
         println!("Timing report ({command}, {sim_path_name} kernel, {trace_path_name} traces)\n");
         println!("{}", prof.render());
+        let pipeline = render_pipeline_summary();
+        if !pipeline.is_empty() {
+            println!("{pipeline}");
+        }
         let wall = t0.elapsed();
         println!(
             "trace provisioning: {:.3}s = {:.1}% of {:.1}s wall-clock ({trace_path_name})\n",
@@ -487,9 +511,73 @@ fn main() {
             Some(s) => format!("ampsched {command} ({sim_path_name}, {trace_path_name}, {s} cache)"),
             None => format!("ampsched {command} ({sim_path_name}, {trace_path_name})"),
         };
-        std::fs::write(&out, prof.to_bench_json(&target).render_pretty())
-            .expect("write profile json");
+        // Fold the sampled pipeline summary into the artifact alongside
+        // the wall-clock phases: `bench_diff` only reads `benchmarks`, so
+        // the extra section never perturbs timing comparisons.
+        let mut doc = prof.to_bench_json(&target);
+        if ampsched_obs::profiler::sample_count() > 0 {
+            if let Json::Obj(sections) = &mut doc {
+                sections.push((
+                    "pipeline".to_string(),
+                    ampsched_obs::profiler::summary_json(&ampsched_cpu::STALL_CAUSE_NAMES),
+                ));
+            }
+        }
+        std::fs::write(&out, doc.render_pretty()).expect("write profile json");
         eprintln!("[profile written to {}]", out.display());
+    } else if profile_sample.is_some() {
+        // `--profile-sample` without `--profile`: report the sampled
+        // pipeline state without the timing machinery or artifacts.
+        let pipeline = render_pipeline_summary();
+        if !pipeline.is_empty() {
+            println!("{pipeline}");
+        }
     }
     eprintln!("[done in {:.1}s]", t0.elapsed().as_secs_f64());
+}
+
+/// Aligned text table of the sampled per-core pipeline summaries; empty
+/// when the profiler recorded nothing (sampling off, or the run was too
+/// short to cross an interval boundary).
+fn render_pipeline_summary() -> String {
+    let summaries = ampsched_obs::profiler::summarize();
+    if summaries.is_empty() {
+        return String::new();
+    }
+    let mut out = String::new();
+    out.push_str(&format!(
+        "Pipeline samples (every {} cycles)\n",
+        ampsched_obs::profiler::interval()
+    ));
+    out.push_str(&format!(
+        "{:<5} {:>8} {:>7} {:>8} {:>7} {:>6} {:>6} {:>6}  top stall\n",
+        "core", "samples", "rob", "isq_int", "isq_fp", "lq", "sq", "util"
+    ));
+    for c in &summaries {
+        let (top_code, top_n) = c
+            .stall_counts
+            .iter()
+            .enumerate()
+            .max_by_key(|&(_, n)| *n)
+            .map(|(i, n)| (i, *n))
+            .unwrap_or((0, 0));
+        let top_name = ampsched_cpu::STALL_CAUSE_NAMES
+            .get(top_code)
+            .copied()
+            .unwrap_or("?");
+        out.push_str(&format!(
+            "{:<5} {:>8} {:>7.1} {:>8.1} {:>7.1} {:>6.1} {:>6.1} {:>5.1}%  {} ({:.0}%)\n",
+            c.core,
+            c.samples,
+            c.mean_rob,
+            c.mean_isq_int,
+            c.mean_isq_fp,
+            c.mean_lq,
+            c.mean_sq,
+            100.0 * c.issue_utilization,
+            top_name,
+            100.0 * top_n as f64 / (c.samples as f64).max(1.0),
+        ));
+    }
+    out
 }

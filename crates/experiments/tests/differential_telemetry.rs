@@ -15,13 +15,14 @@ use std::process::Command;
 
 const SCALE: &[&str] = &["--quick", "--pairs", "2", "--insts", "20000", "--profile-insts", "200000"];
 
-fn run_fig7(json_path: &Path, telemetry: Option<(&Path, &Path)>) {
+fn run_fig7(json_path: &Path, telemetry: Option<(&Path, &Path)>, extra: &[&str]) {
     let mut cmd = Command::new(env!("CARGO_BIN_EXE_ampsched"));
     cmd.args(SCALE).arg("--json").arg(json_path);
     if let Some((jsonl, events)) = telemetry {
         cmd.arg("--telemetry").arg(jsonl);
         cmd.arg("--trace-events").arg(events);
     }
+    cmd.args(extra);
     let out = cmd.arg("fig7").output().expect("run ampsched fig7");
     assert!(
         out.status.success(),
@@ -45,8 +46,8 @@ fn telemetry_flags_do_not_change_the_json_report() {
     let jsonl = dir.join("decisions.jsonl");
     let events = dir.join("trace.json");
 
-    run_fig7(&plain, None);
-    run_fig7(&instrumented, Some((&jsonl, &events)));
+    run_fig7(&plain, None, &[]);
+    run_fig7(&instrumented, Some((&jsonl, &events)), &[]);
 
     // The headline guarantee: byte identity of the full report,
     // including the embedded sim.* telemetry block and the per-run
@@ -138,6 +139,63 @@ fn telemetry_flags_do_not_change_the_json_report() {
         assert_eq!(e.get("ph").and_then(Json::as_str), Some("X"));
         assert!(e.get("ts").and_then(Json::as_u64).is_some());
         assert!(e.get("dur").and_then(Json::as_u64).is_some());
+    }
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// The sampling profiler observes pipeline state the simulation already
+/// maintains; turning it on must not move a single byte of the `--json`
+/// report. A violation means a sample write leaked back into simulation
+/// state (or perturbed evaluation order), which would make every
+/// `--profile` run incomparable with unprofiled results.
+#[test]
+fn pipeline_profiler_does_not_change_the_json_report() {
+    let dir = tmp_dir().join("profiler");
+    std::fs::create_dir_all(&dir).expect("subdir");
+    let plain = dir.join("plain.json");
+    let sampled = dir.join("sampled.json");
+    let events = dir.join("trace.json");
+    let jsonl = dir.join("decisions.jsonl");
+
+    run_fig7(&plain, None, &[]);
+    // A deliberately aggressive cadence: every 64 simulated cycles, so
+    // tens of thousands of samples cross the run loops' skip-ahead
+    // re-emission paths.
+    run_fig7(&sampled, Some((&jsonl, &events)), &["--profile-sample", "64"]);
+
+    let a = std::fs::read(&plain).expect("plain report");
+    let b = std::fs::read(&sampled).expect("sampled report");
+    assert!(
+        a == b,
+        "--profile-sample changed the --json report ({} vs {} bytes)",
+        a.len(),
+        b.len()
+    );
+
+    // With sampling on, the Chrome trace export gains pipeline counter
+    // tracks ("ph":"C") alongside the usual duration spans.
+    let trace = Json::parse(&std::fs::read_to_string(&events).expect("trace events written"))
+        .expect("trace events parse");
+    let evs = trace
+        .get("traceEvents")
+        .and_then(Json::as_arr)
+        .expect("traceEvents array");
+    let counters: Vec<_> = evs
+        .iter()
+        .filter(|e| e.get("ph").and_then(Json::as_str) == Some("C"))
+        .collect();
+    assert!(!counters.is_empty(), "sampling must emit counter tracks");
+    for c in &counters {
+        assert_eq!(
+            c.get("cat").and_then(Json::as_str),
+            Some("ampsched.pipeline"),
+            "counter tracks carry the pipeline category"
+        );
+        let args = c.get("args").expect("counter args");
+        for series in ["rob", "isq_int", "isq_fp", "lq", "sq"] {
+            assert!(args.get(series).and_then(Json::as_u64).is_some());
+        }
     }
 
     let _ = std::fs::remove_dir_all(&dir);

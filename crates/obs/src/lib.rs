@@ -35,6 +35,7 @@
 
 pub mod log;
 pub mod metrics;
+pub mod profiler;
 pub mod span;
 pub mod telemetry;
 

@@ -154,33 +154,39 @@ pub fn clear() {
 
 /// Write all buffered events to `path` in Chrome trace-event JSON
 /// (load the file in about://tracing or <https://ui.perfetto.dev>).
+/// Buffered [profiler](crate::profiler) samples are spliced in as
+/// counter tracks (simulated-cycle timestamps under their own pid).
 /// Returns the number of events written.
 pub fn write_trace_events(path: &std::path::Path) -> std::io::Result<usize> {
     use ampsched_util::Json;
     let buf = events().lock().expect("span buffer lock");
+    let mut all: Vec<Json> = buf
+        .iter()
+        .map(|ev| {
+            let name = match &ev.label {
+                Some(l) => format!("{} {}", ev.name, l),
+                None => ev.name.to_string(),
+            };
+            Json::obj([
+                ("name", Json::from(name)),
+                ("cat", Json::from("ampsched")),
+                ("ph", Json::from("X")),
+                ("ts", Json::from(ev.ts_us)),
+                ("dur", Json::from(ev.dur_us)),
+                ("pid", Json::from(std::process::id())),
+                ("tid", Json::from(ev.tid)),
+            ])
+        })
+        .collect();
+    drop(buf);
+    all.extend(crate::profiler::trace_counter_events());
+    let count = all.len();
     let trace = Json::obj([
-        (
-            "traceEvents",
-            Json::arr(buf.iter().map(|ev| {
-                let name = match &ev.label {
-                    Some(l) => format!("{} {}", ev.name, l),
-                    None => ev.name.to_string(),
-                };
-                Json::obj([
-                    ("name", Json::from(name)),
-                    ("cat", Json::from("ampsched")),
-                    ("ph", Json::from("X")),
-                    ("ts", Json::from(ev.ts_us)),
-                    ("dur", Json::from(ev.dur_us)),
-                    ("pid", Json::from(std::process::id())),
-                    ("tid", Json::from(ev.tid)),
-                ])
-            })),
-        ),
+        ("traceEvents", Json::Arr(all)),
         ("displayTimeUnit", Json::from("ms")),
     ]);
     std::fs::write(path, trace.render())?;
-    Ok(buf.len())
+    Ok(count)
 }
 
 /// Start a span: `let _s = obs::span!("system.run");` or, with a label,

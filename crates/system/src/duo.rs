@@ -231,6 +231,13 @@ impl DualCoreSystem {
         self.swaps
     }
 
+    /// Per-core microarchitectural state digests (differential-testing
+    /// hook: two runs that agree cycle-for-cycle must produce equal
+    /// digests whenever they are paused at the same cycle).
+    pub fn core_digests(&self) -> [u64; 2] {
+        [self.cores[0].state_digest(), self.cores[1].state_digest()]
+    }
+
     /// Convert outstanding core activity into attributed joules. Must be
     /// called before reading `thread_joules` or swapping threads.
     fn settle_energy(&mut self) {
@@ -322,6 +329,27 @@ impl DualCoreSystem {
         }
     }
 
+    /// Record one profiler sample per core at `cycle` (sampling on).
+    /// Pure observation: snapshots values the pipeline already
+    /// maintains, so enabling the profiler cannot perturb the run.
+    fn record_pipe_samples(&self, cycle: u64) {
+        for (c, core) in self.cores.iter().enumerate() {
+            let s = core.pipe_snapshot(cycle);
+            ampsched_obs::profiler::record(ampsched_obs::profiler::PipeSample {
+                cycle,
+                core: c as u8,
+                stall: s.stall.code(),
+                rob: s.rob,
+                isq_int: s.isq_int,
+                isq_fp: s.isq_fp,
+                lq: s.lq,
+                sq: s.sq,
+                committed: s.committed,
+                issue_slots: s.issue_slots,
+            });
+        }
+    }
+
     /// Execute a thread swap with its full cost.
     fn do_swap(&mut self) {
         // Energy up to the swap belongs to the old assignment.
@@ -361,6 +389,18 @@ impl DualCoreSystem {
             self.settle_energy();
             self.thread_joules
         };
+        // Sampled pipeline profiler cadence: a sample lands at every
+        // exact multiple of the interval (simulated time), independent of
+        // skip-ahead and scheduler behavior. A sample at cycle X reflects
+        // the state at the *start* of X — after tick(X-1), before
+        // tick(X) — which is also exactly the state inside a quiescent
+        // region, so skipped spans re-emit the frozen snapshot at each
+        // crossed boundary below.
+        let prof_interval = ampsched_obs::profiler::interval();
+        let mut next_sample = match prof_interval {
+            0 => u64::MAX,
+            n => (self.cycle / n + 1) * n,
+        };
 
         // Per-core quiescence bound: ticks at cycles strictly below
         // `quiet_until[c]` are provably the no-op pattern that
@@ -398,6 +438,14 @@ impl DualCoreSystem {
                         self.cycle = target;
                         ampsched_obs::counter!("sim.skip.joint");
                         ampsched_obs::hist!("sim.skip.joint_cycles", n);
+                        // Re-emit the quiescent snapshot at each sample
+                        // boundary the jump crossed (state is frozen
+                        // inside the region, so these samples are
+                        // identical to a tick-by-tick run's).
+                        while next_sample <= self.cycle {
+                            self.record_pipe_samples(next_sample);
+                            next_sample += prof_interval;
+                        }
                     }
                 }
             }
@@ -444,6 +492,10 @@ impl DualCoreSystem {
                 self.thread_insts[t] += n as u64;
             }
             self.cycle += 1;
+            if self.cycle == next_sample {
+                self.record_pipe_samples(next_sample);
+                next_sample += prof_interval;
+            }
 
             // Fine-grained window boundary (committed instructions summed
             // over both threads).

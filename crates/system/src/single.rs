@@ -112,6 +112,29 @@ impl SingleCoreRunner {
         let mut iv_start_insts = 0u64;
         let mut iv_start_mix = MixCounts::new();
         let mut total_joules = 0.0;
+        // Sampled pipeline profiler: same deterministic cadence as the
+        // duo loop — a sample at cycle X is the state after tick(X-1),
+        // re-emitted across quiescent skips (state is frozen there).
+        let prof_interval = ampsched_obs::profiler::interval();
+        let mut next_sample = match prof_interval {
+            0 => u64::MAX,
+            n => n,
+        };
+        let record_sample = |core: &Core, at: u64| {
+            let s = core.pipe_snapshot(at);
+            ampsched_obs::profiler::record(ampsched_obs::profiler::PipeSample {
+                cycle: at,
+                core: 0,
+                stall: s.stall.code(),
+                rob: s.rob,
+                isq_int: s.isq_int,
+                isq_fp: s.isq_fp,
+                lq: s.lq,
+                sq: s.sq,
+                committed: s.committed,
+                issue_slots: s.issue_slots,
+            });
+        };
 
         // Quiescence bound: ticks at cycles strictly below `quiet_until`
         // are provably the no-op pattern [`Core::fast_forward`]
@@ -136,6 +159,10 @@ impl SingleCoreRunner {
                     ampsched_obs::counter!("sim.skip.single");
                     ampsched_obs::hist!("sim.skip.single_cycles", target - cycle);
                     cycle = target;
+                    while next_sample <= cycle {
+                        record_sample(&self.core, next_sample);
+                        next_sample += prof_interval;
+                    }
                 }
             }
             let n = match self.sim_path {
@@ -158,6 +185,10 @@ impl SingleCoreRunner {
             } as u64;
             committed += n;
             cycle += 1;
+            if cycle == next_sample {
+                record_sample(&self.core, next_sample);
+                next_sample += prof_interval;
+            }
             if cycle - iv_start_cycle >= interval_cycles {
                 let j = self.energy.account(&self.core.activity.take());
                 total_joules += j;
