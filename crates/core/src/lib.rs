@@ -37,6 +37,8 @@ pub mod sampling;
 pub mod rules;
 pub mod scheduler;
 pub mod static_sched;
+pub mod topo;
+pub mod zoo;
 
 pub use counters::{Assignment, CoreKind, ThreadWindow, WindowSnapshot};
 pub use extended::{ExtendedConfig, ExtendedScheduler};
@@ -50,3 +52,8 @@ pub use sampling::SamplingScheduler;
 pub use rules::SwapRules;
 pub use scheduler::{Decision, DecisionExplain, PredictorSource, Scheduler};
 pub use static_sched::StaticScheduler;
+pub use topo::{
+    AssignmentMap, CoreTraits, PairAdapter, TopoDecision, TopoScheduler, TopoSnapshot,
+    TopoThreadObs,
+};
+pub use zoo::{CampScheduler, TopoHpe, TopoProposed, TopoRoundRobin, TopoStatic, TpeScheduler};

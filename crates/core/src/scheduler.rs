@@ -23,6 +23,11 @@ pub enum PredictorSource {
     Surface,
     /// A fixed swap interval (Round Robin); no performance estimate.
     Interval,
+    /// Cumulative committed-instruction progress (Thread Progress
+    /// Equalization).
+    Progress,
+    /// Composition→core affinity ranking (CAMP-style placement).
+    Affinity,
 }
 
 impl PredictorSource {
@@ -33,6 +38,8 @@ impl PredictorSource {
             PredictorSource::Matrix => "matrix",
             PredictorSource::Surface => "surface",
             PredictorSource::Interval => "interval",
+            PredictorSource::Progress => "progress",
+            PredictorSource::Affinity => "affinity",
         }
     }
 }
@@ -120,6 +127,48 @@ pub trait Scheduler {
 
     /// Reset internal state (new run).
     fn reset(&mut self) {}
+}
+
+impl<S: Scheduler + ?Sized> Scheduler for &mut S {
+    fn name(&self) -> &'static str {
+        (**self).name()
+    }
+    fn window_insts(&self) -> Option<u64> {
+        (**self).window_insts()
+    }
+    fn on_window(&mut self, snap: &WindowSnapshot) -> Decision {
+        (**self).on_window(snap)
+    }
+    fn on_epoch(&mut self, snap: &WindowSnapshot) -> Decision {
+        (**self).on_epoch(snap)
+    }
+    fn explain_last(&self) -> Option<DecisionExplain> {
+        (**self).explain_last()
+    }
+    fn reset(&mut self) {
+        (**self).reset()
+    }
+}
+
+impl<S: Scheduler + ?Sized> Scheduler for Box<S> {
+    fn name(&self) -> &'static str {
+        (**self).name()
+    }
+    fn window_insts(&self) -> Option<u64> {
+        (**self).window_insts()
+    }
+    fn on_window(&mut self, snap: &WindowSnapshot) -> Decision {
+        (**self).on_window(snap)
+    }
+    fn on_epoch(&mut self, snap: &WindowSnapshot) -> Decision {
+        (**self).on_epoch(snap)
+    }
+    fn explain_last(&self) -> Option<DecisionExplain> {
+        (**self).explain_last()
+    }
+    fn reset(&mut self) {
+        (**self).reset()
+    }
 }
 
 #[cfg(test)]

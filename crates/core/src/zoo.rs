@@ -1,0 +1,696 @@
+//! The generalized scheduler zoo: the paper's policies lifted to
+//! N-core × M-thread topologies, plus the comparison policies from the
+//! related work — Thread Progress Equalization (Turakhia et al.) and
+//! CAMP-style speedup-factor-ranked placement (the AMP scheduling
+//! survey).
+//!
+//! All zoo members honor the [`TopoScheduler`] contracts: window
+//! decisions only permute running threads, park/unpark changes happen at
+//! epoch boundaries only, and every decision is a deterministic function
+//! of the snapshot stream.
+
+use crate::history::MajorityVote;
+use crate::hpe::HpePredictor;
+use crate::proposed::ProposedConfig;
+use crate::scheduler::{DecisionExplain, PredictorSource};
+use crate::topo::{AssignmentMap, CoreTraits, TopoDecision, TopoScheduler, TopoSnapshot};
+
+/// Rank cores by `key` descending, ties broken by ascending index so
+/// rankings are deterministic for uniform topologies.
+fn cores_ranked_by(cores: &[CoreTraits], key: impl Fn(&CoreTraits) -> f64) -> Vec<usize> {
+    let mut order: Vec<usize> = (0..cores.len()).collect();
+    order.sort_by(|&a, &b| key(&cores[b]).total_cmp(&key(&cores[a])).then(a.cmp(&b)));
+    order
+}
+
+/// Rank threads by `key` with the given direction, ties broken by
+/// ascending thread id.
+fn threads_ranked_by(
+    count: usize,
+    descending: bool,
+    key: impl Fn(usize) -> f64,
+) -> Vec<usize> {
+    let mut order: Vec<usize> = (0..count).collect();
+    order.sort_by(|&a, &b| {
+        if descending {
+            key(b).total_cmp(&key(a)).then(a.cmp(&b))
+        } else {
+            key(a).total_cmp(&key(b)).then(a.cmp(&b))
+        }
+    });
+    order
+}
+
+/// Build the assignment that places `thread_order[i]` on `core_order[i]`
+/// (leftover threads parked; leftover cores idle only when threads run
+/// out).
+fn place_ranked(cores: usize, threads: usize, thread_order: &[usize], core_order: &[usize]) -> AssignmentMap {
+    let mut core_of = vec![None; threads];
+    for (i, &t) in thread_order.iter().enumerate() {
+        if i < core_order.len() {
+            core_of[t] = Some(core_order[i]);
+        }
+    }
+    AssignmentMap::from_core_of(cores, core_of)
+}
+
+/// Cyclic slot rotation: thread slots are cores `0..N` followed by park
+/// slots; every thread advances one slot. For 2×2 this degenerates to
+/// the pair swap, so the lifted Round Robin matches the paper's.
+fn rotate_slots(current: &AssignmentMap) -> AssignmentMap {
+    let cores = current.cores();
+    let threads = current.threads();
+    let slots = cores.max(threads);
+    // slot_of[s] = thread in slot s (park slots ranked by thread id).
+    let mut slot_of: Vec<Option<usize>> = vec![None; slots];
+    for t in 0..threads {
+        match current.core_of(t) {
+            Some(c) => slot_of[c] = Some(t),
+            None => {
+                // First free park slot (ascending thread id keeps this
+                // deterministic).
+                let s = (cores..slots).find(|&s| slot_of[s].is_none()).expect("park slot");
+                slot_of[s] = Some(t);
+            }
+        }
+    }
+    let mut core_of = vec![None; threads];
+    for (s, slot) in slot_of.iter().enumerate() {
+        if let Some(t) = *slot {
+            let next = (s + 1) % slots;
+            if next < cores {
+                core_of[t] = Some(next);
+            }
+        }
+    }
+    AssignmentMap::from_core_of(cores, core_of)
+}
+
+/// Static placement lifted to N×M: keep the OS baseline forever.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct TopoStatic;
+
+impl TopoScheduler for TopoStatic {
+    fn name(&self) -> &'static str {
+        "static"
+    }
+}
+
+/// Round Robin lifted to N×M: every `interval_epochs` epochs all threads
+/// advance one slot through the cyclic core + park sequence, giving each
+/// thread equal time on every core (and off-core when oversubscribed).
+#[derive(Debug, Clone)]
+pub struct TopoRoundRobin {
+    interval_epochs: u32,
+    epochs_seen: u32,
+    decided: bool,
+}
+
+impl TopoRoundRobin {
+    /// Rotate every `interval_epochs` OS epochs.
+    ///
+    /// # Panics
+    /// Panics if `interval_epochs` is zero.
+    pub fn new(interval_epochs: u32) -> Self {
+        assert!(interval_epochs >= 1, "interval must be at least one epoch");
+        TopoRoundRobin { interval_epochs, epochs_seen: 0, decided: false }
+    }
+
+    /// The paper's preferred cadence: rotate every epoch.
+    pub fn every_epoch() -> Self {
+        Self::new(1)
+    }
+}
+
+impl TopoScheduler for TopoRoundRobin {
+    fn name(&self) -> &'static str {
+        "round-robin"
+    }
+
+    fn on_epoch(&mut self, snap: &TopoSnapshot) -> TopoDecision {
+        self.epochs_seen += 1;
+        self.decided = true;
+        if self.epochs_seen.is_multiple_of(self.interval_epochs) {
+            TopoDecision::Reassign(rotate_slots(&snap.assignment))
+        } else {
+            TopoDecision::Stay
+        }
+    }
+
+    fn explain_last(&self) -> Option<DecisionExplain> {
+        self.decided.then(|| DecisionExplain::from_source(PredictorSource::Interval))
+    }
+
+    fn reset(&mut self) {
+        self.epochs_seen = 0;
+        self.decided = false;
+    }
+}
+
+/// The paper's proposed scheme lifted to N×M: per window, every
+/// flavor-contrasted pair of occupied cores is tested against the
+/// Figure 5 rules; a majority vote over tentative decisions issues the
+/// swap of the first beneficial pair. Oversubscribed topologies rotate
+/// parked threads in at every epoch (the step-3 fairness idea applied to
+/// the run queue).
+#[derive(Debug, Clone)]
+pub struct TopoProposed {
+    cfg: ProposedConfig,
+    threads: usize,
+    vote: MajorityVote,
+    last_swap_cycle: u64,
+    last_explain: Option<DecisionExplain>,
+}
+
+impl TopoProposed {
+    /// Build for a topology with `threads` threads.
+    pub fn new(cfg: ProposedConfig, threads: usize) -> Self {
+        TopoProposed {
+            vote: MajorityVote::new(cfg.history_depth),
+            cfg,
+            threads,
+            last_swap_cycle: 0,
+            last_explain: None,
+        }
+    }
+
+    /// Paper-default tunables.
+    pub fn with_defaults(threads: usize) -> Self {
+        Self::new(ProposedConfig::default(), threads)
+    }
+
+    /// First flavor-contrasted occupied core pair `(fp_role, int_role)`
+    /// satisfying `test`, in ascending `(i, j)` order.
+    fn first_pair(
+        &self,
+        snap: &TopoSnapshot,
+        test: impl Fn(&crate::ThreadWindow, &crate::ThreadWindow) -> bool,
+    ) -> Option<(usize, usize)> {
+        let n = snap.cores.len();
+        for i in 0..n {
+            for j in 0..n {
+                if i == j || snap.cores[i].int_bias() >= snap.cores[j].int_bias() {
+                    continue;
+                }
+                let (Some(on_fp), Some(on_int)) = (snap.on_core(i), snap.on_core(j)) else {
+                    continue;
+                };
+                if test(&on_fp.window, &on_int.window) {
+                    return Some((i, j));
+                }
+            }
+        }
+        None
+    }
+}
+
+impl TopoScheduler for TopoProposed {
+    fn name(&self) -> &'static str {
+        "proposed"
+    }
+
+    fn window_insts(&self) -> Option<u64> {
+        // `window` is per thread; the driver counts the sum.
+        Some(self.cfg.window * self.threads as u64)
+    }
+
+    fn on_window(&mut self, snap: &TopoSnapshot) -> TopoDecision {
+        let beneficial = self.first_pair(snap, |fp, int| self.cfg.rules.beneficial_swap(fp, int));
+        ampsched_obs::counter!("sim.predictor.query.rules");
+        self.vote.push(beneficial.is_some());
+        self.last_explain = Some(DecisionExplain {
+            votes_for: Some(self.vote.yes_votes() as u32),
+            vote_depth: Some(self.vote.depth() as u32),
+            ..DecisionExplain::from_source(PredictorSource::Rules)
+        });
+        if self.vote.majority() {
+            if let Some((i, j)) = beneficial {
+                self.vote.clear();
+                self.last_swap_cycle = snap.cycle;
+                let mut next = snap.assignment.clone();
+                let (a, b) = (next.thread_on(i).unwrap(), next.thread_on(j).unwrap());
+                next.swap_threads(a, b);
+                return TopoDecision::Reassign(next);
+            }
+        }
+        if snap.cycle.saturating_sub(self.last_swap_cycle) >= self.cfg.fairness_interval_cycles {
+            if let Some((i, j)) = self.first_pair(snap, |fp, int| self.cfg.rules.fairness_swap(fp, int)) {
+                self.vote.clear();
+                self.last_swap_cycle = snap.cycle;
+                let mut next = snap.assignment.clone();
+                let (a, b) = (next.thread_on(i).unwrap(), next.thread_on(j).unwrap());
+                next.swap_threads(a, b);
+                return TopoDecision::Reassign(next);
+            }
+        }
+        TopoDecision::Stay
+    }
+
+    fn on_epoch(&mut self, snap: &TopoSnapshot) -> TopoDecision {
+        self.last_explain = Some(DecisionExplain {
+            votes_for: Some(self.vote.yes_votes() as u32),
+            vote_depth: Some(self.vote.depth() as u32),
+            ..DecisionExplain::from_source(PredictorSource::Rules)
+        });
+        if snap.assignment.parked().is_empty() {
+            TopoDecision::Stay
+        } else {
+            // Run-queue fairness: rotate parked threads onto cores.
+            TopoDecision::Reassign(rotate_slots(&snap.assignment))
+        }
+    }
+
+    fn explain_last(&self) -> Option<DecisionExplain> {
+        self.last_explain
+    }
+
+    fn reset(&mut self) {
+        self.vote.clear();
+        self.last_swap_cycle = 0;
+        self.last_explain = None;
+    }
+}
+
+/// HPE lifted to N×M: each thread's profiled INT÷FP IPC/Watt ratio ranks
+/// it for INT-leaning cores; the ranked placement is adopted when its
+/// predicted score beats the current one by the paper's 1.05 threshold.
+#[derive(Debug, Clone)]
+pub struct TopoHpe {
+    predictor: HpePredictor,
+    /// Minimum predicted score ratio to adopt a new placement.
+    pub threshold: f64,
+    /// Last observed composition per thread (parked threads keep their
+    /// last running mix).
+    last_mix: Vec<(f64, f64)>,
+    last_explain: Option<DecisionExplain>,
+}
+
+impl TopoHpe {
+    /// Build with the paper's 1.05 adoption threshold.
+    pub fn new(predictor: HpePredictor, threads: usize) -> Self {
+        TopoHpe {
+            predictor,
+            threshold: 1.05,
+            last_mix: vec![(0.0, 0.0); threads],
+            last_explain: None,
+        }
+    }
+
+    fn score(&self, snap: &TopoSnapshot, map: &AssignmentMap, ratios: &[f64]) -> f64 {
+        let mut sum = 0.0;
+        for (t, &r) in ratios.iter().enumerate() {
+            if let Some(c) = map.core_of(t) {
+                sum += if snap.cores[c].int_bias() > 0.0 { r } else { 1.0 };
+            }
+        }
+        sum
+    }
+}
+
+impl TopoScheduler for TopoHpe {
+    fn name(&self) -> &'static str {
+        match self.predictor {
+            HpePredictor::Matrix(_) => "hpe-matrix",
+            HpePredictor::Surface(_) => "hpe-surface",
+        }
+    }
+
+    fn on_epoch(&mut self, snap: &TopoSnapshot) -> TopoDecision {
+        for (t, obs) in snap.threads.iter().enumerate() {
+            if obs.window.instructions > 0 {
+                self.last_mix[t] = (obs.window.int_pct, obs.window.fp_pct);
+            }
+        }
+        let ratios: Vec<f64> = self
+            .last_mix
+            .iter()
+            .map(|&(int_pct, fp_pct)| self.predictor.predict_ratio(int_pct, fp_pct))
+            .collect();
+        let thread_order = threads_ranked_by(ratios.len(), true, |t| ratios[t]);
+        let core_order = cores_ranked_by(&snap.cores, |c| c.int_bias());
+        let next = place_ranked(snap.cores.len(), ratios.len(), &thread_order, &core_order);
+        let cur_score = self.score(snap, &snap.assignment, &ratios);
+        let new_score = self.score(snap, &next, &ratios);
+        let speedup = if cur_score > 0.0 { new_score / cur_score } else { 1.0 };
+        self.last_explain = Some(DecisionExplain {
+            predicted_speedup: Some(speedup),
+            ..DecisionExplain::from_source(self.predictor.source())
+        });
+        if next != snap.assignment && speedup > self.threshold {
+            TopoDecision::Reassign(next)
+        } else {
+            TopoDecision::Stay
+        }
+    }
+
+    fn explain_last(&self) -> Option<DecisionExplain> {
+        self.last_explain
+    }
+
+    fn reset(&mut self) {
+        for m in &mut self.last_mix {
+            *m = (0.0, 0.0);
+        }
+        self.last_explain = None;
+    }
+}
+
+/// Thread Progress Equalization (Turakhia et al.): at every epoch the
+/// least-progressed threads get the strongest cores, equalizing progress
+/// across the thread set; the most-progressed threads are the ones that
+/// wait when the topology is oversubscribed.
+#[derive(Debug, Clone, Default)]
+pub struct TpeScheduler {
+    decided: bool,
+}
+
+impl TpeScheduler {
+    /// Build the progress equalizer.
+    pub fn new() -> Self {
+        TpeScheduler::default()
+    }
+}
+
+impl TopoScheduler for TpeScheduler {
+    fn name(&self) -> &'static str {
+        "tpe"
+    }
+
+    fn on_epoch(&mut self, snap: &TopoSnapshot) -> TopoDecision {
+        self.decided = true;
+        // Ascending progress → descending core strength.
+        let thread_order =
+            threads_ranked_by(snap.threads.len(), false, |t| snap.threads[t].total_instructions as f64);
+        let core_order = cores_ranked_by(&snap.cores, |c| c.strength());
+        let next = place_ranked(snap.cores.len(), snap.threads.len(), &thread_order, &core_order);
+        if next == snap.assignment {
+            TopoDecision::Stay
+        } else {
+            TopoDecision::Reassign(next)
+        }
+    }
+
+    fn explain_last(&self) -> Option<DecisionExplain> {
+        self.decided.then(|| DecisionExplain::from_source(PredictorSource::Progress))
+    }
+
+    fn reset(&mut self) {
+        self.decided = false;
+    }
+}
+
+/// CAMP-style speedup-factor-ranked placement (AMP scheduling survey):
+/// each thread's composition yields an affinity estimate per core
+/// ([`CoreTraits::affinity`]); a greedy highest-affinity matching places
+/// threads. `Static` computes the matching once from the first epoch's
+/// observations and freezes it; `Dynamic` re-ranks every epoch.
+#[derive(Debug, Clone)]
+pub struct CampScheduler {
+    dynamic: bool,
+    /// Last observed composition per thread.
+    last_mix: Vec<(f64, f64)>,
+    frozen: Option<AssignmentMap>,
+    last_explain: Option<DecisionExplain>,
+}
+
+impl CampScheduler {
+    /// One-shot placement from the first epoch's observations.
+    pub fn camp_static(threads: usize) -> Self {
+        CampScheduler {
+            dynamic: false,
+            last_mix: vec![(0.0, 0.0); threads],
+            frozen: None,
+            last_explain: None,
+        }
+    }
+
+    /// Re-ranked placement at every epoch.
+    pub fn camp_dynamic(threads: usize) -> Self {
+        CampScheduler {
+            dynamic: true,
+            last_mix: vec![(0.0, 0.0); threads],
+            frozen: None,
+            last_explain: None,
+        }
+    }
+
+    /// Greedy highest-affinity matching: all `(thread, core)` pairs
+    /// sorted by affinity descending (ties: thread id, then core index),
+    /// taken while both sides are free.
+    fn matching(&self, snap: &TopoSnapshot) -> AssignmentMap {
+        let cores = snap.cores.len();
+        let threads = self.last_mix.len();
+        let mut pairs: Vec<(usize, usize)> = (0..threads)
+            .flat_map(|t| (0..cores).map(move |c| (t, c)))
+            .collect();
+        let aff = |&(t, c): &(usize, usize)| {
+            let (int_pct, fp_pct) = self.last_mix[t];
+            snap.cores[c].affinity(int_pct, fp_pct)
+        };
+        pairs.sort_by(|a, b| aff(b).total_cmp(&aff(a)).then(a.cmp(b)));
+        let mut core_of = vec![None; threads];
+        let mut taken = vec![false; cores];
+        let mut placed = 0usize;
+        for (t, c) in pairs {
+            if placed == threads.min(cores) {
+                break;
+            }
+            if core_of[t].is_none() && !taken[c] {
+                core_of[t] = Some(c);
+                taken[c] = true;
+                placed += 1;
+            }
+        }
+        AssignmentMap::from_core_of(cores, core_of)
+    }
+}
+
+impl TopoScheduler for CampScheduler {
+    fn name(&self) -> &'static str {
+        if self.dynamic {
+            "camp-dynamic"
+        } else {
+            "camp-static"
+        }
+    }
+
+    fn on_epoch(&mut self, snap: &TopoSnapshot) -> TopoDecision {
+        for (t, obs) in snap.threads.iter().enumerate() {
+            if obs.window.instructions > 0 {
+                self.last_mix[t] = (obs.window.int_pct, obs.window.fp_pct);
+            }
+        }
+        self.last_explain = Some(DecisionExplain::from_source(PredictorSource::Affinity));
+        let target = if self.dynamic {
+            self.matching(snap)
+        } else {
+            match &self.frozen {
+                Some(map) => map.clone(),
+                None => {
+                    let map = self.matching(snap);
+                    self.frozen = Some(map.clone());
+                    map
+                }
+            }
+        };
+        if target == snap.assignment {
+            TopoDecision::Stay
+        } else {
+            TopoDecision::Reassign(target)
+        }
+    }
+
+    fn explain_last(&self) -> Option<DecisionExplain> {
+        self.last_explain
+    }
+
+    fn reset(&mut self) {
+        for m in &mut self.last_mix {
+            *m = (0.0, 0.0);
+        }
+        self.frozen = None;
+        self.last_explain = None;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topo::TopoThreadObs;
+    use crate::ThreadWindow;
+
+    fn traits(index: usize, fp: bool) -> CoreTraits {
+        // The INT core is both INT-leaning and (slightly) stronger
+        // overall, so strength- and bias-rankings are unambiguous.
+        CoreTraits {
+            index,
+            fp_flavored: fp,
+            frequency_ghz: 2.0,
+            int_throughput: if fp { 2.0 } else { 6.0 },
+            fp_throughput: if fp { 4.0 } else { 1.0 },
+            dispatch_width: 2,
+        }
+    }
+
+    fn obs(int_pct: f64, fp_pct: f64, insts: u64, total: u64, core: Option<usize>) -> TopoThreadObs {
+        TopoThreadObs {
+            window: ThreadWindow {
+                int_pct,
+                fp_pct,
+                instructions: insts,
+                cycles: 1000,
+                joules: 1e-6,
+                ..Default::default()
+            },
+            total_instructions: total,
+            core,
+        }
+    }
+
+    fn snapshot(cores: Vec<CoreTraits>, threads: Vec<TopoThreadObs>) -> TopoSnapshot {
+        let map = AssignmentMap::baseline(cores.len(), threads.len());
+        let threads = threads
+            .into_iter()
+            .enumerate()
+            .map(|(t, mut o)| {
+                o.core = map.core_of(t);
+                o
+            })
+            .collect();
+        TopoSnapshot { cycle: 50_000, assignment: map, cores, threads }
+    }
+
+    #[test]
+    fn rotation_cycles_all_threads_through_all_slots() {
+        // 2 cores × 3 threads: every thread must visit both cores and the
+        // park slot over 3 rotations, returning to start.
+        let start = AssignmentMap::baseline(2, 3);
+        let mut cur = start.clone();
+        for _ in 0..3 {
+            cur = rotate_slots(&cur);
+            cur.validate().expect("rotation must stay valid");
+        }
+        assert_eq!(cur, start);
+        // 2×2 degenerates to the pair swap.
+        assert_eq!(rotate_slots(&AssignmentMap::pair(false)), AssignmentMap::pair(true));
+    }
+
+    #[test]
+    fn tpe_gives_strongest_core_to_laggard() {
+        let cores = vec![traits(0, true), traits(1, false)];
+        // Thread 0 lags far behind thread 1 but sits on the weaker
+        // (FP) core; TPE must move it to the stronger INT core.
+        let snap = snapshot(
+            cores,
+            vec![obs(50.0, 5.0, 1000, 100_000, None), obs(50.0, 5.0, 1000, 900_000, None)],
+        );
+        let mut tpe = TpeScheduler::new();
+        match tpe.on_epoch(&snap) {
+            TopoDecision::Reassign(next) => {
+                // INT core (index 1) is the stronger core here.
+                assert_eq!(next.core_of(0), Some(1), "laggard gets the strongest core");
+            }
+            TopoDecision::Stay => panic!("laggard placement must change"),
+        }
+        assert_eq!(
+            tpe.explain_last().map(|e| e.source),
+            Some(PredictorSource::Progress)
+        );
+    }
+
+    #[test]
+    fn tpe_parks_most_progressed_when_oversubscribed() {
+        let cores = vec![traits(0, true), traits(1, false)];
+        let snap = snapshot(
+            cores,
+            vec![
+                obs(50.0, 5.0, 1000, 900_000, None),
+                obs(50.0, 5.0, 1000, 100_000, None),
+                obs(50.0, 5.0, 1000, 500_000, None),
+            ],
+        );
+        let mut tpe = TpeScheduler::new();
+        match tpe.on_epoch(&snap) {
+            TopoDecision::Reassign(next) => {
+                assert_eq!(next.parked(), vec![0], "most-progressed thread waits");
+                assert_eq!(next.core_of(1), Some(1), "laggard gets the strongest core");
+            }
+            TopoDecision::Stay => panic!("placement must change"),
+        }
+    }
+
+    #[test]
+    fn camp_dynamic_separates_flavors() {
+        let cores = vec![traits(0, true), traits(1, false)];
+        // Thread 0 (INT-heavy) starts on the FP core and vice versa.
+        let snap = snapshot(cores, vec![obs(80.0, 1.0, 1000, 0, None), obs(5.0, 60.0, 1000, 0, None)]);
+        let mut camp = CampScheduler::camp_dynamic(2);
+        match camp.on_epoch(&snap) {
+            TopoDecision::Reassign(next) => {
+                assert_eq!(next.core_of(0), Some(1), "INT-heavy thread → INT core");
+                assert_eq!(next.core_of(1), Some(0), "FP-heavy thread → FP core");
+            }
+            TopoDecision::Stay => panic!("misplaced flavors must be corrected"),
+        }
+    }
+
+    #[test]
+    fn camp_static_freezes_its_first_matching() {
+        let cores = vec![traits(0, true), traits(1, false)];
+        let first = snapshot(cores.clone(), vec![obs(80.0, 1.0, 1000, 0, None), obs(5.0, 60.0, 1000, 0, None)]);
+        let mut camp = CampScheduler::camp_static(2);
+        let TopoDecision::Reassign(placed) = camp.on_epoch(&first) else {
+            panic!("first epoch must place")
+        };
+        // Later epochs see inverted compositions, but the matching stays.
+        let mut second = snapshot(cores, vec![obs(5.0, 60.0, 1000, 0, None), obs(80.0, 1.0, 1000, 0, None)]);
+        second.assignment = placed.clone();
+        for (t, o) in second.threads.iter_mut().enumerate() {
+            o.core = placed.core_of(t);
+        }
+        assert_eq!(camp.on_epoch(&second), TopoDecision::Stay);
+    }
+
+    #[test]
+    fn topo_proposed_swaps_misplaced_pair_after_vote_fills() {
+        let cores = vec![traits(0, true), traits(1, false)];
+        let mut sched = TopoProposed::with_defaults(2);
+        assert_eq!(sched.window_insts(), Some(2000));
+        // INT-heavy on the FP core, FP-heavy on the INT core.
+        let snap = snapshot(cores, vec![obs(80.0, 1.0, 1000, 0, None), obs(5.0, 60.0, 1000, 0, None)]);
+        let mut swapped = None;
+        for _ in 0..5 {
+            if let TopoDecision::Reassign(next) = sched.on_window(&snap) {
+                swapped = Some(next);
+                break;
+            }
+        }
+        let next = swapped.expect("vote must fill and trigger the swap");
+        assert_eq!(next.core_of(0), Some(1));
+        assert_eq!(next.core_of(1), Some(0));
+        assert!(next.same_parked_set(&snap.assignment), "window decisions must not repark");
+    }
+
+    #[test]
+    fn topo_round_robin_rotates_every_epoch() {
+        let cores = vec![traits(0, true), traits(1, false)];
+        let snap = snapshot(cores, vec![obs(50.0, 5.0, 1000, 0, None), obs(50.0, 5.0, 1000, 0, None)]);
+        let mut rr = TopoRoundRobin::every_epoch();
+        match rr.on_epoch(&snap) {
+            TopoDecision::Reassign(next) => assert_eq!(next, AssignmentMap::pair(true)),
+            TopoDecision::Stay => panic!("RR must rotate"),
+        }
+        let mut rr2 = TopoRoundRobin::new(2);
+        assert_eq!(rr2.on_epoch(&snap), TopoDecision::Stay);
+        assert!(matches!(rr2.on_epoch(&snap), TopoDecision::Reassign(_)));
+    }
+
+    #[test]
+    fn static_never_moves() {
+        let cores = vec![traits(0, true), traits(1, false)];
+        let snap = snapshot(cores, vec![obs(80.0, 1.0, 1000, 0, None), obs(5.0, 60.0, 1000, 0, None)]);
+        let mut s = TopoStatic;
+        assert_eq!(s.on_window(&snap), TopoDecision::Stay);
+        assert_eq!(s.on_epoch(&snap), TopoDecision::Stay);
+    }
+}

@@ -5,7 +5,7 @@
 //! pair set, so variants are directly comparable.
 
 use ampsched_core::ProposedConfig;
-use ampsched_metrics::{improvement_pct, mean, weighted_speedup, Table};
+use ampsched_metrics::{mean, weighted_improvement_pct, Table};
 
 use crate::common::{run_pair, sample_pairs, Params, Predictors, SchedKind};
 use crate::runner::parallel_map;
@@ -31,9 +31,13 @@ fn proposed_cfg(params: &Params) -> ProposedConfig {
 /// Run the ablation battery.
 pub fn run(params: &Params, predictors: &Predictors) -> Vec<AblationRow> {
     let pairs = sample_pairs(params.num_pairs, params.seed);
-    // Common baseline: static assignment.
-    let base: Vec<[f64; 2]> = parallel_map(&pairs, |p| {
-        run_pair(p, &SchedKind::Static, predictors, params).ipc_per_watt()
+    // Common baseline: static assignment. Kept as unsized per-thread
+    // vectors — the scoring below iterates whatever thread count the
+    // run produced rather than assuming the paper's two slots.
+    let base: Vec<Vec<f64>> = parallel_map(&pairs, |p| {
+        run_pair(p, &SchedKind::Static, predictors, params)
+            .ipc_per_watt()
+            .to_vec()
     });
 
     let mut variants: Vec<(String, SchedKind, Params)> = Vec::new();
@@ -88,7 +92,7 @@ pub fn run(params: &Params, predictors: &Predictors) -> Vec<AblationRow> {
             let imps: Vec<f64> = results
                 .iter()
                 .zip(&base)
-                .map(|(r, b)| improvement_pct(weighted_speedup(&r.ipc_per_watt(), b)))
+                .map(|(r, b)| weighted_improvement_pct(&r.ipc_per_watt(), b))
                 .collect();
             let swaps: Vec<f64> = results.iter().map(|r| r.swaps as f64).collect();
             AblationRow {

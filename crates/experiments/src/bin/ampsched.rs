@@ -21,6 +21,7 @@
 //!   derive-rules  re-derive the Figure 5 thresholds (Section VI-A)
 //!   ablation      design-choice ablation battery
 //!   morphing      core-morphing extension comparison (cf. \[5\])
+//!   scaling       N-core x M-thread scheduler-zoo sweep (predictor-free)
 //!   trace-cache   maintain the --trace-cache dir (stats|verify|gc)
 //!   obs-summary   aggregate a --telemetry JSONL file per scheduler
 //!   all           everything above, in order
@@ -50,7 +51,7 @@
 
 use ampsched_experiments::{
     ablation, common::Params, fig1, fig6, fig78, morphing, obs_summary, overhead, profiling,
-    rr_interval, rules_derivation, tables, telemetry, trace_cache,
+    rr_interval, rules_derivation, scaling, tables, telemetry, trace_cache,
 };
 use ampsched_system::SimPath;
 use ampsched_trace::{arena, persist, timing, TracePath};
@@ -65,7 +66,7 @@ fn usage() -> ! {
         "usage: ampsched [--quick|--medium] [--pairs N] [--insts N] [--profile-insts N] [--seed N] \
          [--sim-path fast|reference] [--trace-path arena|stream] [--trace-cache DIR] [--profile] \
          [--profile-sample N] [--telemetry FILE] [--trace-events FILE] [--csv FILE] [--json FILE] \
-         <tables|fig1|fig3|fig4|fig6|fig7|fig8|fig9|figs789|overhead|rr-interval|derive-rules|ablation|morphing|workloads|trace-cache|obs-summary|all>\n\
+         <tables|fig1|fig3|fig4|fig6|fig7|fig8|fig9|figs789|overhead|rr-interval|derive-rules|ablation|morphing|scaling|workloads|trace-cache|obs-summary|all>\n\
          \n\
          trace-cache actions: ampsched --trace-cache DIR trace-cache <stats|verify|gc>\n\
          obs-summary usage:   ampsched obs-summary FILE   (FILE from a --telemetry run)"
@@ -164,8 +165,8 @@ fn main() {
     // Reject unknown commands before the (expensive) profiling phase.
     const COMMANDS: &[&str] = &[
         "tables", "workloads", "fig1", "fig3", "fig4", "fig6", "fig7", "fig8", "fig9", "figs789",
-        "overhead", "rr-interval", "derive-rules", "ablation", "morphing", "trace-cache",
-        "obs-summary", "all",
+        "overhead", "rr-interval", "derive-rules", "ablation", "morphing", "scaling",
+        "trace-cache", "obs-summary", "all",
     ];
     if !COMMANDS.contains(&command.as_str()) {
         eprintln!("unknown command: {command}");
@@ -271,7 +272,10 @@ fn main() {
         timing::reset();
         timing::set_stream_sampling(true);
     }
-    let needs_predictors = !matches!(command.as_str(), "tables" | "workloads" | "fig1" | "derive-rules" | "morphing");
+    let needs_predictors = !matches!(
+        command.as_str(),
+        "tables" | "workloads" | "fig1" | "derive-rules" | "morphing" | "scaling"
+    );
     let preds = if needs_predictors {
         eprintln!("[profiling {} representative benchmarks ...]", 9);
         Some(
@@ -379,6 +383,12 @@ fn main() {
             println!("{}", ablation::render(&rows));
             report.borrow_mut().push(("ablation".into(), ablation::to_json(&rows)));
         }
+        "scaling" => {
+            println!("Scaling — N-core x M-thread scheduler-zoo sweep\n");
+            let r = scaling::run(&params);
+            println!("{}", scaling::render(&r));
+            report.borrow_mut().push(("scaling".into(), scaling::to_json(&r)));
+        }
         other => {
             eprintln!("unknown command: {other}");
             usage();
@@ -419,6 +429,7 @@ fn main() {
         timed("rr-interval");
         timed("ablation");
         timed("morphing");
+        timed("scaling");
     } else {
         timed(&command);
     }

@@ -2,9 +2,10 @@
 //! scheduler construction.
 
 use ampsched_core::{
-    ExtendedConfig, ExtendedScheduler, HpePredictor, HpeScheduler, MatrixFineScheduler,
-    ProposedConfig, ProposedScheduler, RoundRobinScheduler, SamplingScheduler, Scheduler,
-    StaticScheduler,
+    CampScheduler, ExtendedConfig, ExtendedScheduler, HpePredictor, HpeScheduler,
+    MatrixFineScheduler, PairAdapter, ProposedConfig, ProposedScheduler, RoundRobinScheduler,
+    SamplingScheduler, Scheduler, StaticScheduler, TopoHpe, TopoProposed, TopoRoundRobin,
+    TopoScheduler, TopoStatic, TpeScheduler,
 };
 use ampsched_system::{DualCoreSystem, RunResult, SystemConfig};
 use ampsched_trace::{suite, BenchmarkSpec, TracePath, Workload};
@@ -141,6 +142,14 @@ pub enum SchedKind {
     Extended(ExtendedConfig),
     /// Becchi-style forced-swap sampling every `k` epochs.
     Sampling(u32),
+    /// Thread Progress Equalization (Turakhia et al.): laggards onto the
+    /// strongest cores at every epoch. N×M only.
+    Tpe,
+    /// CAMP-style one-shot affinity placement from the first epoch's
+    /// observed compositions. N×M only.
+    CampStatic,
+    /// CAMP-style affinity placement re-ranked at every epoch. N×M only.
+    CampDynamic,
 }
 
 impl SchedKind {
@@ -167,6 +176,11 @@ impl SchedKind {
 
     /// Instantiate the scheduler. `predictors` supplies the profiled
     /// matrix and surface for the HPE variants.
+    ///
+    /// # Panics
+    /// Panics for the N×M-only kinds ([`SchedKind::Tpe`],
+    /// [`SchedKind::CampStatic`], [`SchedKind::CampDynamic`]) — those
+    /// have no pair form; use [`SchedKind::build_topo`].
     pub fn build(&self, predictors: &Predictors) -> Box<dyn Scheduler> {
         match self {
             SchedKind::Proposed(cfg) => Box::new(ProposedScheduler::new(*cfg)),
@@ -183,6 +197,52 @@ impl SchedKind {
             ))),
             SchedKind::Extended(cfg) => Box::new(ExtendedScheduler::new(*cfg)),
             SchedKind::Sampling(k) => Box::new(SamplingScheduler::new(*k)),
+            SchedKind::Tpe | SchedKind::CampStatic | SchedKind::CampDynamic => {
+                panic!("{self:?} is an N×M scheduler with no pair form; use build_topo")
+            }
+        }
+    }
+
+    /// Instantiate the generalized (N-core × M-thread) form of this
+    /// scheme for a topology running `threads` threads.
+    ///
+    /// The zoo schemes (Proposed, HPE, Round Robin, Static, TPE, CAMP)
+    /// are natively topology-shaped. The remaining pair-only ablation
+    /// schemes (MatrixFine, Extended, Sampling) are lifted through a
+    /// [`PairAdapter`], which restricts them to 2-core × 2-thread
+    /// topologies (the adapter panics on any other shape).
+    ///
+    /// `predictors` is only consulted by the HPE-derived kinds; pass
+    /// `None` for the predictor-free zoo (everything the `scaling`
+    /// experiment sweeps).
+    pub fn build_topo(
+        &self,
+        threads: usize,
+        predictors: Option<&Predictors>,
+    ) -> Box<dyn TopoScheduler> {
+        let preds = || predictors.expect("this scheduler kind needs profiled predictors");
+        match self {
+            SchedKind::Proposed(cfg) => Box::new(TopoProposed::new(*cfg, threads)),
+            SchedKind::HpeMatrix => Box::new(TopoHpe::new(
+                HpePredictor::Matrix(preds().matrix.clone()),
+                threads,
+            )),
+            SchedKind::HpeSurface => Box::new(TopoHpe::new(
+                HpePredictor::Surface(preds().surface.clone()),
+                threads,
+            )),
+            SchedKind::RoundRobin(k) => Box::new(TopoRoundRobin::new(*k)),
+            SchedKind::Static => Box::new(TopoStatic),
+            SchedKind::Tpe => Box::new(TpeScheduler::new()),
+            SchedKind::CampStatic => Box::new(CampScheduler::camp_static(threads)),
+            SchedKind::CampDynamic => Box::new(CampScheduler::camp_dynamic(threads)),
+            SchedKind::MatrixFine => Box::new(PairAdapter::new(self.build(preds()))),
+            SchedKind::Extended(cfg) => Box::new(PairAdapter::new(
+                Box::new(ExtendedScheduler::new(*cfg)) as Box<dyn Scheduler>,
+            )),
+            SchedKind::Sampling(k) => Box::new(PairAdapter::new(
+                Box::new(SamplingScheduler::new(*k)) as Box<dyn Scheduler>,
+            )),
         }
     }
 }

@@ -5,7 +5,7 @@
 
 use ampsched_metrics::{
     geometric_speedup, improvement_pct, k_largest_indices, k_smallest_indices, mean,
-    weighted_speedup, Table,
+    weighted_improvement_pct, Table,
 };
 use ampsched_system::RunResult;
 
@@ -65,7 +65,7 @@ impl SweepResult {
                 };
                 Improvement {
                     label: o.label.clone(),
-                    weighted_pct: improvement_pct(weighted_speedup(&new, &base)),
+                    weighted_pct: weighted_improvement_pct(&new, &base),
                     geometric_pct: improvement_pct(geometric_speedup(&new, &base)),
                 }
             })
@@ -246,12 +246,22 @@ pub fn render_fig(sweep: &SweepResult, reference: Reference) -> String {
     s
 }
 
-/// Write the full per-pair sweep as CSV (one row per pair: both schemes'
-/// per-thread IPC/Watt plus the derived improvements).
+/// Write the full per-pair sweep as CSV (one row per pair: every
+/// scheme's per-thread IPC/Watt plus the derived improvements).
+///
+/// The per-thread columns are derived from the runs' actual thread count
+/// (`ppw_<scheme>_t<i>` per thread), not hard-coded to the paper's two
+/// slots — for the dual-core sweep this reproduces the legacy 14-column
+/// layout byte for byte.
 pub fn write_sweep_csv<W: std::io::Write>(
     sweep: &SweepResult,
     w: &mut W,
 ) -> std::io::Result<()> {
+    let threads = sweep
+        .outcomes
+        .first()
+        .map(|o| o.proposed.ipc_per_watt().len())
+        .unwrap_or(2);
     let imps_hpe = sweep.improvements(Reference::Hpe);
     let imps_rr = sweep.improvements(Reference::RoundRobin);
     let rows: Vec<Vec<String>> = sweep
@@ -259,17 +269,13 @@ pub fn write_sweep_csv<W: std::io::Write>(
         .iter()
         .zip(imps_hpe.iter().zip(&imps_rr))
         .map(|(o, (ih, ir))| {
-            let p = o.proposed.ipc_per_watt();
-            let h = o.hpe.ipc_per_watt();
-            let r = o.rr.ipc_per_watt();
-            vec![
-                o.label.clone(),
-                format!("{:.6}", p[0]),
-                format!("{:.6}", p[1]),
-                format!("{:.6}", h[0]),
-                format!("{:.6}", h[1]),
-                format!("{:.6}", r[0]),
-                format!("{:.6}", r[1]),
+            let mut row = vec![o.label.clone()];
+            for result in [&o.proposed, &o.hpe, &o.rr] {
+                let ppw = result.ipc_per_watt();
+                assert_eq!(ppw.len(), threads, "uneven thread counts across the sweep");
+                row.extend(ppw.iter().map(|v| format!("{v:.6}")));
+            }
+            row.extend([
                 format!("{:.3}", ih.weighted_pct),
                 format!("{:.3}", ih.geometric_pct),
                 format!("{:.3}", ir.weighted_pct),
@@ -277,19 +283,16 @@ pub fn write_sweep_csv<W: std::io::Write>(
                 o.proposed.swaps.to_string(),
                 o.hpe.swaps.to_string(),
                 o.rr.swaps.to_string(),
-            ]
+            ]);
+            row
         })
         .collect();
-    ampsched_metrics::write_csv(
-        w,
-        &[
-            "pair",
-            "ppw_proposed_t0",
-            "ppw_proposed_t1",
-            "ppw_hpe_t0",
-            "ppw_hpe_t1",
-            "ppw_rr_t0",
-            "ppw_rr_t1",
+    let mut headers = vec!["pair".to_string()];
+    for scheme in ["proposed", "hpe", "rr"] {
+        headers.extend((0..threads).map(|t| format!("ppw_{scheme}_t{t}")));
+    }
+    headers.extend(
+        [
             "weighted_vs_hpe_pct",
             "geometric_vs_hpe_pct",
             "weighted_vs_rr_pct",
@@ -297,9 +300,11 @@ pub fn write_sweep_csv<W: std::io::Write>(
             "swaps_proposed",
             "swaps_hpe",
             "swaps_rr",
-        ],
-        &rows,
-    )
+        ]
+        .map(String::from),
+    );
+    let header_refs: Vec<&str> = headers.iter().map(String::as_str).collect();
+    ampsched_metrics::write_csv(w, &header_refs, &rows)
 }
 
 /// Render Figure 9 (worst/average/best bars for both references).
@@ -389,5 +394,22 @@ mod tests {
             assert_eq!(l.split(',').count(), cols, "ragged row: {l}");
         }
         assert!(lines[0].contains("weighted_vs_hpe_pct"));
+    }
+
+    /// Regression: the per-thread columns are derived from the runs'
+    /// thread count, and for the dual-core sweep that derivation must
+    /// reproduce the legacy hard-coded header layout exactly.
+    #[test]
+    fn sweep_csv_headers_are_topology_derived_and_legacy_compatible() {
+        let sweep = small_sweep();
+        let mut buf = Vec::new();
+        write_sweep_csv(&sweep, &mut buf).expect("csv write");
+        let s = String::from_utf8(buf).expect("utf8");
+        assert_eq!(
+            s.lines().next().expect("header line"),
+            "pair,ppw_proposed_t0,ppw_proposed_t1,ppw_hpe_t0,ppw_hpe_t1,\
+             ppw_rr_t0,ppw_rr_t1,weighted_vs_hpe_pct,geometric_vs_hpe_pct,\
+             weighted_vs_rr_pct,geometric_vs_rr_pct,swaps_proposed,swaps_hpe,swaps_rr"
+        );
     }
 }

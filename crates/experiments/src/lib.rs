@@ -23,6 +23,7 @@ pub mod profiling;
 pub mod rr_interval;
 pub mod rules_derivation;
 pub mod runner;
+pub mod scaling;
 pub mod tables;
 pub mod telemetry;
 pub mod trace_cache;

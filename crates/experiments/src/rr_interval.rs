@@ -2,7 +2,7 @@
 //! context-switch periods. The paper found the 1-epoch variant better and
 //! used it as the Figure 8 baseline.
 
-use ampsched_metrics::{improvement_pct, mean, weighted_speedup, Table};
+use ampsched_metrics::{mean, weighted_improvement_pct, Table};
 
 use crate::common::{run_pair, sample_pairs, Params, Predictors, SchedKind};
 use crate::runner::parallel_map;
@@ -25,10 +25,7 @@ pub fn run(params: &Params, predictors: &Predictors) -> RrIntervalResult {
     let per_pair: Vec<(String, f64)> = parallel_map(&pairs, |pair| {
         let rr1 = run_pair(pair, &kind1, predictors, params).ipc_per_watt();
         let rr2 = run_pair(pair, &kind2, predictors, params).ipc_per_watt();
-        (
-            pair.label(),
-            improvement_pct(weighted_speedup(&rr1, &rr2)),
-        )
+        (pair.label(), weighted_improvement_pct(&rr1, &rr2))
     });
     RrIntervalResult {
         rr1_vs_rr2_weighted_pct: mean(&per_pair.iter().map(|p| p.1).collect::<Vec<_>>()),
@@ -83,5 +80,16 @@ mod tests {
         assert_eq!(r.per_pair.len(), 4);
         assert!(r.rr1_vs_rr2_weighted_pct.is_finite());
         assert!(render(&r).contains("average"));
+    }
+
+    /// Regression: the per-pair score is symmetric in the thread slots —
+    /// a bug that scored only slot 0 (the old hard-coded pair indexing)
+    /// would break this relabeling invariance.
+    #[test]
+    fn score_is_invariant_under_thread_relabeling() {
+        let a = weighted_improvement_pct(&[2.0, 0.5], &[1.0, 1.0]);
+        let b = weighted_improvement_pct(&[0.5, 2.0], &[1.0, 1.0]);
+        assert_eq!(a, b);
+        assert!((a - 25.0).abs() < 1e-12, "mean of ratios 2.0 and 0.5");
     }
 }

@@ -14,7 +14,9 @@
 //! obs-summary FILE` (see [`crate::obs_summary`]) aggregates a file
 //! back into a per-scheduler table.
 
-use ampsched_system::{DecisionKind, DecisionRecord, RunResult};
+use ampsched_system::{
+    DecisionKind, DecisionRecord, RunResult, TopoDecisionRecord, TopoRunResult,
+};
 use ampsched_util::Json;
 
 fn opt_f64(v: Option<f64>) -> Json {
@@ -100,6 +102,104 @@ pub fn emit_run(pair: &str, seed: u64, result: &RunResult) {
         ("ipc_per_watt", Json::arr(ppw.iter().map(|&v| Json::from(v)))),
     ]);
     ampsched_obs::telemetry::emit(&envelope(totals, "run"));
+}
+
+/// One generalized (N-core × M-thread) decision record, carrying the
+/// assignment dimension on top of the pair schema: the post-decision
+/// thread→core table (`assignment`, `null` = parked), the set of
+/// migrated threads, and each thread's occupied core at decision time.
+pub fn topo_decision_to_json(d: &TopoDecisionRecord) -> Json {
+    let kind = match d.kind {
+        DecisionKind::Window => "window",
+        DecisionKind::Epoch => "epoch",
+    };
+    let explain = match &d.explain {
+        Some(e) => Json::obj([
+            ("source", Json::from(e.source.name())),
+            ("ratio_on_fp", opt_f64(e.ratio_on_fp)),
+            ("ratio_on_int", opt_f64(e.ratio_on_int)),
+            ("predicted_speedup", opt_f64(e.predicted_speedup)),
+            (
+                "votes_for",
+                e.votes_for.map(|v| Json::from(v as u64)).unwrap_or(Json::Null),
+            ),
+            (
+                "vote_depth",
+                e.vote_depth.map(|v| Json::from(v as u64)).unwrap_or(Json::Null),
+            ),
+        ]),
+        None => Json::Null,
+    };
+    let opt_core = |c: Option<usize>| c.map(|c| Json::from(c as u64)).unwrap_or(Json::Null);
+    Json::obj([
+        ("cycle", Json::from(d.cycle)),
+        ("kind", Json::from(kind)),
+        ("changed", Json::from(d.changed)),
+        (
+            "migrated",
+            Json::arr(d.migrated.iter().map(|&t| Json::from(t as u64))),
+        ),
+        (
+            "assignment",
+            Json::arr(d.assignment.iter().map(|&c| opt_core(c))),
+        ),
+        ("swap_cost_cycles", Json::from(d.swap_cost_cycles)),
+        (
+            "threads",
+            Json::arr(d.threads.iter().map(|t| {
+                Json::obj([
+                    ("int_pct", Json::from(t.int_pct)),
+                    ("fp_pct", Json::from(t.fp_pct)),
+                    ("instructions", Json::from(t.instructions)),
+                    ("ipc", Json::from(t.ipc)),
+                    ("ipc_per_watt", Json::from(t.ipc_per_watt)),
+                    ("core", opt_core(t.core)),
+                ])
+            })),
+        ),
+        ("explain", explain),
+        ("realized_speedup", opt_f64(d.realized_speedup)),
+        ("mispredict", opt_f64(d.mispredict)),
+    ])
+}
+
+/// Stream one generalized run's audit trail to the installed telemetry
+/// sink: one `"topo_decision"` line per decision point, then one
+/// `"topo_run"` line with the run totals (including the topology label
+/// and migration count). A no-op when no sink is installed.
+pub fn emit_topo_run(topology: &str, group: &str, seed: u64, result: &TopoRunResult) {
+    if !ampsched_obs::telemetry::active() {
+        return;
+    }
+    let envelope = |body: Json, ty: &str| {
+        let mut fields = vec![
+            ("type".to_string(), Json::from(ty)),
+            ("topology".to_string(), Json::from(topology)),
+            ("group".to_string(), Json::from(group)),
+            ("scheduler".to_string(), Json::from(result.scheduler.as_str())),
+            ("seed".to_string(), Json::from(seed)),
+        ];
+        match body {
+            Json::Obj(members) => fields.extend(members),
+            other => fields.push(("body".to_string(), other)),
+        }
+        Json::Obj(fields)
+    };
+    for d in &result.decisions {
+        ampsched_obs::telemetry::emit(&envelope(topo_decision_to_json(d), "topo_decision"));
+    }
+    let totals = Json::obj([
+        ("cycles", Json::from(result.cycles)),
+        ("swaps", Json::from(result.swaps)),
+        ("migrations", Json::from(result.migrations)),
+        ("window_decisions", Json::from(result.window_decisions)),
+        ("epoch_decisions", Json::from(result.epoch_decisions)),
+        (
+            "ipc_per_watt",
+            Json::arr(result.ipc_per_watt().iter().map(|&v| Json::from(v))),
+        ),
+    ]);
+    ampsched_obs::telemetry::emit(&envelope(totals, "topo_run"));
 }
 
 /// The `telemetry` block of the `--json` report: a snapshot of the

@@ -1,0 +1,79 @@
+//! Byte-compatibility lockdown of the `--json` report surface.
+//!
+//! `tests/golden/compat/` holds one committed report per CLI command,
+//! all generated at the pinned quick scale (`--quick --pairs 2 --insts
+//! 20000 --profile-insts 200000`). This test re-runs the binary with the
+//! exact same arguments and requires the fresh report to be
+//! **byte-identical** to the committed file — locking the duo/single
+//! experiment surface across refactors (the N-core generalization of the
+//! system layer rode under this net).
+//!
+//! If a simulator change is *intentional*, regenerate the goldens with
+//! `target/release/ampsched --quick --pairs 2 --insts 20000
+//! --profile-insts 200000 --json crates/experiments/tests/golden/compat/<cmd>.json <cmd>`
+//! and say so in the commit message.
+
+use std::path::Path;
+use std::process::Command;
+
+const PINNED_ARGS: &[&str] =
+    &["--quick", "--pairs", "2", "--insts", "20000", "--profile-insts", "200000"];
+
+/// Every command with a committed golden, in dependency-free order.
+const COMMANDS: &[&str] = &[
+    "fig1", "fig3", "fig4", "fig6", "fig7", "fig8", "fig9", "overhead", "rr-interval",
+    "ablation", "morphing", "scaling",
+];
+
+#[test]
+fn json_reports_are_byte_identical_to_committed_goldens() {
+    let golden_dir = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/golden/compat");
+    let tmp = std::env::temp_dir().join(format!("ampsched-compat-{}", std::process::id()));
+    std::fs::create_dir_all(&tmp).expect("temp dir");
+    let mut mismatches = Vec::new();
+    for cmd in COMMANDS {
+        let golden_path = golden_dir.join(format!("{cmd}.json"));
+        let fresh_path = tmp.join(format!("{cmd}.json"));
+        let out = Command::new(env!("CARGO_BIN_EXE_ampsched"))
+            .args(PINNED_ARGS)
+            .arg("--json")
+            .arg(&fresh_path)
+            .arg(cmd)
+            .output()
+            .expect("run ampsched");
+        assert!(
+            out.status.success(),
+            "ampsched {cmd} failed: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        let golden = std::fs::read(&golden_path)
+            .unwrap_or_else(|e| panic!("missing golden {}: {e}", golden_path.display()));
+        let fresh = std::fs::read(&fresh_path).expect("fresh report written");
+        if golden != fresh {
+            // Localize the divergence for the failure message.
+            let at = golden
+                .iter()
+                .zip(fresh.iter())
+                .position(|(a, b)| a != b)
+                .unwrap_or(golden.len().min(fresh.len()));
+            let ctx = |bytes: &[u8]| {
+                let lo = at.saturating_sub(60);
+                let hi = (at + 60).min(bytes.len());
+                String::from_utf8_lossy(&bytes[lo..hi]).into_owned()
+            };
+            mismatches.push(format!(
+                "{cmd}: first divergence at byte {at}\n  golden: …{}…\n  fresh:  …{}…",
+                ctx(&golden),
+                ctx(&fresh)
+            ));
+        }
+    }
+    std::fs::remove_dir_all(&tmp).ok();
+    assert!(
+        mismatches.is_empty(),
+        "{} of {} reports diverged from the committed goldens:\n{}",
+        mismatches.len(),
+        COMMANDS.len(),
+        mismatches.join("\n")
+    );
+}

@@ -195,6 +195,77 @@ fn ampsched_morphing_emits_four_config_rows() {
 }
 
 #[test]
+fn ampsched_scaling_emits_shape_grid_with_zoo_schedulers() {
+    let doc = run_with_json("scaling", QUICK);
+    let section = doc.get("scaling").expect("scaling section");
+    let epoch = section.get("epoch_cycles").and_then(Json::as_u64).expect("epoch_cycles");
+    // --quick: 20k instructions / 4, clamped to the [5_000, epoch] band.
+    assert!((5_000..=400_000).contains(&epoch), "densified sweep epoch, got {epoch}");
+    let shapes = section.get("shapes").and_then(Json::as_arr).expect("shapes");
+    assert_eq!(shapes.len(), 5, "default shape grid");
+    let labels: Vec<&str> = shapes
+        .iter()
+        .map(|s| s.get("label").and_then(Json::as_str).expect("label"))
+        .collect();
+    for required in ["2fp+2int-4t", "4fp+4int-8t", "1fp+3int-4t"] {
+        assert!(labels.contains(&required), "grid must cover {required}: {labels:?}");
+    }
+    for shape in shapes {
+        let threads = shape.get("threads").and_then(Json::as_u64).expect("threads") as usize;
+        let workloads = shape.get("workloads").and_then(Json::as_arr).expect("workloads");
+        assert_eq!(workloads.len(), threads, "one benchmark per thread");
+        let cells = shape.get("schedulers").and_then(Json::as_arr).expect("schedulers");
+        let names: Vec<&str> = cells
+            .iter()
+            .map(|c| c.get("scheduler").and_then(Json::as_str).expect("scheduler"))
+            .collect();
+        for required in ["proposed", "round-robin", "static", "tpe", "camp-static", "camp-dynamic"]
+        {
+            assert!(names.contains(&required), "zoo must include {required}: {names:?}");
+        }
+        for c in cells {
+            assert!(c.get("cycles").and_then(Json::as_u64).expect("cycles") > 0);
+            // The densified epoch guarantees every scheduler actually
+            // reaches context-switch boundaries even under --quick; a
+            // zero here means the epoch-cadence zoo silently degenerated
+            // to static (the regression this sweep config exists to avoid).
+            assert!(
+                c.get("epoch_decisions").and_then(Json::as_u64).expect("epoch_decisions") > 0,
+                "every run must cross at least one epoch boundary"
+            );
+            let ppw = c.get("ipc_per_watt").and_then(Json::as_arr).expect("ipc_per_watt");
+            assert_eq!(ppw.len(), threads, "one IPC/Watt per thread");
+            let vs = c.get("weighted_vs_static_pct").expect("vs-static field present");
+            if let Some(v) = vs.as_f64() {
+                assert!(v.is_finite());
+            }
+            let scheduler = c.get("scheduler").and_then(Json::as_str).unwrap();
+            if scheduler == "static" {
+                assert_eq!(c.get("swaps").and_then(Json::as_u64), Some(0));
+                assert_eq!(c.get("migrations").and_then(Json::as_u64), Some(0));
+                assert_eq!(vs.as_f64(), Some(0.0), "static vs itself is zero");
+            }
+            assert!(
+                c.get("migrations").and_then(Json::as_u64).expect("migrations")
+                    >= c.get("swaps").and_then(Json::as_u64).expect("swaps"),
+                "each reassignment moves at least one thread"
+            );
+        }
+    }
+}
+
+#[test]
+fn ampsched_scaling_report_is_deterministic() {
+    let a = run_with_json("scaling", QUICK);
+    let b = run_with_json("scaling", QUICK);
+    assert_eq!(
+        a.get("scaling").expect("scaling section").render_pretty(),
+        b.get("scaling").expect("scaling section").render_pretty(),
+        "two identical invocations must produce identical reports"
+    );
+}
+
+#[test]
 fn ampsched_profile_flag_writes_bench_report() {
     let dir = std::env::temp_dir().join(format!("ampsched-prof-{}", std::process::id()));
     std::fs::create_dir_all(&dir).expect("temp dir");

@@ -19,5 +19,5 @@ pub mod thread;
 pub use bars::{hbar_chart, sparkline};
 pub use report::{write_csv, Table};
 pub use stats::{binned_mode, geomean, k_largest_indices, k_smallest_indices, mean, median, percentile, stddev};
-pub use speedup::{geometric_speedup, improvement_pct, weighted_speedup};
+pub use speedup::{geometric_speedup, improvement_pct, weighted_improvement_pct, weighted_speedup};
 pub use thread::ThreadMetrics;

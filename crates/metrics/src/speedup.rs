@@ -44,6 +44,18 @@ pub fn improvement_pct(speedup: f64) -> f64 {
     (speedup - 1.0) * 100.0
 }
 
+/// Weighted IPC/Watt improvement as a percentage —
+/// `improvement_pct(weighted_speedup(new, base))`, the score every
+/// experiment driver reports "vs" a baseline scheme. N-ary by
+/// construction: every thread of an arbitrary topology contributes its
+/// ratio, never just the paper's two slots.
+///
+/// # Panics
+/// As [`weighted_speedup`].
+pub fn weighted_improvement_pct(new: &[f64], base: &[f64]) -> f64 {
+    improvement_pct(weighted_speedup(new, base))
+}
+
 fn check(new: &[f64], base: &[f64]) {
     assert_eq!(new.len(), base.len(), "metric slices must align");
     assert!(!new.is_empty(), "need at least one thread");
@@ -85,6 +97,28 @@ mod tests {
     fn improvement_percent() {
         assert!((improvement_pct(1.105) - 10.5).abs() < 1e-9);
         assert!((improvement_pct(0.9) + 10.0).abs() < 1e-9);
+    }
+
+    /// Regression net for pair-slot bugs: the score must read *every*
+    /// thread of an N-thread vector — perturbing any single slot moves
+    /// the result, including slots beyond the paper's `[0, 1]` pair.
+    #[test]
+    fn weighted_improvement_reads_every_thread_slot() {
+        let base = [1.0, 2.0, 0.5, 4.0, 1.5];
+        let new = base;
+        assert!(weighted_improvement_pct(&new, &base).abs() < 1e-12);
+        for t in 0..base.len() {
+            let mut bumped = new;
+            bumped[t] *= 2.0;
+            let score = weighted_improvement_pct(&bumped, &base);
+            // One doubled ratio among n: mean rises by 1/n -> +20%.
+            assert!(
+                (score - 100.0 / base.len() as f64).abs() < 1e-9,
+                "slot {t} must contribute, got {score}"
+            );
+        }
+        // The 2-thread case the dual-core experiments report.
+        assert!((weighted_improvement_pct(&[2.0, 0.5], &[1.0, 1.0]) - 25.0).abs() < 1e-12);
     }
 
     #[test]

@@ -1,14 +1,22 @@
-//! The dual-core AMP and its scheduling loop.
+//! The dual-core AMP: the paper's fixed 2-core × 2-thread shape, as a
+//! thin pair-shaped facade over the generalized
+//! [`MulticoreSystem`].
+//!
+//! The scheduling loop itself lives in [`crate::topo`]; this module pins
+//! the paper's shape ([`Topology::duo`]: FP core 0, INT core 1, two
+//! threads), adapts pair [`Scheduler`]s through
+//! [`PairAdapter`], and re-exposes the original pair-typed result
+//! structures. The facade is pure projection — no arithmetic is redone —
+//! so every experiment and golden built on [`DualCoreSystem`] is
+//! byte-identical to the pre-generalization loop (enforced by the
+//! compatibility and differential suites).
 
-use ampsched_core::{
-    Assignment, Decision, DecisionExplain, Scheduler, ThreadWindow, WindowSnapshot,
-};
-use ampsched_cpu::{Core, CoreConfig};
-use ampsched_isa::MixCounts;
-use ampsched_mem::{MemConfig, MemSystem};
+use ampsched_core::{Assignment, DecisionExplain, PairAdapter, Scheduler};
+use ampsched_mem::MemConfig;
 use ampsched_metrics::ThreadMetrics;
-use ampsched_power::{EnergyAccount, EnergyModel};
 use ampsched_trace::Workload;
+
+use crate::topo::{MulticoreSystem, Topology, TopoDecisionRecord, TopoRunResult};
 
 /// Which simulation kernel a run uses.
 ///
@@ -18,6 +26,9 @@ use ampsched_trace::Workload;
 /// baseline the differential harness compares against. Both must produce
 /// bit-identical results; `crates/cpu/tests/differential.rs` and the
 /// system-level differential tests enforce that.
+///
+/// [`Core::tick`]: ampsched_cpu::Core::tick
+/// [`Core::reference_tick`]: ampsched_cpu::Core::reference_tick
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub enum SimPath {
     /// Optimized stages + skip-ahead (default).
@@ -37,8 +48,9 @@ pub struct SystemConfig {
     /// Thread-swap overhead in cycles: pipeline drain + architectural
     /// state exchange (Section VI-C; paper default 1000, swept 100–1M).
     pub swap_overhead_cycles: u64,
-    /// Ablation: additionally flush both cores' L1s on a swap, modeling a
-    /// destructive state transfer instead of transfer-through-shared-L2.
+    /// Ablation: additionally flush the migrating cores' L1s on a swap,
+    /// modeling a destructive state transfer instead of
+    /// transfer-through-shared-L2.
     pub flush_l1_on_swap: bool,
     /// Simulation kernel selection (fast path vs frozen reference).
     pub sim_path: SimPath,
@@ -119,18 +131,6 @@ pub struct DecisionRecord {
     pub mispredict: Option<f64>,
 }
 
-/// Baseline of one accounting period (window or epoch).
-#[derive(Debug, Clone, Copy)]
-struct PeriodBase {
-    cycle: u64,
-    /// Per-thread committed instructions at period start.
-    insts: [u64; 2],
-    /// Per-thread attributed joules at period start.
-    joules: [f64; 2],
-    /// Per-core cumulative committed mixes at period start.
-    mix: [MixCounts; 2],
-}
-
 /// Outcome of one multiprogrammed run.
 #[derive(Debug, Clone)]
 pub struct RunResult {
@@ -168,20 +168,54 @@ impl RunResult {
     }
 }
 
+/// Project a generalized decision record onto the pair shape. Pure field
+/// copies — no value is recomputed.
+fn pair_decision(d: TopoDecisionRecord) -> DecisionRecord {
+    debug_assert_eq!(d.threads.len(), 2, "dual-core record");
+    DecisionRecord {
+        cycle: d.cycle,
+        kind: d.kind,
+        swap: d.changed,
+        threads: [
+            DecisionThread {
+                int_pct: d.threads[0].int_pct,
+                fp_pct: d.threads[0].fp_pct,
+                instructions: d.threads[0].instructions,
+                ipc: d.threads[0].ipc,
+                ipc_per_watt: d.threads[0].ipc_per_watt,
+            },
+            DecisionThread {
+                int_pct: d.threads[1].int_pct,
+                fp_pct: d.threads[1].fp_pct,
+                instructions: d.threads[1].instructions,
+                ipc: d.threads[1].ipc,
+                ipc_per_watt: d.threads[1].ipc_per_watt,
+            },
+        ],
+        explain: d.explain,
+        swap_cost_cycles: d.swap_cost_cycles,
+        realized_speedup: d.realized_speedup,
+        mispredict: d.mispredict,
+    }
+}
+
+/// Project a generalized run result onto the pair shape.
+fn pair_result(r: TopoRunResult) -> RunResult {
+    debug_assert_eq!(r.threads.len(), 2, "dual-core result");
+    RunResult {
+        scheduler: r.scheduler,
+        cycles: r.cycles,
+        threads: [r.threads[0], r.threads[1]],
+        swaps: r.swaps,
+        window_decisions: r.window_decisions,
+        epoch_decisions: r.epoch_decisions,
+        decisions: r.decisions.into_iter().map(pair_decision).collect(),
+    }
+}
+
 /// The dual-core asymmetric system (core 0 = FP, core 1 = INT).
 pub struct DualCoreSystem {
-    cfg: SystemConfig,
-    cores: [Core; 2],
-    mem: MemSystem,
-    energy: [EnergyAccount; 2],
-    /// Workloads indexed by *thread id*.
-    workloads: [Box<dyn Workload>; 2],
-    assignment: Assignment,
-    cycle: u64,
-    thread_insts: [u64; 2],
-    thread_joules: [f64; 2],
-    swaps: u64,
-    frequency_hz: f64,
+    inner: MulticoreSystem,
 }
 
 impl DualCoreSystem {
@@ -189,182 +223,47 @@ impl DualCoreSystem {
     /// running `workloads[0]` as thread 0 and `workloads[1]` as thread 1
     /// in the baseline assignment (thread 0 → FP core).
     pub fn new(cfg: SystemConfig, workloads: [Box<dyn Workload>; 2]) -> Self {
-        let fp_cfg = CoreConfig::fp_core();
-        let int_cfg = CoreConfig::int_core();
-        let frequency_hz = fp_cfg.frequency_ghz * 1e9;
-        let energy = [
-            EnergyAccount::new(EnergyModel::new(&fp_cfg, &cfg.mem)),
-            EnergyAccount::new(EnergyModel::new(&int_cfg, &cfg.mem)),
-        ];
+        let [w0, w1] = workloads;
         DualCoreSystem {
-            cores: [Core::new(fp_cfg, 0), Core::new(int_cfg, 1)],
-            mem: MemSystem::new(cfg.mem, 2),
-            energy,
-            workloads,
-            assignment: Assignment::default(),
-            cycle: 0,
-            thread_insts: [0; 2],
-            thread_joules: [0.0; 2],
-            swaps: 0,
-            frequency_hz,
-            cfg,
+            inner: MulticoreSystem::new(cfg, &Topology::duo(), vec![w0, w1]),
         }
     }
 
     /// Current thread→core assignment.
     pub fn assignment(&self) -> Assignment {
-        self.assignment
+        self.inner
+            .assignment()
+            .as_pair()
+            .expect("dual-core system keeps the 2×2 shape")
     }
 
     /// Current cycle.
     pub fn cycle(&self) -> u64 {
-        self.cycle
+        self.inner.cycle()
     }
 
     /// Per-thread committed instructions so far.
     pub fn thread_instructions(&self) -> [u64; 2] {
-        self.thread_insts
+        let v = self.inner.thread_instructions();
+        [v[0], v[1]]
     }
 
     /// Swaps performed so far.
     pub fn swaps(&self) -> u64 {
-        self.swaps
+        self.inner.swaps()
     }
 
     /// Per-core microarchitectural state digests (differential-testing
     /// hook: two runs that agree cycle-for-cycle must produce equal
     /// digests whenever they are paused at the same cycle).
     pub fn core_digests(&self) -> [u64; 2] {
-        [self.cores[0].state_digest(), self.cores[1].state_digest()]
+        let v = self.inner.core_digests();
+        [v[0], v[1]]
     }
 
-    /// Convert outstanding core activity into attributed joules. Must be
-    /// called before reading `thread_joules` or swapping threads.
-    fn settle_energy(&mut self) {
-        for c in 0..2 {
-            let act = self.cores[c].activity.take();
-            let j = self.energy[c].account(&act);
-            let t = self.assignment.thread_on(core_kind(c));
-            self.thread_joules[t] += j;
-        }
-    }
-
-    fn period_base(&self) -> PeriodBase {
-        PeriodBase {
-            cycle: self.cycle,
-            insts: self.thread_insts,
-            joules: self.thread_joules,
-            mix: [self.cores[0].stats.committed, self.cores[1].stats.committed],
-        }
-    }
-
-    /// Build the hardware-counter snapshot for the period since `base`.
-    /// Energy must be settled first.
-    fn snapshot(&self, base: &PeriodBase) -> WindowSnapshot {
-        let mut threads = [ThreadWindow::default(); 2];
-        for (t, window) in threads.iter_mut().enumerate() {
-            let c = self.assignment.core_of(t).index();
-            let mix = self.cores[c].stats.committed.since(&base.mix[c]);
-            *window = ThreadWindow {
-                int_pct: mix.int_pct(),
-                fp_pct: mix.fp_pct(),
-                mem_pct: mix.mem_pct(),
-                branch_pct: mix.branch_pct(),
-                instructions: self.thread_insts[t] - base.insts[t],
-                cycles: self.cycle - base.cycle,
-                joules: self.thread_joules[t] - base.joules[t],
-            };
-        }
-        WindowSnapshot {
-            cycle: self.cycle,
-            assignment: self.assignment,
-            threads,
-        }
-    }
-
-    /// Build the audit-trail record for one decision point. Pure
-    /// observation: every input is a value the simulation already
-    /// computed for the scheduler.
-    fn decision_record(
-        &self,
-        kind: DecisionKind,
-        decision: Decision,
-        snap: &WindowSnapshot,
-        explain: Option<DecisionExplain>,
-    ) -> DecisionRecord {
-        let swap = decision == Decision::Swap;
-        let mut threads = [DecisionThread::default(); 2];
-        for (t, out) in threads.iter_mut().enumerate() {
-            let w = &snap.threads[t];
-            let ipc = if w.cycles > 0 {
-                w.instructions as f64 / w.cycles as f64
-            } else {
-                0.0
-            };
-            // Same formula as ThreadMetrics::ipc_per_watt —
-            // (insts/cycles) / (joules·f/cycles) = insts / (f·joules).
-            let denom = self.frequency_hz * w.joules;
-            let ipc_per_watt = if w.cycles > 0 && denom > 0.0 {
-                w.instructions as f64 / denom
-            } else {
-                0.0
-            };
-            *out = DecisionThread {
-                int_pct: w.int_pct,
-                fp_pct: w.fp_pct,
-                instructions: w.instructions,
-                ipc,
-                ipc_per_watt,
-            };
-        }
-        DecisionRecord {
-            cycle: self.cycle,
-            kind,
-            swap,
-            threads,
-            explain,
-            swap_cost_cycles: if swap { self.cfg.swap_overhead_cycles } else { 0 },
-            realized_speedup: None,
-            mispredict: None,
-        }
-    }
-
-    /// Record one profiler sample per core at `cycle` (sampling on).
-    /// Pure observation: snapshots values the pipeline already
-    /// maintains, so enabling the profiler cannot perturb the run.
-    fn record_pipe_samples(&self, cycle: u64) {
-        for (c, core) in self.cores.iter().enumerate() {
-            let s = core.pipe_snapshot(cycle);
-            ampsched_obs::profiler::record(ampsched_obs::profiler::PipeSample {
-                cycle,
-                core: c as u8,
-                stall: s.stall.code(),
-                rob: s.rob,
-                isq_int: s.isq_int,
-                isq_fp: s.isq_fp,
-                lq: s.lq,
-                sq: s.sq,
-                committed: s.committed,
-                issue_slots: s.issue_slots,
-            });
-        }
-    }
-
-    /// Execute a thread swap with its full cost.
-    fn do_swap(&mut self) {
-        // Energy up to the swap belongs to the old assignment.
-        self.settle_energy();
-        for c in 0..2 {
-            self.cores[c].flush_pipeline();
-            self.cores[c].stall_until(self.cycle + self.cfg.swap_overhead_cycles);
-        }
-        if self.cfg.flush_l1_on_swap {
-            self.mem.flush_core_l1s(0);
-            self.mem.flush_core_l1s(1);
-        }
-        self.assignment = self.assignment.toggled();
-        self.swaps += 1;
-        ampsched_obs::counter!("sim.swap");
+    /// Total joules accounted across both cores (conservation checks).
+    pub fn accounted_joules(&self) -> f64 {
+        self.inner.accounted_joules()
     }
 
     /// Run under `scheduler` until one thread commits `target_insts`
@@ -375,242 +274,8 @@ impl DualCoreSystem {
         target_insts: u64,
         max_cycles: u64,
     ) -> RunResult {
-        let _span = ampsched_obs::span!("system.run");
-        let window = scheduler.window_insts();
-        let mut window_base = self.period_base();
-        let mut epoch_base = self.period_base();
-        let mut next_epoch = self.cycle + self.cfg.epoch_cycles;
-        let mut window_decisions = 0u64;
-        let mut epoch_decisions = 0u64;
-        let mut decisions = Vec::new();
-        let start_cycle = self.cycle;
-        let start_insts = self.thread_insts;
-        let start_joules_settled = {
-            self.settle_energy();
-            self.thread_joules
-        };
-        // Sampled pipeline profiler cadence: a sample lands at every
-        // exact multiple of the interval (simulated time), independent of
-        // skip-ahead and scheduler behavior. A sample at cycle X reflects
-        // the state at the *start* of X — after tick(X-1), before
-        // tick(X) — which is also exactly the state inside a quiescent
-        // region, so skipped spans re-emit the frozen snapshot at each
-        // crossed boundary below.
-        let prof_interval = ampsched_obs::profiler::interval();
-        let mut next_sample = match prof_interval {
-            0 => u64::MAX,
-            n => (self.cycle / n + 1) * n,
-        };
-
-        // Per-core quiescence bound: ticks at cycles strictly below
-        // `quiet_until[c]` are provably the no-op pattern that
-        // [`Core::fast_forward`] replicates, certified by one event scan
-        // after an idle tick. The bound stays valid while the other core
-        // runs (cross-core coupling is only through memory accesses, and
-        // a quiescent core makes none) but is invalidated by a swap's
-        // pipeline flush, which resets it below.
-        let mut quiet_until = [0u64; 2];
-        // Scan gate: isolated commit-free cycles (dependency bubbles in
-        // otherwise busy code) are common and not worth an event scan;
-        // two in a row signal a real stall region.
-        let mut idle_streak = [false; 2];
-        while self.thread_insts[0] < start_insts[0] + target_insts
-            && self.thread_insts[1] < start_insts[1] + target_insts
-            && self.cycle - start_cycle < max_cycles
-        {
-            if self.cfg.sim_path == SimPath::Fast {
-                // Joint skip: both cores certified quiescent — replicate
-                // the whole region in O(1) instead of ticking through it.
-                // Quiescent cycles commit nothing, so the window check
-                // below cannot fire inside the region; epoch boundaries
-                // and the cycle budget are purely time-based, so clamp
-                // the jump to land the normal tick on the last cycle
-                // before either would trigger.
-                let q = quiet_until[0].min(quiet_until[1]);
-                if q > self.cycle {
-                    let target = q
-                        .min(next_epoch - 1)
-                        .min(start_cycle + max_cycles - 1);
-                    if target > self.cycle {
-                        let n = target - self.cycle;
-                        self.cores[0].fast_forward(self.cycle, n);
-                        self.cores[1].fast_forward(self.cycle, n);
-                        self.cycle = target;
-                        ampsched_obs::counter!("sim.skip.joint");
-                        ampsched_obs::hist!("sim.skip.joint_cycles", n);
-                        // Re-emit the quiescent snapshot at each sample
-                        // boundary the jump crossed (state is frozen
-                        // inside the region, so these samples are
-                        // identical to a tick-by-tick run's).
-                        while next_sample <= self.cycle {
-                            self.record_pipe_samples(next_sample);
-                            next_sample += prof_interval;
-                        }
-                    }
-                }
-            }
-
-            // One cycle on both cores.
-            for c in 0..2 {
-                let t = self.assignment.thread_on(core_kind(c));
-                let n = match self.cfg.sim_path {
-                    SimPath::Fast => {
-                        if quiet_until[c] > self.cycle {
-                            // Certified no-op cycle on this core (the
-                            // other core is busy): replicate it in O(1)
-                            // without rescanning.
-                            self.cores[c].fast_forward(self.cycle, 1);
-                            0
-                        } else {
-                            let n = self.cores[c].tick(
-                                self.cycle,
-                                &mut *self.workloads[t],
-                                &mut self.mem,
-                            );
-                            if n == 0 {
-                                if idle_streak[c] {
-                                    // One scan can certify an entire
-                                    // stall region; committing cycles
-                                    // never pay for it.
-                                    quiet_until[c] =
-                                        self.cores[c].next_event_at_or_after(self.cycle + 1);
-                                } else {
-                                    idle_streak[c] = true;
-                                }
-                            } else {
-                                idle_streak[c] = false;
-                            }
-                            n
-                        }
-                    }
-                    SimPath::Reference => self.cores[c].reference_tick(
-                        self.cycle,
-                        &mut *self.workloads[t],
-                        &mut self.mem,
-                    ),
-                };
-                self.thread_insts[t] += n as u64;
-            }
-            self.cycle += 1;
-            if self.cycle == next_sample {
-                self.record_pipe_samples(next_sample);
-                next_sample += prof_interval;
-            }
-
-            // Fine-grained window boundary (committed instructions summed
-            // over both threads).
-            if let Some(w) = window {
-                let committed_since = (self.thread_insts[0] - window_base.insts[0])
-                    + (self.thread_insts[1] - window_base.insts[1]);
-                if committed_since >= w {
-                    self.settle_energy();
-                    let snap = self.snapshot(&window_base);
-                    window_decisions += 1;
-                    ampsched_obs::counter!("sim.decision.window");
-                    let decision = scheduler.on_window(&snap);
-                    decisions.push(self.decision_record(
-                        DecisionKind::Window,
-                        decision,
-                        &snap,
-                        scheduler.explain_last(),
-                    ));
-                    if decision == Decision::Swap {
-                        self.do_swap();
-                        // The flush + stall changed core state; drop the
-                        // quiescence certificates.
-                        quiet_until = [0; 2];
-                        epoch_base = self.period_base();
-                    }
-                    window_base = self.period_base();
-                }
-            }
-
-            // OS epoch boundary.
-            if self.cycle >= next_epoch {
-                self.settle_energy();
-                let snap = self.snapshot(&epoch_base);
-                epoch_decisions += 1;
-                ampsched_obs::counter!("sim.decision.epoch");
-                let decision = scheduler.on_epoch(&snap);
-                decisions.push(self.decision_record(
-                    DecisionKind::Epoch,
-                    decision,
-                    &snap,
-                    scheduler.explain_last(),
-                ));
-                if decision == Decision::Swap {
-                    self.do_swap();
-                    quiet_until = [0; 2];
-                    window_base = self.period_base();
-                }
-                epoch_base = self.period_base();
-                next_epoch += self.cfg.epoch_cycles;
-            }
-        }
-
-        self.settle_energy();
-        attribute_mispredictions(&mut decisions);
-        ampsched_obs::counter!("sim.run");
-        ampsched_obs::hist!("sim.run.cycles", self.cycle - start_cycle);
-        let cycles = self.cycle - start_cycle;
-        let threads = [0, 1].map(|t| ThreadMetrics {
-            instructions: self.thread_insts[t] - start_insts[t],
-            cycles,
-            joules: self.thread_joules[t] - start_joules_settled[t],
-            frequency_hz: self.frequency_hz,
-        });
-        RunResult {
-            scheduler: scheduler.name().to_string(),
-            cycles,
-            threads,
-            swaps: self.swaps,
-            window_decisions,
-            epoch_decisions,
-            decisions,
-        }
-    }
-}
-
-/// Post-hoc misprediction attribution: compare what each decision's
-/// predictor promised against what the *next* decision period realized.
-///
-/// `realized_speedup[i]` is the mean per-thread IPC/Watt ratio of period
-/// `i+1` over period `i` (the same weighted form the HPE estimate uses);
-/// `mispredict` is `predicted - realized` for swap decisions whose scheme
-/// published a prediction. Both stay `None` where a ratio is undefined
-/// (last record, or a period that observed no energy) — no NaN sentinels,
-/// so the differential suites can keep comparing records with
-/// `PartialEq`. Runs once at end of run, purely over recorded values.
-fn attribute_mispredictions(decisions: &mut [DecisionRecord]) {
-    for i in 0..decisions.len() {
-        let realized = match decisions.get(i + 1) {
-            Some(next)
-                if decisions[i].threads.iter().all(|t| t.ipc_per_watt > 0.0)
-                    && next.threads.iter().all(|t| t.ipc_per_watt > 0.0) =>
-            {
-                Some(
-                    (next.threads[0].ipc_per_watt / decisions[i].threads[0].ipc_per_watt
-                        + next.threads[1].ipc_per_watt / decisions[i].threads[1].ipc_per_watt)
-                        / 2.0,
-                )
-            }
-            _ => None,
-        };
-        let rec = &mut decisions[i];
-        rec.realized_speedup = realized;
-        rec.mispredict = match (rec.swap, rec.explain.and_then(|e| e.predicted_speedup), realized)
-        {
-            (true, Some(predicted), Some(realized)) => Some(predicted - realized),
-            _ => None,
-        };
-    }
-}
-
-fn core_kind(index: usize) -> ampsched_core::CoreKind {
-    match index {
-        0 => ampsched_core::CoreKind::Fp,
-        1 => ampsched_core::CoreKind::Int,
-        _ => unreachable!("dual-core system"),
+        let mut adapter = PairAdapter::new(scheduler);
+        pair_result(self.inner.run(&mut adapter, target_insts, max_cycles))
     }
 }
 
@@ -744,7 +409,7 @@ mod tests {
         let mut sched = RoundRobinScheduler::every_epoch();
         let r = sys.run(&mut sched, 100_000, 2_000_000);
         let attributed: f64 = r.threads.iter().map(|t| t.joules).sum();
-        let accounted: f64 = sys.energy.iter().map(|e| e.total_joules()).sum();
+        let accounted = sys.accounted_joules();
         assert!(
             (attributed - accounted).abs() < 1e-9,
             "thread-attributed energy must equal core-accounted energy"

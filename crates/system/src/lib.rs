@@ -1,17 +1,24 @@
 //! # ampsched-system
 //!
-//! The dual-core asymmetric multicore system of the paper: one FP-flavored
-//! core (core 0, Figure 1's "core A") and one INT-flavored core (core 1,
-//! "core B"), private L1s over a shared L2, per-core Wattch-style energy
-//! accounting, and the hardware scheduling loop.
+//! The asymmetric multicore system of the paper, generalized: an
+//! arbitrary [`Topology`] of heterogeneous cores with private L1s over a
+//! shared L2, per-core Wattch-style energy accounting, and the hardware
+//! scheduling loop over an N-core × M-thread assignment table.
 //!
-//! [`DualCoreSystem`] co-runs two [`ampsched_trace::Workload`]s, samples
+//! [`MulticoreSystem`] co-runs M [`ampsched_trace::Workload`]s, samples
 //! the hardware counters at every monitoring window and OS epoch, hands
-//! [`ampsched_core::WindowSnapshot`]s to a [`ampsched_core::Scheduler`],
-//! and executes returned swaps with their full cost: pipeline flush on
-//! both cores, a configurable state-transfer overhead (Section VI-C), and
-//! naturally cold L1s (the threads' address spaces are disjoint, so the
-//! new core's caches hold the other thread's lines).
+//! [`ampsched_core::TopoSnapshot`]s to an
+//! [`ampsched_core::TopoScheduler`], and executes returned reassignments
+//! with their full cost: pipeline flush + a configurable state-transfer
+//! overhead (Section VI-C) on exactly the cores whose occupant changed,
+//! and naturally cold L1s (the threads' address spaces are disjoint, so
+//! a migrated-to core's caches hold another thread's lines).
+//!
+//! [`DualCoreSystem`] is the paper's fixed shape — one FP-flavored core
+//! (core 0, Figure 1's "core A") and one INT-flavored core (core 1,
+//! "core B"), two threads — as a thin facade over [`MulticoreSystem`]
+//! that adapts pair [`ampsched_core::Scheduler`]s and keeps the original
+//! pair-typed results byte-identical.
 //!
 //! [`SingleCoreRunner`] runs one workload alone on one core type with
 //! periodic interval sampling — the substrate for Figure 1 and the
@@ -19,8 +26,13 @@
 
 pub mod duo;
 pub mod single;
+pub mod topo;
 
 pub use duo::{
     DecisionKind, DecisionRecord, DecisionThread, DualCoreSystem, RunResult, SimPath, SystemConfig,
 };
 pub use single::{run_alone, run_alone_with, IntervalSample, SingleCoreRunner, SingleRunResult};
+pub use topo::{
+    derive_traits, MulticoreSystem, Topology, TopoDecisionRecord, TopoDecisionThread,
+    TopoRunResult,
+};

@@ -88,6 +88,22 @@ impl SingleCoreRunner {
         }
     }
 
+    /// Build a runner from a single-core [`Topology`](crate::Topology)
+    /// (the 1×1 shape; panics otherwise).
+    ///
+    /// The runner deliberately keeps its own interval loop instead of
+    /// delegating to [`MulticoreSystem`](crate::MulticoreSystem): its
+    /// samples carry *raw* per-interval joules straight from each energy
+    /// settlement, and reconstructing them from cumulative totals would
+    /// change the last bits of each sample ((a+j)−a ≠ j in f64). The
+    /// counter namespace (`sim.skip.single`) and the `system.run_single`
+    /// span are likewise part of the frozen telemetry surface.
+    pub fn from_topology(topo: &crate::Topology, mem_cfg: MemConfig) -> Self {
+        assert_eq!(topo.cores.len(), 1, "single-core runner needs a 1-core topology");
+        assert_eq!(topo.threads, 1, "single-core runner needs a 1-thread topology");
+        SingleCoreRunner::new(topo.cores[0].clone(), mem_cfg)
+    }
+
     /// Select the simulation kernel (fast path vs frozen reference).
     pub fn with_sim_path(mut self, path: SimPath) -> Self {
         self.sim_path = path;

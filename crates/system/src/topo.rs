@@ -1,0 +1,917 @@
+//! The generalized N-core × M-thread asymmetric multicore.
+//!
+//! [`Topology`] describes an arbitrary machine shape — any mix of
+//! [`CoreConfig`]s sharing one L2, co-running any number of threads —
+//! and [`MulticoreSystem`] is the scheduling loop over it: per-core
+//! quiescence skip-ahead, committed-instruction monitoring windows, OS
+//! epochs, and per-assignment migration costs (each reassignment
+//! flushes + stalls exactly the cores whose occupant changed).
+//!
+//! The paper's fixed shapes are thin constructors over this machine:
+//! [`DualCoreSystem`](crate::DualCoreSystem) is `Topology::duo()` driven
+//! through a [`PairAdapter`](ampsched_core::PairAdapter), and its
+//! byte-for-byte behavior is locked
+//! by the compatibility and differential suites. The loop below is a
+//! line-by-line generalization of the frozen duo loop — arithmetic
+//! order, counter cadence, and profiler cadence are deliberately
+//! identical so the N=2 specialization stays bit-exact.
+
+use ampsched_core::{
+    AssignmentMap, CoreTraits, DecisionExplain, TopoDecision, TopoScheduler, TopoSnapshot,
+    TopoThreadObs, ThreadWindow,
+};
+use ampsched_cpu::{Core, CoreConfig, CoreFlavor};
+use ampsched_isa::{MixCounts, OpClass};
+use ampsched_mem::MemSystem;
+use ampsched_metrics::ThreadMetrics;
+use ampsched_power::{EnergyAccount, EnergyModel};
+use ampsched_trace::Workload;
+
+use crate::duo::{DecisionKind, SimPath, SystemConfig};
+
+/// An arbitrary machine shape: heterogeneous cores over a shared L2,
+/// co-running `threads` software threads.
+#[derive(Debug, Clone)]
+pub struct Topology {
+    /// Per-core microarchitectural configurations, by core index.
+    pub cores: Vec<CoreConfig>,
+    /// Number of software threads (may exceed the core count; the
+    /// overflow is parked and scheduled in by epoch decisions).
+    pub threads: usize,
+}
+
+impl Topology {
+    /// Build and validate an explicit shape.
+    pub fn new(cores: Vec<CoreConfig>, threads: usize) -> Self {
+        let topo = Topology { cores, threads };
+        topo.validate();
+        topo
+    }
+
+    /// The paper's dual-core AMP: FP core 0, INT core 1, two threads.
+    pub fn duo() -> Self {
+        Topology::new(vec![CoreConfig::fp_core(), CoreConfig::int_core()], 2)
+    }
+
+    /// One core, one thread (the Figure 1 substrate).
+    pub fn single(core: CoreConfig) -> Self {
+        Topology::new(vec![core], 1)
+    }
+
+    /// big.LITTLE-style shape: `fp` FP-flavored cores then `int`
+    /// INT-flavored cores, co-running `threads` threads.
+    pub fn big_little(fp: usize, int: usize, threads: usize) -> Self {
+        let mut cores = Vec::with_capacity(fp + int);
+        cores.extend(std::iter::repeat_n(CoreConfig::fp_core(), fp));
+        cores.extend(std::iter::repeat_n(CoreConfig::int_core(), int));
+        Topology::new(cores, threads)
+    }
+
+    /// Sanity-check the shape (panics on a nonsensical topology, matching
+    /// [`CoreConfig::validate`]'s contract).
+    pub fn validate(&self) {
+        assert!(!self.cores.is_empty(), "topology needs at least one core");
+        assert!(self.cores.len() <= 64, "at most 64 cores supported");
+        assert!(self.threads >= 1, "topology needs at least one thread");
+        assert!(self.threads <= 1024, "at most 1024 threads supported");
+        for c in &self.cores {
+            c.validate();
+        }
+    }
+
+    /// Short label for reports, e.g. `2fp+2int-4t`.
+    pub fn label(&self) -> String {
+        let fp = self.cores.iter().filter(|c| c.flavor == CoreFlavor::Fp).count();
+        let int = self.cores.len() - fp;
+        format!("{fp}fp+{int}int-{}t", self.threads)
+    }
+
+    /// Capability descriptors the scheduler zoo ranks against.
+    pub fn traits(&self) -> Vec<CoreTraits> {
+        self.cores.iter().enumerate().map(|(i, c)| derive_traits(i, c)).collect()
+    }
+}
+
+/// Derive the scheduler-visible capability descriptor of one core from
+/// its microarchitectural configuration.
+pub fn derive_traits(index: usize, cfg: &CoreConfig) -> CoreTraits {
+    CoreTraits {
+        index,
+        fp_flavored: cfg.flavor == CoreFlavor::Fp,
+        frequency_ghz: cfg.frequency_ghz,
+        int_throughput: cfg.fu_for(OpClass::IntAlu).peak_throughput()
+            + cfg.fu_for(OpClass::IntMul).peak_throughput(),
+        fp_throughput: cfg.fu_for(OpClass::FpAlu).peak_throughput()
+            + cfg.fu_for(OpClass::FpMul).peak_throughput(),
+        dispatch_width: cfg.dispatch_width,
+    }
+}
+
+/// Observed per-thread counters behind one generalized decision point
+/// (the N×M form of [`DecisionThread`](crate::DecisionThread)).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct TopoDecisionThread {
+    /// Percentage of committed instructions that were INT ops.
+    pub int_pct: f64,
+    /// Percentage of committed instructions that were FP ops.
+    pub fp_pct: f64,
+    /// Instructions the thread committed in the period.
+    pub instructions: u64,
+    /// Observed IPC over the period.
+    pub ipc: f64,
+    /// Observed IPC/Watt over the period.
+    pub ipc_per_watt: f64,
+    /// Core the thread occupied when the decision fired (`None` =
+    /// parked) — the decision audit trail's assignment dimension.
+    pub core: Option<usize>,
+}
+
+/// One generalized decision point with its full audit trail, including
+/// the assignment dimension: where every thread sat after the decision
+/// and which threads migrated.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TopoDecisionRecord {
+    /// Cycle at which the decision point fired.
+    pub cycle: u64,
+    /// Window or epoch boundary.
+    pub kind: DecisionKind,
+    /// Whether the scheduler changed the assignment.
+    pub changed: bool,
+    /// Threads whose core changed (including park↔run), ascending.
+    pub migrated: Vec<usize>,
+    /// Thread→core table after the decision (`None` = parked).
+    pub assignment: Vec<Option<usize>>,
+    /// Observed per-thread counters over the decision period.
+    pub threads: Vec<TopoDecisionThread>,
+    /// Predictor state behind the decision.
+    pub explain: Option<DecisionExplain>,
+    /// Cycles charged per migrated core (0 when nothing moved).
+    pub swap_cost_cycles: u64,
+    /// Post-hoc: mean per-thread IPC/Watt ratio of the following period
+    /// over this one (`None` where undefined).
+    pub realized_speedup: Option<f64>,
+    /// Post-hoc: predicted minus realized speedup for reassignments
+    /// whose scheme published a prediction.
+    pub mispredict: Option<f64>,
+}
+
+/// Outcome of one generalized multiprogrammed run.
+#[derive(Debug, Clone)]
+pub struct TopoRunResult {
+    /// Scheduler name the run used.
+    pub scheduler: String,
+    /// Total cycles simulated by this call.
+    pub cycles: u64,
+    /// Per-thread metrics, by thread id.
+    pub threads: Vec<ThreadMetrics>,
+    /// Reassignment events performed so far (cumulative over the
+    /// system's lifetime, like [`RunResult::swaps`](crate::RunResult)).
+    pub swaps: u64,
+    /// Individual thread migrations so far (one reassignment can move
+    /// several threads).
+    pub migrations: u64,
+    /// Window decision points evaluated in this call.
+    pub window_decisions: u64,
+    /// Epoch decision points evaluated in this call.
+    pub epoch_decisions: u64,
+    /// Every decision point in order.
+    pub decisions: Vec<TopoDecisionRecord>,
+}
+
+impl TopoRunResult {
+    /// Per-thread IPC/Watt values, by thread id.
+    pub fn ipc_per_watt(&self) -> Vec<f64> {
+        self.threads.iter().map(|t| t.ipc_per_watt()).collect()
+    }
+
+    /// Sum of per-thread IPC values (system throughput).
+    pub fn total_ipc(&self) -> f64 {
+        self.threads.iter().map(|t| t.ipc()).sum()
+    }
+}
+
+/// Baseline of one accounting period (window or epoch).
+#[derive(Debug, Clone)]
+struct PeriodBase {
+    cycle: u64,
+    /// Per-thread committed instructions at period start.
+    insts: Vec<u64>,
+    /// Per-thread attributed joules at period start.
+    joules: Vec<f64>,
+    /// Per-core cumulative committed mixes at period start.
+    mix: Vec<MixCounts>,
+}
+
+/// The generalized asymmetric multicore and its scheduling loop.
+pub struct MulticoreSystem {
+    cfg: SystemConfig,
+    cores: Vec<Core>,
+    traits: Vec<CoreTraits>,
+    mem: MemSystem,
+    energy: Vec<EnergyAccount>,
+    /// Workloads indexed by *thread id*.
+    workloads: Vec<Box<dyn Workload>>,
+    assignment: AssignmentMap,
+    cycle: u64,
+    thread_insts: Vec<u64>,
+    thread_joules: Vec<f64>,
+    /// Joules accounted on cores with no occupant (always 0 with the
+    /// current energy model — idle cores are never ticked — but kept so
+    /// conservation checks would catch a model change).
+    unattributed_joules: f64,
+    swaps: u64,
+    migrations: u64,
+    frequency_hz: f64,
+}
+
+impl MulticoreSystem {
+    /// Build a system over `topology`, running `workloads[t]` as thread
+    /// `t`. Threads start on the OS baseline assignment (thread `t` on
+    /// core `t`, overflow parked).
+    pub fn new(cfg: SystemConfig, topology: &Topology, workloads: Vec<Box<dyn Workload>>) -> Self {
+        topology.validate();
+        assert_eq!(
+            workloads.len(),
+            topology.threads,
+            "one workload per thread required"
+        );
+        // Unit conversions use core 0's clock (the whole topology runs
+        // one clock domain, as in the paper).
+        let frequency_hz = topology.cores[0].frequency_ghz * 1e9;
+        let energy: Vec<EnergyAccount> = topology
+            .cores
+            .iter()
+            .map(|c| EnergyAccount::new(EnergyModel::new(c, &cfg.mem)))
+            .collect();
+        MulticoreSystem {
+            cores: topology
+                .cores
+                .iter()
+                .enumerate()
+                .map(|(i, c)| Core::new(c.clone(), i))
+                .collect(),
+            traits: topology.traits(),
+            mem: MemSystem::new(cfg.mem, topology.cores.len()),
+            energy,
+            assignment: AssignmentMap::baseline(topology.cores.len(), topology.threads),
+            cycle: 0,
+            thread_insts: vec![0; topology.threads],
+            thread_joules: vec![0.0; topology.threads],
+            unattributed_joules: 0.0,
+            swaps: 0,
+            migrations: 0,
+            frequency_hz,
+            workloads,
+            cfg,
+        }
+    }
+
+    /// Current thread→core assignment.
+    pub fn assignment(&self) -> &AssignmentMap {
+        &self.assignment
+    }
+
+    /// Current cycle.
+    pub fn cycle(&self) -> u64 {
+        self.cycle
+    }
+
+    /// Number of cores.
+    pub fn num_cores(&self) -> usize {
+        self.cores.len()
+    }
+
+    /// Number of threads.
+    pub fn num_threads(&self) -> usize {
+        self.workloads.len()
+    }
+
+    /// Per-thread committed instructions so far.
+    pub fn thread_instructions(&self) -> &[u64] {
+        &self.thread_insts
+    }
+
+    /// Reassignment events so far.
+    pub fn swaps(&self) -> u64 {
+        self.swaps
+    }
+
+    /// Individual thread migrations so far.
+    pub fn migrations(&self) -> u64 {
+        self.migrations
+    }
+
+    /// Per-core microarchitectural state digests (differential-testing
+    /// hook, as on the dual-core system).
+    pub fn core_digests(&self) -> Vec<u64> {
+        self.cores.iter().map(|c| c.state_digest()).collect()
+    }
+
+    /// Total joules accounted across all cores (conservation checks:
+    /// equals the sum of thread-attributed joules plus
+    /// [`unattributed`](Self::unattributed_joules)).
+    pub fn accounted_joules(&self) -> f64 {
+        self.energy.iter().map(|e| e.total_joules()).sum()
+    }
+
+    /// Joules accounted on occupant-less cores (0 with the current
+    /// model).
+    pub fn unattributed_joules(&self) -> f64 {
+        self.unattributed_joules
+    }
+
+    /// Convert outstanding core activity into attributed joules. Must be
+    /// called before reading `thread_joules` or migrating threads.
+    fn settle_energy(&mut self) {
+        for c in 0..self.cores.len() {
+            let act = self.cores[c].activity.take();
+            let j = self.energy[c].account(&act);
+            match self.assignment.thread_on(c) {
+                Some(t) => self.thread_joules[t] += j,
+                None => self.unattributed_joules += j,
+            }
+        }
+    }
+
+    fn period_base(&self) -> PeriodBase {
+        PeriodBase {
+            cycle: self.cycle,
+            insts: self.thread_insts.clone(),
+            joules: self.thread_joules.clone(),
+            mix: self.cores.iter().map(|c| c.stats.committed).collect(),
+        }
+    }
+
+    /// Build the decision-point snapshot for the period since `base`.
+    /// Energy must be settled first. The assignment is constant within a
+    /// period (every reassignment re-bases both periods), so each
+    /// running thread's mix window reads the core it currently occupies.
+    fn snapshot(&self, base: &PeriodBase) -> TopoSnapshot {
+        let threads = (0..self.workloads.len())
+            .map(|t| {
+                let window = match self.assignment.core_of(t) {
+                    Some(c) => {
+                        let mix = self.cores[c].stats.committed.since(&base.mix[c]);
+                        ThreadWindow {
+                            int_pct: mix.int_pct(),
+                            fp_pct: mix.fp_pct(),
+                            mem_pct: mix.mem_pct(),
+                            branch_pct: mix.branch_pct(),
+                            instructions: self.thread_insts[t] - base.insts[t],
+                            cycles: self.cycle - base.cycle,
+                            joules: self.thread_joules[t] - base.joules[t],
+                        }
+                    }
+                    // Parked the whole period: no committed mix, no core
+                    // energy; the window spans the period regardless.
+                    None => ThreadWindow {
+                        cycles: self.cycle - base.cycle,
+                        ..ThreadWindow::default()
+                    },
+                };
+                TopoThreadObs {
+                    window,
+                    total_instructions: self.thread_insts[t],
+                    core: self.assignment.core_of(t),
+                }
+            })
+            .collect();
+        TopoSnapshot {
+            cycle: self.cycle,
+            assignment: self.assignment.clone(),
+            cores: self.traits.clone(),
+            threads,
+        }
+    }
+
+    /// Build the audit-trail record for one decision point.
+    fn decision_record(
+        &self,
+        kind: DecisionKind,
+        changed: bool,
+        migrated: Vec<usize>,
+        snap: &TopoSnapshot,
+        explain: Option<DecisionExplain>,
+    ) -> TopoDecisionRecord {
+        let threads = snap
+            .threads
+            .iter()
+            .map(|obs| {
+                let w = &obs.window;
+                let ipc = if w.cycles > 0 {
+                    w.instructions as f64 / w.cycles as f64
+                } else {
+                    0.0
+                };
+                // Same formula as ThreadMetrics::ipc_per_watt —
+                // (insts/cycles) / (joules·f/cycles) = insts / (f·joules).
+                let denom = self.frequency_hz * w.joules;
+                let ipc_per_watt = if w.cycles > 0 && denom > 0.0 {
+                    w.instructions as f64 / denom
+                } else {
+                    0.0
+                };
+                TopoDecisionThread {
+                    int_pct: w.int_pct,
+                    fp_pct: w.fp_pct,
+                    instructions: w.instructions,
+                    ipc,
+                    ipc_per_watt,
+                    core: obs.core,
+                }
+            })
+            .collect();
+        TopoDecisionRecord {
+            cycle: self.cycle,
+            kind,
+            changed,
+            migrated,
+            assignment: (0..self.workloads.len()).map(|t| self.assignment.core_of(t)).collect(),
+            threads,
+            explain,
+            swap_cost_cycles: if changed { self.cfg.swap_overhead_cycles } else { 0 },
+            realized_speedup: None,
+            mispredict: None,
+        }
+    }
+
+    /// Record one profiler sample per core at `cycle` (sampling on).
+    fn record_pipe_samples(&self, cycle: u64) {
+        for (c, core) in self.cores.iter().enumerate() {
+            let s = core.pipe_snapshot(cycle);
+            ampsched_obs::profiler::record(ampsched_obs::profiler::PipeSample {
+                cycle,
+                core: c as u8,
+                stall: s.stall.code(),
+                rob: s.rob,
+                isq_int: s.isq_int,
+                isq_fp: s.isq_fp,
+                lq: s.lq,
+                sq: s.sq,
+                committed: s.committed,
+                issue_slots: s.issue_slots,
+            });
+        }
+    }
+
+    /// Adopt `next`, charging the per-assignment migration cost: every
+    /// core whose occupant changed is flushed and stalled for the swap
+    /// overhead (and optionally loses its L1). Cores untouched by the
+    /// reassignment keep running undisturbed. Returns the affected core
+    /// set (ascending).
+    fn apply_assignment(&mut self, next: AssignmentMap, kind: DecisionKind) -> Vec<usize> {
+        assert_eq!(next.cores(), self.cores.len(), "reassignment changes the core count");
+        assert_eq!(next.threads(), self.workloads.len(), "reassignment changes the thread count");
+        next.validate().expect("scheduler produced an invalid assignment");
+        if kind == DecisionKind::Window {
+            assert!(
+                next.same_parked_set(&self.assignment),
+                "window decisions must not change the parked set (epoch-boundary contract)"
+            );
+        }
+        // Energy up to the migration belongs to the old assignment.
+        self.settle_energy();
+        let moved = next.moved_threads(&self.assignment);
+        let mut affected: Vec<usize> = moved
+            .iter()
+            .flat_map(|&t| [self.assignment.core_of(t), next.core_of(t)])
+            .flatten()
+            .collect();
+        affected.sort_unstable();
+        affected.dedup();
+        for &c in &affected {
+            self.cores[c].flush_pipeline();
+            self.cores[c].stall_until(self.cycle + self.cfg.swap_overhead_cycles);
+        }
+        if self.cfg.flush_l1_on_swap {
+            for &c in &affected {
+                self.mem.flush_core_l1s(c);
+            }
+        }
+        self.assignment = next;
+        self.swaps += 1;
+        self.migrations += moved.len() as u64;
+        ampsched_obs::counter!("sim.swap");
+        affected
+    }
+
+    /// Run under `scheduler` until one thread commits `target_insts`
+    /// instructions or `max_cycles` elapses. Re-entrant: window/epoch
+    /// bookkeeping restarts per call while core, memory, and counter
+    /// state persist (the lockstep soak drives this in chunks).
+    pub fn run(
+        &mut self,
+        scheduler: &mut dyn TopoScheduler,
+        target_insts: u64,
+        max_cycles: u64,
+    ) -> TopoRunResult {
+        let _span = ampsched_obs::span!("system.run");
+        let n_cores = self.cores.len();
+        let window = scheduler.window_insts();
+        let mut window_base = self.period_base();
+        let mut epoch_base = self.period_base();
+        let mut next_epoch = self.cycle + self.cfg.epoch_cycles;
+        let mut window_decisions = 0u64;
+        let mut epoch_decisions = 0u64;
+        let mut decisions = Vec::new();
+        let start_cycle = self.cycle;
+        let start_insts = self.thread_insts.clone();
+        let start_joules_settled = {
+            self.settle_energy();
+            self.thread_joules.clone()
+        };
+        // Sampled pipeline profiler cadence: identical to the duo loop —
+        // a sample at cycle X reflects the state at the *start* of X,
+        // re-emitted at each boundary a quiescent skip crosses.
+        let prof_interval = ampsched_obs::profiler::interval();
+        let mut next_sample = match prof_interval {
+            0 => u64::MAX,
+            n => (self.cycle / n + 1) * n,
+        };
+
+        // Per-core quiescence bounds and scan gates, exactly as on the
+        // dual-core system. A core with no occupant is never ticked (its
+        // pipeline is empty after the migration flush), so it reports an
+        // unbounded quiescence certificate.
+        let mut quiet_until = vec![0u64; n_cores];
+        let mut idle_streak = vec![false; n_cores];
+        while self
+            .thread_insts
+            .iter()
+            .zip(start_insts.iter())
+            .all(|(now, start)| now - start < target_insts)
+            && self.cycle - start_cycle < max_cycles
+        {
+            if self.cfg.sim_path == SimPath::Fast {
+                // Joint skip: every occupied core certified quiescent.
+                let q = (0..n_cores)
+                    .map(|c| if self.assignment.thread_on(c).is_some() { quiet_until[c] } else { u64::MAX })
+                    .min()
+                    .expect("at least one core");
+                if q > self.cycle {
+                    let target = q
+                        .min(next_epoch - 1)
+                        .min(start_cycle + max_cycles - 1);
+                    if target > self.cycle {
+                        let n = target - self.cycle;
+                        for c in 0..n_cores {
+                            if self.assignment.thread_on(c).is_some() {
+                                self.cores[c].fast_forward(self.cycle, n);
+                            }
+                        }
+                        self.cycle = target;
+                        ampsched_obs::counter!("sim.skip.joint");
+                        ampsched_obs::hist!("sim.skip.joint_cycles", n);
+                        while next_sample <= self.cycle {
+                            self.record_pipe_samples(next_sample);
+                            next_sample += prof_interval;
+                        }
+                    }
+                }
+            }
+
+            // One cycle on every occupied core.
+            for c in 0..n_cores {
+                let Some(t) = self.assignment.thread_on(c) else {
+                    continue;
+                };
+                let n = match self.cfg.sim_path {
+                    SimPath::Fast => {
+                        if quiet_until[c] > self.cycle {
+                            self.cores[c].fast_forward(self.cycle, 1);
+                            0
+                        } else {
+                            let n = self.cores[c].tick(
+                                self.cycle,
+                                &mut *self.workloads[t],
+                                &mut self.mem,
+                            );
+                            if n == 0 {
+                                if idle_streak[c] {
+                                    quiet_until[c] =
+                                        self.cores[c].next_event_at_or_after(self.cycle + 1);
+                                } else {
+                                    idle_streak[c] = true;
+                                }
+                            } else {
+                                idle_streak[c] = false;
+                            }
+                            n
+                        }
+                    }
+                    SimPath::Reference => self.cores[c].reference_tick(
+                        self.cycle,
+                        &mut *self.workloads[t],
+                        &mut self.mem,
+                    ),
+                };
+                self.thread_insts[t] += n as u64;
+            }
+            self.cycle += 1;
+            if self.cycle == next_sample {
+                self.record_pipe_samples(next_sample);
+                next_sample += prof_interval;
+            }
+
+            // Fine-grained window boundary (committed instructions summed
+            // over all threads).
+            if let Some(w) = window {
+                let committed_since: u64 = self
+                    .thread_insts
+                    .iter()
+                    .zip(window_base.insts.iter())
+                    .map(|(now, base)| now - base)
+                    .sum();
+                if committed_since >= w {
+                    self.settle_energy();
+                    let snap = self.snapshot(&window_base);
+                    window_decisions += 1;
+                    ampsched_obs::counter!("sim.decision.window");
+                    let decision = scheduler.on_window(&snap);
+                    let (changed, migrated) = match decision {
+                        TopoDecision::Reassign(next) if next != self.assignment => {
+                            let migrated = next.moved_threads(&self.assignment);
+                            let affected = self.apply_assignment(next, DecisionKind::Window);
+                            for c in affected {
+                                quiet_until[c] = 0;
+                            }
+                            epoch_base = self.period_base();
+                            (true, migrated)
+                        }
+                        _ => (false, Vec::new()),
+                    };
+                    decisions.push(self.decision_record(
+                        DecisionKind::Window,
+                        changed,
+                        migrated,
+                        &snap,
+                        scheduler.explain_last(),
+                    ));
+                    window_base = self.period_base();
+                }
+            }
+
+            // OS epoch boundary.
+            if self.cycle >= next_epoch {
+                self.settle_energy();
+                let snap = self.snapshot(&epoch_base);
+                epoch_decisions += 1;
+                ampsched_obs::counter!("sim.decision.epoch");
+                let decision = scheduler.on_epoch(&snap);
+                let (changed, migrated) = match decision {
+                    TopoDecision::Reassign(next) if next != self.assignment => {
+                        let migrated = next.moved_threads(&self.assignment);
+                        let affected = self.apply_assignment(next, DecisionKind::Epoch);
+                        for c in affected {
+                            quiet_until[c] = 0;
+                        }
+                        window_base = self.period_base();
+                        (true, migrated)
+                    }
+                    _ => (false, Vec::new()),
+                };
+                decisions.push(self.decision_record(
+                    DecisionKind::Epoch,
+                    changed,
+                    migrated,
+                    &snap,
+                    scheduler.explain_last(),
+                ));
+                epoch_base = self.period_base();
+                next_epoch += self.cfg.epoch_cycles;
+            }
+        }
+
+        self.settle_energy();
+        attribute_mispredictions(&mut decisions);
+        ampsched_obs::counter!("sim.run");
+        ampsched_obs::hist!("sim.run.cycles", self.cycle - start_cycle);
+        let cycles = self.cycle - start_cycle;
+        let threads = (0..self.workloads.len())
+            .map(|t| ThreadMetrics {
+                instructions: self.thread_insts[t] - start_insts[t],
+                cycles,
+                joules: self.thread_joules[t] - start_joules_settled[t],
+                frequency_hz: self.frequency_hz,
+            })
+            .collect();
+        TopoRunResult {
+            scheduler: scheduler.name().to_string(),
+            cycles,
+            threads,
+            swaps: self.swaps,
+            migrations: self.migrations,
+            window_decisions,
+            epoch_decisions,
+            decisions,
+        }
+    }
+}
+
+/// Post-hoc misprediction attribution over generalized records: the mean
+/// per-thread IPC/Watt ratio of period `i+1` over period `i`, defined
+/// only when every thread observed energy in both periods (for N=2 this
+/// reduces bit-exactly to the dual-core formula).
+fn attribute_mispredictions(decisions: &mut [TopoDecisionRecord]) {
+    for i in 0..decisions.len() {
+        let realized = match decisions.get(i + 1) {
+            Some(next)
+                if decisions[i].threads.iter().all(|t| t.ipc_per_watt > 0.0)
+                    && next.threads.iter().all(|t| t.ipc_per_watt > 0.0) =>
+            {
+                let mut sum = 0.0;
+                for (n, c) in next.threads.iter().zip(decisions[i].threads.iter()) {
+                    sum += n.ipc_per_watt / c.ipc_per_watt;
+                }
+                Some(sum / decisions[i].threads.len() as f64)
+            }
+            _ => None,
+        };
+        let rec = &mut decisions[i];
+        rec.realized_speedup = realized;
+        rec.mispredict = match (
+            rec.changed,
+            rec.explain.and_then(|e| e.predicted_speedup),
+            realized,
+        ) {
+            (true, Some(predicted), Some(realized)) => Some(predicted - realized),
+            _ => None,
+        };
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ampsched_core::{TopoRoundRobin, TopoStatic, TpeScheduler};
+    use ampsched_trace::{suite, TraceGenerator};
+
+    fn workloads(names: &[&str]) -> Vec<Box<dyn Workload>> {
+        names
+            .iter()
+            .enumerate()
+            .map(|(t, name)| {
+                Box::new(TraceGenerator::for_thread(
+                    suite::by_name(name).expect("benchmark exists"),
+                    42,
+                    t,
+                )) as Box<dyn Workload>
+            })
+            .collect()
+    }
+
+    fn quick_cfg() -> SystemConfig {
+        SystemConfig {
+            epoch_cycles: 100_000,
+            ..SystemConfig::default()
+        }
+    }
+
+    #[test]
+    fn topology_labels_and_traits() {
+        let t = Topology::big_little(2, 2, 4);
+        assert_eq!(t.label(), "2fp+2int-4t");
+        let traits = t.traits();
+        assert_eq!(traits.len(), 4);
+        assert!(traits[0].fp_flavored && !traits[3].fp_flavored);
+        assert!(traits[0].int_bias() < 0.0 && traits[3].int_bias() > 0.0);
+        assert!(traits.iter().all(|c| c.strength() > 0.0));
+    }
+
+    #[test]
+    fn four_core_static_run_commits_on_all_threads() {
+        let topo = Topology::big_little(2, 2, 4);
+        let mut sys = MulticoreSystem::new(
+            quick_cfg(),
+            &topo,
+            workloads(&["intstress", "fpstress", "gcc", "equake"]),
+        );
+        let mut sched = TopoStatic;
+        let r = sys.run(&mut sched, 50_000, 5_000_000);
+        assert_eq!(r.threads.len(), 4);
+        assert!(r.threads.iter().all(|t| t.instructions > 0));
+        assert!(r.threads.iter().all(|t| t.joules > 0.0));
+        assert_eq!(r.swaps, 0);
+        assert_eq!(sys.core_digests().len(), 4);
+    }
+
+    #[test]
+    fn oversubscribed_round_robin_runs_every_thread() {
+        // 2 cores × 4 threads: rotation must get all four threads time.
+        let topo = Topology::big_little(1, 1, 4);
+        let mut sys = MulticoreSystem::new(
+            quick_cfg(),
+            &topo,
+            workloads(&["gcc", "mcf", "swim", "gsm"]),
+        );
+        let mut sched = TopoRoundRobin::every_epoch();
+        let r = sys.run(&mut sched, 1_000_000, 900_000);
+        assert!(r.epoch_decisions >= 8);
+        assert!(r.swaps >= 8, "rotation every epoch, got {}", r.swaps);
+        assert!(
+            r.threads.iter().all(|t| t.instructions > 0),
+            "every thread must make progress: {:?}",
+            r.threads.iter().map(|t| t.instructions).collect::<Vec<_>>()
+        );
+        // Two run, two wait at any instant.
+        assert_eq!(sys.assignment().parked().len(), 2);
+    }
+
+    #[test]
+    fn energy_is_conserved_across_attribution() {
+        let topo = Topology::big_little(2, 1, 3);
+        let mut sys = MulticoreSystem::new(
+            quick_cfg(),
+            &topo,
+            workloads(&["pi", "sha", "equake"]),
+        );
+        let mut sched = TopoRoundRobin::every_epoch();
+        let r = sys.run(&mut sched, 100_000, 1_000_000);
+        let attributed: f64 = r.threads.iter().map(|t| t.joules).sum();
+        let accounted = sys.accounted_joules();
+        assert!(
+            (attributed + sys.unattributed_joules() - accounted).abs() < 1e-9,
+            "thread-attributed + unattributed energy must equal core-accounted energy"
+        );
+        assert_eq!(sys.unattributed_joules(), 0.0, "idle cores burn nothing");
+    }
+
+    #[test]
+    fn tpe_equalizes_progress_against_static() {
+        // A fast thread and a slow thread on asymmetric cores: TPE must
+        // end with a smaller progress gap than static placement.
+        let spread = |r: &TopoRunResult| {
+            let insts: Vec<u64> = r.threads.iter().map(|t| t.instructions).collect();
+            *insts.iter().max().unwrap() as f64 / (*insts.iter().min().unwrap()).max(1) as f64
+        };
+        let run = |tpe: bool| {
+            let topo = Topology::big_little(1, 1, 2);
+            let mut sys = MulticoreSystem::new(
+                quick_cfg(),
+                &topo,
+                workloads(&["intstress", "intstress"]),
+            );
+            if tpe {
+                sys.run(&mut TpeScheduler::new(), 2_000_000, 1_000_000)
+            } else {
+                sys.run(&mut TopoStatic, 2_000_000, 1_000_000)
+            }
+        };
+        let equalized = spread(&run(true));
+        let fixed = spread(&run(false));
+        assert!(
+            equalized <= fixed,
+            "TPE should not widen the progress gap: {equalized} vs {fixed}"
+        );
+    }
+
+    #[test]
+    fn migration_cost_is_charged_per_affected_core() {
+        let topo = Topology::big_little(2, 2, 4);
+        let mut sys = MulticoreSystem::new(
+            quick_cfg(),
+            &topo,
+            workloads(&["gcc", "mcf", "swim", "gsm"]),
+        );
+        let mut sched = TopoRoundRobin::every_epoch();
+        let r = sys.run(&mut sched, 500_000, 500_000);
+        assert!(r.swaps >= 1);
+        // A full 4-thread rotation moves every thread.
+        assert_eq!(r.migrations, 4 * r.swaps);
+        for d in r.decisions.iter().filter(|d| d.changed) {
+            assert_eq!(d.swap_cost_cycles, sys.cfg.swap_overhead_cycles);
+            assert!(!d.migrated.is_empty());
+            assert_eq!(d.assignment.len(), 4);
+        }
+    }
+
+    #[test]
+    fn deterministic_across_reruns() {
+        let run = || {
+            let topo = Topology::big_little(2, 2, 6);
+            let mut sys = MulticoreSystem::new(
+                quick_cfg(),
+                &topo,
+                workloads(&["gcc", "mcf", "swim", "gsm", "intstress", "fpstress"]),
+            );
+            let mut sched = TpeScheduler::new();
+            sys.run(&mut sched, 200_000, 600_000)
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a.cycles, b.cycles);
+        assert_eq!(a.swaps, b.swaps);
+        assert_eq!(a.decisions, b.decisions);
+        assert_eq!(
+            a.threads.iter().map(|t| t.instructions).collect::<Vec<_>>(),
+            b.threads.iter().map(|t| t.instructions).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "one workload per thread")]
+    fn workload_count_must_match_threads() {
+        let topo = Topology::big_little(1, 1, 3);
+        MulticoreSystem::new(quick_cfg(), &topo, workloads(&["gcc"]));
+    }
+}

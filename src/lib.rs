@@ -55,10 +55,12 @@ pub use ampsched_trace as workloads;
 /// The most commonly used items in one import.
 pub mod prelude {
     pub use ampsched_core::{
-        Assignment, CoreKind, Decision, ExtendedConfig, ExtendedScheduler, HpePredictor,
-        HpeScheduler, MatrixFineScheduler,
+        Assignment, AssignmentMap, CampScheduler, CoreKind, CoreTraits, Decision, ExtendedConfig,
+        ExtendedScheduler, HpePredictor, HpeScheduler, MatrixFineScheduler, PairAdapter,
         ProposedConfig, ProposedScheduler, RatioMatrix, RatioSurface, RoundRobinScheduler,
-        SamplingScheduler, Scheduler, StaticScheduler, SwapRules, ThreadWindow, WindowSnapshot,
+        SamplingScheduler, Scheduler, StaticScheduler, SwapRules, ThreadWindow, TopoDecision,
+        TopoHpe, TopoProposed, TopoRoundRobin, TopoScheduler, TopoSnapshot, TopoStatic,
+        TpeScheduler, WindowSnapshot,
     };
     pub use ampsched_cpu::{Core, CoreConfig, CoreFlavor};
     pub use ampsched_mem::{MemConfig, MemSystem};
@@ -67,7 +69,8 @@ pub mod prelude {
     };
     pub use ampsched_power::{EnergyAccount, EnergyModel};
     pub use ampsched_system::{
-        DualCoreSystem, IntervalSample, RunResult, SingleCoreRunner, SystemConfig,
+        DualCoreSystem, IntervalSample, MulticoreSystem, RunResult, SingleCoreRunner, SystemConfig,
+        Topology, TopoRunResult,
     };
     pub use ampsched_trace::{suite, BenchmarkSpec, PhaseSpec, Suite, TraceGenerator, Workload};
 }

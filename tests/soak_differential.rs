@@ -154,6 +154,164 @@ fn soak_grid_fast_matches_reference() {
     }
 }
 
+// ---------------------------------------------------------------------------
+// N-core tier: the generalized MulticoreSystem soaked fast-vs-reference
+// on a big.LITTLE 4+4 shape under the zoo schedulers that move threads
+// the most (TPE re-ranks every epoch, CAMP-dynamic re-matches every
+// epoch, round-robin rotates unconditionally).
+// ---------------------------------------------------------------------------
+
+/// Factory for fresh generalized-scheduler instances.
+type MakeTopoSched = dyn Fn() -> Box<dyn TopoScheduler>;
+
+const NCORE_BENCHES: [&str; 8] =
+    ["gcc", "equake", "mcf", "swim", "gsm", "intstress", "fpstress", "branchstress"];
+
+fn topo_workloads(benches: &[&str], seed: u64) -> Vec<Box<dyn Workload>> {
+    benches
+        .iter()
+        .enumerate()
+        .map(|(t, name)| {
+            Box::new(TraceGenerator::for_thread(
+                suite::by_name(name).expect("benchmark"),
+                seed,
+                t,
+            )) as Box<dyn Workload>
+        })
+        .collect()
+}
+
+fn topo_system(
+    sim_path: ampsched_system::SimPath,
+    topo: &Topology,
+    benches: &[&str],
+    seed: u64,
+) -> MulticoreSystem {
+    MulticoreSystem::new(
+        SystemConfig {
+            epoch_cycles: 50_000,
+            sim_path,
+            ..SystemConfig::default()
+        },
+        topo,
+        topo_workloads(benches, seed),
+    )
+}
+
+/// The generalized form of [`soak_lockstep`]: same chunked cadence, plus
+/// migration totals and the full thread→core assignment at every
+/// checkpoint.
+fn topo_soak_lockstep(
+    topo: &Topology,
+    benches: &[&str],
+    seed: u64,
+    make_sched: &MakeTopoSched,
+    cycles: u64,
+) -> Result<u64, String> {
+    let mut fast = topo_system(ampsched_system::SimPath::Fast, topo, benches, seed);
+    let mut refc = topo_system(ampsched_system::SimPath::Reference, topo, benches, seed);
+    let mut fast_sched = make_sched();
+    let mut ref_sched = make_sched();
+    let mut checkpoints = 0u64;
+    while fast.cycle() < cycles {
+        fast.run(&mut *fast_sched, u64::MAX / 2, CHUNK);
+        refc.run(&mut *ref_sched, u64::MAX / 2, CHUNK);
+        checkpoints += 1;
+        let cp = format!(
+            "topology {} seed {seed} sched {} cycle {}",
+            topo.label(),
+            fast_sched.name(),
+            fast.cycle()
+        );
+        if fast.cycle() != refc.cycle() {
+            return Err(format!("cycle counts diverged at checkpoint: {cp}"));
+        }
+        if fast.core_digests() != refc.core_digests() {
+            return Err(format!("core state digests diverged: {cp}"));
+        }
+        if fast.thread_instructions() != refc.thread_instructions() {
+            return Err(format!("committed instruction counts diverged: {cp}"));
+        }
+        if fast.swaps() != refc.swaps() || fast.migrations() != refc.migrations() {
+            return Err(format!("swap/migration counts diverged: {cp}"));
+        }
+        if fast.assignment() != refc.assignment() {
+            return Err(format!("assignments diverged: {cp}"));
+        }
+    }
+    Ok(checkpoints)
+}
+
+/// Deterministic N-core grid: a stock 4+4 big.LITTLE running eight
+/// threads, soaked for the full horizon under each mobile scheduler.
+#[test]
+fn soak_ncore_grid_fast_matches_reference() {
+    let topo = Topology::big_little(4, 4, 8);
+    let schedulers: [(&str, &MakeTopoSched); 3] = [
+        ("tpe", &|| Box::new(TpeScheduler::new())),
+        ("camp-dynamic", &|| Box::new(CampScheduler::camp_dynamic(8))),
+        ("rr", &|| Box::new(TopoRoundRobin::every_epoch())),
+    ];
+    for (i, (label, make)) in schedulers.iter().enumerate() {
+        let checkpoints =
+            topo_soak_lockstep(&topo, &NCORE_BENCHES, 2012 + i as u64, *make, SOAK_CYCLES)
+                .unwrap_or_else(|msg| panic!("[{label}] {msg}"));
+        assert!(
+            checkpoints >= SOAK_CYCLES / CHUNK,
+            "soak must cover the full horizon ({checkpoints} checkpoints)"
+        );
+    }
+}
+
+#[derive(Debug, Clone)]
+struct NcoreScenario {
+    /// Benchmark per thread (fuzzed length 5–8: both under- and
+    /// oversubscription of the 4+4 shape).
+    benches: Vec<&'static str>,
+    seed: u64,
+    // 0 = tpe, 1 = camp-dynamic, 2 = round-robin.
+    sched: u8,
+    cycles: u64,
+}
+
+fn gen_ncore_scenario(s: &mut Source) -> NcoreScenario {
+    let n_threads = s.usize_in(5, 9);
+    NcoreScenario {
+        benches: (0..n_threads)
+            .map(|_| NCORE_BENCHES[s.usize_in(0, NCORE_BENCHES.len())])
+            .collect(),
+        seed: s.u64_in(1, 1 << 32),
+        sched: s.u8_in(0, 3),
+        cycles: s.u64_in(50_000, if cfg!(debug_assertions) { 60_000 } else { 300_000 }),
+    }
+}
+
+/// Randomized N-core scenarios on the fuzzed 4+4 topology: random thread
+/// sets, trace seeds, scheduler, and horizon, shrunk and corpus-persisted
+/// alongside the pair scenarios.
+#[test]
+fn soak_ncore_fuzzed_scenarios_fast_matches_reference() {
+    Checker::new(0x50a7_0002)
+        .cases(if cfg!(debug_assertions) { 3 } else { 8 })
+        .suite("soak_differential")
+        .run("ncore_soak_scenarios", gen_ncore_scenario, |sc| {
+            let threads = sc.benches.len();
+            let topo = Topology::big_little(4, 4, threads);
+            let make: Box<MakeTopoSched> = match sc.sched {
+                0 => Box::new(|| Box::new(TpeScheduler::new()) as Box<dyn TopoScheduler>),
+                1 => Box::new(move || {
+                    Box::new(CampScheduler::camp_dynamic(threads)) as Box<dyn TopoScheduler>
+                }),
+                _ => Box::new(|| Box::new(TopoRoundRobin::every_epoch()) as Box<dyn TopoScheduler>),
+            };
+            match topo_soak_lockstep(&topo, &sc.benches, sc.seed, &*make, sc.cycles) {
+                Ok(n) => prop_assert!(n > 0, "soak must advance"),
+                Err(msg) => prop_assert!(false, "{}", msg),
+            }
+            Ok(())
+        });
+}
+
 #[derive(Debug, Clone)]
 struct SoakScenario {
     bench_a: &'static str,

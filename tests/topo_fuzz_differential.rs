@@ -1,0 +1,235 @@
+//! Topology-fuzzed differential battery: the fast kernel must stay
+//! bit-identical to the frozen reference kernel on *arbitrary* machine
+//! shapes, not just the paper's 2×2 pair — random core counts (1–8),
+//! thread counts (1–16, including heavy oversubscription), and random
+//! per-core microarchitectures down to the degenerate corners (size-1
+//! issue queues, ROBs barely wider than dispatch, single-register rename
+//! pools) where quiescence certificates and wake caches are most likely
+//! to slip.
+//!
+//! Each scenario drives a fast and a reference [`MulticoreSystem`] over
+//! the same workloads in lockstep chunks, comparing per-core state
+//! digests, committed-instruction counts, swap/migration totals, and the
+//! full thread→core assignment at every checkpoint. Failures shrink and
+//! persist to `results/corpus/topo_fuzz_differential.json` so
+//! regressions replay first on later runs.
+
+use ampsched::prelude::*;
+use ampsched_cpu::FuSpec;
+use ampsched_util::check::{Checker, Source};
+use ampsched_util::prop_assert;
+
+/// Lockstep checkpoint granularity (same as the pair soak).
+const CHUNK: u64 = 2048;
+
+const BENCHES: [&str; 8] =
+    ["gcc", "equake", "mcf", "swim", "gsm", "intstress", "fpstress", "branchstress"];
+
+/// A random *valid* core shape, mirroring the cpu-crate config fuzzer:
+/// every structural size drawn from the bottom of its legal range up to
+/// (a bit past) the paper's Table I values.
+fn random_core(s: &mut Source) -> CoreConfig {
+    let mut c = if s.bool() { CoreConfig::fp_core() } else { CoreConfig::int_core() };
+    c.name = "FUZZ";
+    c.dispatch_width = s.u8_in(1, 5);
+    c.commit_width = s.u8_in(1, 7);
+    c.issue_width_int = s.u8_in(1, 5);
+    c.issue_width_fp = s.u8_in(1, 5);
+    c.rob_size = s.u64_in(c.dispatch_width as u64, 48) as u16;
+    c.int_regs = s.u64_in(33, 80) as u16;
+    c.fp_regs = s.u64_in(33, 80) as u16;
+    c.int_isq = s.u64_in(1, 24) as u16;
+    c.fp_isq = s.u64_in(1, 16) as u16;
+    c.lsq_loads = s.u64_in(1, 12) as u16;
+    c.lsq_stores = s.u64_in(1, 12) as u16;
+    for fu in &mut c.fu {
+        *fu = FuSpec::new(s.u8_in(1, 3), s.u8_in(1, 16), s.bool());
+    }
+    c.mispredict_penalty = s.u8_in(1, 20);
+    c.validate();
+    c
+}
+
+/// Window-cadence storm for arbitrary shapes: permutes the two
+/// lowest-indexed *running* threads every window (the parked set is an
+/// epoch-level decision), and exchanges a running thread with a parked
+/// one at every epoch — the worst case for migration bookkeeping on
+/// oversubscribed topologies.
+struct TopoStorm {
+    window: u64,
+}
+
+impl TopoScheduler for TopoStorm {
+    fn name(&self) -> &'static str {
+        "topo-storm"
+    }
+    fn window_insts(&self) -> Option<u64> {
+        Some(self.window)
+    }
+    fn on_window(&mut self, snap: &TopoSnapshot) -> TopoDecision {
+        let running: Vec<usize> =
+            (0..snap.threads.len()).filter(|&t| snap.assignment.core_of(t).is_some()).collect();
+        if running.len() < 2 {
+            return TopoDecision::Stay;
+        }
+        let mut next = snap.assignment.clone();
+        next.swap_threads(running[0], running[1]);
+        TopoDecision::Reassign(next)
+    }
+    fn on_epoch(&mut self, snap: &TopoSnapshot) -> TopoDecision {
+        let parked = snap.assignment.parked();
+        let running: Vec<usize> =
+            (0..snap.threads.len()).filter(|&t| snap.assignment.core_of(t).is_some()).collect();
+        let mut next = snap.assignment.clone();
+        match (running.first(), parked.first()) {
+            (Some(&r), Some(&p)) => next.swap_threads(r, p),
+            (Some(&a), None) if running.len() >= 2 => next.swap_threads(a, running[1]),
+            _ => return TopoDecision::Stay,
+        }
+        TopoDecision::Reassign(next)
+    }
+}
+
+#[derive(Debug, Clone)]
+struct TopoScenario {
+    cores: Vec<CoreConfig>,
+    /// Benchmark name per thread (length = thread count).
+    benches: Vec<&'static str>,
+    seed: u64,
+    /// 0 = storm, 1 = round-robin, 2 = tpe, 3 = camp-dynamic, 4 = static.
+    sched: u8,
+    storm_window: u64,
+    epoch_cycles: u64,
+    cycles: u64,
+}
+
+fn gen_scenario(s: &mut Source) -> TopoScenario {
+    let n_cores = s.usize_in(1, 9);
+    let n_threads = s.usize_in(1, 17);
+    TopoScenario {
+        cores: (0..n_cores).map(|_| random_core(s)).collect(),
+        benches: (0..n_threads).map(|_| *s.choice(&BENCHES)).collect(),
+        seed: s.u64_in(1, 1 << 32),
+        sched: s.u8_in(0, 5),
+        storm_window: s.u64_in(1_000, 20_000),
+        epoch_cycles: s.u64_in(5_000, 25_000),
+        cycles: s.u64_in(20_000, if cfg!(debug_assertions) { 40_000 } else { 120_000 }),
+    }
+}
+
+fn workloads(sc: &TopoScenario) -> Vec<Box<dyn Workload>> {
+    sc.benches
+        .iter()
+        .enumerate()
+        .map(|(t, name)| {
+            Box::new(TraceGenerator::for_thread(
+                suite::by_name(name).expect("benchmark"),
+                sc.seed,
+                t,
+            )) as Box<dyn Workload>
+        })
+        .collect()
+}
+
+fn make_sched(sc: &TopoScenario) -> Box<dyn TopoScheduler> {
+    match sc.sched {
+        0 => Box::new(TopoStorm { window: sc.storm_window }),
+        1 => Box::new(TopoRoundRobin::every_epoch()),
+        2 => Box::new(TpeScheduler::new()),
+        3 => Box::new(CampScheduler::camp_dynamic(sc.benches.len())),
+        _ => Box::new(TopoStatic),
+    }
+}
+
+fn system(sc: &TopoScenario, sim_path: ampsched_system::SimPath) -> MulticoreSystem {
+    let topo = Topology::new(sc.cores.clone(), sc.benches.len());
+    MulticoreSystem::new(
+        SystemConfig {
+            epoch_cycles: sc.epoch_cycles,
+            sim_path,
+            ..SystemConfig::default()
+        },
+        &topo,
+        workloads(sc),
+    )
+}
+
+/// Drive fast and reference systems over the scenario in lockstep
+/// chunks, returning the first divergence as an error.
+fn lockstep(sc: &TopoScenario) -> Result<u64, String> {
+    let mut fast = system(sc, ampsched_system::SimPath::Fast);
+    let mut refc = system(sc, ampsched_system::SimPath::Reference);
+    let mut fast_sched = make_sched(sc);
+    let mut ref_sched = make_sched(sc);
+    let mut checkpoints = 0u64;
+    while fast.cycle() < sc.cycles {
+        fast.run(&mut *fast_sched, u64::MAX / 2, CHUNK);
+        refc.run(&mut *ref_sched, u64::MAX / 2, CHUNK);
+        checkpoints += 1;
+        let cp = format!(
+            "{} cores x {} threads sched {} seed {} cycle {}",
+            sc.cores.len(),
+            sc.benches.len(),
+            fast_sched.name(),
+            sc.seed,
+            fast.cycle()
+        );
+        if fast.cycle() != refc.cycle() {
+            return Err(format!("cycle counts diverged: {cp}"));
+        }
+        if fast.core_digests() != refc.core_digests() {
+            return Err(format!("core state digests diverged: {cp}"));
+        }
+        if fast.thread_instructions() != refc.thread_instructions() {
+            return Err(format!("committed instruction counts diverged: {cp}"));
+        }
+        if fast.swaps() != refc.swaps() || fast.migrations() != refc.migrations() {
+            return Err(format!("swap/migration counts diverged: {cp}"));
+        }
+        if fast.assignment() != refc.assignment() {
+            return Err(format!("assignments diverged: {cp}"));
+        }
+    }
+    Ok(checkpoints)
+}
+
+/// The fuzzed battery: ≥64 random topologies in release (a scaled-down
+/// sample under `cargo test` in debug), every one bit-identical between
+/// the fast and reference kernels.
+#[test]
+fn fuzzed_topologies_fast_matches_reference() {
+    Checker::new(0x7090_0001)
+        .cases(if cfg!(debug_assertions) { 12 } else { 64 })
+        .suite("topo_fuzz_differential")
+        .run("topo_fuzz_lockstep", gen_scenario, |sc| {
+            match lockstep(sc) {
+                Ok(n) => prop_assert!(n > 0, "soak must advance"),
+                Err(msg) => prop_assert!(false, "{}", msg),
+            }
+            Ok(())
+        });
+}
+
+/// Degenerate corners that must always be in the battery regardless of
+/// what the fuzzer draws: one core with many threads (pure time-slicing),
+/// more cores than threads (permanently idle cores), and exact
+/// square shapes.
+#[test]
+fn pinned_corner_topologies_fast_matches_reference() {
+    let corners: [(usize, usize); 4] = [(1, 4), (4, 2), (3, 3), (2, 5)];
+    for (i, &(n_cores, n_threads)) in corners.iter().enumerate() {
+        let sc = TopoScenario {
+            cores: (0..n_cores)
+                .map(|c| if c % 2 == 0 { CoreConfig::fp_core() } else { CoreConfig::int_core() })
+                .collect(),
+            benches: (0..n_threads).map(|t| BENCHES[t % BENCHES.len()]).collect(),
+            seed: 2012 + i as u64,
+            sched: (i % 4) as u8,
+            storm_window: 5_000,
+            epoch_cycles: 10_000,
+            cycles: if cfg!(debug_assertions) { 30_000 } else { 100_000 },
+        };
+        let checkpoints = lockstep(&sc).unwrap_or_else(|msg| panic!("corner {i}: {msg}"));
+        assert!(checkpoints > 0, "corner {i} must advance");
+    }
+}
