@@ -1,15 +1,23 @@
 //! # ampsched-core
 //!
 //! The paper's contribution: **fine-grained, hardware-level dynamic thread
-//! scheduling for a dual-core asymmetric multicore**, plus every reference
-//! scheme it is evaluated against.
+//! scheduling for asymmetric multicores**, plus every reference scheme it
+//! is evaluated against — on the paper's dual-core machine and on
+//! generalized N-core × M-thread topologies (DESIGN.md §13).
 //!
 //! The crate is substrate-independent: schedulers observe only
 //! [`WindowSnapshot`]s — the per-window hardware-counter values the paper's
 //! "online monitor" exposes (committed-instruction composition, IPC,
-//! energy) — and return [`Decision`]s. The dual-core system driver in
-//! `ampsched-system` executes those decisions (pipeline flush, state
-//! transfer, cache effects).
+//! energy) — and return [`Decision`]s. The system drivers in
+//! `ampsched-system` execute those decisions (pipeline flush, state
+//! transfer, cache effects, per-thread migration cost).
+//!
+//! Two scheduler surfaces coexist: the paper-faithful *pair* schedulers
+//! below (two threads, two cores, swap-or-keep), and the topology-general
+//! zoo in [`zoo`] behind the [`TopoScheduler`] trait (partial
+//! thread→core [`AssignmentMap`]s, parked threads, multi-thread
+//! reassignments) with [`PairAdapter`] lifting any pair scheduler onto
+//! the 2×2 shape.
 //!
 //! ## Schedulers
 //!

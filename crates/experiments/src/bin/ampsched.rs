@@ -24,6 +24,8 @@
 //!   scaling       N-core x M-thread scheduler-zoo sweep (predictor-free)
 //!   trace-cache   maintain the --trace-cache dir (stats|verify|gc)
 //!   obs-summary   aggregate a --telemetry JSONL file per scheduler
+//!   serve         scheduling-as-a-service daemon (HTTP, cached results)
+//!   serve-bench   replay a request corpus against a running daemon
 //!   all           everything above, in order
 //! ```
 //!
@@ -48,10 +50,19 @@
 //! timing report, a `pipeline` section of the bench artifact, and — with
 //! `--trace-events` — counter tracks in the Chrome trace. Sampling is
 //! read-only: `--json` reports stay byte-identical with it enabled.
+//!
+//! `ampsched serve` turns the same experiment drivers into a daemon:
+//! `POST /run` with `{"experiment": ..., "params": {...}}` answers with
+//! exactly the bytes the CLI's `--json` would have written, cached by a
+//! canonical hash of the resolved parameters (`--addr`, `--workers`,
+//! `--cache-entries`, `--cache-dir`, `--deadline-ms`). `ampsched
+//! serve-bench` replays a corpus against it and measures warm-vs-cold
+//! latency (`--corpus`, `--repeat`, `--json`). EXPERIMENTS.md is the
+//! full reference; DESIGN.md §14 the architecture.
 
 use ampsched_experiments::{
     ablation, common::Params, fig1, fig6, fig78, morphing, obs_summary, overhead, profiling,
-    rr_interval, rules_derivation, scaling, tables, telemetry, trace_cache,
+    report, rr_interval, rules_derivation, scaling, serve, tables, telemetry, trace_cache,
 };
 use ampsched_system::SimPath;
 use ampsched_trace::{arena, persist, timing, TracePath};
@@ -66,10 +77,13 @@ fn usage() -> ! {
         "usage: ampsched [--quick|--medium] [--pairs N] [--insts N] [--profile-insts N] [--seed N] \
          [--sim-path fast|reference] [--trace-path arena|stream] [--trace-cache DIR] [--profile] \
          [--profile-sample N] [--telemetry FILE] [--trace-events FILE] [--csv FILE] [--json FILE] \
-         <tables|fig1|fig3|fig4|fig6|fig7|fig8|fig9|figs789|overhead|rr-interval|derive-rules|ablation|morphing|scaling|workloads|trace-cache|obs-summary|all>\n\
+         <tables|fig1|fig3|fig4|fig6|fig7|fig8|fig9|figs789|overhead|rr-interval|derive-rules|ablation|morphing|scaling|workloads|trace-cache|obs-summary|serve|serve-bench|all>\n\
          \n\
          trace-cache actions: ampsched --trace-cache DIR trace-cache <stats|verify|gc>\n\
-         obs-summary usage:   ampsched obs-summary FILE   (FILE from a --telemetry run)"
+         obs-summary usage:   ampsched obs-summary FILE   (FILE from a --telemetry run)\n\
+         serve flags:         ampsched serve [--addr HOST:PORT] [--workers N] [--cache-entries N] \
+         [--cache-dir DIR] [--deadline-ms N] [--trace-cache DIR]\n\
+         serve-bench flags:   ampsched serve-bench [--addr HOST:PORT] [--corpus FILE] [--repeat N] [--json FILE]"
     );
     std::process::exit(2);
 }
@@ -83,6 +97,14 @@ fn main() {
     let mut json_path: Option<String> = None;
     let mut profile = false;
     let mut profile_sample: Option<u64> = None;
+    // `serve` / `serve-bench` knobs (ignored by other commands).
+    let mut serve_addr: Option<String> = None;
+    let mut serve_workers: Option<usize> = None;
+    let mut serve_cache_entries: Option<usize> = None;
+    let mut serve_cache_dir: Option<std::path::PathBuf> = None;
+    let mut serve_deadline_ms: Option<u64> = None;
+    let mut bench_corpus: Option<std::path::PathBuf> = None;
+    let mut bench_repeat: Option<usize> = None;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -144,6 +166,40 @@ fn main() {
                 i += 1;
                 csv_path = Some(args.get(i).cloned().unwrap_or_else(|| usage()));
             }
+            "--addr" => {
+                i += 1;
+                serve_addr = Some(args.get(i).cloned().unwrap_or_else(|| usage()));
+            }
+            "--workers" => {
+                i += 1;
+                serve_workers =
+                    Some(args.get(i).and_then(|s| s.parse().ok()).unwrap_or_else(|| usage()));
+            }
+            "--cache-entries" => {
+                i += 1;
+                serve_cache_entries =
+                    Some(args.get(i).and_then(|s| s.parse().ok()).unwrap_or_else(|| usage()));
+            }
+            "--cache-dir" => {
+                i += 1;
+                let dir = args.get(i).cloned().unwrap_or_else(|| usage());
+                serve_cache_dir = Some(std::path::PathBuf::from(dir));
+            }
+            "--deadline-ms" => {
+                i += 1;
+                serve_deadline_ms =
+                    Some(args.get(i).and_then(|s| s.parse().ok()).unwrap_or_else(|| usage()));
+            }
+            "--corpus" => {
+                i += 1;
+                let file = args.get(i).cloned().unwrap_or_else(|| usage());
+                bench_corpus = Some(std::path::PathBuf::from(file));
+            }
+            "--repeat" => {
+                i += 1;
+                bench_repeat =
+                    Some(args.get(i).and_then(|s| s.parse().ok()).unwrap_or_else(|| usage()));
+            }
             "--json" => {
                 i += 1;
                 json_path = Some(args.get(i).cloned().unwrap_or_else(|| usage()));
@@ -166,7 +222,7 @@ fn main() {
     const COMMANDS: &[&str] = &[
         "tables", "workloads", "fig1", "fig3", "fig4", "fig6", "fig7", "fig8", "fig9", "figs789",
         "overhead", "rr-interval", "derive-rules", "ablation", "morphing", "scaling",
-        "trace-cache", "obs-summary", "all",
+        "trace-cache", "obs-summary", "serve", "serve-bench", "all",
     ];
     if !COMMANDS.contains(&command.as_str()) {
         eprintln!("unknown command: {command}");
@@ -236,6 +292,57 @@ fn main() {
         std::process::exit(0);
     }
 
+    // The daemon runs standalone: it owns its own profiling (per job)
+    // and never uses the CLI's csv/json/profile plumbing.
+    if command == "serve" {
+        let mut config = serve::ServeConfig::default();
+        if let Some(addr) = serve_addr {
+            config.addr = addr;
+        }
+        if let Some(n) = serve_workers {
+            config.workers = n.max(1);
+        }
+        if let Some(n) = serve_cache_entries {
+            config.cache_entries = n.max(1);
+        }
+        config.cache_dir = serve_cache_dir;
+        if let Some(ms) = serve_deadline_ms {
+            config.deadline_ms = ms.max(1);
+        }
+        config.base = params.clone();
+        let server = serve::Server::bind(config).unwrap_or_else(|e| {
+            eprintln!("serve: cannot bind: {e}");
+            std::process::exit(1);
+        });
+        // The one line scripts parse for the (possibly ephemeral) port.
+        println!(
+            "ampsched serve listening on {}",
+            server.local_addr().expect("bound address")
+        );
+        if let Err(e) = server.run() {
+            eprintln!("serve: {e}");
+            std::process::exit(1);
+        }
+        eprintln!("[serve: drained and stopped]");
+        std::process::exit(0);
+    }
+
+    // So does the bench client: it talks to a daemon, it never
+    // simulates.
+    if command == "serve-bench" {
+        let config = serve::bench::BenchConfig {
+            addr: serve_addr.unwrap_or_else(|| "127.0.0.1:7199".to_string()),
+            corpus: bench_corpus,
+            repeat: bench_repeat.unwrap_or(5),
+            json_out: json_path.clone(),
+        };
+        if let Err(e) = serve::bench::run(&config) {
+            eprintln!("serve-bench: {e}");
+            std::process::exit(1);
+        }
+        std::process::exit(0);
+    }
+
     // Observability side channels: the JSONL decision stream and host-time
     // span recording. Both observe the run without feeding back into it.
     if let Some(file) = &params.telemetry {
@@ -272,10 +379,7 @@ fn main() {
         timing::reset();
         timing::set_stream_sampling(true);
     }
-    let needs_predictors = !matches!(
-        command.as_str(),
-        "tables" | "workloads" | "fig1" | "derive-rules" | "morphing" | "scaling"
-    );
+    let needs_predictors = command == "all" || report::needs_predictors(&command);
     let preds = if needs_predictors {
         eprintln!("[profiling {} representative benchmarks ...]", 9);
         Some(
@@ -457,32 +561,18 @@ fn main() {
     };
     let trace_path_name = params.trace_path.name();
     if let Some(path) = &json_path {
-        let mut sections = vec![
-            ("command".to_string(), Json::from(command.as_str())),
-            (
-                "params".to_string(),
-                Json::obj([
-                    ("run_insts", Json::from(params.run_insts)),
-                    ("num_pairs", Json::from(params.num_pairs)),
-                    ("seed", Json::from(params.seed)),
-                    ("sim_path", Json::from(sim_path_name)),
-                    ("trace_path", Json::from(trace_path_name)),
-                    (
-                        "trace_cache",
-                        match &params.trace_cache {
-                            Some(dir) => Json::from(dir.display().to_string()),
-                            None => Json::Null,
-                        },
-                    ),
-                ]),
-            ),
-        ];
-        sections.extend(report.into_inner());
-        // Runtime counters, restricted to the deterministic `sim.*`
-        // namespace so the report stays byte-identical across trace
-        // provisioning modes, cache temperature, and telemetry flags.
-        sections.push(("telemetry".to_string(), telemetry::summary_json()));
-        let doc = Json::Obj(sections);
+        // One assembly path with the serve daemon (report::assemble):
+        // the byte-identity contract between `--json` files and served
+        // responses starts here. The telemetry block is restricted to
+        // the deterministic `sim.*` namespace so the report stays
+        // byte-identical across trace provisioning modes, cache
+        // temperature, and telemetry flags.
+        let doc = report::assemble(
+            &command,
+            &params,
+            report.into_inner(),
+            telemetry::summary_json(),
+        );
         std::fs::write(path, doc.render_pretty()).expect("write json report");
         eprintln!("[json report written to {path}]");
     }

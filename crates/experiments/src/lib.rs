@@ -1,13 +1,20 @@
 //! # ampsched-experiments
 //!
 //! Drivers that regenerate every table and figure of the paper (see the
-//! experiment index in DESIGN.md) plus the ablations it motivates.
+//! experiment index in DESIGN.md) plus the ablations it motivates —
+//! over the paper's two-thread/two-core duo and, since the topology
+//! generalization, arbitrary N-core × M-thread systems (`scaling`, the
+//! topology schedulers in `common::SchedKind`).
 //!
 //! Each `figN` module exposes a `run(&Params) -> ...Result` function that
 //! returns structured data and a `render` path producing the ASCII table /
-//! series the paper reports. The `ampsched` CLI binary drives them; the
-//! Criterion benches in `ampsched-bench` call the same entry points at
-//! reduced scale.
+//! series the paper reports. Three front ends drive the same entry
+//! points: the `ampsched` CLI binary, the hermetic bench targets in
+//! `ampsched-bench` (in-tree `ampsched_util::timer` harness, no
+//! Criterion) at reduced scale, and the [`serve`] daemon, which answers
+//! experiment requests over HTTP from a content-addressed result cache
+//! with byte-identical output ([`report`] is the shared assembly path
+//! that makes that identity hold).
 
 #![warn(missing_docs)]
 
@@ -20,10 +27,12 @@ pub mod morphing;
 pub mod obs_summary;
 pub mod overhead;
 pub mod profiling;
+pub mod report;
 pub mod rr_interval;
 pub mod rules_derivation;
 pub mod runner;
 pub mod scaling;
+pub mod serve;
 pub mod tables;
 pub mod telemetry;
 pub mod trace_cache;

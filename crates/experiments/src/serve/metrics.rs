@@ -1,0 +1,91 @@
+//! The daemon's own observability: `serve.*` instruments and the
+//! `/healthz` + `/metrics` endpoint bodies.
+//!
+//! Everything here rides on `ampsched-obs` — the same registry the
+//! simulator's `sim.*` instruments live in — so `/metrics` is one
+//! filtered snapshot, not a second bookkeeping system. The `serve.*`
+//! prefix keeps daemon counters out of report `telemetry` blocks
+//! (which filter on `sim.`), and vice versa.
+//!
+//! Instrument glossary (also documented for operators in
+//! EXPERIMENTS.md):
+//!
+//! | instrument | meaning |
+//! |---|---|
+//! | `serve.request` | HTTP requests accepted (any route) |
+//! | `serve.run` | `/run` requests that parsed and validated |
+//! | `serve.cache.hit` | `/run` answered from the in-memory cache |
+//! | `serve.cache.disk_hit` | `/run` answered from the disk spill |
+//! | `serve.cache.miss` | `/run` that enqueued a new computation |
+//! | `serve.coalesce` | `/run` that joined an in-flight computation |
+//! | `serve.job.execute` | jobs a worker actually ran |
+//! | `serve.job.panic` | jobs that panicked (answered 500, not cached) |
+//! | `serve.error.bad_request` | 400s (protocol or validation errors) |
+//! | `serve.error.timeout` | 504s (deadline elapsed; job continues) |
+//! | `serve.error.failed` | 500s (job failed) |
+//! | `serve.latency_us` | `/run` wall time, microseconds (histogram) |
+
+use ampsched_obs::metrics;
+use ampsched_util::Json;
+
+/// The `/healthz` body: liveness plus just enough state to see a wedged
+/// daemon from the outside (queue depth growing without `job.execute`
+/// moving).
+pub fn healthz_json(queue_depth: usize, cache_len: usize, workers: usize) -> Json {
+    Json::obj([
+        ("status", Json::from("ok")),
+        ("workers", Json::from(workers)),
+        ("queue_depth", Json::from(queue_depth)),
+        ("cache_entries", Json::from(cache_len)),
+    ])
+}
+
+/// The `/metrics` body: every `serve.*` instrument as a snapshot, plus
+/// the same live-state gauges `/healthz` reports.
+pub fn metrics_json(queue_depth: usize, cache_len: usize) -> Json {
+    let snap = metrics::snapshot().filtered("serve.");
+    Json::obj([
+        ("serve", snap.to_json()),
+        (
+            "gauges",
+            Json::obj([
+                ("queue_depth", Json::from(queue_depth)),
+                ("cache_entries", Json::from(cache_len)),
+            ]),
+        ),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn healthz_shape() {
+        let j = healthz_json(3, 7, 2);
+        assert_eq!(j.get("status").and_then(Json::as_str), Some("ok"));
+        assert_eq!(j.get("queue_depth").and_then(Json::as_u64), Some(3));
+        assert_eq!(j.get("cache_entries").and_then(Json::as_u64), Some(7));
+        assert_eq!(j.get("workers").and_then(Json::as_u64), Some(2));
+    }
+
+    #[test]
+    fn metrics_includes_serve_counters_and_gauges() {
+        ampsched_obs::counter!("serve.test.metrics_probe");
+        let j = metrics_json(0, 0);
+        let counters = j
+            .get("serve")
+            .and_then(|s| s.get("counters"))
+            .and_then(Json::as_obj)
+            .expect("serve.counters object");
+        assert!(
+            counters.iter().any(|(n, _)| n == "serve.test.metrics_probe"),
+            "serve.* counters must appear in /metrics"
+        );
+        assert!(
+            counters.iter().all(|(n, _)| n.starts_with("serve.")),
+            "sim.* instruments must not leak into /metrics"
+        );
+        assert!(j.get("gauges").is_some());
+    }
+}

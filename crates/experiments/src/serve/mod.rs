@@ -1,0 +1,377 @@
+//! `ampsched serve`: the scheduling-as-a-service daemon.
+//!
+//! A long-running process that answers experiment requests over a
+//! strict HTTP/1.1 subset ([`http`]), keyed by a canonical hash of the
+//! resolved parameters ([`protocol`]), backed by a bounded coalescing
+//! result cache ([`cache`]), computed by a fixed worker pool
+//! ([`queue`]), and observable through `serve.*` instruments
+//! ([`metrics`]). DESIGN.md §14 is the architecture document;
+//! EXPERIMENTS.md is the operator reference.
+//!
+//! Routes:
+//!
+//! | route | meaning |
+//! |---|---|
+//! | `POST /run` | run (or re-serve) one experiment; body = job JSON |
+//! | `GET /healthz` | liveness + queue/cache gauges |
+//! | `GET /metrics` | `serve.*` instrument snapshot |
+//! | `POST /shutdown` | stop accepting, drain, exit |
+//!
+//! Two guarantees the tests enforce end to end:
+//!
+//! - **Byte identity.** A `/run` response body is byte-for-byte the
+//!   file `ampsched --json` would write for the same resolved
+//!   parameters (`serve_e2e` compares against the `golden_compat`
+//!   goldens; CI re-checks over a real socket with `cmp`).
+//! - **Read-only service.** Serving never mutates experiment state:
+//!   results come from a pure function of the request, cached by
+//!   content address. The only writes the daemon performs are its own
+//!   cache spills under `--cache-dir`.
+
+pub mod bench;
+pub mod cache;
+pub mod http;
+pub mod metrics;
+pub mod protocol;
+pub mod queue;
+
+use crate::common::Params;
+use cache::{Claim, ResultCache, WaitOutcome};
+use queue::{Job, JobQueue, WorkerPool};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Everything `ampsched serve` needs to come up, resolved from CLI
+/// flags (defaults in parentheses).
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Listen address (`127.0.0.1:7199`). Use port 0 for an ephemeral
+    /// port — the bound address is printed and available via
+    /// [`Server::local_addr`].
+    pub addr: String,
+    /// Worker threads draining the job queue (`2`).
+    pub workers: usize,
+    /// In-memory result-cache capacity in cells (`64`).
+    pub cache_entries: usize,
+    /// Disk spill directory for the result cache (none).
+    pub cache_dir: Option<std::path::PathBuf>,
+    /// Per-request deadline in milliseconds (`600_000`); an elapsed
+    /// deadline answers 504 but the job still completes and caches.
+    pub deadline_ms: u64,
+    /// Base parameters requests resolve against — in practice the
+    /// trace-cache directory from `--trace-cache`.
+    pub base: Params,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            addr: "127.0.0.1:7199".to_string(),
+            workers: 2,
+            cache_entries: 64,
+            cache_dir: None,
+            deadline_ms: 600_000,
+            base: Params::default(),
+        }
+    }
+}
+
+/// A bound (but not yet serving) daemon. `bind` then `run`; tests use
+/// [`Server::local_addr`] between the two to learn the ephemeral port.
+pub struct Server {
+    listener: TcpListener,
+    config: ServeConfig,
+    queue: Arc<JobQueue>,
+    cache: Arc<ResultCache>,
+    shutdown: Arc<AtomicBool>,
+}
+
+impl Server {
+    /// Bind the listen socket and construct the cache + queue. No
+    /// thread is spawned yet.
+    pub fn bind(config: ServeConfig) -> std::io::Result<Server> {
+        let listener = TcpListener::bind(&config.addr)?;
+        let cache = Arc::new(ResultCache::new(
+            config.cache_entries,
+            config.cache_dir.clone(),
+        ));
+        Ok(Server {
+            listener,
+            queue: Arc::new(JobQueue::new()),
+            cache,
+            shutdown: Arc::new(AtomicBool::new(false)),
+            config,
+        })
+    }
+
+    /// The bound address (resolves port 0 to the real ephemeral port).
+    pub fn local_addr(&self) -> std::io::Result<SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// A handle that makes [`Server::run`] return when set — the same
+    /// flag `POST /shutdown` sets. For embedding the server in tests.
+    pub fn shutdown_handle(&self) -> Arc<AtomicBool> {
+        Arc::clone(&self.shutdown)
+    }
+
+    /// Serve until shutdown, then drain: stop accepting, let queued
+    /// jobs finish, wait for in-flight connections, join the pool.
+    pub fn run(self) -> std::io::Result<()> {
+        let pool = WorkerPool::spawn(
+            self.config.workers,
+            Arc::clone(&self.queue),
+            Arc::clone(&self.cache),
+        );
+        self.listener.set_nonblocking(true)?;
+        let active = Arc::new(AtomicUsize::new(0));
+        while !self.shutdown.load(Ordering::SeqCst) {
+            match self.listener.accept() {
+                Ok((stream, _peer)) => {
+                    let ctx = ConnCtx {
+                        queue: Arc::clone(&self.queue),
+                        cache: Arc::clone(&self.cache),
+                        shutdown: Arc::clone(&self.shutdown),
+                        deadline: Duration::from_millis(self.config.deadline_ms.max(1)),
+                        workers: self.config.workers,
+                        base: self.config.base.clone(),
+                    };
+                    let active = Arc::clone(&active);
+                    active.fetch_add(1, Ordering::SeqCst);
+                    std::thread::Builder::new()
+                        .name("serve-conn".to_string())
+                        .spawn(move || {
+                            handle_connection(stream, &ctx);
+                            active.fetch_sub(1, Ordering::SeqCst);
+                        })
+                        .expect("spawn connection handler");
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                    std::thread::sleep(Duration::from_millis(10));
+                }
+                Err(e) => return Err(e),
+            }
+        }
+        // Drain: connections first (they may still enqueue), then the
+        // queue and pool. A stuck connection cannot wedge shutdown
+        // forever — its cache wait is bounded by the deadline.
+        let drain_start = Instant::now();
+        let drain_cap = Duration::from_millis(self.config.deadline_ms.max(1))
+            + Duration::from_secs(5);
+        while active.load(Ordering::SeqCst) > 0 && drain_start.elapsed() < drain_cap {
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        pool.join();
+        Ok(())
+    }
+}
+
+/// What a connection handler needs from the server.
+struct ConnCtx {
+    queue: Arc<JobQueue>,
+    cache: Arc<ResultCache>,
+    shutdown: Arc<AtomicBool>,
+    deadline: Duration,
+    workers: usize,
+    base: Params,
+}
+
+/// Serve exactly one request on `stream` (the protocol is one request
+/// per connection, `Connection: close`).
+fn handle_connection(mut stream: TcpStream, ctx: &ConnCtx) {
+    stream
+        .set_read_timeout(Some(Duration::from_secs(30)))
+        .ok();
+    let request = match http::parse_request(&mut stream, &http::Limits::default()) {
+        Ok(r) => r,
+        Err(e) => {
+            ampsched_obs::counter!("serve.error.bad_request");
+            let (status, reason) = e.status();
+            let body = error_body(&e.detail());
+            let _ = http::write_response(
+                &mut stream,
+                status,
+                reason,
+                "application/json",
+                &[],
+                body.as_bytes(),
+            );
+            return;
+        }
+    };
+    ampsched_obs::counter!("serve.request");
+    let started = Instant::now();
+    match (request.method.as_str(), request.path.as_str()) {
+        ("POST", "/run") => handle_run(&mut stream, &request.body, ctx, started),
+        ("GET", "/healthz") => {
+            let body = metrics::healthz_json(ctx.queue.depth(), ctx.cache.len(), ctx.workers)
+                .render_pretty();
+            let _ = http::write_response(
+                &mut stream,
+                200,
+                "OK",
+                "application/json",
+                &[],
+                body.as_bytes(),
+            );
+        }
+        ("GET", "/metrics") => {
+            let body =
+                metrics::metrics_json(ctx.queue.depth(), ctx.cache.len()).render_pretty();
+            let _ = http::write_response(
+                &mut stream,
+                200,
+                "OK",
+                "application/json",
+                &[],
+                body.as_bytes(),
+            );
+        }
+        ("POST", "/shutdown") => {
+            ctx.shutdown.store(true, Ordering::SeqCst);
+            let _ = http::write_response(
+                &mut stream,
+                200,
+                "OK",
+                "application/json",
+                &[],
+                b"{\"status\": \"draining\"}\n",
+            );
+        }
+        (_, "/run" | "/healthz" | "/metrics" | "/shutdown") => {
+            ampsched_obs::counter!("serve.error.bad_request");
+            let _ = http::write_response(
+                &mut stream,
+                405,
+                "Method Not Allowed",
+                "application/json",
+                &[],
+                error_body("method not allowed for this route").as_bytes(),
+            );
+        }
+        _ => {
+            ampsched_obs::counter!("serve.error.bad_request");
+            let _ = http::write_response(
+                &mut stream,
+                404,
+                "Not Found",
+                "application/json",
+                &[],
+                error_body("no such route").as_bytes(),
+            );
+        }
+    }
+}
+
+/// The `/run` path: validate, claim the cache cell, compute or wait,
+/// answer. The `X-Cache` header says which way the request went.
+fn handle_run(stream: &mut TcpStream, body: &[u8], ctx: &ConnCtx, started: Instant) {
+    let spec = match protocol::parse_request(body, &ctx.base) {
+        Ok(spec) => spec,
+        Err(msg) => {
+            ampsched_obs::counter!("serve.error.bad_request");
+            let _ = http::write_response(
+                stream,
+                400,
+                "Bad Request",
+                "application/json",
+                &[],
+                error_body(&msg).as_bytes(),
+            );
+            return;
+        }
+    };
+    ampsched_obs::counter!("serve.run");
+    let key = protocol::canonical_hash(&spec);
+    let key_header = format!("{key:016x}");
+    let (claim, cache_state) = match ctx.cache.claim(key) {
+        Claim::Hit(bytes) => {
+            ampsched_obs::counter!("serve.cache.hit");
+            (Some(bytes), "hit")
+        }
+        Claim::DiskHit(bytes) => {
+            ampsched_obs::counter!("serve.cache.disk_hit");
+            (Some(bytes), "disk-hit")
+        }
+        Claim::Owner => {
+            ampsched_obs::counter!("serve.cache.miss");
+            if !ctx.queue.push(Job { key, spec }) {
+                ctx.cache.fail(key, "server is draining".to_string());
+                let _ = http::write_response(
+                    stream,
+                    503,
+                    "Service Unavailable",
+                    "application/json",
+                    &[],
+                    error_body("server is draining").as_bytes(),
+                );
+                return;
+            }
+            (None, "miss")
+        }
+        Claim::Wait(_) => {
+            ampsched_obs::counter!("serve.coalesce");
+            (None, "coalesced")
+        }
+    };
+    let outcome = match claim {
+        Some(bytes) => WaitOutcome::Ready(bytes),
+        // Owner and coalescer alike wait on the pending slot (the
+        // owner's job is in the queue; re-claiming yields its slot, or
+        // the finished bytes if a worker already got to it).
+        None => match ctx.cache.claim(key) {
+            Claim::Hit(bytes) | Claim::DiskHit(bytes) => WaitOutcome::Ready(bytes),
+            Claim::Wait(slot) => slot.wait(ctx.deadline),
+            Claim::Owner => {
+                // The job failed between push and re-claim; don't run a
+                // second attempt inside a connection thread.
+                ctx.cache.fail(key, "job failed".to_string());
+                WaitOutcome::Failed("job failed; retry the request".to_string())
+            }
+        },
+    };
+    let latency_us = started.elapsed().as_micros() as u64;
+    ampsched_obs::hist!("serve.latency_us", latency_us);
+    match outcome {
+        WaitOutcome::Ready(bytes) => {
+            let _ = http::write_response(
+                stream,
+                200,
+                "OK",
+                "application/json",
+                &[("X-Cache", cache_state), ("X-Cache-Key", &key_header)],
+                &bytes,
+            );
+        }
+        WaitOutcome::Failed(msg) => {
+            ampsched_obs::counter!("serve.error.failed");
+            let _ = http::write_response(
+                stream,
+                500,
+                "Internal Server Error",
+                "application/json",
+                &[("X-Cache", cache_state)],
+                error_body(&msg).as_bytes(),
+            );
+        }
+        WaitOutcome::TimedOut => {
+            ampsched_obs::counter!("serve.error.timeout");
+            let _ = http::write_response(
+                stream,
+                504,
+                "Gateway Timeout",
+                "application/json",
+                &[("X-Cache", cache_state)],
+                error_body("deadline elapsed; the job continues and will be cached")
+                    .as_bytes(),
+            );
+        }
+    }
+}
+
+/// A JSON error body: `{"error": "<message>"}`.
+fn error_body(message: &str) -> String {
+    ampsched_util::Json::obj([("error", ampsched_util::Json::from(message))]).render_pretty()
+}

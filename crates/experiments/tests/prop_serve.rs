@@ -1,0 +1,154 @@
+//! Property tests for the serve protocol's canonical cache key
+//! (DESIGN.md §14): the hash is a function of the *resolved* job, so it
+//! must be invariant under request-JSON field reordering and must
+//! separate any two jobs that differ in a parameter value.
+
+use ampsched_experiments::common::Params;
+use ampsched_experiments::serve::protocol::{canonical_hash, parse_request};
+use ampsched_util::check::{Checker, Source};
+use ampsched_util::{prop_assert, prop_assert_eq};
+
+/// One randomly drawn job request: the experiment plus a subset of
+/// params overrides, each as a ready-to-embed JSON member.
+#[derive(Debug, Clone)]
+struct DrawnRequest {
+    experiment: &'static str,
+    overrides: Vec<(&'static str, String)>,
+}
+
+const EXPERIMENTS: &[&str] = &["fig1", "morphing", "scaling", "fig7", "ablation"];
+
+fn draw_request(s: &mut Source) -> DrawnRequest {
+    let experiment = *s.choice(EXPERIMENTS);
+    let mut overrides: Vec<(&'static str, String)> = Vec::new();
+    if s.bool() {
+        let scale = *s.choice(&["default", "quick", "medium"]);
+        overrides.push(("scale", format!("\"{scale}\"")));
+    }
+    if s.bool() {
+        overrides.push(("pairs", s.u64_in(1, 8).to_string()));
+    }
+    if s.bool() {
+        overrides.push(("insts", s.u64_in(1000, 50_000).to_string()));
+    }
+    if s.bool() {
+        overrides.push(("profile_insts", s.u64_in(1000, 300_000).to_string()));
+    }
+    if s.bool() {
+        overrides.push(("seed", s.u64_in(0, 1 << 40).to_string()));
+    }
+    if s.bool() {
+        let p = *s.choice(&["fast", "reference"]);
+        overrides.push(("sim_path", format!("\"{p}\"")));
+    }
+    if s.bool() {
+        let p = *s.choice(&["arena", "stream"]);
+        overrides.push(("trace_path", format!("\"{p}\"")));
+    }
+    DrawnRequest {
+        experiment,
+        overrides,
+    }
+}
+
+/// Render the request with its params members (and the top-level
+/// members) in the order given by `perm[i] =` rank of member `i`.
+fn render(req: &DrawnRequest, rotate_by: usize, experiment_first: bool) -> String {
+    let n = req.overrides.len();
+    let mut members: Vec<String> = Vec::with_capacity(n);
+    for i in 0..n {
+        let (k, v) = &req.overrides[(i + rotate_by) % n.max(1)];
+        members.push(format!("\"{k}\":{v}"));
+    }
+    let params = format!("{{{}}}", members.join(","));
+    if experiment_first {
+        format!("{{\"experiment\":\"{}\",\"params\":{params}}}", req.experiment)
+    } else {
+        format!("{{\"params\":{params},\"experiment\":\"{}\"}}", req.experiment)
+    }
+}
+
+#[test]
+fn canonical_hash_is_order_invariant() {
+    Checker::new(0x5_e4e1).cases(128).suite("prop_serve").run(
+        "canonical_hash_is_order_invariant",
+        |s: &mut Source| {
+            let req = draw_request(s);
+            let rotate = s.usize_in(0, req.overrides.len().max(1));
+            let flip = s.bool();
+            (req, rotate, flip)
+        },
+        |(req, rotate, flip)| {
+            let base = Params::default();
+            let a = parse_request(render(req, 0, true).as_bytes(), &base)
+                .map_err(ampsched_util::check::Failure::Fail)?;
+            let b = parse_request(render(req, *rotate, !*flip).as_bytes(), &base)
+                .map_err(ampsched_util::check::Failure::Fail)?;
+            prop_assert_eq!(canonical_hash(&a), canonical_hash(&b));
+            Ok(())
+        },
+    );
+}
+
+#[test]
+fn canonical_hash_separates_value_changes() {
+    Checker::new(0x5_e4e2).cases(128).suite("prop_serve").run(
+        "canonical_hash_separates_value_changes",
+        |s: &mut Source| {
+            let req = draw_request(s);
+            // Pick one scalar field to perturb (add one; stays valid).
+            let target = *s.choice(&["pairs", "insts", "profile_insts", "seed"]);
+            let base_value = s.u64_in(1, 1 << 30);
+            (req, target, base_value)
+        },
+        |(req, target, base_value)| {
+            let base = Params::default();
+            let mut with_v = req.clone();
+            with_v.overrides.retain(|(k, _)| k != target);
+            with_v.overrides.push((target, base_value.to_string()));
+            let mut with_v2 = with_v.clone();
+            with_v2.overrides.pop();
+            with_v2.overrides.push((target, (base_value + 1).to_string()));
+            let a = parse_request(render(&with_v, 0, true).as_bytes(), &base)
+                .map_err(ampsched_util::check::Failure::Fail)?;
+            let b = parse_request(render(&with_v2, 0, true).as_bytes(), &base)
+                .map_err(ampsched_util::check::Failure::Fail)?;
+            prop_assert!(
+                canonical_hash(&a) != canonical_hash(&b),
+                "changing {} {} -> {} must change the key",
+                target,
+                base_value,
+                base_value + 1
+            );
+            Ok(())
+        },
+    );
+}
+
+#[test]
+fn distinct_experiments_never_share_a_cell() {
+    Checker::new(0x5_e4e3).cases(64).suite("prop_serve").run(
+        "distinct_experiments_never_share_a_cell",
+        |s: &mut Source| {
+            let req = draw_request(s);
+            let other = *s.choice(EXPERIMENTS);
+            (req, other)
+        },
+        |(req, other)| {
+            if req.experiment == *other {
+                return Err(ampsched_util::check::Failure::Reject(
+                    "same experiment".to_string(),
+                ));
+            }
+            let base = Params::default();
+            let mut renamed = req.clone();
+            renamed.experiment = *other;
+            let a = parse_request(render(req, 0, true).as_bytes(), &base)
+                .map_err(ampsched_util::check::Failure::Fail)?;
+            let b = parse_request(render(&renamed, 0, true).as_bytes(), &base)
+                .map_err(ampsched_util::check::Failure::Fail)?;
+            prop_assert!(canonical_hash(&a) != canonical_hash(&b));
+            Ok(())
+        },
+    );
+}

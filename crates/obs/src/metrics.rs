@@ -209,6 +209,71 @@ pub fn reset() {
 }
 
 impl Snapshot {
+    /// What happened *between* two snapshots: per-counter and per-bucket
+    /// differences of `self` (the later snapshot) against `earlier`.
+    ///
+    /// Instruments whose value did not change are dropped entirely, so a
+    /// delta taken around a region of work is indistinguishable from a
+    /// fresh process that only ran that region — the property the
+    /// `ampsched serve` workers rely on to reproduce the CLI's
+    /// `telemetry` report block byte-for-byte from a long-running
+    /// process (instruments registered by *earlier* requests would
+    /// otherwise leak in as zero-valued entries a fresh CLI run never
+    /// emits).
+    ///
+    /// Counters are monotone, so a name missing from `earlier` is
+    /// treated as previously 0; per-bucket histogram counts subtract the
+    /// same way.
+    pub fn delta(&self, earlier: &Snapshot) -> Snapshot {
+        let counters = self
+            .counters
+            .iter()
+            .filter_map(|(name, now)| {
+                let before = earlier
+                    .counters
+                    .iter()
+                    .find(|(n, _)| n == name)
+                    .map(|(_, v)| *v)
+                    .unwrap_or(0);
+                let d = now.saturating_sub(before);
+                (d > 0).then(|| (name.clone(), d))
+            })
+            .collect();
+        let hists = self
+            .hists
+            .iter()
+            .filter_map(|now| {
+                let before = earlier.hists.iter().find(|h| h.name == now.name);
+                let (b_count, b_sum) = before.map(|h| (h.count, h.sum)).unwrap_or((0, 0));
+                let d_count = now.count.saturating_sub(b_count);
+                if d_count == 0 {
+                    return None;
+                }
+                let buckets = now
+                    .buckets
+                    .iter()
+                    .filter_map(|&(lo, hi, c)| {
+                        let b = before
+                            .and_then(|h| {
+                                h.buckets.iter().find(|&&(l, h2, _)| l == lo && h2 == hi)
+                            })
+                            .map(|&(_, _, c)| c)
+                            .unwrap_or(0);
+                        let d = c.saturating_sub(b);
+                        (d > 0).then_some((lo, hi, d))
+                    })
+                    .collect();
+                Some(HistSnapshot {
+                    name: now.name.clone(),
+                    count: d_count,
+                    sum: now.sum.wrapping_sub(b_sum),
+                    buckets,
+                })
+            })
+            .collect();
+        Snapshot { counters, hists }
+    }
+
     /// Keep only instruments whose name starts with `prefix`.
     pub fn filtered(&self, prefix: &str) -> Snapshot {
         Snapshot {
@@ -322,6 +387,49 @@ mod tests {
         assert_eq!(bucket_bounds(1), (1, 1));
         assert_eq!(bucket_bounds(2), (2, 3));
         assert_eq!(bucket_bounds(64), (1 << 63, u64::MAX));
+    }
+
+    #[test]
+    fn delta_drops_untouched_instruments_and_subtracts_buckets() {
+        let c = counter("test.metrics.delta_counter");
+        let idle = counter("test.metrics.delta_idle");
+        let h = hist("test.metrics.delta_hist");
+        idle.add(7); // registered + nonzero *before* the region
+        c.add(1);
+        h.record(2);
+        let before = snapshot();
+        c.add(4);
+        h.record(2);
+        h.record(100);
+        let after = snapshot();
+        let d = after.delta(&before);
+        // The idle counter didn't move inside the region: absent.
+        assert!(d.counters.iter().all(|(n, _)| n != "test.metrics.delta_idle"));
+        let dc = d
+            .counters
+            .iter()
+            .find(|(n, _)| n == "test.metrics.delta_counter")
+            .expect("changed counter present");
+        assert_eq!(dc.1, 4);
+        let dh = d
+            .hists
+            .iter()
+            .find(|h| h.name == "test.metrics.delta_hist")
+            .expect("changed hist present");
+        assert_eq!(dh.count, 2);
+        assert_eq!(dh.sum, 102);
+        // Bucket for value 2 held one sample before, two after: delta 1.
+        assert!(dh.buckets.contains(&(2, 3, 1)));
+        assert!(dh.buckets.contains(&(64, 127, 1)));
+    }
+
+    #[test]
+    fn delta_of_identical_snapshots_is_empty() {
+        counter("test.metrics.delta_noop").add(3);
+        let s = snapshot();
+        let d = s.delta(&s.clone());
+        assert!(d.counters.is_empty(), "{:?}", d.counters);
+        assert!(d.hists.is_empty());
     }
 
     #[test]

@@ -5,19 +5,29 @@
 //!            [--label-before NAME] [--label-after NAME] [--json FILE]
 //! ```
 //!
-//! Pairs up benchmarks by name (Criterion bench output and `--profile`
-//! phase reports share the same shape), prints a before/after table, and
-//! exits nonzero when any shared benchmark's mean regresses by more than
-//! the threshold (default 10%). `--label-before`/`--label-after` rename
-//! the table columns — e.g. `cold`/`warm` when comparing the
-//! `--trace-cache` profiles under `results/bench/`. `--json FILE`
-//! additionally writes the deltas machine-readably:
+//! Pairs up benchmarks by name (bench-target output, `--profile` phase
+//! reports, and `ampsched serve-bench` artifacts share the same shape),
+//! prints a before/after table, and exits nonzero when any shared
+//! benchmark's mean regresses by more than the threshold (default 10%).
+//! `--label-before`/`--label-after` rename the table columns — e.g.
+//! `cold`/`warm` when comparing the `--trace-cache` profiles under
+//! `results/bench/`. `--json FILE` additionally writes the deltas
+//! machine-readably:
 //!
 //! ```text
 //! {"max_regress_pct": .., "regressions": N,
 //!  "deltas": [{"name", "before_ns", "after_ns", "speedup",
 //!              "change_pct", "regressed"}, ..]}
 //! ```
+//!
+//! Artifacts may carry a `source` field naming their producer
+//! (`serve-bench` for daemon replay measurements; absent for the bench
+//! targets and `--profile`). The provenance of both runs is echoed in
+//! the output, and comparing runs from *different* producers — e.g. a
+//! serve-bench latency artifact against a kernel timing run — is
+//! refused unless the names still pair up, with a loud warning either
+//! way: wall-clock service latency and kernel time are different
+//! quantities.
 
 use ampsched_util::timer::{diff_benchmarks, render_diff_labeled};
 use ampsched_util::Json;
@@ -81,6 +91,21 @@ fn main() {
 
     let before = load(before_path);
     let after = load(after_path);
+    // Artifact provenance: serve-bench artifacts label themselves via
+    // `source`; bench targets and `--profile` reports predate the field
+    // and are reported as plain "bench".
+    let source_of =
+        |doc: &Json| doc.get("source").and_then(Json::as_str).unwrap_or("bench").to_string();
+    let (source_before, source_after) = (source_of(&before), source_of(&after));
+    if source_before != source_after {
+        eprintln!(
+            "bench_diff: warning: comparing different producers \
+             ({source_before} vs {source_after}); means are not the same quantity"
+        );
+    }
+    if source_before != "bench" || source_after != "bench" {
+        eprintln!("[before: {source_before} · after: {source_after}]");
+    }
     let deltas = match diff_benchmarks(&before, &after) {
         Ok(d) => d,
         Err(e) => {
@@ -104,6 +129,8 @@ fn main() {
         let doc = Json::obj([
             ("before", Json::from(before_path.as_str())),
             ("after", Json::from(after_path.as_str())),
+            ("source_before", Json::from(source_before.as_str())),
+            ("source_after", Json::from(source_after.as_str())),
             ("max_regress_pct", Json::from(max_regress_pct)),
             ("regressions", Json::from(regressions.len() as u64)),
             (

@@ -2,11 +2,12 @@
 //!
 //! A full reproduction of **"Dynamic Thread Scheduling in Asymmetric
 //! Multicores to Maximize Performance-per-Watt"** (Annamalai, Rodrigues,
-//! Koren, Kundu — IPPS 2012) as a Rust workspace: the dual-core
-//! INT/FP asymmetric multicore, its out-of-order core timing model,
-//! cache hierarchy, Wattch-style power model, 37 statistical workload
-//! models, the paper's fine-grained hardware scheduler, and every
-//! reference scheme and experiment it is evaluated against.
+//! Koren, Kundu — IPPS 2012) as a Rust workspace: the paper's dual-core
+//! INT/FP asymmetric multicore (generalized to N-core × M-thread
+//! topologies), its out-of-order core timing model, cache hierarchy,
+//! Wattch-style power model, 37 statistical workload models, the paper's
+//! fine-grained hardware scheduler, and every reference scheme and
+//! experiment it is evaluated against.
 //!
 //! This facade crate re-exports the workspace under stable paths:
 //!
@@ -18,7 +19,7 @@
 //! | [`cpu`] | `ampsched-cpu` | the out-of-order core model (Tables I/II) |
 //! | [`power`] | `ampsched-power` | activity-based energy model |
 //! | [`sched`] | `ampsched-core` | **the paper's contribution** + reference schedulers |
-//! | [`system`] | `ampsched-system` | the dual-core AMP and run loop |
+//! | [`system`] | `ampsched-system` | AMP topologies, systems, and run loops |
 //! | [`metrics`] | `ampsched-metrics` | IPC/Watt, speedups, reporting |
 //! | [`obs`] | `ampsched-obs` | logging, counters, spans, decision telemetry |
 //! | [`experiments`] | `ampsched-experiments` | per-figure/table drivers |
