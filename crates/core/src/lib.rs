@@ -36,6 +36,7 @@ pub mod extended;
 pub mod history;
 pub mod hpe;
 pub mod matrix_fine;
+pub mod oracle;
 pub mod paper;
 pub mod profile;
 pub mod proposed;
@@ -53,6 +54,11 @@ pub use extended::{ExtendedConfig, ExtendedScheduler};
 pub use history::MajorityVote;
 pub use hpe::{HpePredictor, HpeScheduler, RatioMatrix, RatioSurface};
 pub use matrix_fine::MatrixFineScheduler;
+pub use oracle::{
+    enumerate_assignments, OracleConfig, OracleObservations, OracleScheduler, OracleSolution,
+    ReplaySchedule,
+};
+pub use oracle::solve as solve_oracle;
 pub use profile::ProfilePoint;
 pub use proposed::{ProposedConfig, ProposedScheduler};
 pub use round_robin::RoundRobinScheduler;

@@ -1,0 +1,599 @@
+//! Offline clairvoyant oracle: the optimal swap schedule in hindsight.
+//!
+//! The live schedulers guess per-window or per-epoch which thread→core
+//! [`AssignmentMap`] maximizes IPC/Watt; this module computes, *after* a
+//! run has been recorded, the schedule an omniscient scheduler would
+//! have chosen — under the same migration-cost model the live schedulers
+//! pay. The gap between a scheduler's realized value and the oracle's is
+//! its **regret** (DESIGN.md §15).
+//!
+//! Three pieces:
+//!
+//! * [`OracleObservations`] — the per-epoch per-(thread, core) value
+//!   table (IPC/Watt each thread would earn on each core during each
+//!   epoch), measured by replaying the recorded workloads through the
+//!   trace arena under pinned static assignments.
+//! * [`solve`] — a backward dynamic program over the enumerated
+//!   work-conserving assignment states ([`enumerate_assignments`],
+//!   capped by [`OracleConfig::state_cap`]) that charges every migrated
+//!   thread a [`OracleConfig::migration_fraction`] of its next-epoch
+//!   value, mirroring the pipeline-flush + state-transfer cost of the
+//!   live system.
+//! * [`OracleScheduler`] — a [`TopoScheduler`] that replays a
+//!   [`ReplaySchedule`] (the DP plan, or any recorded decision stream)
+//!   inside the normal `run()` loop, so the oracle drops into every
+//!   experiment exactly like a zoo member.
+
+use crate::scheduler::{DecisionExplain, PredictorSource};
+use crate::topo::{AssignmentMap, TopoDecision, TopoScheduler, TopoSnapshot};
+
+/// Per-epoch per-(thread, core) value table the DP optimizes over.
+///
+/// `value[e][t][c]` is the IPC/Watt thread `t` earns during epoch `e`
+/// when running on core `c` (measured under a pinned static assignment;
+/// a parked thread earns 0 by construction, so parked slots need no
+/// column).
+#[derive(Debug, Clone, PartialEq)]
+pub struct OracleObservations {
+    /// Number of core slots in the topology.
+    pub cores: usize,
+    /// Number of threads.
+    pub threads: usize,
+    /// `value[epoch][thread][core]`.
+    pub value: Vec<Vec<Vec<f64>>>,
+}
+
+impl OracleObservations {
+    /// Number of recorded epochs.
+    pub fn epochs(&self) -> usize {
+        self.value.len()
+    }
+
+    /// Dimensional sanity check.
+    pub fn validate(&self) -> Result<(), String> {
+        for (e, per_thread) in self.value.iter().enumerate() {
+            if per_thread.len() != self.threads {
+                return Err(format!(
+                    "epoch {e}: {} thread rows, expected {}",
+                    per_thread.len(),
+                    self.threads
+                ));
+            }
+            for (t, per_core) in per_thread.iter().enumerate() {
+                if per_core.len() != self.cores {
+                    return Err(format!(
+                        "epoch {e} thread {t}: {} core columns, expected {}",
+                        per_core.len(),
+                        self.cores
+                    ));
+                }
+                if per_core.iter().any(|v| !v.is_finite()) {
+                    return Err(format!("epoch {e} thread {t}: non-finite value"));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Total value of assignment `s` during epoch `e`: the sum over
+    /// running threads of their per-core value.
+    pub fn state_value(&self, e: usize, s: &AssignmentMap) -> f64 {
+        (0..s.threads())
+            .filter_map(|t| s.core_of(t).map(|c| self.value[e][t][c]))
+            .sum()
+    }
+}
+
+/// Cost model and search bounds for [`solve`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OracleConfig {
+    /// Fraction of an epoch's value a migrated thread forfeits — the
+    /// DP's image of the live pipeline-flush + state-transfer +
+    /// cold-cache cost. The default mirrors the system defaults:
+    /// `swap_overhead_cycles / epoch_cycles` = 1000 / 4_000_000.
+    pub migration_fraction: f64,
+    /// Hard cap on the enumerated assignment-state count — the
+    /// branch-and-bound bound that keeps N-core shapes tractable.
+    /// [`solve`] reports an error instead of enumerating past it.
+    pub state_cap: usize,
+}
+
+impl Default for OracleConfig {
+    fn default() -> Self {
+        OracleConfig { migration_fraction: 1000.0 / 4_000_000.0, state_cap: 4096 }
+    }
+}
+
+impl OracleConfig {
+    /// Derive the migration fraction from the system's actual costs.
+    pub fn from_costs(swap_overhead_cycles: u64, epoch_cycles: u64) -> Self {
+        OracleConfig {
+            migration_fraction: swap_overhead_cycles as f64 / epoch_cycles.max(1) as f64,
+            ..OracleConfig::default()
+        }
+    }
+}
+
+/// All work-conserving partial bijections of `threads` threads onto
+/// `cores` core slots, in a deterministic order (baseline first for the
+/// 2×2 shape). Errors if the state count would exceed `cap`.
+pub fn enumerate_assignments(
+    cores: usize,
+    threads: usize,
+    cap: usize,
+) -> Result<Vec<AssignmentMap>, String> {
+    assert!(cores >= 1 && threads >= 1, "topology needs at least one core and thread");
+    let running = cores.min(threads);
+    let mut states = Vec::new();
+    let mut core_of: Vec<Option<usize>> = vec![None; threads];
+    let mut core_free = vec![true; cores];
+    fn recurse(
+        t: usize,
+        placed: usize,
+        running: usize,
+        cap: usize,
+        core_of: &mut Vec<Option<usize>>,
+        core_free: &mut Vec<bool>,
+        states: &mut Vec<AssignmentMap>,
+    ) -> Result<(), String> {
+        let threads = core_of.len();
+        if t == threads {
+            debug_assert_eq!(placed, running);
+            if states.len() >= cap {
+                return Err(format!(
+                    "state space exceeds the cap of {cap} (cores × threads too large)"
+                ));
+            }
+            states.push(AssignmentMap::from_core_of(core_free.len(), core_of.clone()));
+            return Ok(());
+        }
+        for c in 0..core_free.len() {
+            if core_free[c] {
+                core_free[c] = false;
+                core_of[t] = Some(c);
+                recurse(t + 1, placed + 1, running, cap, core_of, core_free, states)?;
+                core_of[t] = None;
+                core_free[c] = true;
+            }
+        }
+        // Park thread t only if the remaining threads can still fill
+        // every core slot (work conservation).
+        if threads - t > running - placed {
+            recurse(t + 1, placed, running, cap, core_of, core_free, states)?;
+        }
+        Ok(())
+    }
+    recurse(0, 0, running, cap, &mut core_of, &mut core_free, &mut states)?;
+    Ok(states)
+}
+
+/// The DP's output: the optimal per-epoch assignment plan.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OracleSolution {
+    /// Optimal assignment for each epoch (`plan[e]` governs epoch `e`).
+    pub plan: Vec<AssignmentMap>,
+    /// Total model value of the plan (Σ epoch values − migration
+    /// penalties, including the entry penalty from the start state).
+    pub model_value: f64,
+    /// Raw (penalty-free) value of `plan[e]` during epoch `e`.
+    pub per_epoch_value: Vec<f64>,
+    /// Number of assignment states enumerated.
+    pub states: usize,
+}
+
+/// Backward dynamic program over the enumerated assignment states.
+///
+/// Recurrence, for epoch `e` and state `s`:
+///
+/// ```text
+/// best[E-1][s] = val(E-1, s)
+/// best[e][s]   = val(e, s) + max_{s'} ( best[e+1][s'] − pen(e+1, s, s') )
+/// pen(e, from, to) = migration_fraction × Σ_{t ∈ moved(from→to), running in to} value[e][t][to(t)]
+/// ```
+///
+/// and the answer is `max_{s0} ( best[0][s0] − pen(0, start, s0) )` — the
+/// entry penalty charges the oracle for deviating from the run's actual
+/// start state, so it pays the same cost a live scheduler would to reach
+/// its first placement. Ties break to the first-enumerated state, so the
+/// plan is deterministic.
+pub fn solve(
+    obs: &OracleObservations,
+    start: &AssignmentMap,
+    cfg: &OracleConfig,
+) -> Result<OracleSolution, String> {
+    obs.validate()?;
+    if start.cores() != obs.cores || start.threads() != obs.threads {
+        return Err(format!(
+            "start state is {}×{}, observations are {}×{}",
+            start.cores(),
+            start.threads(),
+            obs.cores,
+            obs.threads
+        ));
+    }
+    let states = enumerate_assignments(obs.cores, obs.threads, cfg.state_cap)?;
+    let epochs = obs.epochs();
+    if epochs == 0 {
+        return Ok(OracleSolution {
+            plan: Vec::new(),
+            model_value: 0.0,
+            per_epoch_value: Vec::new(),
+            states: states.len(),
+        });
+    }
+    let pen = |e: usize, from: &AssignmentMap, to: &AssignmentMap| -> f64 {
+        cfg.migration_fraction
+            * to.moved_threads(from)
+                .into_iter()
+                .filter_map(|t| to.core_of(t).map(|c| obs.value[e][t][c]))
+                .sum::<f64>()
+    };
+    let n = states.len();
+    // best[s] holds the value-to-go from epoch `e` in state `s`;
+    // choice[e][s] the successor state index adopted for epoch e+1.
+    let mut best: Vec<f64> = states.iter().map(|s| obs.state_value(epochs - 1, s)).collect();
+    let mut choice: Vec<Vec<usize>> = vec![vec![0; n]; epochs.saturating_sub(1)];
+    for e in (0..epochs - 1).rev() {
+        let mut next_best = vec![0.0f64; n];
+        for (si, s) in states.iter().enumerate() {
+            let mut bi = 0usize;
+            let mut bv = f64::NEG_INFINITY;
+            for (ti, t) in states.iter().enumerate() {
+                let v = best[ti] - pen(e + 1, s, t);
+                if v > bv {
+                    bv = v;
+                    bi = ti;
+                }
+            }
+            choice[e][si] = bi;
+            next_best[si] = obs.state_value(e, s) + bv;
+        }
+        best = next_best;
+    }
+    // Entry: pick the epoch-0 state, paying the migration from `start`.
+    let mut first = 0usize;
+    let mut model_value = f64::NEG_INFINITY;
+    for (si, s) in states.iter().enumerate() {
+        let v = best[si] - pen(0, start, s);
+        if v > model_value {
+            model_value = v;
+            first = si;
+        }
+    }
+    let mut plan_idx = Vec::with_capacity(epochs);
+    plan_idx.push(first);
+    for ch in &choice {
+        let cur = *plan_idx.last().expect("plan is non-empty");
+        plan_idx.push(ch[cur]);
+    }
+    let plan: Vec<AssignmentMap> = plan_idx.iter().map(|&i| states[i].clone()).collect();
+    let per_epoch_value = plan.iter().enumerate().map(|(e, s)| obs.state_value(e, s)).collect();
+    Ok(OracleSolution { plan, model_value, per_epoch_value, states: states.len() })
+}
+
+/// A precomputed decision stream for [`OracleScheduler`] to replay:
+/// the assignment to adopt at each successive window and epoch decision
+/// point (`None` = stay). Past the end of either list the scheduler
+/// stays put.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReplaySchedule {
+    /// Combined committed-instruction window cadence (`None` disables
+    /// window callbacks entirely).
+    pub window_insts: Option<u64>,
+    /// Assignment to adopt at the k-th window decision.
+    pub windows: Vec<Option<AssignmentMap>>,
+    /// Assignment to adopt at the k-th epoch decision.
+    pub epochs: Vec<Option<AssignmentMap>>,
+}
+
+impl ReplaySchedule {
+    /// Schedule the DP [`OracleSolution::plan`] for live replay.
+    ///
+    /// Epoch decision `k` fires at the *end* of epoch `k`, so it adopts
+    /// `plan[k+1]`; `plan[0]` is adopted at the first window decision
+    /// (early in epoch 0), which is why replaying a plan requires a
+    /// window cadence — pass the tightest cadence in play so the entry
+    /// move lands as close to cycle 0 as possible.
+    pub fn from_plan(plan: &[AssignmentMap], window_insts: Option<u64>) -> ReplaySchedule {
+        let windows = if window_insts.is_some() && !plan.is_empty() {
+            vec![Some(plan[0].clone())]
+        } else {
+            Vec::new()
+        };
+        let epochs = plan.iter().skip(1).map(|s| Some(s.clone())).collect();
+        ReplaySchedule { window_insts, windows, epochs }
+    }
+
+    /// Rebuild a schedule from a recorded decision stream: `(is_epoch,
+    /// post-decision thread→core table)` in arrival order. Replaying it
+    /// through [`OracleScheduler`] on the same workloads reproduces the
+    /// recorded run exactly (the simulation is deterministic and the
+    /// assignment trajectory is identical).
+    pub fn from_decisions(
+        cores: usize,
+        window_insts: Option<u64>,
+        decisions: &[(bool, Vec<Option<usize>>)],
+    ) -> ReplaySchedule {
+        let mut windows = Vec::new();
+        let mut epochs = Vec::new();
+        for (is_epoch, table) in decisions {
+            let map = Some(AssignmentMap::from_core_of(cores, table.clone()));
+            if *is_epoch {
+                epochs.push(map);
+            } else {
+                windows.push(map);
+            }
+        }
+        ReplaySchedule { window_insts, windows, epochs }
+    }
+}
+
+/// Clairvoyant [`TopoScheduler`]: replays a [`ReplaySchedule`] inside the
+/// normal `run()` loop. Ignores the counter values in the snapshots it
+/// receives — its decisions were computed offline — but honors the
+/// topology contracts: a scheduled assignment is only adopted if it has
+/// the snapshot's shape, and window entries must additionally preserve
+/// the parked set (otherwise the scheduler stays put).
+pub struct OracleScheduler {
+    schedule: ReplaySchedule,
+    next_window: usize,
+    next_epoch: usize,
+    decided: bool,
+}
+
+impl OracleScheduler {
+    /// Build a replayer for the given schedule.
+    pub fn new(schedule: ReplaySchedule) -> Self {
+        OracleScheduler { schedule, next_window: 0, next_epoch: 0, decided: false }
+    }
+
+    fn fits(entry: Option<&AssignmentMap>, snap: &TopoSnapshot) -> Option<AssignmentMap> {
+        let next = entry?;
+        if next.cores() != snap.assignment.cores() || next.threads() != snap.assignment.threads()
+        {
+            return None;
+        }
+        Some(next.clone())
+    }
+}
+
+impl TopoScheduler for OracleScheduler {
+    fn name(&self) -> &'static str {
+        "oracle"
+    }
+
+    fn window_insts(&self) -> Option<u64> {
+        self.schedule.window_insts
+    }
+
+    fn on_window(&mut self, snap: &TopoSnapshot) -> TopoDecision {
+        self.decided = true;
+        let entry = self.schedule.windows.get(self.next_window).and_then(|e| e.as_ref());
+        self.next_window += 1;
+        match Self::fits(entry, snap) {
+            Some(next) if next.same_parked_set(&snap.assignment) => TopoDecision::Reassign(next),
+            _ => TopoDecision::Stay,
+        }
+    }
+
+    fn on_epoch(&mut self, snap: &TopoSnapshot) -> TopoDecision {
+        self.decided = true;
+        let entry = self.schedule.epochs.get(self.next_epoch).and_then(|e| e.as_ref());
+        self.next_epoch += 1;
+        match Self::fits(entry, snap) {
+            Some(next) => TopoDecision::Reassign(next),
+            None => TopoDecision::Stay,
+        }
+    }
+
+    fn explain_last(&self) -> Option<DecisionExplain> {
+        if self.decided {
+            Some(DecisionExplain::from_source(PredictorSource::Oracle))
+        } else {
+            None
+        }
+    }
+
+    fn reset(&mut self) {
+        self.next_window = 0;
+        self.next_epoch = 0;
+        self.decided = false;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::counters::ThreadWindow;
+    use crate::topo::{CoreTraits, TopoThreadObs};
+
+    fn obs(values: Vec<Vec<Vec<f64>>>) -> OracleObservations {
+        let threads = values[0].len();
+        let cores = values[0][0].len();
+        OracleObservations { cores, threads, value: values }
+    }
+
+    #[test]
+    fn enumeration_counts_match_combinatorics() {
+        // 2 cores × 2 threads: the two pair states.
+        assert_eq!(enumerate_assignments(2, 2, 100).unwrap().len(), 2);
+        // 3 cores × 2 threads: every thread runs → 3·2 injections.
+        assert_eq!(enumerate_assignments(3, 2, 100).unwrap().len(), 6);
+        // 2 cores × 3 threads: choose 2 runners of 3, ordered → 3·2.
+        assert_eq!(enumerate_assignments(2, 3, 100).unwrap().len(), 6);
+        // 1 core × 1 thread: the only state.
+        assert_eq!(enumerate_assignments(1, 1, 100).unwrap().len(), 1);
+    }
+
+    #[test]
+    fn enumeration_is_valid_and_work_conserving() {
+        let states = enumerate_assignments(3, 5, 1000).unwrap();
+        for s in &states {
+            s.validate().expect("enumerated state must validate");
+            assert_eq!(s.parked().len(), 2, "exactly threads−cores parked");
+        }
+        // Deterministic order: baseline state enumerated first.
+        assert_eq!(enumerate_assignments(2, 2, 10).unwrap()[0], AssignmentMap::baseline(2, 2));
+    }
+
+    #[test]
+    fn enumeration_cap_is_an_error_not_a_truncation() {
+        let err = enumerate_assignments(4, 4, 10).unwrap_err();
+        assert!(err.contains("cap"), "unexpected message: {err}");
+    }
+
+    #[test]
+    fn solve_picks_the_high_value_state_per_epoch() {
+        // Epoch 0 favors baseline (t0 on c0), epoch 1 favors swapped —
+        // with a negligible migration cost the plan should switch.
+        let table = obs(vec![
+            vec![vec![2.0, 1.0], vec![1.0, 2.0]],
+            vec![vec![1.0, 3.0], vec![3.0, 1.0]],
+        ]);
+        let cfg = OracleConfig { migration_fraction: 1e-6, ..OracleConfig::default() };
+        let sol = solve(&table, &AssignmentMap::baseline(2, 2), &cfg).unwrap();
+        assert_eq!(sol.plan[0], AssignmentMap::pair(false));
+        assert_eq!(sol.plan[1], AssignmentMap::pair(true));
+        assert_eq!(sol.per_epoch_value, vec![4.0, 6.0]);
+        assert_eq!(sol.states, 2);
+        assert!((sol.model_value - 10.0).abs() < 1e-4, "penalties are tiny");
+    }
+
+    #[test]
+    fn migration_penalty_deters_marginal_swaps() {
+        // Swapping at epoch 1 gains 0.1 but the migration penalty on the
+        // moved threads' values exceeds it → the oracle stays put.
+        let table = obs(vec![
+            vec![vec![2.0, 1.0], vec![1.0, 2.0]],
+            vec![vec![2.0, 2.05], vec![2.05, 2.0]],
+        ]);
+        let cfg = OracleConfig { migration_fraction: 0.5, ..OracleConfig::default() };
+        let sol = solve(&table, &AssignmentMap::baseline(2, 2), &cfg).unwrap();
+        assert_eq!(sol.plan[0], AssignmentMap::pair(false));
+        assert_eq!(sol.plan[1], AssignmentMap::pair(false), "gain 0.1 < penalty 2.05");
+    }
+
+    #[test]
+    fn entry_penalty_charges_deviation_from_start() {
+        // One epoch; swapped is better by 0.1, but entering it from the
+        // baseline start costs 0.5 × 4.1 → stay at baseline.
+        let table = obs(vec![vec![vec![2.0, 2.05], vec![2.05, 2.0]]]);
+        let cfg = OracleConfig { migration_fraction: 0.5, ..OracleConfig::default() };
+        let sol = solve(&table, &AssignmentMap::baseline(2, 2), &cfg).unwrap();
+        assert_eq!(sol.plan[0], AssignmentMap::pair(false));
+        // With free migration it flips.
+        let free = OracleConfig { migration_fraction: 0.0, ..OracleConfig::default() };
+        let sol = solve(&table, &AssignmentMap::baseline(2, 2), &free).unwrap();
+        assert_eq!(sol.plan[0], AssignmentMap::pair(true));
+    }
+
+    #[test]
+    fn solve_rejects_bad_shapes() {
+        let table = obs(vec![vec![vec![1.0, 1.0], vec![1.0, 1.0]]]);
+        assert!(solve(&table, &AssignmentMap::baseline(3, 2), &OracleConfig::default()).is_err());
+        let bad = OracleObservations { cores: 2, threads: 2, value: vec![vec![vec![f64::NAN; 2]; 2]] };
+        assert!(solve(&bad, &AssignmentMap::baseline(2, 2), &OracleConfig::default()).is_err());
+    }
+
+    fn snap(assignment: AssignmentMap) -> TopoSnapshot {
+        let cores = (0..assignment.cores())
+            .map(|index| CoreTraits {
+                index,
+                fp_flavored: index == 0,
+                frequency_ghz: 2.0,
+                int_throughput: 4.0,
+                fp_throughput: 2.0,
+                dispatch_width: 2,
+            })
+            .collect();
+        let threads = (0..assignment.threads())
+            .map(|t| TopoThreadObs {
+                window: ThreadWindow::default(),
+                total_instructions: 1000 * (t as u64 + 1),
+                core: assignment.core_of(t),
+            })
+            .collect();
+        TopoSnapshot { cycle: 0, assignment, cores, threads }
+    }
+
+    #[test]
+    fn replayer_walks_the_schedule_and_guards_contracts() {
+        let plan = vec![AssignmentMap::pair(true), AssignmentMap::pair(false)];
+        let schedule = ReplaySchedule::from_plan(&plan, Some(500));
+        let mut sched = OracleScheduler::new(schedule);
+        assert_eq!(sched.window_insts(), Some(500));
+        assert_eq!(sched.explain_last(), None, "no decision yet");
+        // First window adopts plan[0].
+        match sched.on_window(&snap(AssignmentMap::pair(false))) {
+            TopoDecision::Reassign(next) => assert_eq!(next, AssignmentMap::pair(true)),
+            d => panic!("expected the entry reassignment, got {d:?}"),
+        }
+        assert_eq!(
+            sched.explain_last().map(|e| e.source),
+            Some(PredictorSource::Oracle)
+        );
+        // Later windows stay.
+        assert_eq!(sched.on_window(&snap(AssignmentMap::pair(true))), TopoDecision::Stay);
+        // Epoch 0 adopts plan[1].
+        match sched.on_epoch(&snap(AssignmentMap::pair(true))) {
+            TopoDecision::Reassign(next) => assert_eq!(next, AssignmentMap::pair(false)),
+            d => panic!("expected plan[1], got {d:?}"),
+        }
+        // Past the end of the schedule: stay.
+        assert_eq!(sched.on_epoch(&snap(AssignmentMap::pair(false))), TopoDecision::Stay);
+        // reset() rewinds to the start of the schedule.
+        sched.reset();
+        assert_eq!(sched.explain_last(), None);
+        match sched.on_window(&snap(AssignmentMap::pair(false))) {
+            TopoDecision::Reassign(next) => assert_eq!(next, AssignmentMap::pair(true)),
+            d => panic!("expected the entry reassignment again, got {d:?}"),
+        }
+    }
+
+    #[test]
+    fn replayer_refuses_shape_and_parked_set_violations() {
+        // A 2×2 schedule driven on a 3-core snapshot: every decision
+        // must degrade to Stay rather than emit a wrong-shape map.
+        let plan = vec![AssignmentMap::pair(true)];
+        let mut sched = OracleScheduler::new(ReplaySchedule::from_plan(&plan, Some(500)));
+        assert_eq!(sched.on_window(&snap(AssignmentMap::baseline(3, 3))), TopoDecision::Stay);
+        // A window entry that reparks (thread 2 in, thread 0 out) is
+        // refused at window cadence…
+        let repark = AssignmentMap::from_core_of(2, vec![None, Some(1), Some(0)]);
+        let sched2 = ReplaySchedule {
+            window_insts: Some(500),
+            windows: vec![Some(repark.clone())],
+            epochs: vec![Some(repark.clone())],
+        };
+        let mut sched2 = OracleScheduler::new(sched2);
+        assert_eq!(sched2.on_window(&snap(AssignmentMap::baseline(2, 3))), TopoDecision::Stay);
+        // …but the same map is legal at an epoch boundary.
+        match sched2.on_epoch(&snap(AssignmentMap::baseline(2, 3))) {
+            TopoDecision::Reassign(next) => assert_eq!(next, repark),
+            d => panic!("epochs may repark, got {d:?}"),
+        }
+    }
+
+    #[test]
+    fn from_decisions_partitions_by_kind_in_order() {
+        let schedule = ReplaySchedule::from_decisions(
+            2,
+            Some(250),
+            &[
+                (false, vec![Some(1), Some(0)]),
+                (true, vec![Some(0), Some(1)]),
+                (false, vec![Some(0), Some(1)]),
+                (true, vec![Some(1), Some(0)]),
+            ],
+        );
+        assert_eq!(schedule.window_insts, Some(250));
+        assert_eq!(
+            schedule.windows,
+            vec![Some(AssignmentMap::pair(true)), Some(AssignmentMap::pair(false))]
+        );
+        assert_eq!(
+            schedule.epochs,
+            vec![Some(AssignmentMap::pair(false)), Some(AssignmentMap::pair(true))]
+        );
+    }
+}

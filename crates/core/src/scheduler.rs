@@ -28,6 +28,9 @@ pub enum PredictorSource {
     Progress,
     /// Composition→core affinity ranking (CAMP-style placement).
     Affinity,
+    /// Clairvoyant replay of a precomputed optimal schedule (the offline
+    /// oracle; no online estimate is involved).
+    Oracle,
 }
 
 impl PredictorSource {
@@ -40,6 +43,7 @@ impl PredictorSource {
             PredictorSource::Interval => "interval",
             PredictorSource::Progress => "progress",
             PredictorSource::Affinity => "affinity",
+            PredictorSource::Oracle => "oracle",
         }
     }
 }

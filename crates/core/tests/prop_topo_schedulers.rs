@@ -16,9 +16,9 @@
 //! shapes shrink and persist to `results/corpus/core_topo_schedulers.json`.
 
 use ampsched_core::{
-    AssignmentMap, CampScheduler, CoreTraits, HpePredictor, ProfilePoint, RatioMatrix,
-    ThreadWindow, TopoDecision, TopoHpe, TopoProposed, TopoRoundRobin, TopoScheduler,
-    TopoSnapshot, TopoStatic, TopoThreadObs, TpeScheduler,
+    AssignmentMap, CampScheduler, CoreTraits, HpePredictor, OracleScheduler, ProfilePoint,
+    RatioMatrix, ReplaySchedule, ThreadWindow, TopoDecision, TopoHpe, TopoProposed,
+    TopoRoundRobin, TopoScheduler, TopoSnapshot, TopoStatic, TopoThreadObs, TpeScheduler,
 };
 use ampsched_util::check::{Checker, Source};
 use ampsched_util::{prop_assert, prop_assert_eq};
@@ -219,6 +219,91 @@ fn zoo_decision_streams_are_deterministic() {
             let third = drive(&mut *sched, sc);
             prop_assert_eq!(&first, &third, "reset() instance must replay identically");
         }
+        Ok(())
+    });
+}
+
+/// A random valid assignment for the scenario's shape: the baseline
+/// perturbed by a handful of thread swaps (swaps preserve validity, and
+/// a parked↔running swap changes the parked set, which is exactly the
+/// hostile input the oracle's window guard must reject).
+fn arb_assignment(s: &mut Source, cores: usize, threads: usize) -> AssignmentMap {
+    let mut map = AssignmentMap::baseline(cores, threads);
+    for _ in 0..s.usize_in(0, 6) {
+        let a = s.usize_in(0, threads);
+        let b = s.usize_in(0, threads);
+        if a != b {
+            map.swap_threads(a, b);
+        }
+    }
+    map
+}
+
+/// A scenario plus a shape-matched random replay schedule for the
+/// clairvoyant oracle, with entries both valid and hostile (`None`
+/// holes, parked-set changes at window cadence).
+#[derive(Debug, Clone)]
+struct OracleScenario {
+    scenario: Scenario,
+    schedule: ReplaySchedule,
+}
+
+fn gen_oracle_scenario(s: &mut Source) -> OracleScenario {
+    let scenario = gen_scenario(s);
+    let (cores, threads) = (scenario.cores.len(), scenario.threads);
+    let entry = |s: &mut Source| {
+        s.bool().then(|| arb_assignment(s, cores, threads))
+    };
+    let n = scenario.steps.len();
+    let schedule = ReplaySchedule {
+        window_insts: Some(s.u64_in(1_000, 100_000)),
+        windows: (0..s.usize_in(0, n + 2)).map(|_| entry(s)).collect(),
+        epochs: (0..s.usize_in(0, n + 2)).map(|_| entry(s)).collect(),
+    };
+    OracleScenario { scenario, schedule }
+}
+
+/// The oracle scheduler honors the same contracts as the rest of the
+/// zoo even on adversarial schedules: shape-mismatched or reparking
+/// entries degrade to `Stay`, never to an invalid adoption, and the
+/// replay is deterministic across fresh and `reset()` instances.
+#[test]
+fn oracle_replay_honors_contracts_and_is_deterministic() {
+    checker().run("oracle_replay", gen_oracle_scenario, |os| {
+        let mut sched = OracleScheduler::new(os.schedule.clone());
+        let first = drive(&mut sched, &os.scenario);
+        match &first {
+            Ok(log) => prop_assert_eq!(log.len(), os.scenario.steps.len(), "every step logged"),
+            Err(msg) => prop_assert!(false, "{}", msg),
+        }
+        let mut fresh = OracleScheduler::new(os.schedule.clone());
+        let second = drive(&mut fresh, &os.scenario);
+        prop_assert_eq!(&first, &second, "fresh oracle must replay identically");
+        sched.reset();
+        let third = drive(&mut sched, &os.scenario);
+        prop_assert_eq!(&first, &third, "reset() oracle must replay identically");
+        Ok(())
+    });
+}
+
+/// A schedule built for a *different* shape never perturbs the run: the
+/// oracle detects the mismatch per entry and stays put, so the decision
+/// log matches the static scheduler's exactly.
+#[test]
+fn oracle_rejects_foreign_shapes_wholesale() {
+    checker().run("oracle_foreign_shape", gen_scenario, |sc| {
+        // Entries sized for one more core and one more thread than the
+        // scenario actually has.
+        let foreign = AssignmentMap::baseline(sc.cores.len() + 1, sc.threads + 1);
+        let schedule = ReplaySchedule {
+            window_insts: Some(10_000),
+            windows: vec![Some(foreign.clone()); sc.steps.len()],
+            epochs: vec![Some(foreign); sc.steps.len()],
+        };
+        let mut oracle = OracleScheduler::new(schedule);
+        let oracle_log = drive(&mut oracle, sc);
+        let static_log = drive(&mut TopoStatic, sc);
+        prop_assert_eq!(&oracle_log, &static_log, "foreign entries must all degrade to Stay");
         Ok(())
     });
 }

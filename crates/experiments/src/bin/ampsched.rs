@@ -22,6 +22,7 @@
 //!   ablation      design-choice ablation battery
 //!   morphing      core-morphing extension comparison (cf. \[5\])
 //!   scaling       N-core x M-thread scheduler-zoo sweep (predictor-free)
+//!   regret        every scheduler vs the clairvoyant oracle (DP + replay)
 //!   trace-cache   maintain the --trace-cache dir (stats|verify|gc)
 //!   obs-summary   aggregate a --telemetry JSONL file per scheduler
 //!   serve         scheduling-as-a-service daemon (HTTP, cached results)
@@ -62,7 +63,7 @@
 
 use ampsched_experiments::{
     ablation, common::Params, fig1, fig6, fig78, morphing, obs_summary, overhead, profiling,
-    report, rr_interval, rules_derivation, scaling, serve, tables, telemetry, trace_cache,
+    regret, report, rr_interval, rules_derivation, scaling, serve, tables, telemetry, trace_cache,
 };
 use ampsched_system::SimPath;
 use ampsched_trace::{arena, persist, timing, TracePath};
@@ -77,7 +78,7 @@ fn usage() -> ! {
         "usage: ampsched [--quick|--medium] [--pairs N] [--insts N] [--profile-insts N] [--seed N] \
          [--sim-path fast|reference] [--trace-path arena|stream] [--trace-cache DIR] [--profile] \
          [--profile-sample N] [--telemetry FILE] [--trace-events FILE] [--csv FILE] [--json FILE] \
-         <tables|fig1|fig3|fig4|fig6|fig7|fig8|fig9|figs789|overhead|rr-interval|derive-rules|ablation|morphing|scaling|workloads|trace-cache|obs-summary|serve|serve-bench|all>\n\
+         <tables|fig1|fig3|fig4|fig6|fig7|fig8|fig9|figs789|overhead|rr-interval|derive-rules|ablation|morphing|scaling|regret|workloads|trace-cache|obs-summary|serve|serve-bench|all>\n\
          \n\
          trace-cache actions: ampsched --trace-cache DIR trace-cache <stats|verify|gc>\n\
          obs-summary usage:   ampsched obs-summary FILE   (FILE from a --telemetry run)\n\
@@ -221,7 +222,7 @@ fn main() {
     // Reject unknown commands before the (expensive) profiling phase.
     const COMMANDS: &[&str] = &[
         "tables", "workloads", "fig1", "fig3", "fig4", "fig6", "fig7", "fig8", "fig9", "figs789",
-        "overhead", "rr-interval", "derive-rules", "ablation", "morphing", "scaling",
+        "overhead", "rr-interval", "derive-rules", "ablation", "morphing", "scaling", "regret",
         "trace-cache", "obs-summary", "serve", "serve-bench", "all",
     ];
     if !COMMANDS.contains(&command.as_str()) {
@@ -492,6 +493,13 @@ fn main() {
             let r = scaling::run(&params);
             println!("{}", scaling::render(&r));
             report.borrow_mut().push(("scaling".into(), scaling::to_json(&r)));
+        }
+        "regret" => {
+            println!("Regret — every scheduler vs the clairvoyant oracle\n");
+            eprintln!("[racing {}-pair corpus against the offline DP oracle ...]", params.num_pairs);
+            let r = regret::run(&params, preds.as_ref().expect("predictors"));
+            println!("{}", regret::render(&r));
+            report.borrow_mut().push(("regret".into(), regret::to_json(&r)));
         }
         other => {
             eprintln!("unknown command: {other}");

@@ -3,9 +3,9 @@
 
 use ampsched_core::{
     CampScheduler, ExtendedConfig, ExtendedScheduler, HpePredictor, HpeScheduler,
-    MatrixFineScheduler, PairAdapter, ProposedConfig, ProposedScheduler, RoundRobinScheduler,
-    SamplingScheduler, Scheduler, StaticScheduler, TopoHpe, TopoProposed, TopoRoundRobin,
-    TopoScheduler, TopoStatic, TpeScheduler,
+    MatrixFineScheduler, OracleScheduler, PairAdapter, ProposedConfig, ProposedScheduler,
+    ReplaySchedule, RoundRobinScheduler, SamplingScheduler, Scheduler, StaticScheduler, TopoHpe,
+    TopoProposed, TopoRoundRobin, TopoScheduler, TopoStatic, TpeScheduler,
 };
 use ampsched_system::{DualCoreSystem, RunResult, SystemConfig};
 use ampsched_trace::{suite, BenchmarkSpec, TracePath, Workload};
@@ -150,6 +150,9 @@ pub enum SchedKind {
     CampStatic,
     /// CAMP-style affinity placement re-ranked at every epoch. N×M only.
     CampDynamic,
+    /// Clairvoyant oracle: replays the precomputed optimal schedule (see
+    /// `ampsched_core::oracle` and the `regret` experiment). N×M only.
+    Oracle(ReplaySchedule),
 }
 
 impl SchedKind {
@@ -197,7 +200,8 @@ impl SchedKind {
             ))),
             SchedKind::Extended(cfg) => Box::new(ExtendedScheduler::new(*cfg)),
             SchedKind::Sampling(k) => Box::new(SamplingScheduler::new(*k)),
-            SchedKind::Tpe | SchedKind::CampStatic | SchedKind::CampDynamic => {
+            SchedKind::Tpe | SchedKind::CampStatic | SchedKind::CampDynamic
+            | SchedKind::Oracle(_) => {
                 panic!("{self:?} is an N×M scheduler with no pair form; use build_topo")
             }
         }
@@ -236,6 +240,7 @@ impl SchedKind {
             SchedKind::Tpe => Box::new(TpeScheduler::new()),
             SchedKind::CampStatic => Box::new(CampScheduler::camp_static(threads)),
             SchedKind::CampDynamic => Box::new(CampScheduler::camp_dynamic(threads)),
+            SchedKind::Oracle(schedule) => Box::new(OracleScheduler::new(schedule.clone())),
             SchedKind::MatrixFine => Box::new(PairAdapter::new(self.build(preds()))),
             SchedKind::Extended(cfg) => Box::new(PairAdapter::new(
                 Box::new(ExtendedScheduler::new(*cfg)) as Box<dyn Scheduler>,

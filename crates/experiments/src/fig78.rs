@@ -396,6 +396,95 @@ mod tests {
         assert!(lines[0].contains("weighted_vs_hpe_pct"));
     }
 
+    /// A synthetic run whose decision stream has `n` records with
+    /// distinct cycle stamps `0..n`, so a test can tell exactly which
+    /// records the report kept.
+    fn synthetic_run(n: usize) -> RunResult {
+        use ampsched_metrics::ThreadMetrics;
+        use ampsched_system::{DecisionKind, DecisionRecord, DecisionThread};
+        let thread = ThreadMetrics {
+            instructions: 1000,
+            cycles: 2000,
+            joules: 1e-6,
+            frequency_hz: 2.1e9,
+        };
+        RunResult {
+            scheduler: "synthetic".into(),
+            cycles: 2000,
+            threads: [thread; 2],
+            swaps: 0,
+            window_decisions: n as u64,
+            epoch_decisions: 0,
+            decisions: (0..n)
+                .map(|i| DecisionRecord {
+                    cycle: i as u64,
+                    kind: DecisionKind::Window,
+                    swap: false,
+                    threads: [DecisionThread::default(); 2],
+                    explain: None,
+                    swap_cost_cycles: 0,
+                    realized_speedup: None,
+                    mispredict: None,
+                    oracle_action: None,
+                    regret: None,
+                })
+                .collect(),
+        }
+    }
+
+    /// The kept records' cycle stamps from one scheme's `decisions`
+    /// block of the report, plus its `total` and `truncated` marker.
+    fn decisions_block(n: usize) -> (u64, bool, Vec<u64>) {
+        use ampsched_util::Json;
+        let sweep = SweepResult {
+            outcomes: vec![PairOutcome {
+                label: "synt+hetic".into(),
+                proposed: synthetic_run(n),
+                hpe: synthetic_run(0),
+                rr: synthetic_run(0),
+            }],
+        };
+        let j = to_json(&sweep);
+        let block = j
+            .get("pairs")
+            .and_then(Json::as_arr)
+            .and_then(|p| p[0].get("proposed"))
+            .and_then(|p| p.get("decisions"))
+            .expect("decisions block");
+        let total = block.get("total").and_then(Json::as_u64).expect("total");
+        let truncated = block.get("truncated").and_then(Json::as_bool).expect("truncated");
+        let cycles = block
+            .get("records")
+            .and_then(Json::as_arr)
+            .expect("records")
+            .iter()
+            .map(|r| r.get("cycle").and_then(Json::as_u64).expect("cycle"))
+            .collect();
+        (total, truncated, cycles)
+    }
+
+    /// Boundary lockdown for the capped decision audit trail: exactly 20
+    /// records ship whole with no truncation marker and no overlap;
+    /// record 21 flips the marker and drops only the middle.
+    #[test]
+    fn decisions_truncation_boundaries() {
+        // At the cap: every record present, in order, marker off.
+        let (total, truncated, cycles) = decisions_block(20);
+        assert_eq!(total, 20);
+        assert!(!truncated, "len == 2*cap must not set the truncated marker");
+        assert_eq!(cycles, (0..20).collect::<Vec<u64>>(), "no duplicate head/tail overlap");
+        // One past the cap: marker on, first 10 + last 10, middle dropped.
+        let (total, truncated, cycles) = decisions_block(21);
+        assert_eq!(total, 21);
+        assert!(truncated, "len == 2*cap + 1 must set the truncated marker");
+        let expected: Vec<u64> = (0..10).chain(11..21).collect();
+        assert_eq!(cycles, expected, "keep exactly the first and last 10, drop record 10");
+        // Well below the cap nothing is marked or dropped.
+        let (total, truncated, cycles) = decisions_block(3);
+        assert_eq!((total, truncated), (3, false));
+        assert_eq!(cycles, vec![0, 1, 2]);
+    }
+
     /// Regression: the per-thread columns are derived from the runs'
     /// thread count, and for the dual-core sweep that derivation must
     /// reproduce the legacy hard-coded header layout exactly.

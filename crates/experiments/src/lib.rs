@@ -27,6 +27,7 @@ pub mod morphing;
 pub mod obs_summary;
 pub mod overhead;
 pub mod profiling;
+pub mod regret;
 pub mod report;
 pub mod rr_interval;
 pub mod rules_derivation;

@@ -7,6 +7,11 @@
 //! a swap realized an actual IPC/Watt improvement over the following
 //! decision period. This is the paper's "why did it swap" question
 //! answered from the audit trail alone — no re-simulation.
+//!
+//! Both record dialects aggregate here: the pair schema (`decision` /
+//! `run`, swap flag in `"swap"`) and the generalized N-core × M-thread
+//! schema (`topo_decision` / `topo_run`, reassignment flag in
+//! `"changed"`) that the `scaling` and `regret` experiments emit.
 
 use ampsched_metrics::Table;
 use ampsched_util::Json;
@@ -89,11 +94,14 @@ pub fn summarize(text: &str) -> Result<Vec<SchedulerSummary>, String> {
             abs_mispredict_sum.resize(i + 1, 0.0);
         }
         match ty {
-            "run" => by_sched[i].runs += 1,
-            "decision" => {
+            "run" | "topo_run" => by_sched[i].runs += 1,
+            "decision" | "topo_decision" => {
                 let s = &mut by_sched[i];
                 s.decisions += 1;
-                let swapped = doc.get("swap").and_then(Json::as_bool).unwrap_or(false);
+                // The pair dialect flags a swap as "swap"; the topo
+                // dialect flags any reassignment as "changed".
+                let flag = if ty == "decision" { "swap" } else { "changed" };
+                let swapped = doc.get(flag).and_then(Json::as_bool).unwrap_or(false);
                 if swapped {
                     s.swaps += 1;
                     if let Some(m) = doc.get("mispredict").and_then(Json::as_f64) {
@@ -217,5 +225,47 @@ mod tests {
         assert!(summarize("not json\n").is_err());
         assert!(summarize(r#"{"type":"decision"}"#).unwrap_err().contains("scheduler"));
         assert!(summarize(r#"{"type":"wat","scheduler":"x"}"#).unwrap_err().contains("unknown type"));
+    }
+
+    #[test]
+    fn topo_records_aggregate_like_pair_records() {
+        // The generalized dialect from scaling/regret runs: reassignment
+        // flag is "changed", totals record is "topo_run".
+        let text = [
+            r#"{"type":"topo_decision","topology":"2fp+2int-4t","group":"scaling","scheduler":"tpe","seed":1,"changed":true,"mispredict":0.5,"realized_speedup":1.2}"#,
+            r#"{"type":"topo_decision","topology":"2fp+2int-4t","group":"scaling","scheduler":"tpe","seed":1,"changed":false,"mispredict":null,"realized_speedup":null}"#,
+            r#"{"type":"topo_run","topology":"2fp+2int-4t","group":"scaling","scheduler":"tpe","seed":1,"cycles":100}"#,
+        ]
+        .join("\n");
+        let s = summarize(&text).expect("topo dialect must aggregate, not error");
+        assert_eq!(s.len(), 1);
+        assert_eq!((s[0].runs, s[0].decisions, s[0].swaps), (1, 2, 1));
+        assert_eq!(s[0].attributed, 1);
+        assert!((s[0].mean_abs_mispredict - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn unattributed_corpus_yields_no_nan() {
+        // Every record swaps but none carries attribution: the mean
+        // misprediction divide must stay guarded (0/0 would be NaN) and
+        // the JSON must render the unattributed fields as null.
+        let text = [
+            r#"{"type":"decision","pair":"a+b","scheduler":"rr-1","seed":1,"swap":true,"mispredict":null,"realized_speedup":null}"#,
+            r#"{"type":"decision","pair":"a+b","scheduler":"rr-1","seed":1,"swap":true,"mispredict":null,"realized_speedup":null}"#,
+            r#"{"type":"topo_decision","topology":"duo","group":"regret","scheduler":"oracle","seed":1,"changed":true,"mispredict":null,"realized_speedup":null}"#,
+        ]
+        .join("\n");
+        let s = summarize(&text).expect("valid stream");
+        for sched in &s {
+            assert_eq!(sched.attributed, 0);
+            assert!(sched.mean_abs_mispredict == 0.0, "guarded default, never NaN");
+            assert!(sched.swap_rate().is_finite());
+            assert_eq!(sched.win_rate(), None);
+        }
+        let json = to_json(&s).render();
+        assert!(!json.contains("NaN"), "unattributed corpus must serialize NaN-free: {json}");
+        assert!(json.contains("\"mean_abs_mispredict\": null") || json.contains("\"mean_abs_mispredict\":null"));
+        // And an empty corpus summarizes to an empty table.
+        assert!(summarize("").expect("empty ok").is_empty());
     }
 }

@@ -1,0 +1,594 @@
+//! `ampsched regret`: every scheduler measured against the clairvoyant
+//! oracle (ROADMAP item 5).
+//!
+//! The paper reports only *relative* improvements between live schemes;
+//! this experiment adds the absolute yardstick. For each fig7-corpus
+//! pair it:
+//!
+//! 1. replays the pair once per enumerated assignment state under a
+//!    pinned static placement (`MulticoreSystem::with_assignment`) to
+//!    measure the per-epoch per-(thread, core) IPC/Watt table;
+//! 2. solves the offline DP (`ampsched_core::oracle::solve`) for the
+//!    optimal swap schedule under the live migration-cost model;
+//! 3. runs the competitors (proposed, HPE, TPE, round robin) and the
+//!    candidate oracle schedules — the DP plan and the recorded decision
+//!    stream of every competitor — through the normal `run()` loop, and
+//!    crowns the best-scoring schedule as the oracle (replaying a
+//!    recorded stream reproduces its run exactly, so the oracle is a
+//!    true upper bound over everything in the race by construction);
+//! 4. attributes per-epoch regret onto every competitor's decision
+//!    records (`ampsched_system::attribute_regret`), which also flows
+//!    out over `--telemetry` JSONL.
+//!
+//! Like the `scaling` sweep, the experiment densifies the OS epoch
+//! relative to the instruction budget ([`crate::scaling::sweep_system`])
+//! so epoch-cadence schemes get several decision points at every scale.
+
+use ampsched_core::{
+    enumerate_assignments, AssignmentMap, OracleConfig, OracleObservations, OracleScheduler,
+    ProposedConfig, ReplaySchedule, TopoStatic,
+};
+use ampsched_metrics::{improvement_pct, mean, weighted_speedup, Table};
+use ampsched_system::{
+    attribute_regret, DecisionKind, MulticoreSystem, SystemConfig, Topology, TopoRunResult,
+};
+use ampsched_util::Json;
+
+use crate::common::{sample_pairs, Pair, Params, Predictors, SchedKind};
+use crate::runner::parallel_map;
+use crate::scaling::sweep_system;
+
+/// One scheduler's regret outcome on one pair.
+#[derive(Debug, Clone)]
+pub struct SchedOutcome {
+    /// Scheduler name.
+    pub scheduler: String,
+    /// Weighted IPC/Watt improvement over the static baseline, %.
+    pub weighted_vs_static_pct: f64,
+    /// Weighted IPC/Watt improvement over the oracle, %. Diagnostic
+    /// only: the dominance guarantee is on the vs-static ranking
+    /// (weighted speedup is a mean of per-thread ratios and is not
+    /// transitive), so this is usually but not provably ≤ 0.
+    pub weighted_vs_oracle_pct: f64,
+    /// Sum of attributed per-epoch regrets (oracle value − own value).
+    pub total_regret: f64,
+    /// Epoch decision points with regret attributed.
+    pub epochs_attributed: u64,
+    /// Attributed epochs where this scheduler's epoch value *beat* the
+    /// oracle's (possible per epoch — the oracle maximizes the total,
+    /// not each epoch).
+    pub negative_epochs: u64,
+    /// Σ of this scheduler's per-epoch IPC/Watt values over the
+    /// attributed epochs.
+    pub own_epoch_value: f64,
+    /// Σ of the oracle's per-epoch IPC/Watt values over the same epochs.
+    pub oracle_epoch_value: f64,
+    /// The attributed per-epoch regrets, in decision order (histogram
+    /// input; not serialized per pair).
+    pub regrets: Vec<f64>,
+}
+
+/// The oracle side of one pair.
+#[derive(Debug, Clone)]
+pub struct OracleOutcome {
+    /// Which candidate schedule won the clairvoyant race: `"dp-plan"`,
+    /// `"baseline"`, or a competitor's recorded stream.
+    pub source: String,
+    /// The DP's model value of its plan (table units, penalties included).
+    pub model_value: f64,
+    /// Assignment states the DP enumerated.
+    pub dp_states: u64,
+    /// Epochs in the DP plan (the observation horizon).
+    pub plan_epochs: u64,
+    /// Weighted IPC/Watt improvement of the oracle run over the static
+    /// baseline, %.
+    pub weighted_vs_static_pct: f64,
+}
+
+/// One pair's full scoreboard.
+#[derive(Debug, Clone)]
+pub struct PairRegret {
+    /// `"a+b"` pair label.
+    pub label: String,
+    /// Per-pair workload seed.
+    pub seed: u64,
+    /// The oracle outcome.
+    pub oracle: OracleOutcome,
+    /// One entry per competitor, in race order.
+    pub schedulers: Vec<SchedOutcome>,
+}
+
+/// Full experiment output.
+#[derive(Debug, Clone)]
+pub struct RegretResult {
+    /// Densified OS epoch the runs used (see
+    /// [`crate::scaling::sweep_system`]).
+    pub epoch_cycles: u64,
+    /// The DP's migration-cost fraction (swap overhead / epoch).
+    pub migration_fraction: f64,
+    /// Window cadence of the DP-plan replay (committed instructions).
+    pub window_insts: u64,
+    /// One scoreboard per pair, in sampling order.
+    pub pairs: Vec<PairRegret>,
+}
+
+/// Epoch-kind records' per-epoch total IPC/Watt values, in order.
+fn epoch_values(r: &TopoRunResult) -> Vec<f64> {
+    r.decisions
+        .iter()
+        .filter(|d| d.kind == DecisionKind::Epoch)
+        .map(|d| d.threads.iter().map(|t| t.ipc_per_watt).sum())
+        .collect()
+}
+
+/// Record a run's decisions as a replayable `(is_epoch, table)` stream.
+fn recorded_stream(r: &TopoRunResult) -> Vec<(bool, Vec<Option<usize>>)> {
+    r.decisions
+        .iter()
+        .map(|d| (d.kind == DecisionKind::Epoch, d.assignment.clone()))
+        .collect()
+}
+
+/// One pair's race: pinned table runs, DP solve, competitor runs, the
+/// clairvoyant argmax, the oracle replay, and regret attribution.
+fn run_one_pair(
+    pair: &Pair,
+    predictors: &Predictors,
+    params: &Params,
+    sys: &SystemConfig,
+    window: u64,
+) -> PairRegret {
+    let _span = ampsched_obs::span!("experiments.regret_pair", pair.label());
+    let topo = Topology::duo();
+    let workloads = |params: &Params| {
+        let [a, b] = pair.workloads(params);
+        vec![a, b]
+    };
+    let states = enumerate_assignments(2, 2, 16).expect("2×2 has two states");
+
+    // 1. Pinned static runs, one per assignment state, from cycle 0 —
+    //    the per-epoch value table the DP optimizes over. states[0] is
+    //    the baseline, so pinned[0] doubles as the static reference.
+    let pinned: Vec<TopoRunResult> = states
+        .iter()
+        .map(|s| {
+            let mut system =
+                MulticoreSystem::with_assignment(*sys, &topo, workloads(params), s.clone());
+            system.run(&mut TopoStatic, params.run_insts, params.max_cycles)
+        })
+        .collect();
+    let static_ppw = pinned[0].ipc_per_watt();
+    let horizon = pinned
+        .iter()
+        .map(|r| r.decisions.iter().filter(|d| d.kind == DecisionKind::Epoch).count())
+        .min()
+        .unwrap_or(0);
+    let mut value = vec![vec![vec![0.0f64; 2]; 2]; horizon];
+    for (s, run) in states.iter().zip(&pinned) {
+        let epochs: Vec<_> =
+            run.decisions.iter().filter(|d| d.kind == DecisionKind::Epoch).collect();
+        for (e, row) in value.iter_mut().enumerate() {
+            for (t, slot) in row.iter_mut().enumerate() {
+                if let Some(c) = s.core_of(t) {
+                    slot[c] = epochs[e].threads[t].ipc_per_watt;
+                }
+            }
+        }
+    }
+    let obs = OracleObservations { cores: 2, threads: 2, value };
+
+    // 2. The offline DP under the live migration-cost model.
+    let cfg = OracleConfig::from_costs(sys.swap_overhead_cycles, sys.epoch_cycles);
+    let start = AssignmentMap::baseline(2, 2);
+    let sol = ampsched_core::solve_oracle(&obs, &start, &cfg).expect("2×2 DP solves");
+
+    // 3. The live race. Every candidate runs from a cold baseline
+    //    system; replays of recorded streams reproduce their source runs
+    //    exactly, so scoring the candidates scores the oracle.
+    let replay = |schedule: ReplaySchedule| -> TopoRunResult {
+        let mut system = MulticoreSystem::new(*sys, &topo, workloads(params));
+        let mut sched = OracleScheduler::new(schedule);
+        system.run(&mut sched, params.run_insts, params.max_cycles)
+    };
+    let dp_schedule = ReplaySchedule::from_plan(&sol.plan, Some(window));
+    let dp_run = replay(dp_schedule.clone());
+    let baseline_schedule =
+        ReplaySchedule { window_insts: None, windows: Vec::new(), epochs: Vec::new() };
+
+    let competitors: Vec<(&str, SchedKind)> = vec![
+        (
+            "proposed",
+            SchedKind::Proposed(ProposedConfig {
+                fairness_interval_cycles: sys.epoch_cycles,
+                ..ProposedConfig::default()
+            }),
+        ),
+        ("hpe", SchedKind::HpeMatrix),
+        ("tpe", SchedKind::Tpe),
+        ("round-robin", SchedKind::RoundRobin(1)),
+    ];
+    let mut comp_runs: Vec<TopoRunResult> = competitors
+        .iter()
+        .map(|(_, kind)| {
+            let mut system = MulticoreSystem::new(*sys, &topo, workloads(params));
+            let mut sched = kind.build_topo(2, Some(predictors));
+            system.run(&mut *sched, params.run_insts, params.max_cycles)
+        })
+        .collect();
+
+    // The clairvoyant argmax. DP first so it wins ties.
+    let mut candidates: Vec<(String, ReplaySchedule, &TopoRunResult)> = vec![
+        ("dp-plan".into(), dp_schedule, &dp_run),
+        ("baseline".into(), baseline_schedule, &pinned[0]),
+    ];
+    for ((name, _), run) in competitors.iter().zip(&comp_runs) {
+        let schedule = ReplaySchedule::from_decisions(
+            2,
+            run.window_decisions.gt(&0).then_some(window),
+            &recorded_stream(run),
+        );
+        candidates.push(((*name).into(), schedule, run));
+    }
+    let mut winner = 0usize;
+    let mut best = f64::NEG_INFINITY;
+    for (i, (_, _, run)) in candidates.iter().enumerate() {
+        let score = weighted_speedup(&run.ipc_per_watt(), &static_ppw);
+        if score > best {
+            best = score;
+            winner = i;
+        }
+    }
+    let (source, winning_schedule, _) = candidates.swap_remove(winner);
+
+    // 4. The oracle run proper: the winning schedule replayed through
+    //    the normal loop, carrying oracle provenance in its audit trail.
+    let oracle_run = replay(winning_schedule);
+    let oracle_ppw = oracle_run.ipc_per_watt();
+    let oracle_epochs = epoch_values(&oracle_run);
+
+    // 5. Per-epoch regret onto every competitor, then telemetry.
+    let outcomes = competitors
+        .iter()
+        .zip(comp_runs.iter_mut())
+        .map(|((name, _), run)| {
+            attribute_regret(&mut run.decisions, &oracle_run.decisions);
+            crate::telemetry::emit_topo_run(&topo.label(), "regret", pair.seed, run);
+            let own = epoch_values(run);
+            let attributed = own.len().min(oracle_epochs.len());
+            let regrets: Vec<f64> = (0..attributed)
+                .map(|e| oracle_epochs[e] - own[e])
+                .collect();
+            for &r in &regrets {
+                // Nonnegative regret at micro resolution: the power-of-two
+                // histogram in crates/obs takes integers.
+                ampsched_obs::hist!(
+                    "sim.regret.epoch_x1e6",
+                    (r.max(0.0) * 1e6).round() as u64
+                );
+            }
+            SchedOutcome {
+                scheduler: (*name).into(),
+                weighted_vs_static_pct: improvement_pct(weighted_speedup(
+                    &run.ipc_per_watt(),
+                    &static_ppw,
+                )),
+                weighted_vs_oracle_pct: improvement_pct(weighted_speedup(
+                    &run.ipc_per_watt(),
+                    &oracle_ppw,
+                )),
+                total_regret: regrets.iter().sum(),
+                epochs_attributed: attributed as u64,
+                negative_epochs: regrets.iter().filter(|&&r| r < 0.0).count() as u64,
+                own_epoch_value: own[..attributed].iter().sum(),
+                oracle_epoch_value: oracle_epochs[..attributed].iter().sum(),
+                regrets,
+            }
+        })
+        .collect();
+    crate::telemetry::emit_topo_run(&topo.label(), "regret", pair.seed, &oracle_run);
+
+    PairRegret {
+        label: pair.label(),
+        seed: pair.seed,
+        oracle: OracleOutcome {
+            source,
+            model_value: sol.model_value,
+            dp_states: sol.states as u64,
+            plan_epochs: sol.plan.len() as u64,
+            weighted_vs_static_pct: improvement_pct(weighted_speedup(&oracle_ppw, &static_ppw)),
+        },
+        schedulers: outcomes,
+    }
+}
+
+/// Run the regret race over the fig7 pair corpus.
+pub fn run(params: &Params, predictors: &Predictors) -> RegretResult {
+    let sys = sweep_system(params);
+    let window = ProposedConfig::default().window * 2;
+    let pairs = sample_pairs(params.num_pairs, params.seed);
+    let results = parallel_map(&pairs, |pair| {
+        run_one_pair(pair, predictors, params, &sys, window)
+    });
+    RegretResult {
+        epoch_cycles: sys.epoch_cycles,
+        migration_fraction: sys.swap_overhead_cycles as f64 / sys.epoch_cycles as f64,
+        window_insts: window,
+        pairs: results,
+    }
+}
+
+/// One scheduler's aggregate row over all pairs.
+#[derive(Debug, Clone)]
+pub struct AggregateRow {
+    /// Scheduler name.
+    pub scheduler: String,
+    /// Pairs raced.
+    pub pairs: u64,
+    /// Mean per-pair weighted improvement over static, %.
+    pub mean_weighted_vs_static_pct: f64,
+    /// Mean per-pair weighted improvement over the oracle, %.
+    pub mean_weighted_vs_oracle_pct: f64,
+    /// Total regret summed over every attributed epoch of every pair.
+    pub total_regret: f64,
+    /// Attributed epochs across all pairs.
+    pub epochs_attributed: u64,
+    /// `total_regret / epochs_attributed` (`None` with no epochs).
+    pub mean_regret_per_epoch: Option<f64>,
+    /// Epochs where the scheduler beat the oracle's epoch value.
+    pub negative_epochs: u64,
+    /// Fraction of the oracle's total epoch value this scheduler
+    /// captured (`None` when nothing was attributed).
+    pub fraction_of_optimal: Option<f64>,
+    /// Power-of-two regret histogram at ×1e6 resolution: `(lo, hi,
+    /// count)` per nonzero bucket, bucket bounds as in
+    /// `ampsched_obs::metrics::bucket_bounds`.
+    pub regret_hist: Vec<(u64, u64, u64)>,
+}
+
+/// Aggregate the per-pair scoreboards into one row per scheduler.
+pub fn aggregate(r: &RegretResult) -> Vec<AggregateRow> {
+    let Some(first) = r.pairs.first() else {
+        return Vec::new();
+    };
+    first
+        .schedulers
+        .iter()
+        .enumerate()
+        .map(|(i, s)| {
+            let per_pair: Vec<&SchedOutcome> =
+                r.pairs.iter().map(|p| &p.schedulers[i]).collect();
+            let epochs: u64 = per_pair.iter().map(|o| o.epochs_attributed).sum();
+            let total: f64 = per_pair.iter().map(|o| o.total_regret).sum();
+            let own: f64 = per_pair.iter().map(|o| o.own_epoch_value).sum();
+            let oracle: f64 = per_pair.iter().map(|o| o.oracle_epoch_value).sum();
+            let mut buckets = std::collections::BTreeMap::new();
+            for o in &per_pair {
+                for &v in &o.regrets {
+                    let i = ampsched_obs::metrics::bucket_index((v.max(0.0) * 1e6).round() as u64);
+                    *buckets.entry(i).or_insert(0u64) += 1;
+                }
+            }
+            AggregateRow {
+                scheduler: s.scheduler.clone(),
+                pairs: r.pairs.len() as u64,
+                mean_weighted_vs_static_pct: mean(
+                    &per_pair.iter().map(|o| o.weighted_vs_static_pct).collect::<Vec<_>>(),
+                ),
+                mean_weighted_vs_oracle_pct: mean(
+                    &per_pair.iter().map(|o| o.weighted_vs_oracle_pct).collect::<Vec<_>>(),
+                ),
+                total_regret: total,
+                epochs_attributed: epochs,
+                mean_regret_per_epoch: (epochs > 0).then(|| total / epochs as f64),
+                negative_epochs: per_pair.iter().map(|o| o.negative_epochs).sum(),
+                fraction_of_optimal: (oracle > 0.0).then(|| own / oracle),
+                regret_hist: buckets
+                    .into_iter()
+                    .map(|(i, count)| {
+                        let (lo, hi) = ampsched_obs::metrics::bucket_bounds(i);
+                        (lo, hi, count)
+                    })
+                    .collect(),
+            }
+        })
+        .collect()
+}
+
+/// Serialize for the `--json` report path (stable schema; see
+/// EXPERIMENTS.md).
+pub fn to_json(r: &RegretResult) -> Json {
+    let opt_f64 = |v: Option<f64>| v.map(Json::from).unwrap_or(Json::Null);
+    let agg = aggregate(r);
+    Json::obj([
+        ("epoch_cycles", Json::from(r.epoch_cycles)),
+        ("migration_fraction", Json::from(r.migration_fraction)),
+        ("window_insts", Json::from(r.window_insts)),
+        (
+            "schedulers",
+            Json::arr(agg.iter().map(|a| {
+                Json::obj([
+                    ("scheduler", Json::from(a.scheduler.as_str())),
+                    ("pairs", Json::from(a.pairs)),
+                    (
+                        "mean_weighted_vs_static_pct",
+                        Json::from(a.mean_weighted_vs_static_pct),
+                    ),
+                    (
+                        "mean_weighted_vs_oracle_pct",
+                        Json::from(a.mean_weighted_vs_oracle_pct),
+                    ),
+                    ("total_regret", Json::from(a.total_regret)),
+                    ("epochs_attributed", Json::from(a.epochs_attributed)),
+                    ("mean_regret_per_epoch", opt_f64(a.mean_regret_per_epoch)),
+                    ("negative_epochs", Json::from(a.negative_epochs)),
+                    ("fraction_of_optimal", opt_f64(a.fraction_of_optimal)),
+                    (
+                        "regret_hist_x1e6",
+                        Json::arr(a.regret_hist.iter().map(|&(lo, hi, count)| {
+                            Json::obj([
+                                ("lo", Json::from(lo)),
+                                ("hi", Json::from(hi)),
+                                ("count", Json::from(count)),
+                            ])
+                        })),
+                    ),
+                ])
+            })),
+        ),
+        (
+            "pairs",
+            Json::arr(r.pairs.iter().map(|p| {
+                Json::obj([
+                    ("label", Json::from(p.label.as_str())),
+                    ("seed", Json::from(p.seed)),
+                    (
+                        "oracle",
+                        Json::obj([
+                            ("source", Json::from(p.oracle.source.as_str())),
+                            ("model_value", Json::from(p.oracle.model_value)),
+                            ("dp_states", Json::from(p.oracle.dp_states)),
+                            ("plan_epochs", Json::from(p.oracle.plan_epochs)),
+                            (
+                                "weighted_vs_static_pct",
+                                Json::from(p.oracle.weighted_vs_static_pct),
+                            ),
+                        ]),
+                    ),
+                    (
+                        "schedulers",
+                        Json::arr(p.schedulers.iter().map(|s| {
+                            Json::obj([
+                                ("scheduler", Json::from(s.scheduler.as_str())),
+                                (
+                                    "weighted_vs_static_pct",
+                                    Json::from(s.weighted_vs_static_pct),
+                                ),
+                                (
+                                    "weighted_vs_oracle_pct",
+                                    Json::from(s.weighted_vs_oracle_pct),
+                                ),
+                                ("total_regret", Json::from(s.total_regret)),
+                                ("epochs_attributed", Json::from(s.epochs_attributed)),
+                                ("negative_epochs", Json::from(s.negative_epochs)),
+                                (
+                                    "fraction_of_optimal",
+                                    opt_f64(
+                                        (s.oracle_epoch_value > 0.0)
+                                            .then(|| s.own_epoch_value / s.oracle_epoch_value),
+                                    ),
+                                ),
+                            ])
+                        })),
+                    ),
+                ])
+            })),
+        ),
+    ])
+}
+
+/// Render the regret scoreboard.
+pub fn render(r: &RegretResult) -> String {
+    let mut out = format!(
+        "regret vs the clairvoyant oracle — {} pairs, epoch {} cycles, \
+         migration fraction {:.6}\n",
+        r.pairs.len(),
+        r.epoch_cycles,
+        r.migration_fraction
+    );
+    let mut t = Table::new(&[
+        "scheduler",
+        "vs static (%)",
+        "vs oracle (%)",
+        "total regret",
+        "regret/epoch",
+        "% of optimal",
+    ]);
+    for a in aggregate(r) {
+        t.row(&[
+            a.scheduler.clone(),
+            format!("{:+.1}", a.mean_weighted_vs_static_pct),
+            format!("{:+.1}", a.mean_weighted_vs_oracle_pct),
+            format!("{:.4}", a.total_regret),
+            a.mean_regret_per_epoch
+                .map(|v| format!("{v:.5}"))
+                .unwrap_or_else(|| "-".into()),
+            a.fraction_of_optimal
+                .map(|v| format!("{:.1}", 100.0 * v))
+                .unwrap_or_else(|| "-".into()),
+        ]);
+    }
+    out.push_str(&t.render());
+    out.push('\n');
+    let mut p = Table::new(&["pair", "oracle schedule", "oracle vs static (%)"]);
+    for pair in &r.pairs {
+        p.row(&[
+            pair.label.clone(),
+            pair.oracle.source.clone(),
+            format!("{:+.1}", pair.oracle.weighted_vs_static_pct),
+        ]);
+    }
+    out.push_str(&p.render());
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profiling;
+
+    fn tiny_params() -> Params {
+        let mut p = Params::quick();
+        p.num_pairs = 2;
+        p.run_insts = 60_000;
+        p.max_cycles = 2_000_000;
+        p
+    }
+
+    #[test]
+    fn oracle_dominates_every_scheduler_per_pair() {
+        let params = tiny_params();
+        let r = run(&params, profiling::quick_predictors());
+        assert_eq!(r.pairs.len(), 2);
+        for p in &r.pairs {
+            assert_eq!(p.schedulers.len(), 4);
+            for s in &p.schedulers {
+                assert!(
+                    p.oracle.weighted_vs_static_pct >= s.weighted_vs_static_pct - 1e-9,
+                    "[{}] oracle ({:+.3}%) must dominate {} ({:+.3}%)",
+                    p.label,
+                    p.oracle.weighted_vs_static_pct,
+                    s.scheduler,
+                    s.weighted_vs_static_pct
+                );
+                assert!(s.weighted_vs_oracle_pct.is_finite());
+                assert!(s.total_regret.is_finite());
+                assert_eq!(s.regrets.len() as u64, s.epochs_attributed);
+            }
+            assert_eq!(p.oracle.dp_states, 2, "the 2×2 shape has two states");
+            assert!(p.oracle.model_value.is_finite());
+        }
+    }
+
+    #[test]
+    fn report_is_deterministic_and_well_formed() {
+        let params = tiny_params();
+        let a = to_json(&run(&params, profiling::quick_predictors())).render();
+        let b = to_json(&run(&params, profiling::quick_predictors())).render();
+        assert_eq!(a, b, "regret report must be byte-identical across runs");
+        assert!(a.contains("\"schedulers\""));
+        assert!(a.contains("\"fraction_of_optimal\""));
+        assert!(a.contains("\"regret_hist_x1e6\""));
+        assert!(!a.contains("NaN"), "Option guards must keep NaN out of the report");
+    }
+
+    #[test]
+    fn render_mentions_every_competitor() {
+        let params = tiny_params();
+        let r = run(&params, profiling::quick_predictors());
+        let text = render(&r);
+        for name in ["proposed", "hpe", "tpe", "round-robin", "oracle"] {
+            assert!(text.contains(name) || name == "oracle", "missing {name}:\n{text}");
+        }
+        assert!(text.contains("oracle vs static"));
+    }
+}

@@ -13,7 +13,7 @@
 
 use crate::common::{Params, Predictors};
 use crate::{
-    ablation, fig1, fig6, fig78, morphing, overhead, profiling, rr_interval, scaling,
+    ablation, fig1, fig6, fig78, morphing, overhead, profiling, regret, rr_interval, scaling,
 };
 use ampsched_system::SimPath;
 use ampsched_util::Json;
@@ -33,7 +33,7 @@ pub fn needs_predictors(command: &str) -> bool {
 /// with a committed `golden_compat` report).
 pub const SERVABLE_COMMANDS: &[&str] = &[
     "fig1", "fig3", "fig4", "fig6", "fig7", "fig8", "fig9", "figs789", "overhead",
-    "rr-interval", "ablation", "morphing", "scaling",
+    "rr-interval", "ablation", "morphing", "scaling", "regret",
 ];
 
 /// The `params` block of a report, exactly as the CLI emits it.
@@ -128,6 +128,10 @@ pub fn compute_sections(command: &str, params: &Params) -> Result<Vec<(String, J
             "scaling".to_string(),
             scaling::to_json(&scaling::run(params)),
         )],
+        "regret" => vec![(
+            "regret".to_string(),
+            regret::to_json(&regret::run(params, preds(()))),
+        )],
         other => return Err(format!("command '{other}' has no headless report form")),
     };
     Ok(sections)
@@ -170,7 +174,7 @@ mod tests {
         for c in ["tables", "workloads", "fig1", "derive-rules", "morphing", "scaling"] {
             assert!(!needs_predictors(c), "{c}");
         }
-        for c in ["fig3", "fig6", "fig7", "overhead", "rr-interval", "ablation"] {
+        for c in ["fig3", "fig6", "fig7", "overhead", "rr-interval", "ablation", "regret"] {
             assert!(needs_predictors(c), "{c}");
         }
     }

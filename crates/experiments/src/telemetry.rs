@@ -67,6 +67,11 @@ pub fn decision_to_json(d: &DecisionRecord) -> Json {
         ("explain", explain),
         ("realized_speedup", opt_f64(d.realized_speedup)),
         ("mispredict", opt_f64(d.mispredict)),
+        (
+            "oracle_action",
+            d.oracle_action.map(Json::from).unwrap_or(Json::Null),
+        ),
+        ("regret", opt_f64(d.regret)),
     ])
 }
 
@@ -160,6 +165,14 @@ pub fn topo_decision_to_json(d: &TopoDecisionRecord) -> Json {
         ("explain", explain),
         ("realized_speedup", opt_f64(d.realized_speedup)),
         ("mispredict", opt_f64(d.mispredict)),
+        (
+            "oracle_action",
+            match &d.oracle_action {
+                Some(table) => Json::arr(table.iter().map(|&c| opt_core(c))),
+                None => Json::Null,
+            },
+        ),
+        ("regret", opt_f64(d.regret)),
     ])
 }
 
@@ -230,6 +243,8 @@ mod tests {
             swap_cost_cycles: 1000,
             realized_speedup: Some(1.25),
             mispredict: None,
+            oracle_action: None,
+            regret: None,
         }
     }
 

@@ -22,7 +22,7 @@ const PINNED_ARGS: &[&str] =
 /// Every command with a committed golden, in dependency-free order.
 const COMMANDS: &[&str] = &[
     "fig1", "fig3", "fig4", "fig6", "fig7", "fig8", "fig9", "overhead", "rr-interval",
-    "ablation", "morphing", "scaling",
+    "ablation", "morphing", "scaling", "regret",
 ];
 
 #[test]

@@ -129,6 +129,13 @@ pub struct DecisionRecord {
     /// whose scheme published a prediction. Positive = the predictor
     /// over-promised.
     pub mispredict: Option<f64>,
+    /// Post-hoc: whether the oracle's post-decision assignment at the
+    /// same epoch decision point was the swapped one (`None` outside
+    /// regret attribution and on window records).
+    pub oracle_action: Option<bool>,
+    /// Post-hoc: the oracle's epoch IPC/Watt value minus this run's
+    /// (`None` where unattributed; never NaN).
+    pub regret: Option<f64>,
 }
 
 /// Outcome of one multiprogrammed run.
@@ -196,6 +203,9 @@ fn pair_decision(d: TopoDecisionRecord) -> DecisionRecord {
         swap_cost_cycles: d.swap_cost_cycles,
         realized_speedup: d.realized_speedup,
         mispredict: d.mispredict,
+        // "Swapped" in pair terms: the oracle placed thread 0 on core 1.
+        oracle_action: d.oracle_action.as_ref().map(|a| a.first().copied().flatten() == Some(1)),
+        regret: d.regret,
     }
 }
 

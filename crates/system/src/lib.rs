@@ -33,6 +33,6 @@ pub use duo::{
 };
 pub use single::{run_alone, run_alone_with, IntervalSample, SingleCoreRunner, SingleRunResult};
 pub use topo::{
-    derive_traits, MulticoreSystem, Topology, TopoDecisionRecord, TopoDecisionThread,
-    TopoRunResult,
+    attribute_regret, derive_traits, MulticoreSystem, Topology, TopoDecisionRecord,
+    TopoDecisionThread, TopoRunResult,
 };

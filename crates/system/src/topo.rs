@@ -153,6 +153,14 @@ pub struct TopoDecisionRecord {
     /// Post-hoc: predicted minus realized speedup for reassignments
     /// whose scheme published a prediction.
     pub mispredict: Option<f64>,
+    /// Post-hoc: the oracle's post-decision thread→core table at the
+    /// same epoch decision point (`None` outside regret attribution and
+    /// on window records; see [`attribute_regret`]).
+    pub oracle_action: Option<Vec<Option<usize>>>,
+    /// Post-hoc: the oracle's epoch IPC/Watt value minus this run's —
+    /// how much the scheduler left on the table at this decision
+    /// (`None` where unattributed; never NaN).
+    pub regret: Option<f64>,
 }
 
 /// Outcome of one generalized multiprogrammed run.
@@ -264,6 +272,25 @@ impl MulticoreSystem {
             workloads,
             cfg,
         }
+    }
+
+    /// Build a system like [`MulticoreSystem::new`] but starting from an
+    /// explicit assignment instead of the OS baseline — the replay hook
+    /// the offline oracle uses to measure each pinned placement from
+    /// cycle 0 without paying a migration to reach it. Thread `t` still
+    /// runs `workloads[t]`, so per-thread trace streams are unaffected.
+    pub fn with_assignment(
+        cfg: SystemConfig,
+        topology: &Topology,
+        workloads: Vec<Box<dyn Workload>>,
+        initial: AssignmentMap,
+    ) -> Self {
+        assert_eq!(initial.cores(), topology.cores.len(), "assignment core count mismatch");
+        assert_eq!(initial.threads(), topology.threads, "assignment thread count mismatch");
+        initial.validate().expect("initial assignment must be valid");
+        let mut sys = MulticoreSystem::new(cfg, topology, workloads);
+        sys.assignment = initial;
+        sys
     }
 
     /// Current thread→core assignment.
@@ -432,6 +459,8 @@ impl MulticoreSystem {
             swap_cost_cycles: if changed { self.cfg.swap_overhead_cycles } else { 0 },
             realized_speedup: None,
             mispredict: None,
+            oracle_action: None,
+            regret: None,
         }
     }
 
@@ -740,6 +769,33 @@ fn attribute_mispredictions(decisions: &mut [TopoDecisionRecord]) {
     }
 }
 
+/// Post-hoc regret attribution: pair each *epoch* record of a
+/// scheduler's run with the same-index epoch record of the oracle's run
+/// over the same workloads, and charge the scheduler the difference in
+/// total per-thread IPC/Watt over that epoch. Window records (and epoch
+/// records past the shorter run) stay `None`, matching the
+/// `realized_speedup` convention — `Option`, never NaN.
+///
+/// The fields are filled in place so the enriched records flow through
+/// the existing `--telemetry` JSONL path unchanged.
+pub fn attribute_regret(decisions: &mut [TopoDecisionRecord], oracle: &[TopoDecisionRecord]) {
+    let oracle_epochs: Vec<&TopoDecisionRecord> =
+        oracle.iter().filter(|d| d.kind == DecisionKind::Epoch).collect();
+    let mut k = 0usize;
+    for rec in decisions.iter_mut() {
+        if rec.kind != DecisionKind::Epoch {
+            continue;
+        }
+        if let Some(orc) = oracle_epochs.get(k) {
+            let mine: f64 = rec.threads.iter().map(|t| t.ipc_per_watt).sum();
+            let theirs: f64 = orc.threads.iter().map(|t| t.ipc_per_watt).sum();
+            rec.oracle_action = Some(orc.assignment.clone());
+            rec.regret = Some(theirs - mine);
+        }
+        k += 1;
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -913,5 +969,104 @@ mod tests {
     fn workload_count_must_match_threads() {
         let topo = Topology::big_little(1, 1, 3);
         MulticoreSystem::new(quick_cfg(), &topo, workloads(&["gcc"]));
+    }
+
+    #[test]
+    fn with_assignment_starts_in_the_given_state() {
+        let topo = Topology::big_little(1, 1, 2);
+        let swapped = AssignmentMap::pair(true);
+        let mut sys = MulticoreSystem::with_assignment(
+            quick_cfg(),
+            &topo,
+            workloads(&["gcc", "mcf"]),
+            swapped.clone(),
+        );
+        assert_eq!(sys.assignment(), &swapped);
+        assert_eq!(sys.swaps(), 0, "adopting the start state is not a migration");
+        let r = sys.run(&mut TopoStatic, 50_000, 500_000);
+        assert_eq!(r.swaps, 0);
+        assert_eq!(sys.assignment(), &swapped, "static keeps the pinned placement");
+    }
+
+    #[test]
+    #[should_panic(expected = "core count mismatch")]
+    fn with_assignment_rejects_shape_mismatch() {
+        let topo = Topology::big_little(1, 1, 2);
+        MulticoreSystem::with_assignment(
+            quick_cfg(),
+            &topo,
+            workloads(&["gcc", "mcf"]),
+            AssignmentMap::baseline(3, 2),
+        );
+    }
+
+    /// Synthetic decision record with uniform per-thread IPC/Watt.
+    fn record(kind: DecisionKind, ppw: f64) -> TopoDecisionRecord {
+        TopoDecisionRecord {
+            cycle: 0,
+            kind,
+            changed: false,
+            migrated: Vec::new(),
+            assignment: vec![Some(0), Some(1)],
+            threads: (0..2)
+                .map(|_| TopoDecisionThread { ipc_per_watt: ppw, ..Default::default() })
+                .collect(),
+            explain: None,
+            swap_cost_cycles: 0,
+            realized_speedup: None,
+            mispredict: None,
+            oracle_action: None,
+            regret: None,
+        }
+    }
+
+    #[test]
+    fn final_decision_has_no_realized_followup() {
+        // The last decision of a run has no follow-up window, so its
+        // realized_speedup (and hence mispredict) must stay None — not
+        // zero, not a stale value (ISSUE 9 satellite audit).
+        let mut decisions = vec![
+            record(DecisionKind::Epoch, 2.0),
+            record(DecisionKind::Epoch, 3.0),
+            record(DecisionKind::Epoch, 1.5),
+        ];
+        attribute_mispredictions(&mut decisions);
+        assert_eq!(decisions[0].realized_speedup, Some(1.5));
+        assert_eq!(decisions[1].realized_speedup, Some(0.5));
+        assert_eq!(decisions[2].realized_speedup, None, "no follow-up period");
+        assert_eq!(decisions[2].mispredict, None);
+        // Attribution is also refused when either side saw no energy
+        // (zero IPC/Watt) — never a division by zero.
+        let mut degenerate = vec![record(DecisionKind::Epoch, 0.0), record(DecisionKind::Epoch, 2.0)];
+        attribute_mispredictions(&mut degenerate);
+        assert_eq!(degenerate[0].realized_speedup, None);
+        assert!(degenerate.iter().all(|d| d.realized_speedup.is_none_or(f64::is_finite)));
+    }
+
+    #[test]
+    fn regret_attribution_pairs_epochs_and_skips_windows() {
+        let mut sched = vec![
+            record(DecisionKind::Window, 1.0),
+            record(DecisionKind::Epoch, 2.0),
+            record(DecisionKind::Epoch, 3.0),
+            record(DecisionKind::Epoch, 4.0),
+        ];
+        let mut oracle_run = vec![
+            record(DecisionKind::Epoch, 2.5),
+            record(DecisionKind::Epoch, 3.0),
+        ];
+        oracle_run[0].assignment = vec![Some(1), Some(0)];
+        attribute_regret(&mut sched, &oracle_run);
+        // Window records untouched.
+        assert_eq!(sched[0].regret, None);
+        assert_eq!(sched[0].oracle_action, None);
+        // Epoch k pairs with oracle epoch k: 2 threads × Δppw.
+        assert_eq!(sched[1].regret, Some(1.0));
+        assert_eq!(sched[1].oracle_action, Some(vec![Some(1), Some(0)]));
+        assert_eq!(sched[2].regret, Some(0.0));
+        // Past the shorter oracle run: unattributed.
+        assert_eq!(sched[3].regret, None);
+        assert_eq!(sched[3].oracle_action, None);
+        assert!(sched.iter().all(|d| d.regret.is_none_or(f64::is_finite)));
     }
 }
