@@ -83,7 +83,8 @@ fn usage() -> ! {
          trace-cache actions: ampsched --trace-cache DIR trace-cache <stats|verify|gc>\n\
          obs-summary usage:   ampsched obs-summary FILE   (FILE from a --telemetry run)\n\
          serve flags:         ampsched serve [--addr HOST:PORT] [--workers N] [--cache-entries N] \
-         [--cache-dir DIR] [--deadline-ms N] [--trace-cache DIR]\n\
+         [--cache-dir DIR] [--deadline-ms N] [--trace-cache DIR] [--access-log FILE] \
+         [--flight-recorder FILE]\n\
          serve-bench flags:   ampsched serve-bench [--addr HOST:PORT] [--corpus FILE] [--repeat N] [--json FILE]"
     );
     std::process::exit(2);
@@ -104,6 +105,8 @@ fn main() {
     let mut serve_cache_entries: Option<usize> = None;
     let mut serve_cache_dir: Option<std::path::PathBuf> = None;
     let mut serve_deadline_ms: Option<u64> = None;
+    let mut serve_access_log: Option<std::path::PathBuf> = None;
+    let mut serve_flight_recorder: Option<std::path::PathBuf> = None;
     let mut bench_corpus: Option<std::path::PathBuf> = None;
     let mut bench_repeat: Option<usize> = None;
     let mut i = 0;
@@ -190,6 +193,16 @@ fn main() {
                 i += 1;
                 serve_deadline_ms =
                     Some(args.get(i).and_then(|s| s.parse().ok()).unwrap_or_else(|| usage()));
+            }
+            "--access-log" => {
+                i += 1;
+                let file = args.get(i).cloned().unwrap_or_else(|| usage());
+                serve_access_log = Some(std::path::PathBuf::from(file));
+            }
+            "--flight-recorder" => {
+                i += 1;
+                let file = args.get(i).cloned().unwrap_or_else(|| usage());
+                serve_flight_recorder = Some(std::path::PathBuf::from(file));
             }
             "--corpus" => {
                 i += 1;
@@ -310,6 +323,8 @@ fn main() {
         if let Some(ms) = serve_deadline_ms {
             config.deadline_ms = ms.max(1);
         }
+        config.access_log = serve_access_log;
+        config.flight_recorder = serve_flight_recorder;
         config.base = params.clone();
         let server = serve::Server::bind(config).unwrap_or_else(|e| {
             eprintln!("serve: cannot bind: {e}");

@@ -12,11 +12,20 @@
 //! standard bench schema (`results/bench/README.md`) — `target`,
 //! `benchmarks[].{name, samples, mean_ns}` — plus a `source` field
 //! (`"serve-bench"`) so `bench_diff` and the registry can tell service
-//! measurements from criterion-style microbenches.
+//! measurements from criterion-style microbenches. Warm entries also
+//! carry `p50_ns`/`p95_ns`/`p99_ns` estimated through the obs
+//! power-of-two-bucket quantile helper (`bench_diff` reads only the
+//! fields it knows, so the extra keys are compatible by construction),
+//! and every successful bench refreshes the `BENCH_serve.json` perf
+//! snapshot in the working directory — the repo-root trajectory file.
 
 use super::http;
+use ampsched_obs::metrics::{bucket_bounds, bucket_index, quantile};
 use ampsched_util::Json;
 use std::time::Instant;
+
+/// File name of the perf snapshot refreshed on every successful bench.
+pub const SNAPSHOT_FILE: &str = "BENCH_serve.json";
 
 /// What `ampsched serve-bench` needs, resolved from CLI flags.
 #[derive(Debug, Clone)]
@@ -87,6 +96,29 @@ fn lane_name(body: &str, index: usize) -> String {
         .unwrap_or_else(|| format!("req{index}"))
 }
 
+/// Estimate (p50, p95, p99) of `samples` the same way `/metrics` does:
+/// through the obs 65-bucket power-of-two histogram layout and its
+/// quantile helper, so bench numbers and daemon numbers share one
+/// estimator (and its documented ~2× worst-case bucket error).
+fn sample_quantiles(samples: &[u64]) -> (u64, u64, u64) {
+    let mut counts = std::collections::BTreeMap::new();
+    for &s in samples {
+        *counts.entry(bucket_index(s)).or_insert(0u64) += 1;
+    }
+    let buckets: Vec<(u64, u64, u64)> = counts
+        .into_iter()
+        .map(|(i, c)| {
+            let (lo, hi) = bucket_bounds(i);
+            (lo, hi, c)
+        })
+        .collect();
+    (
+        quantile(&buckets, 0.50).unwrap_or(0),
+        quantile(&buckets, 0.95).unwrap_or(0),
+        quantile(&buckets, 0.99).unwrap_or(0),
+    )
+}
+
 /// Send one `/run` and return its latency, insisting on a 200.
 fn timed_run(addr: &str, body: &str) -> Result<u64, String> {
     let start = Instant::now();
@@ -134,15 +166,21 @@ pub fn run(config: &BenchConfig) -> Result<(), String> {
     let warm_wall = warm_started.elapsed();
     let warm_requests = lanes.len() * repeat;
 
-    eprintln!("{:<24} {:>14} {:>14} {:>9}", "request", "cold", "warm mean", "speedup");
+    eprintln!(
+        "{:<24} {:>14} {:>14} {:>10} {:>10} {:>9}",
+        "request", "cold", "warm mean", "warm p50", "warm p99", "speedup"
+    );
     for lane in &lanes {
         let warm_mean = lane.warm_ns.iter().sum::<u64>() / lane.warm_ns.len() as u64;
+        let (p50, _p95, p99) = sample_quantiles(&lane.warm_ns);
         let speedup = lane.cold_ns as f64 / warm_mean.max(1) as f64;
         eprintln!(
-            "{:<24} {:>14} {:>14} {:>8.1}x",
+            "{:<24} {:>14} {:>14} {:>10} {:>10} {:>8.1}x",
             lane.name,
             format_ns(lane.cold_ns),
             format_ns(warm_mean),
+            format_ns(p50),
+            format_ns(p99),
             speedup
         );
     }
@@ -152,31 +190,50 @@ pub fn run(config: &BenchConfig) -> Result<(), String> {
         warm_requests
     );
 
+    let doc = artifact(&lanes);
     if let Some(path) = &config.json_out {
-        let mut benchmarks = Vec::new();
-        for lane in &lanes {
-            benchmarks.push(Json::obj([
-                ("name", Json::from(format!("serve/cold/{}", lane.name))),
-                ("samples", Json::from(1u64)),
-                ("mean_ns", Json::from(lane.cold_ns)),
-            ]));
-            let warm_mean = lane.warm_ns.iter().sum::<u64>() / lane.warm_ns.len() as u64;
-            benchmarks.push(Json::obj([
-                ("name", Json::from(format!("serve/warm/{}", lane.name))),
-                ("samples", Json::from(lane.warm_ns.len())),
-                ("mean_ns", Json::from(warm_mean)),
-            ]));
-        }
-        let doc = Json::obj([
-            ("target", Json::from("ampsched serve")),
-            ("source", Json::from("serve-bench")),
-            ("benchmarks", Json::Arr(benchmarks)),
-        ]);
         std::fs::write(path, doc.render_pretty())
             .map_err(|e| format!("cannot write bench artifact {path}: {e}"))?;
         eprintln!("[bench artifact written to {path}]");
     }
+    // The perf-trajectory snapshot: refreshed on every successful bench
+    // so the working tree always carries the latest service numbers
+    // (`bench_diff BENCH_serve.json <new>` is the comparison tool).
+    if let Err(e) = std::fs::write(SNAPSHOT_FILE, doc.render_pretty()) {
+        eprintln!("[warning: cannot refresh {SNAPSHOT_FILE}: {e}]");
+    } else {
+        eprintln!("[perf snapshot refreshed: {SNAPSHOT_FILE}]");
+    }
     Ok(())
+}
+
+/// Render the bench-schema artifact for the measured lanes. Warm
+/// entries carry the quantile fields; cold entries are single samples,
+/// so quantiles would be noise.
+fn artifact(lanes: &[Lane]) -> Json {
+    let mut benchmarks = Vec::new();
+    for lane in lanes {
+        benchmarks.push(Json::obj([
+            ("name", Json::from(format!("serve/cold/{}", lane.name))),
+            ("samples", Json::from(1u64)),
+            ("mean_ns", Json::from(lane.cold_ns)),
+        ]));
+        let warm_mean = lane.warm_ns.iter().sum::<u64>() / lane.warm_ns.len() as u64;
+        let (p50, p95, p99) = sample_quantiles(&lane.warm_ns);
+        benchmarks.push(Json::obj([
+            ("name", Json::from(format!("serve/warm/{}", lane.name))),
+            ("samples", Json::from(lane.warm_ns.len())),
+            ("mean_ns", Json::from(warm_mean)),
+            ("p50_ns", Json::from(p50)),
+            ("p95_ns", Json::from(p95)),
+            ("p99_ns", Json::from(p99)),
+        ]));
+    }
+    Json::obj([
+        ("target", Json::from("ampsched serve")),
+        ("source", Json::from("serve-bench")),
+        ("benchmarks", Json::Arr(benchmarks)),
+    ])
 }
 
 /// Human-readable nanoseconds (`412ns`, `3.1us`, `2.4ms`, `1.7s`).
@@ -206,6 +263,45 @@ mod tests {
     fn lane_name_degrades_gracefully() {
         assert_eq!(lane_name("not json", 3), "req3");
         assert_eq!(lane_name(r#"{"experiment":"fig1"}"#, 0), "req0:fig1");
+    }
+
+    #[test]
+    fn sample_quantiles_match_bucket_bounds() {
+        // All samples in one bucket: every quantile stays inside it.
+        let (p50, p95, p99) = sample_quantiles(&[1000, 1100, 1500, 2000]);
+        for (q, v) in [("p50", p50), ("p95", p95), ("p99", p99)] {
+            assert!((1024..=2047).contains(&v), "{q} {v} outside bucket");
+        }
+        // Bimodal: p50 in the low bucket, p99 in the high one.
+        let (p50, _, p99) = sample_quantiles(&[100, 100, 100, 100_000]);
+        assert!((64..=127).contains(&p50), "p50 {p50}");
+        assert!((65_536..=131_071).contains(&p99), "p99 {p99}");
+        assert_eq!(sample_quantiles(&[]), (0, 0, 0));
+    }
+
+    #[test]
+    fn artifact_carries_quantile_fields_on_warm_lanes() {
+        let lanes = vec![Lane {
+            name: "req0:fig1".to_string(),
+            body: String::new(),
+            cold_ns: 5_000_000,
+            warm_ns: vec![10_000, 12_000, 15_000],
+        }];
+        let doc = artifact(&lanes);
+        assert_eq!(doc.get("source").and_then(Json::as_str), Some("serve-bench"));
+        let benches = doc.get("benchmarks").and_then(Json::as_arr).unwrap();
+        assert_eq!(benches.len(), 2);
+        let cold = &benches[0];
+        assert_eq!(
+            cold.get("name").and_then(Json::as_str),
+            Some("serve/cold/req0:fig1")
+        );
+        assert!(cold.get("p50_ns").is_none(), "cold is a single sample");
+        let warm = &benches[1];
+        assert_eq!(warm.get("samples").and_then(Json::as_u64), Some(3));
+        for key in ["mean_ns", "p50_ns", "p95_ns", "p99_ns"] {
+            assert!(warm.get(key).and_then(Json::as_u64).is_some(), "{key}");
+        }
     }
 
     #[test]

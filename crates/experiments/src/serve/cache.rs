@@ -221,6 +221,45 @@ impl ResultCache {
         self.inner.lock().unwrap().cells.len()
     }
 
+    /// Capacity-pressure gauges for `/healthz` and `/metrics`: byte
+    /// totals, not just entry counts, so an operator sees memory and
+    /// disk pressure building before an eviction storm. The disk totals
+    /// come from a directory scan (cheap at cache scale: one `stat` per
+    /// cell) and count only `.cell` files.
+    pub fn stats(&self) -> CacheStats {
+        let inner = self.inner.lock().unwrap();
+        let mut bytes = 0usize;
+        let mut pending = 0usize;
+        for cell in inner.cells.values() {
+            match cell {
+                Cell::Ready { bytes: b, .. } => bytes += b.len(),
+                Cell::Pending(_) => pending += 1,
+            }
+        }
+        let entries = inner.cells.len();
+        drop(inner);
+        let mut disk_cells = 0usize;
+        let mut disk_bytes = 0u64;
+        if let Some(dir) = &self.dir {
+            if let Ok(rd) = std::fs::read_dir(dir) {
+                for entry in rd.flatten() {
+                    let path = entry.path();
+                    if path.extension().is_some_and(|x| x == "cell") {
+                        disk_cells += 1;
+                        disk_bytes += entry.metadata().map(|m| m.len()).unwrap_or(0);
+                    }
+                }
+            }
+        }
+        CacheStats {
+            entries,
+            pending,
+            bytes,
+            disk_cells,
+            disk_bytes,
+        }
+    }
+
     /// Whether the cache holds no cells.
     pub fn is_empty(&self) -> bool {
         self.len() == 0
@@ -248,6 +287,21 @@ impl ResultCache {
             }
         }
     }
+}
+
+/// Point-in-time capacity gauges (see [`ResultCache::stats`]).
+#[derive(Debug, Clone, Default)]
+pub struct CacheStats {
+    /// Cells in memory, ready + pending.
+    pub entries: usize,
+    /// Of those, cells whose computation is still in flight.
+    pub pending: usize,
+    /// Total payload bytes held by in-memory ready cells.
+    pub bytes: usize,
+    /// `.cell` files in the spill directory (0 without `--cache-dir`).
+    pub disk_cells: usize,
+    /// Total size in bytes of those files, headers included.
+    pub disk_bytes: u64,
 }
 
 /// Path of the on-disk cell for `key`.
@@ -450,6 +504,28 @@ mod tests {
         ));
         assert!(start.elapsed() >= Duration::from_millis(30));
         cache.fail(9, "abandoned by test".into());
+    }
+
+    #[test]
+    fn stats_report_bytes_and_disk_cells() {
+        let dir = tmpdir("stats");
+        let cache = ResultCache::new(4, Some(dir.clone()));
+        assert!(matches!(cache.claim(21), Claim::Owner));
+        assert!(matches!(cache.claim(22), Claim::Owner));
+        cache.fulfill(21, Arc::new(vec![0u8; 100]));
+        let s = cache.stats();
+        assert_eq!(s.entries, 2);
+        assert_eq!(s.pending, 1, "key 22 is still in flight");
+        assert_eq!(s.bytes, 100, "only ready cells hold payload bytes");
+        assert_eq!(s.disk_cells, 1, "ready cell spilled to disk");
+        // On-disk cell = 20-byte header + payload.
+        assert_eq!(s.disk_bytes, 120);
+        cache.fail(22, "abandoned by test".into());
+        let _ = std::fs::remove_dir_all(&dir);
+
+        let bare = ResultCache::new(4, None);
+        let s = bare.stats();
+        assert_eq!((s.entries, s.disk_cells, s.disk_bytes), (0, 0, 0));
     }
 
     #[test]

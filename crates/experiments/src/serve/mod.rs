@@ -14,8 +14,17 @@
 //! |---|---|
 //! | `POST /run` | run (or re-serve) one experiment; body = job JSON |
 //! | `GET /healthz` | liveness + queue/cache gauges |
-//! | `GET /metrics` | `serve.*` instrument snapshot |
+//! | `GET /metrics` | `serve.*` instrument snapshot + latency quantiles |
+//! | `GET /requestz` | last N completed requests with phase timelines |
+//! | `GET /statusz` | the in-flight request set |
+//! | `GET /debugz/flight` | flight-recorder ring dump (JSONL) |
 //! | `POST /shutdown` | stop accepting, drain, exit |
+//!
+//! Every accepted request gets a deterministic id (`r-` + accept
+//! sequence number) and a per-phase timeline
+//! (parse → cache-claim → queue-wait → sim → serialize → write for a
+//! cache miss) recorded in `ampsched_obs::request`; `--access-log`
+//! writes one JSONL line per request from the same records ([`reqlog`]).
 //!
 //! Two guarantees the tests enforce end to end:
 //!
@@ -34,8 +43,11 @@ pub mod http;
 pub mod metrics;
 pub mod protocol;
 pub mod queue;
+pub mod reqlog;
 
 use crate::common::Params;
+use ampsched_obs::{request as obs_request, ring as obs_ring};
+use ampsched_util::Json;
 use cache::{Claim, ResultCache, WaitOutcome};
 use queue::{Job, JobQueue, WorkerPool};
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -63,6 +75,13 @@ pub struct ServeConfig {
     /// Base parameters requests resolve against — in practice the
     /// trace-cache directory from `--trace-cache`.
     pub base: Params,
+    /// Access-log file (`--access-log`): one JSONL line per completed
+    /// request (none).
+    pub access_log: Option<std::path::PathBuf>,
+    /// Flight-recorder dump file (`--flight-recorder`): the obs event
+    /// ring is written here on a worker panic or a 504 (none). The ring
+    /// itself records regardless — `GET /debugz/flight` always works.
+    pub flight_recorder: Option<std::path::PathBuf>,
 }
 
 impl Default for ServeConfig {
@@ -74,6 +93,8 @@ impl Default for ServeConfig {
             cache_dir: None,
             deadline_ms: 600_000,
             base: Params::default(),
+            access_log: None,
+            flight_recorder: None,
         }
     }
 }
@@ -86,22 +107,33 @@ pub struct Server {
     queue: Arc<JobQueue>,
     cache: Arc<ResultCache>,
     shutdown: Arc<AtomicBool>,
+    access_log: Option<Arc<reqlog::AccessLog>>,
 }
 
 impl Server {
     /// Bind the listen socket and construct the cache + queue. No
-    /// thread is spawned yet.
+    /// thread is spawned yet. Binding also switches on the process-wide
+    /// request registry and flight recorder — both are observation-only
+    /// (served bytes stay byte-identical; `serve_obs` enforces it).
     pub fn bind(config: ServeConfig) -> std::io::Result<Server> {
         let listener = TcpListener::bind(&config.addr)?;
         let cache = Arc::new(ResultCache::new(
             config.cache_entries,
             config.cache_dir.clone(),
         ));
+        let access_log = match &config.access_log {
+            Some(path) => Some(Arc::new(reqlog::AccessLog::create(path)?)),
+            None => None,
+        };
+        obs_request::set_enabled(true);
+        obs_ring::set_enabled(true);
+        obs_ring::set_dump_path(config.flight_recorder.clone());
         Ok(Server {
             listener,
             queue: Arc::new(JobQueue::new()),
             cache,
             shutdown: Arc::new(AtomicBool::new(false)),
+            access_log,
             config,
         })
     }
@@ -137,6 +169,7 @@ impl Server {
                         deadline: Duration::from_millis(self.config.deadline_ms.max(1)),
                         workers: self.config.workers,
                         base: self.config.base.clone(),
+                        access_log: self.access_log.clone(),
                     };
                     let active = Arc::clone(&active);
                     active.fetch_add(1, Ordering::SeqCst);
@@ -176,11 +209,67 @@ struct ConnCtx {
     deadline: Duration,
     workers: usize,
     base: Params,
+    access_log: Option<Arc<reqlog::AccessLog>>,
+}
+
+/// Per-request observability handle: the request-registry id (when
+/// tracing is on) plus the timestamps the phase timeline hangs off.
+/// Everything here is measurement — dropping all of it changes no
+/// served byte.
+struct RequestObs {
+    id: Option<String>,
+    started: Instant,
+    route_hist: &'static str,
+}
+
+impl RequestObs {
+    /// Open a record for a request on `path` labelled `route`
+    /// (`"POST /run"`); `started` is when the connection began reading.
+    fn begin(route: &str, path: &str, started: Instant) -> RequestObs {
+        RequestObs {
+            id: obs_request::begin(route),
+            started,
+            route_hist: metrics::route_hist(path),
+        }
+    }
+
+    /// Record one phase duration against this request.
+    fn phase(&self, name: &'static str, took: Duration) {
+        if let Some(id) = &self.id {
+            obs_request::phase(id, name, took.as_micros() as u64);
+        }
+    }
+
+    /// Attach a metadata field (cache key, etc.) to this request.
+    fn annotate(&self, key: &'static str, value: Json) {
+        if let Some(id) = &self.id {
+            obs_request::annotate(id, key, value);
+        }
+    }
+
+    /// Seal the request: record total latency in the per-route and
+    /// per-outcome histogram families, move the record to the completed
+    /// history, and write the access-log line.
+    fn finish(self, ctx: &ConnCtx, outcome: &str, status: u16, bytes: usize) {
+        let total_us = self.started.elapsed().as_micros() as u64;
+        ampsched_obs::metrics::hist(self.route_hist).record(total_us);
+        ampsched_obs::metrics::hist(metrics::outcome_hist(outcome)).record(total_us);
+        if let Some(id) = &self.id {
+            obs_request::annotate(id, "status", Json::from(status as u64));
+            obs_request::annotate(id, "bytes", Json::from(bytes));
+            if let Some(rec) = obs_request::finish(id, outcome, total_us) {
+                if let Some(log) = &ctx.access_log {
+                    log.write(&rec);
+                }
+            }
+        }
+    }
 }
 
 /// Serve exactly one request on `stream` (the protocol is one request
 /// per connection, `Connection: close`).
 fn handle_connection(mut stream: TcpStream, ctx: &ConnCtx) {
+    let started = Instant::now();
     stream
         .set_read_timeout(Some(Duration::from_secs(30)))
         .ok();
@@ -188,8 +277,11 @@ fn handle_connection(mut stream: TcpStream, ctx: &ConnCtx) {
         Ok(r) => r,
         Err(e) => {
             ampsched_obs::counter!("serve.error.bad_request");
+            let obs = RequestObs::begin("-", "-", started);
+            obs.phase("parse", started.elapsed());
             let (status, reason) = e.status();
             let body = error_body(&e.detail());
+            let wt = Instant::now();
             let _ = http::write_response(
                 &mut stream,
                 status,
@@ -198,95 +290,169 @@ fn handle_connection(mut stream: TcpStream, ctx: &ConnCtx) {
                 &[],
                 body.as_bytes(),
             );
+            obs.phase("write", wt.elapsed());
+            obs.finish(ctx, "bad-request", status, body.len());
             return;
         }
     };
     ampsched_obs::counter!("serve.request");
-    let started = Instant::now();
+    let route = format!("{} {}", request.method, request.path);
+    let obs = RequestObs::begin(&route, &request.path, started);
     match (request.method.as_str(), request.path.as_str()) {
-        ("POST", "/run") => handle_run(&mut stream, &request.body, ctx, started),
+        ("POST", "/run") => handle_run(&mut stream, &request.body, ctx, obs),
         ("GET", "/healthz") => {
-            let body = metrics::healthz_json(ctx.queue.depth(), ctx.cache.len(), ctx.workers)
-                .render_pretty();
-            let _ = http::write_response(
-                &mut stream,
-                200,
-                "OK",
-                "application/json",
-                &[],
-                body.as_bytes(),
-            );
+            obs.phase("parse", started.elapsed());
+            let body =
+                metrics::healthz_json(ctx.queue.depth(), &ctx.cache.stats(), ctx.workers)
+                    .render_pretty();
+            respond_ok(&mut stream, ctx, obs, "application/json", body.as_bytes());
         }
         ("GET", "/metrics") => {
+            obs.phase("parse", started.elapsed());
             let body =
-                metrics::metrics_json(ctx.queue.depth(), ctx.cache.len()).render_pretty();
-            let _ = http::write_response(
-                &mut stream,
-                200,
-                "OK",
-                "application/json",
-                &[],
-                body.as_bytes(),
-            );
+                metrics::metrics_json(ctx.queue.depth(), &ctx.cache.stats()).render_pretty();
+            respond_ok(&mut stream, ctx, obs, "application/json", body.as_bytes());
+        }
+        ("GET", "/requestz") => {
+            obs.phase("parse", started.elapsed());
+            let records: Vec<Json> =
+                obs_request::completed().iter().map(|r| r.to_json()).collect();
+            let body = Json::obj([
+                ("capacity", Json::from(obs_request::DEFAULT_CAPACITY)),
+                ("requests", Json::Arr(records)),
+            ])
+            .render_pretty();
+            respond_ok(&mut stream, ctx, obs, "application/json", body.as_bytes());
+        }
+        ("GET", "/statusz") => {
+            obs.phase("parse", started.elapsed());
+            let inflight: Vec<Json> =
+                obs_request::inflight().iter().map(|r| r.to_json()).collect();
+            let body = Json::obj([
+                ("inflight", Json::Arr(inflight)),
+                ("queue_depth", Json::from(ctx.queue.depth())),
+                ("workers", Json::from(ctx.workers)),
+            ])
+            .render_pretty();
+            respond_ok(&mut stream, ctx, obs, "application/json", body.as_bytes());
+        }
+        ("GET", "/debugz/flight") => {
+            obs.phase("parse", started.elapsed());
+            let body = obs_ring::to_jsonl();
+            respond_ok(&mut stream, ctx, obs, "application/x-ndjson", body.as_bytes());
         }
         ("POST", "/shutdown") => {
+            obs.phase("parse", started.elapsed());
             ctx.shutdown.store(true, Ordering::SeqCst);
+            let body: &[u8] = b"{\"status\": \"draining\"}\n";
+            let wt = Instant::now();
             let _ = http::write_response(
                 &mut stream,
                 200,
                 "OK",
                 "application/json",
                 &[],
-                b"{\"status\": \"draining\"}\n",
+                body,
             );
+            obs.phase("write", wt.elapsed());
+            obs.finish(ctx, "draining", 200, body.len());
         }
-        (_, "/run" | "/healthz" | "/metrics" | "/shutdown") => {
+        (
+            _,
+            "/run" | "/healthz" | "/metrics" | "/requestz" | "/statusz" | "/debugz/flight"
+            | "/shutdown",
+        ) => {
             ampsched_obs::counter!("serve.error.bad_request");
-            let _ = http::write_response(
+            respond_error(
                 &mut stream,
+                ctx,
+                obs,
                 405,
                 "Method Not Allowed",
-                "application/json",
-                &[],
-                error_body("method not allowed for this route").as_bytes(),
+                "method not allowed for this route",
+                "bad-request",
             );
         }
         _ => {
             ampsched_obs::counter!("serve.error.bad_request");
-            let _ = http::write_response(
+            respond_error(
                 &mut stream,
+                ctx,
+                obs,
                 404,
                 "Not Found",
-                "application/json",
-                &[],
-                error_body("no such route").as_bytes(),
+                "no such route",
+                "bad-request",
             );
         }
     }
 }
 
+/// Write a 200 response and seal the request with outcome `ok`.
+fn respond_ok(
+    stream: &mut TcpStream,
+    ctx: &ConnCtx,
+    obs: RequestObs,
+    content_type: &str,
+    body: &[u8],
+) {
+    let wt = Instant::now();
+    let _ = http::write_response(stream, 200, "OK", content_type, &[], body);
+    obs.phase("write", wt.elapsed());
+    obs.finish(ctx, "ok", 200, body.len());
+}
+
+/// Write a JSON error response and seal the request.
+fn respond_error(
+    stream: &mut TcpStream,
+    ctx: &ConnCtx,
+    obs: RequestObs,
+    status: u16,
+    reason: &str,
+    message: &str,
+    outcome: &str,
+) {
+    let body = error_body(message);
+    let wt = Instant::now();
+    let _ = http::write_response(
+        stream,
+        status,
+        reason,
+        "application/json",
+        &[],
+        body.as_bytes(),
+    );
+    obs.phase("write", wt.elapsed());
+    obs.finish(ctx, outcome, status, body.len());
+}
+
 /// The `/run` path: validate, claim the cache cell, compute or wait,
 /// answer. The `X-Cache` header says which way the request went.
-fn handle_run(stream: &mut TcpStream, body: &[u8], ctx: &ConnCtx, started: Instant) {
+///
+/// Phase timeline by path (visible in `/requestz` and the access log):
+/// hit/disk-hit → `parse, cache-claim, write`; miss →
+/// `parse, cache-claim, queue-wait, sim, serialize, write` (the middle
+/// three recorded by the worker against this request's id); coalesced →
+/// `parse, cache-claim, wait, write`.
+fn handle_run(stream: &mut TcpStream, body: &[u8], ctx: &ConnCtx, obs: RequestObs) {
     let spec = match protocol::parse_request(body, &ctx.base) {
         Ok(spec) => spec,
         Err(msg) => {
             ampsched_obs::counter!("serve.error.bad_request");
-            let _ = http::write_response(
-                stream,
-                400,
-                "Bad Request",
-                "application/json",
-                &[],
-                error_body(&msg).as_bytes(),
-            );
+            obs.phase("parse", obs.started.elapsed());
+            respond_error(stream, ctx, obs, 400, "Bad Request", &msg, "bad-request");
             return;
         }
     };
     ampsched_obs::counter!("serve.run");
+    obs.phase("parse", obs.started.elapsed());
     let key = protocol::canonical_hash(&spec);
     let key_header = format!("{key:016x}");
-    let (claim, cache_state) = match ctx.cache.claim(key) {
+    obs.annotate("cache_key", Json::from(key_header.as_str()));
+    let claim_start = Instant::now();
+    let first_claim = ctx.cache.claim(key);
+    obs.phase("cache-claim", claim_start.elapsed());
+    let (claim, cache_state) = match first_claim {
         Claim::Hit(bytes) => {
             ampsched_obs::counter!("serve.cache.hit");
             (Some(bytes), "hit")
@@ -297,15 +463,16 @@ fn handle_run(stream: &mut TcpStream, body: &[u8], ctx: &ConnCtx, started: Insta
         }
         Claim::Owner => {
             ampsched_obs::counter!("serve.cache.miss");
-            if !ctx.queue.push(Job { key, spec }) {
+            if !ctx.queue.push(Job::new(key, spec, obs.id.clone())) {
                 ctx.cache.fail(key, "server is draining".to_string());
-                let _ = http::write_response(
+                respond_error(
                     stream,
+                    ctx,
+                    obs,
                     503,
                     "Service Unavailable",
-                    "application/json",
-                    &[],
-                    error_body("server is draining").as_bytes(),
+                    "server is draining",
+                    "draining",
                 );
                 return;
             }
@@ -320,22 +487,32 @@ fn handle_run(stream: &mut TcpStream, body: &[u8], ctx: &ConnCtx, started: Insta
         Some(bytes) => WaitOutcome::Ready(bytes),
         // Owner and coalescer alike wait on the pending slot (the
         // owner's job is in the queue; re-claiming yields its slot, or
-        // the finished bytes if a worker already got to it).
-        None => match ctx.cache.claim(key) {
-            Claim::Hit(bytes) | Claim::DiskHit(bytes) => WaitOutcome::Ready(bytes),
-            Claim::Wait(slot) => slot.wait(ctx.deadline),
-            Claim::Owner => {
-                // The job failed between push and re-claim; don't run a
-                // second attempt inside a connection thread.
-                ctx.cache.fail(key, "job failed".to_string());
-                WaitOutcome::Failed("job failed; retry the request".to_string())
+        // the finished bytes if a worker already got to it). The owner's
+        // wait is accounted by the worker-recorded queue-wait/sim/
+        // serialize phases; a coalescer records it as one `wait` phase.
+        None => {
+            let wait_start = Instant::now();
+            let outcome = match ctx.cache.claim(key) {
+                Claim::Hit(bytes) | Claim::DiskHit(bytes) => WaitOutcome::Ready(bytes),
+                Claim::Wait(slot) => slot.wait(ctx.deadline),
+                Claim::Owner => {
+                    // The job failed between push and re-claim; don't run a
+                    // second attempt inside a connection thread.
+                    ctx.cache.fail(key, "job failed".to_string());
+                    WaitOutcome::Failed("job failed; retry the request".to_string())
+                }
+            };
+            if cache_state == "coalesced" {
+                obs.phase("wait", wait_start.elapsed());
             }
-        },
+            outcome
+        }
     };
-    let latency_us = started.elapsed().as_micros() as u64;
+    let latency_us = obs.started.elapsed().as_micros() as u64;
     ampsched_obs::hist!("serve.latency_us", latency_us);
     match outcome {
         WaitOutcome::Ready(bytes) => {
+            let wt = Instant::now();
             let _ = http::write_response(
                 stream,
                 200,
@@ -344,29 +521,41 @@ fn handle_run(stream: &mut TcpStream, body: &[u8], ctx: &ConnCtx, started: Insta
                 &[("X-Cache", cache_state), ("X-Cache-Key", &key_header)],
                 &bytes,
             );
+            obs.phase("write", wt.elapsed());
+            obs.finish(ctx, cache_state, 200, bytes.len());
         }
         WaitOutcome::Failed(msg) => {
             ampsched_obs::counter!("serve.error.failed");
+            let body = error_body(&msg);
+            let wt = Instant::now();
             let _ = http::write_response(
                 stream,
                 500,
                 "Internal Server Error",
                 "application/json",
                 &[("X-Cache", cache_state)],
-                error_body(&msg).as_bytes(),
+                body.as_bytes(),
             );
+            obs.phase("write", wt.elapsed());
+            obs.finish(ctx, "failed", 500, body.len());
         }
         WaitOutcome::TimedOut => {
             ampsched_obs::counter!("serve.error.timeout");
+            // Deadline expiry is a "what was going on?" moment: dump the
+            // flight recorder (no-op without --flight-recorder).
+            obs_ring::dump_now("request deadline expired (504)");
+            let body = error_body("deadline elapsed; the job continues and will be cached");
+            let wt = Instant::now();
             let _ = http::write_response(
                 stream,
                 504,
                 "Gateway Timeout",
                 "application/json",
                 &[("X-Cache", cache_state)],
-                error_body("deadline elapsed; the job continues and will be cached")
-                    .as_bytes(),
+                body.as_bytes(),
             );
+            obs.phase("write", wt.elapsed());
+            obs.finish(ctx, "timeout", 504, body.len());
         }
     }
 }

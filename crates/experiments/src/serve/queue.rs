@@ -26,6 +26,24 @@ pub struct Job {
     pub key: u64,
     /// The validated experiment + parameters.
     pub spec: JobSpec,
+    /// Request id of the connection that enqueued this job (the cache
+    /// owner); the worker attributes queue-wait/sim/serialize phases to
+    /// it. `None` when request tracing is off.
+    pub request_id: Option<String>,
+    /// When the job entered the queue, for the queue-wait phase.
+    pub enqueued: std::time::Instant,
+}
+
+impl Job {
+    /// A job stamped with its enqueue time.
+    pub fn new(key: u64, spec: JobSpec, request_id: Option<String>) -> Job {
+        Job {
+            key,
+            spec,
+            request_id,
+            enqueued: std::time::Instant::now(),
+        }
+    }
 }
 
 struct QueueInner {
@@ -117,10 +135,40 @@ impl WorkerPool {
                     .spawn(move || {
                         while let Some(job) = queue.pop() {
                             ampsched_obs::counter!("serve.job.execute");
-                            match execute_job(&job.spec) {
-                                Ok(bytes) => cache.fulfill(job.key, bytes),
+                            ampsched_obs::ring::event(
+                                "job.execute",
+                                format!("{:016x}", job.key),
+                            );
+                            if let Some(id) = &job.request_id {
+                                ampsched_obs::request::phase(
+                                    id,
+                                    "queue-wait",
+                                    job.enqueued.elapsed().as_micros() as u64,
+                                );
+                            }
+                            match execute_job_timed(&job.spec) {
+                                Ok((bytes, timing)) => {
+                                    if let Some(id) = &job.request_id {
+                                        ampsched_obs::request::phase(id, "sim", timing.sim_us);
+                                        ampsched_obs::request::phase(
+                                            id,
+                                            "serialize",
+                                            timing.serialize_us,
+                                        );
+                                    }
+                                    cache.fulfill(job.key, bytes)
+                                }
                                 Err(msg) => {
                                     ampsched_obs::counter!("serve.job.panic");
+                                    ampsched_obs::ring::event(
+                                        "job.panic",
+                                        format!("{:016x}", job.key),
+                                    );
+                                    // The "what happened just before it
+                                    // went wrong" artifact: dump the
+                                    // flight recorder while the trail is
+                                    // still in the ring.
+                                    ampsched_obs::ring::dump_now("worker job panicked");
                                     cache.fail(job.key, msg);
                                 }
                             }
@@ -148,6 +196,16 @@ fn sim_lock() -> &'static Mutex<()> {
     LOCK.get_or_init(|| Mutex::new(()))
 }
 
+/// Host-time breakdown of one executed job, for the per-request
+/// timeline (`/requestz`): simulate vs render.
+#[derive(Debug, Clone, Copy)]
+pub struct JobTiming {
+    /// Microseconds spent computing sections (the simulation proper).
+    pub sim_us: u64,
+    /// Microseconds spent assembling + rendering the report bytes.
+    pub serialize_us: u64,
+}
+
 /// Run one job to rendered report bytes — the same bytes the CLI's
 /// `--json` flag would write for these parameters.
 ///
@@ -155,6 +213,13 @@ fn sim_lock() -> &'static Mutex<()> {
 /// poisoned parameter set cannot take down the pool; the error is
 /// propagated to every coalesced waiter and *not* cached.
 pub fn execute_job(spec: &JobSpec) -> Result<CellBytes, String> {
+    execute_job_timed(spec).map(|(bytes, _)| bytes)
+}
+
+/// [`execute_job`] plus the phase breakdown. The timing is measurement
+/// only — the rendered bytes are identical either way (the byte-identity
+/// differential in `serve_obs` holds the serve layer to that).
+pub fn execute_job_timed(spec: &JobSpec) -> Result<(CellBytes, JobTiming), String> {
     let guard = sim_lock().lock().unwrap_or_else(|poisoned| {
         // A previous job panicked inside the region; the counters it
         // bumped are absorbed by the next delta's `before` snapshot, so
@@ -163,12 +228,20 @@ pub fn execute_job(spec: &JobSpec) -> Result<CellBytes, String> {
     });
     let before = metrics::snapshot();
     let result = std::panic::catch_unwind(AssertUnwindSafe(|| {
+        let sim_start = std::time::Instant::now();
         let sections = report::compute_sections(&spec.experiment, &spec.params)?;
         let telemetry = metrics::snapshot().delta(&before).filtered("sim.").to_json();
+        let sim_us = sim_start.elapsed().as_micros() as u64;
+        let render_start = std::time::Instant::now();
         let doc = report::assemble(&spec.experiment, &spec.params, sections, telemetry);
         // render_pretty ends with '\n': these bytes are exactly what
         // `std::fs::write(path, doc.render_pretty())` puts in a file.
-        Ok(Arc::new(doc.render_pretty().into_bytes()))
+        let bytes = Arc::new(doc.render_pretty().into_bytes());
+        let timing = JobTiming {
+            sim_us,
+            serialize_us: render_start.elapsed().as_micros() as u64,
+        };
+        Ok((bytes, timing))
     }));
     drop(guard);
     match result {
@@ -214,10 +287,13 @@ mod tests {
     fn queue_is_fifo_and_close_drains() {
         let q = JobQueue::new();
         for key in [1u64, 2, 3] {
-            assert!(q.push(Job { key, spec: quick_fig1() }));
+            assert!(q.push(Job::new(key, quick_fig1(), None)));
         }
         q.close();
-        assert!(!q.push(Job { key: 4, spec: quick_fig1() }), "closed queue refuses jobs");
+        assert!(
+            !q.push(Job::new(4, quick_fig1(), None)),
+            "closed queue refuses jobs"
+        );
         let order: Vec<u64> = std::iter::from_fn(|| q.pop().map(|j| j.key)).collect();
         assert_eq!(order, [1, 2, 3], "close drains queued jobs in order");
     }
@@ -232,7 +308,7 @@ mod tests {
         let key = canonical_hash(&spec);
         let slot = match cache.claim(key) {
             super::super::cache::Claim::Owner => {
-                assert!(queue.push(Job { key, spec }));
+                assert!(queue.push(Job::new(key, spec, None)));
                 match cache.claim(key) {
                     super::super::cache::Claim::Wait(slot) => slot,
                     super::super::cache::Claim::Hit(_) => {

@@ -69,9 +69,8 @@ fn served_response_is_byte_identical_to_the_cli_golden_and_cached() {
         addr: "127.0.0.1:0".to_string(),
         workers: 2,
         cache_entries: 16,
-        cache_dir: None,
-        deadline_ms: 600_000,
         base: Params::default(),
+        ..ServeConfig::default()
     };
     let (addr, _guard) = start_server(config);
 
@@ -159,9 +158,8 @@ fn error_paths_and_shutdown() {
         addr: "127.0.0.1:0".to_string(),
         workers: 1,
         cache_entries: 4,
-        cache_dir: None,
-        deadline_ms: 600_000,
         base: Params::default(),
+        ..ServeConfig::default()
     };
     let (addr, mut guard) = start_server(config);
 

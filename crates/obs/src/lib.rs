@@ -3,9 +3,12 @@
 //! Process-global instrumentation for the ampsched workspace, built with
 //! zero external dependencies (the PR 1 hermetic-build rule): a leveled
 //! structured [logger](mod@log), [counters and fixed-bucket
-//! histograms](metrics), nesting RAII [timing spans](mod@span) that export to
-//! Chrome trace-event JSON, and a [JSONL telemetry sink](telemetry) for
-//! the scheduler decision audit trail.
+//! histograms](metrics) with quantile estimation, nesting RAII [timing
+//! spans](mod@span) that export to Chrome trace-event JSON, a [JSONL
+//! telemetry sink](telemetry) for the scheduler decision audit trail,
+//! a [per-request span-group registry](request) with deterministic ids
+//! and phase timelines, and a [flight recorder](ring) — a fixed-capacity
+//! ring of recent obs events dumped to JSONL when something goes wrong.
 //!
 //! ## Bit-identity contract
 //!
@@ -36,6 +39,8 @@
 pub mod log;
 pub mod metrics;
 pub mod profiler;
+pub mod request;
+pub mod ring;
 pub mod span;
 pub mod telemetry;
 

@@ -114,6 +114,7 @@ pub fn write(level: Level, target: &str, args: std::fmt::Arguments<'_>, fields: 
         let _ = write!(line, " {k}={v}");
     }
     eprintln!("{line}");
+    crate::ring::event("log", line.clone());
     if let Some(buf) = CAPTURE.lock().expect("log capture lock").as_mut() {
         buf.push(line);
     }

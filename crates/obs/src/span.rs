@@ -11,16 +11,24 @@
 //! experiments CLI enables recording for `--profile` and
 //! `--trace-events` runs.
 
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Mutex, OnceLock};
 use std::time::{Duration, Instant};
 
 /// Master switch; when false spans cost one atomic load.
 static ENABLED: AtomicBool = AtomicBool::new(false);
 
-/// Cap on buffered events: a runaway instrumentation loop degrades to a
-/// counter instead of exhausting memory.
-const MAX_EVENTS: usize = 1 << 20;
+/// Default cap on buffered events: a runaway instrumentation loop
+/// degrades to a counter instead of exhausting memory.
+pub const DEFAULT_EVENT_CAP: usize = 1 << 20;
+
+/// Current cap on buffered events (see [`set_event_cap`]).
+static EVENT_CAP: AtomicUsize = AtomicUsize::new(DEFAULT_EVENT_CAP);
+
+/// Spans dropped at the cap since the last [`clear`]. Mirrored into the
+/// `obs.spans.dropped` metrics counter; kept separately so the trace
+/// export can emit a truncation marker without a registry lookup.
+static DROPPED: AtomicU64 = AtomicU64::new(0);
 
 /// Enable or disable span recording process-wide.
 pub fn set_enabled(on: bool) {
@@ -32,12 +40,32 @@ pub fn enabled() -> bool {
     ENABLED.load(Ordering::Relaxed)
 }
 
+/// Resize the buffered-event cap (minimum 1). Already-buffered events
+/// are kept even if they exceed a smaller new cap; only new recordings
+/// are refused. Intended for tests and embedding tools.
+pub fn set_event_cap(cap: usize) {
+    EVENT_CAP.store(cap.max(1), Ordering::Relaxed);
+}
+
+/// Current cap on buffered events.
+pub fn event_cap() -> usize {
+    EVENT_CAP.load(Ordering::Relaxed)
+}
+
+/// Spans silently refused at the cap since the last [`clear`]. Also
+/// counted by the `obs.spans.dropped` metrics counter.
+pub fn dropped_count() -> u64 {
+    DROPPED.load(Ordering::Relaxed)
+}
+
 fn epoch() -> Instant {
     static EPOCH: OnceLock<Instant> = OnceLock::new();
     *EPOCH.get_or_init(Instant::now)
 }
 
-fn micros_since_epoch() -> u64 {
+/// Host microseconds since the process-wide obs epoch. Shared with the
+/// [flight recorder](crate::ring) so span and ring timestamps line up.
+pub(crate) fn micros_since_epoch() -> u64 {
     epoch().elapsed().as_micros() as u64
 }
 
@@ -80,9 +108,11 @@ impl Drop for SpanGuard {
             return;
         }
         let end_us = micros_since_epoch();
+        crate::ring::event("span", self.name.to_string());
         let mut buf = events().lock().expect("span buffer lock");
-        if buf.len() >= MAX_EVENTS {
-            crate::counter!("obs.span.dropped");
+        if buf.len() >= event_cap() {
+            DROPPED.fetch_add(1, Ordering::Relaxed);
+            crate::counter!("obs.spans.dropped");
             return;
         }
         buf.push(SpanEvent {
@@ -147,9 +177,10 @@ pub fn event_count() -> usize {
     events().lock().expect("span buffer lock").len()
 }
 
-/// Discard all buffered events.
+/// Discard all buffered events and reset the dropped-span count.
 pub fn clear() {
     events().lock().expect("span buffer lock").clear();
+    DROPPED.store(0, Ordering::Relaxed);
 }
 
 /// Write all buffered events to `path` in Chrome trace-event JSON
@@ -179,6 +210,23 @@ pub fn write_trace_events(path: &std::path::Path) -> std::io::Result<usize> {
         })
         .collect();
     drop(buf);
+    // Truncation is never silent: if the cap refused spans, plant a
+    // global instant marker so the viewer shows the trace is partial.
+    let dropped = dropped_count();
+    if dropped > 0 {
+        all.push(Json::obj([
+            (
+                "name",
+                Json::from(format!("TRUNCATED: {dropped} spans dropped at cap")),
+            ),
+            ("cat", Json::from("ampsched")),
+            ("ph", Json::from("i")),
+            ("s", Json::from("g")),
+            ("ts", Json::from(micros_since_epoch())),
+            ("pid", Json::from(std::process::id())),
+            ("tid", Json::from(current_tid())),
+        ]));
+    }
     all.extend(crate::profiler::trace_counter_events());
     let count = all.len();
     let trace = Json::obj([
@@ -226,5 +274,31 @@ mod tests {
         assert_eq!(inner.map(|(_, _, c)| *c), Some(2));
         let outer = agg.iter().find(|(n, _, _)| n == "test.span.outer");
         assert_eq!(outer.map(|(_, _, c)| *c), Some(1));
+
+        // Overflowing the cap is counted and marked, never silent.
+        clear();
+        assert_eq!(dropped_count(), 0);
+        set_enabled(true);
+        set_event_cap(2);
+        for _ in 0..5 {
+            let _s = span("test.span.overflow");
+        }
+        set_enabled(false);
+        assert_eq!(event_count(), 2, "cap bounds the buffer");
+        assert_eq!(dropped_count(), 3, "overflow is counted");
+        let path = std::env::temp_dir().join(format!(
+            "ampsched-span-truncation-test-{}.json",
+            std::process::id()
+        ));
+        write_trace_events(&path).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(
+            text.contains("TRUNCATED: 3 spans dropped at cap"),
+            "trace export carries a truncation marker"
+        );
+        let _ = std::fs::remove_file(&path);
+        set_event_cap(DEFAULT_EVENT_CAP);
+        clear();
+        assert_eq!(dropped_count(), 0, "clear resets the dropped count");
     }
 }

@@ -655,6 +655,33 @@ mod tests {
     }
 
     #[test]
+    fn diff_tolerates_extra_benchmark_fields() {
+        // serve-bench artifacts carry p50_ns/p95_ns/p99_ns alongside
+        // the core schema; the differ reads only what it knows.
+        let entry = |mean: u64| {
+            Json::obj([
+                ("name", Json::from("serve/warm/req0:fig1")),
+                ("samples", Json::from(5u64)),
+                ("mean_ns", Json::from(mean)),
+                ("p50_ns", Json::from(mean - 10)),
+                ("p95_ns", Json::from(mean + 10)),
+                ("p99_ns", Json::from(mean + 20)),
+            ])
+        };
+        let before = Json::obj([
+            ("source", Json::from("serve-bench")),
+            ("benchmarks", Json::arr([entry(1000)])),
+        ]);
+        let after = Json::obj([
+            ("source", Json::from("serve-bench")),
+            ("benchmarks", Json::arr([entry(500)])),
+        ]);
+        let deltas = diff_benchmarks(&before, &after).unwrap();
+        assert_eq!(deltas.len(), 1);
+        assert!((deltas[0].speedup() - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
     fn stats_on_known_samples() {
         let r = BenchRecord {
             name: "k".into(),
